@@ -1,0 +1,43 @@
+//! E1 — Theorem 1: awake complexity as a function of `n` at `Δ ≈ √n`
+//! (the regime where `Δ ≫ 2^{√log n}` asymptotically).
+//!
+//! Paper claim: trivial `O(Δ) = O(√n)`, BM21 `O(log Δ + log* n) = Θ(log n)`,
+//! Theorem 1 `O(√log n · log* n)` — the new algorithm's curve must be the
+//! flattest in `n` (constants put its absolute value above BM21 at laptop
+//! scale; the *growth rates* are the claim).
+
+use awake_bench::{header, run_trivial};
+use awake_core::{bm21, bounds, theorem1};
+use awake_graphs::generators;
+use awake_olocal::problems::DeltaPlusOneColoring;
+
+fn main() {
+    println!("E1: awake vs n at Δ ≈ √n ((Δ+1)-coloring)");
+    header("       n      Δ | trivial |  bm21 | thm1  | thm1 bound | thm1 rounds");
+    let p = DeltaPlusOneColoring;
+    for exp in [6u32, 7, 8, 9, 10] {
+        let n = 1usize << exp;
+        let delta = (n as f64).sqrt() as usize;
+        let g = generators::random_with_max_degree(n, delta, 42 + exp as u64);
+        let t = run_trivial(&g, &p).max_awake();
+        let b = bm21::solve(&g, &p, &vec![(); n], None)
+            .unwrap()
+            .composition
+            .max_awake();
+        let r = theorem1::solve(&g, &p, Default::default()).unwrap();
+        println!(
+            "{:>8} {:>6} | {:>7} | {:>5} | {:>5} | {:>10} | {:>11}",
+            n,
+            g.max_degree(),
+            t,
+            b,
+            r.composition.max_awake(),
+            bounds::theorem1_awake(&r.params),
+            r.composition.rounds(),
+        );
+    }
+    println!(
+        "\nshape check: trivial grows ~√n, bm21 grows ~log n, thm1 is near-flat\n\
+         (√log n · log* n changes by < 2x while n grows 16x)."
+    );
+}

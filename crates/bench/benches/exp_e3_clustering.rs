@@ -1,0 +1,41 @@
+//! E3 — Theorem 13 + Lemma 15: colors stay within `k·a·b² = 2^{O(√log n)}`,
+//! awake stays within the `O(√log n · log* n)` budget, and every iteration
+//! shrinks the surviving cluster count by at least the factor `b`.
+
+use awake_bench::header;
+use awake_core::{bounds, params::Params, theorem13};
+use awake_graphs::generators;
+
+fn main() {
+    println!("E3: Theorem 13 clustering quality");
+    header("      n |  b | iters | colors used | color bound | awake | awake bound | worst shrink");
+    for exp in [6u32, 7, 8, 9, 10] {
+        let n = 1usize << exp;
+        let g = generators::gnp(n, (8.0 / n as f64).min(0.5), 77 + exp as u64);
+        let params = Params::for_graph(&g);
+        let res = theorem13::compute(&g, &params).unwrap();
+        res.clustering.validate_colored(&g).expect("valid clustering");
+        let worst_shrink = res
+            .iteration_stats
+            .iter()
+            .filter(|s| s.clusters_after > 0)
+            .map(|s| s.clusters_before as f64 / s.clusters_after as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{:>7} | {:>2} | {:>5} | {:>11} | {:>11} | {:>5} | {:>11} | {:>12}",
+            n,
+            params.b,
+            res.iteration_stats.len(),
+            res.clustering.labels().len(),
+            params.color_bound(),
+            res.composition.max_awake(),
+            bounds::theorem13_awake(&params),
+            if worst_shrink.is_finite() {
+                format!("{worst_shrink:.1}x (≥{})", params.b)
+            } else {
+                "all in iter 1".into()
+            }
+        );
+    }
+    println!("\nLemma 15 guarantee: every shrink factor ≥ b; colors ≤ k·a·b².");
+}

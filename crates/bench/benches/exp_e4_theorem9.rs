@@ -1,0 +1,53 @@
+//! E4 — Theorem 9: given a colored BFS-clustering with `c` colors, awake
+//! complexity is `O(log c)` and rounds are `O(c·n)`.
+//!
+//! Sweeps `c` via synthetic Voronoi clusterings on a fixed graph.
+
+use awake_bench::header;
+use awake_core::{bounds, clustering, theorem9};
+use awake_graphs::generators;
+use awake_olocal::problems::DeltaPlusOneColoring;
+
+fn main() {
+    println!("E4: Theorem 9 awake vs color count c (fixed 20x20 grid)");
+    header(" clusters |    c | awake | awake bound | rounds");
+    let g = generators::grid(20, 20);
+    let p = DeltaPlusOneColoring;
+    for clusters in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let cl = clustering::synthesize(&g, clusters, 5);
+        let c = cl.max_label();
+        let r = theorem9::solve(&g, &p, &vec![(); g.n()], &cl, c).unwrap();
+        println!(
+            "{:>9} | {:>4} | {:>5} | {:>11} | {:>6}",
+            clusters,
+            c,
+            r.composition.max_awake(),
+            bounds::theorem9_awake(c),
+            r.composition.rounds()
+        );
+    }
+    println!(
+        "\n(grid cluster graphs are near-planar, so greedy coloring caps c at ~5;\n\
+         the clique sweep below forces c = cluster count)"
+    );
+    println!("\nE4b: same sweep on K_120 — every pair of clusters is adjacent, c = #clusters");
+    header(" clusters |    c | awake | awake bound | rounds");
+    let g = generators::complete(120);
+    for clusters in [2usize, 4, 8, 16, 32, 64] {
+        let cl = clustering::synthesize(&g, clusters, 9);
+        let c = cl.max_label();
+        let r = theorem9::solve(&g, &p, &vec![(); g.n()], &cl, c).unwrap();
+        println!(
+            "{:>9} | {:>4} | {:>5} | {:>11} | {:>6}",
+            clusters,
+            c,
+            r.composition.max_awake(),
+            bounds::theorem9_awake(c),
+            r.composition.rounds()
+        );
+    }
+    println!(
+        "\nshape check: c grows 32x (2 → 64) while awake grows by an additive\n\
+         5·log₂ term only (Theorem 9: awake O(log c)); rounds grow with c·n."
+    );
+}

@@ -1,0 +1,41 @@
+//! E7 — ablation: Lemma 11's binary-tree wake schedule (awake
+//! `2 + log₂ q`) versus the naive per-color schedule.
+//!
+//! The naive alternative wakes a node once per smaller color in its
+//! neighborhood plus once to decide — on a clique with distinct colors
+//! that is `Θ(k)` awake rounds. Lemma 10's palette tree is what turns
+//! that into `O(log k)`.
+
+use awake_bench::header;
+use awake_core::lemma10::PaletteTree;
+use awake_core::lemma11::ColorScheduled;
+use awake_graphs::{coloring, generators};
+use awake_olocal::problems::DeltaPlusOneColoring;
+use awake_sleeping::{Config, Engine};
+
+fn main() {
+    println!("E7: Lemma 11 wake-schedule ablation (cliques, k distinct colors)");
+    header("   k |  q | lemma11 awake | exact 2+log2(q) | naive awake Θ(k)");
+    for k in [8usize, 16, 32, 64, 128] {
+        let g = generators::complete(k);
+        let colors: Vec<u64> = (1..=k as u64).collect();
+        let programs: Vec<ColorScheduled<DeltaPlusOneColoring>> = g
+            .nodes()
+            .map(|v| ColorScheduled::new(DeltaPlusOneColoring, (), colors[v.index()], k as u64))
+            .collect();
+        let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+        coloring::check_proper(&g, &run.outputs).unwrap();
+        let q = PaletteTree::covering(k as u64).q();
+        // naive: the node of highest color hears every smaller color.
+        let naive = k as u64 + 1;
+        println!(
+            "{:>4} | {:>2} | {:>13} | {:>15} | {:>16}",
+            k,
+            q,
+            run.metrics.max_awake(),
+            2 + q.trailing_zeros(),
+            naive
+        );
+    }
+    println!("\nLemma 10's palette tree: exponential awake savings over per-color waking.");
+}

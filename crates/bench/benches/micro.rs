@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the substrate: engine throughput, the
+//! Lemma 10 mapping, Linial reduction steps, and graph operations.
+
+use awake_core::lemma10::PaletteTree;
+use awake_core::linial;
+use awake_graphs::{generators, ops, traversal, NodeId};
+use awake_sleeping::{Action, Config, Engine, Envelope, Outgoing, Program, View};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// A flood program: every node broadcasts its best-known ident for `t`
+/// rounds — a dense all-awake workload for engine throughput.
+struct Flood {
+    best: u64,
+    t: u64,
+}
+impl Program for Flood {
+    type Msg = u64;
+    type Output = u64;
+    fn send(&mut self, _: &View) -> Vec<Outgoing<u64>> {
+        vec![Outgoing::Broadcast(self.best)]
+    }
+    fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+        self.best = self.best.max(view.ident);
+        for e in inbox {
+            self.best = self.best.max(e.msg);
+        }
+        if view.round >= self.t {
+            Action::Halt
+        } else {
+            Action::Stay
+        }
+    }
+    fn output(&self) -> Option<u64> {
+        Some(self.best)
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let g = generators::random_regular(256, 8, 1);
+    c.bench_function("engine/flood-256x10", |b| {
+        b.iter_batched(
+            || {
+                (0..256)
+                    .map(|_| Flood { best: 0, t: 10 })
+                    .collect::<Vec<_>>()
+            },
+            |progs| {
+                let run = Engine::new(&g, Config::default()).run(progs).unwrap();
+                black_box(run.metrics.rounds)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lemma10(c: &mut Criterion) {
+    let t = PaletteTree::new(1 << 12);
+    c.bench_function("lemma10/r-path-4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for color in 1..=4096u64 {
+                acc += t.r(black_box(color)).len() as u64;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_linial(c: &mut Criterion) {
+    let step = linial::step_params(1 << 20, 16);
+    let neighbors: Vec<u64> = (0..16).map(|i| i * 991 + 7).collect();
+    c.bench_function("linial/reduce-color", |b| {
+        b.iter(|| linial::reduce_color(black_box(123_456), &neighbors, step))
+    });
+    c.bench_function("linial/schedule-from-2^40", |b| {
+        b.iter(|| linial::schedule(black_box(1u64 << 40), 16).len())
+    });
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let g = generators::gnp(512, 0.05, 3);
+    c.bench_function("graphs/square-512", |b| b.iter(|| ops::square(&g).m()));
+    c.bench_function("graphs/bfs-512", |b| {
+        b.iter(|| traversal::bfs_distances(&g, NodeId(0)).len())
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_lemma10, bench_linial, bench_graphs);
+criterion_main!(benches);

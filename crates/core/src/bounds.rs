@@ -1,0 +1,158 @@
+//! Closed-form awake/round budgets for every algorithm in the crate.
+//!
+//! The tests and the experiment harness assert `measured ≤ bound`; the
+//! bounds are the paper's statements made concrete with this
+//! implementation's exact constants (no hidden `O(·)`).
+
+use crate::lemma10::PaletteTree;
+use crate::params::Params;
+use crate::{gather, linial, virt};
+use awake_graphs::Graph;
+
+/// Lemma 6: broadcast/convergecast awake complexity (non-root nodes).
+pub const LEMMA6_AWAKE: u64 = 3;
+
+/// Lemma 6: round complexity for label bound `n_labels`.
+pub fn lemma6_rounds(n_labels: u64) -> u64 {
+    n_labels + 3
+}
+
+/// Awake rounds of the intra-cluster gather (per node).
+pub const GATHER_AWAKE: u64 = 5;
+
+/// Awake rounds the Lemma 7 simulator pays per awake virtual round.
+pub const VIRT_AWAKE_PER_VROUND: u64 = 5;
+
+/// Linial's round count from palette `m0` at degree bound `delta`
+/// (the `O(log* n)` term, computed exactly).
+pub fn linial_rounds(m0: u64, delta: u64) -> u64 {
+    linial::schedule(m0, delta).len() as u64
+}
+
+/// Lemma 11 awake complexity on a `k`-coloring: one mandatory round plus
+/// the `r(c)` wake set, `= 2 + log₂ q` with `q = 2^⌈log₂ k⌉`.
+pub fn lemma11_awake(k: u64) -> u64 {
+    2 + PaletteTree::covering(k).q().trailing_zeros() as u64
+}
+
+/// Lemma 11 round complexity (`1 + (2q − 1)`).
+pub fn lemma11_rounds(k: u64) -> u64 {
+    1 + PaletteTree::covering(k).horizon()
+}
+
+/// BM21 awake bound for a graph: Linial rounds (always awake, ≥ 1 for the
+/// mandatory first round) + Lemma 11 on the `O(Δ²)` palette.
+pub fn bm21_awake(g: &Graph) -> u64 {
+    let delta = g.max_degree().max(1) as u64;
+    linial_rounds(g.ident_bound(), delta).max(1) + lemma11_awake(linial::final_palette(delta))
+}
+
+/// Trivial baseline awake bound: `Δ + 2`.
+pub fn trivial_awake(g: &Graph) -> u64 {
+    g.max_degree() as u64 + 2
+}
+
+/// Virtual-round budget of one Lemma 15 execution at iteration `i`
+/// (label bound `lb`): the constant info rounds, two Lemma 6 passes over
+/// the `F₂` forest with labels `≤ 4·lb + 1`, and the Linial loop on
+/// `H[U]`.
+pub fn lemma15_vrounds(p: &Params, iteration: u32) -> u64 {
+    let lb = p.label_bound(iteration);
+    let n6 = 4 * lb + 2; // c₂ ranges over 0..=4·lb+1
+    let t_u = linial_rounds(lb + 1, p.b);
+    3 + 2 * (n6 + 2) + 1 + 2 * (n6 + 2) + 1 + 1 + t_u + 2
+}
+
+/// Awake virtual rounds a vertex spends inside Lemma 15 (constant + the
+/// Linial loop).
+pub fn lemma15_vertex_awake(p: &Params, iteration: u32) -> u64 {
+    let lb = p.label_bound(iteration);
+    let t_u = linial_rounds(lb + 1, p.b);
+    // vr1..3 info + 2·(cc+bc) twice + membership round + Linial loop
+    3 + 4 + 1 + 4 + 1 + t_u
+}
+
+/// Virtual-round budget of the Lemma 14 tree-gather (cluster-tree depth is
+/// bounded by `n`).
+pub fn lemma14_vrounds(p: &Params) -> u64 {
+    2 * p.depth_bound as u64 + 8
+}
+
+/// Real-round budget of one full Theorem 13 iteration.
+pub fn theorem13_iteration_rounds(p: &Params, iteration: u32) -> u64 {
+    virt::virt_rounds(p.depth_bound, lemma15_vrounds(p, iteration))
+        + virt::virt_rounds(p.depth_bound, lemma14_vrounds(p))
+}
+
+/// Awake bound of one Theorem 13 iteration: the Lemma 7 overhead on every
+/// awake virtual round of Lemma 15, plus the O(1)-awake Lemma 14 stage.
+pub fn theorem13_iteration_awake(p: &Params, iteration: u32) -> u64 {
+    GATHER_AWAKE
+        + VIRT_AWAKE_PER_VROUND * lemma15_vertex_awake(p, iteration)
+        + GATHER_AWAKE
+        + VIRT_AWAKE_PER_VROUND * 5
+}
+
+/// Awake bound for the whole Theorem 13 pipeline:
+/// `O(√log n · log* n)` with explicit constants.
+pub fn theorem13_awake(p: &Params) -> u64 {
+    (1..=p.iterations)
+        .map(|i| theorem13_iteration_awake(p, i))
+        .sum()
+}
+
+/// Theorem 9 awake bound given a `c`-colored clustering: one gather plus
+/// Lemma 11 on `H` through the Lemma 7 simulator.
+pub fn theorem9_awake(c: u64) -> u64 {
+    GATHER_AWAKE + VIRT_AWAKE_PER_VROUND * (1 + lemma11_awake(c))
+}
+
+/// Theorem 9 round bound: `O(c·n)`.
+pub fn theorem9_rounds(p: &Params, c: u64) -> u64 {
+    virt::virt_rounds(p.depth_bound, lemma11_rounds(c) + 1)
+}
+
+/// Theorem 1 awake bound: Theorem 13 + Theorem 9 on `≤ k·a·b²` colors.
+pub fn theorem1_awake(p: &Params) -> u64 {
+    theorem13_awake(p) + theorem9_awake(p.color_bound())
+}
+
+/// The gather's exact round budget (re-exported for the harness).
+pub fn gather_rounds(depth_bound: u32) -> u64 {
+    gather::gather_rounds(depth_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma11_bounds_are_logarithmic() {
+        assert_eq!(lemma11_awake(1), 2);
+        assert_eq!(lemma11_awake(2), 3);
+        assert_eq!(lemma11_awake(8), 5);
+        assert_eq!(lemma11_awake(9), 6); // q = 16
+        assert_eq!(lemma11_rounds(8), 16);
+    }
+
+    #[test]
+    fn theorem1_bound_is_sublogarithmic_in_n() {
+        // The bound divided by log₂ n must *shrink* as n grows
+        // (√log n · log* n = o(log n)).
+        let small = Params::new(1 << 10, 1 << 10);
+        let large = Params::new(1 << 26, 1 << 26);
+        let ratio_small = theorem1_awake(&small) as f64 / 10.0;
+        let ratio_large = theorem1_awake(&large) as f64 / 26.0;
+        assert!(
+            ratio_large < ratio_small,
+            "bound/log n should decrease: {ratio_small} vs {ratio_large}"
+        );
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_iteration() {
+        let p = Params::new(4096, 4096);
+        assert!(lemma15_vrounds(&p, 2) >= lemma15_vrounds(&p, 1));
+        assert!(theorem13_iteration_rounds(&p, 1) > 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Lemma 10: the palette-tree mapping `φ` and `r` (Figure 1 of the paper).
+//!
+//! For a power of two `q`, consider the complete binary tree whose nodes
+//! are labeled `{1, …, 2q−1}` by an in-order traversal: the root is `q`,
+//! leaves are the odd labels. For a color `c ∈ {1, …, q}`:
+//!
+//! * `φ(c) = 2c − 1` — the label of the `c`-th leaf;
+//! * `r(c)` — the set of labels on the root-to-leaf path to `φ(c)`.
+//!
+//! Properties (proved here by direct computation, property-tested for all
+//! `q ≤ 2¹²`):
+//! 1. `|r(c)| = 1 + log₂ q`;
+//! 2. `φ(c) ∈ r(c)`;
+//! 3. for distinct `c₁, c₂` there is `x ∈ r(c₁) ∩ r(c₂)` with
+//!    `min(φ(c₁), φ(c₂)) < x < max(φ(c₁), φ(c₂))` — the lowest common
+//!    ancestor.
+//!
+//! These wake-schedule sets drive Lemma 11: a node of color `c` is awake
+//! exactly at the rounds in `r(c)`.
+
+/// The palette tree for a power-of-two `q`.
+///
+/// # Example (Figure 1: `q = 8`)
+/// ```
+/// # use awake_core::lemma10::PaletteTree;
+/// let t = PaletteTree::new(8);
+/// assert_eq!(t.phi(2), 3);
+/// assert_eq!(t.r(2), vec![2, 3, 4, 8]);
+/// assert_eq!(t.phi(4), 7);
+/// assert_eq!(t.r(4), vec![4, 6, 7, 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaletteTree {
+    q: u64,
+}
+
+impl PaletteTree {
+    /// Build the tree for `q` colors.
+    ///
+    /// # Panics
+    /// Panics unless `q` is a power of two and `q ≥ 1`.
+    pub fn new(q: u64) -> Self {
+        assert!(q.is_power_of_two(), "q must be a power of two, got {q}");
+        PaletteTree { q }
+    }
+
+    /// The smallest power-of-two palette covering `k` colors.
+    pub fn covering(k: u64) -> Self {
+        PaletteTree::new(k.max(1).next_power_of_two())
+    }
+
+    /// The number of colors `q`.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// The schedule horizon: labels live in `{1, …, 2q−1}`, so Lemma 11
+    /// finishes within `2q − 1` rounds.
+    pub fn horizon(&self) -> u64 {
+        2 * self.q - 1
+    }
+
+    /// `φ(c) = 2c − 1`, the decision round of color `c`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ c ≤ q`.
+    pub fn phi(&self, c: u64) -> u64 {
+        assert!(c >= 1 && c <= self.q, "color {c} out of range 1..={}", self.q);
+        2 * c - 1
+    }
+
+    /// `r(c)`: the sorted labels of the root-to-leaf path to `φ(c)`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ c ≤ q`.
+    pub fn r(&self, c: u64) -> Vec<u64> {
+        let leaf = self.phi(c);
+        // Walk down from the root. The subtree rooted at label `m` with
+        // half-width `h` covers (m−h, m+h); its children are m−h/... the
+        // in-order tree on {1..2q−1} has root q with step q/2, children
+        // q±q/2 with step q/4, etc.
+        let mut path = Vec::with_capacity((self.q.trailing_zeros() + 1) as usize);
+        let mut node = self.q;
+        let mut step = self.q / 2;
+        loop {
+            path.push(node);
+            if node == leaf {
+                break;
+            }
+            node = if leaf < node { node - step } else { node + step };
+            step /= 2;
+        }
+        path.sort_unstable();
+        path
+    }
+
+    /// `|r(c)| = 1 + log₂ q` — the awake complexity Lemma 11 pays.
+    pub fn path_len(&self) -> u64 {
+        1 + self.q.trailing_zeros() as u64
+    }
+
+    /// The elements of `r(c)` strictly below `φ(c)` (receive rounds).
+    pub fn r_below(&self, c: u64) -> Vec<u64> {
+        let phi = self.phi(c);
+        self.r(c).into_iter().filter(|&x| x < phi).collect()
+    }
+
+    /// The elements of `r(c)` strictly above `φ(c)` (send rounds).
+    pub fn r_above(&self, c: u64) -> Vec<u64> {
+        let phi = self.phi(c);
+        self.r(c).into_iter().filter(|&x| x > phi).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure1_values() {
+        // The exact numbers printed in Figure 1 of the paper.
+        let t = PaletteTree::new(8);
+        assert_eq!(t.phi(2), 3);
+        assert_eq!(t.r(2), vec![2, 3, 4, 8]);
+        assert_eq!(t.phi(4), 7);
+        assert_eq!(t.r(4), vec![4, 6, 7, 8]);
+        // LCA of leaves 3 and 7 is 4, and 3 < 4 < 7 (the figure's caption).
+        let shared: Vec<u64> = t.r(2).into_iter().filter(|x| t.r(4).contains(x)).collect();
+        assert!(shared.contains(&4));
+    }
+
+    #[test]
+    fn q_one_degenerates() {
+        let t = PaletteTree::new(1);
+        assert_eq!(t.phi(1), 1);
+        assert_eq!(t.r(1), vec![1]);
+        assert_eq!(t.path_len(), 1);
+        assert_eq!(t.horizon(), 1);
+    }
+
+    #[test]
+    fn covering_rounds_up() {
+        assert_eq!(PaletteTree::covering(5).q(), 8);
+        assert_eq!(PaletteTree::covering(8).q(), 8);
+        assert_eq!(PaletteTree::covering(0).q(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power() {
+        PaletteTree::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_color_zero() {
+        PaletteTree::new(4).phi(0);
+    }
+
+    fn check_all_properties(q: u64) {
+        let t = PaletteTree::new(q);
+        for c in 1..=q {
+            let r = t.r(c);
+            // property 1: |r(c)| = 1 + log2 q
+            assert_eq!(r.len() as u64, t.path_len(), "q={q} c={c}");
+            // property 2: phi(c) ∈ r(c)
+            assert!(r.contains(&t.phi(c)));
+            // labels in range
+            assert!(r.iter().all(|&x| (1..=2 * q - 1).contains(&x)));
+        }
+        // property 3: strict separation via a shared label
+        for c1 in 1..=q {
+            for c2 in (c1 + 1)..=q {
+                let r1 = t.r(c1);
+                let r2 = t.r(c2);
+                let (lo, hi) = (t.phi(c1).min(t.phi(c2)), t.phi(c1).max(t.phi(c2)));
+                assert!(
+                    r1.iter()
+                        .any(|x| r2.contains(x) && *x > lo && *x < hi),
+                    "q={q} c1={c1} c2={c2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn properties_small_q() {
+        for e in 0..=6 {
+            check_all_properties(1 << e);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn properties_random_pairs_large_q(e in 7u32..=12, c1 in 1u64..4096, c2 in 1u64..4096) {
+            let q = 1u64 << e;
+            let t = PaletteTree::new(q);
+            let (c1, c2) = (1 + (c1 - 1) % q, 1 + (c2 - 1) % q);
+            prop_assert_eq!(t.r(c1).len() as u64, t.path_len());
+            prop_assert!(t.r(c1).contains(&t.phi(c1)));
+            if c1 != c2 {
+                let r1 = t.r(c1);
+                let r2 = t.r(c2);
+                let (lo, hi) = (t.phi(c1).min(t.phi(c2)), t.phi(c1).max(t.phi(c2)));
+                prop_assert!(r1.iter().any(|x| r2.contains(x) && *x > lo && *x < hi));
+            }
+        }
+    }
+}

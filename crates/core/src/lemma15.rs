@@ -1,0 +1,613 @@
+//! Lemma 15: one decomposition phase (Figure 4 of the paper).
+//!
+//! Runs on the virtual graph `H` (vertices = clusters of the current
+//! uniquely-labeled clustering), via the Lemma 7 simulator. Given the
+//! degree threshold `b` and a distance-2 coloring (vertex labels are
+//! unique, hence a valid distance-2 coloring — the paper's Remark for
+//! identifiers from `{1..nˢ}`), the phase:
+//!
+//! 1. exchanges colors and 2-hop color tables (virtual rounds 1–3);
+//! 2. computes the parent pointers `p₁` (smallest `c₁` in `N ∪ N²`), the
+//!    shift `b(v)`, the recoloring `c₂ = 2·c₁(p₁) + b(v)`, and the
+//!    repaired pointers `p₂ ∈ N(v)` (Claim 16: `c₂` strictly decreases
+//!    toward the roots, so `p₂` forms a rooted spanning forest `F₂`);
+//! 3. gathers each `F₂` tree at its root and re-broadcasts it (a Lemma 6
+//!    pass with labels `c₂`), so every vertex learns its tree, its root
+//!    `ℓ_aux`, and whether the root has degree ≤ `b` (the set `U`);
+//! 4. exchanges cluster membership and runs a second pass carrying
+//!    intra-cluster edges, so `δ_aux` is the *exact* BFS distance within
+//!    the cluster (Definition 2) — a sharpening documented in DESIGN.md;
+//! 5. vertices in `U` run Linial on `H[U]` (degree ≤ `b`) down to the
+//!    `a·b²` palette and become singleton clusters of that color; the
+//!    rest form the uniquely-labeled part, `≤ n_H/b` many clusters.
+
+use crate::linial::{self, Step};
+use crate::virt::{VEnvelope, VOutgoing, VertexInput, VirtualProgram};
+use awake_sleeping::{Action, Round};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Phase parameters (shared by all vertices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lemma15Config {
+    /// Degree threshold `b`.
+    pub b: u64,
+    /// Upper bound on vertex labels (the distance-2 palette `k`).
+    pub label_bound: u64,
+    /// The `a·b²` palette (Linial's fixpoint at degree `b`).
+    pub ab2: u64,
+}
+
+impl Lemma15Config {
+    /// `N₆`: bound on `c₂` labels (`c₂ ≤ 4·label_bound + 1`).
+    pub fn n6(&self) -> u64 {
+        4 * self.label_bound + 2
+    }
+    fn base1(&self) -> Round {
+        4
+    }
+    fn base2(&self) -> Round {
+        self.base1() + self.n6() + 2
+    }
+    fn base3(&self) -> Round {
+        self.base2() + self.n6() + 2
+    }
+    fn base4(&self) -> Round {
+        self.base3() + 1
+    }
+    fn base5(&self) -> Round {
+        self.base4() + self.n6() + 2
+    }
+    /// First round of the Linial-on-`H[U]` loop.
+    pub fn lin_start(&self) -> Round {
+        self.base5() + self.n6() + 2
+    }
+    /// The Linial schedule on `H[U]`.
+    pub fn lin_steps(&self) -> Vec<Step> {
+        linial::schedule(self.label_bound + 1, self.b)
+    }
+    /// Total virtual rounds of the phase.
+    pub fn vrounds(&self) -> u64 {
+        self.lin_start() + self.lin_steps().len() as u64 + 1
+    }
+}
+
+/// A record describing one vertex inside an `F₂` tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRec {
+    /// Vertex label.
+    pub label: u64,
+    /// Its `c₂` color.
+    pub c2: u64,
+    /// Its `p₂` pointer (`None` at the root).
+    pub p2: Option<u64>,
+    /// Its degree in `H`.
+    pub deg_h: u64,
+}
+
+/// Virtual messages of the phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum L15Msg {
+    /// `c₁` announcement.
+    Info1(u64),
+    /// 2-hop table: `(neighbor label, its c₁)` pairs.
+    Info2(Vec<(u64, u64)>),
+    /// `(c₂, p₂)` announcement.
+    Info3(u64, Option<u64>),
+    /// Convergecast bag of tree records.
+    TreeUp(Arc<Vec<TreeRec>>),
+    /// Broadcast of the completed tree.
+    TreeDown(Arc<Vec<TreeRec>>),
+    /// Cluster membership announcement (`ℓ_aux`).
+    Info4(u64),
+    /// Convergecast bag of intra-cluster adjacency lists.
+    EdgeUp(Arc<Vec<(u64, Vec<u64>)>>),
+    /// Broadcast of the cluster's full adjacency.
+    EdgeDown(Arc<Vec<(u64, Vec<u64>)>>),
+    /// Linial-on-`H[U]` color.
+    Lin(u64),
+}
+
+/// The vertex output of the phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lemma15Out {
+    /// The color `γ'`: in `1..=a·b²` for `U` vertices, `ℓ_aux + a·b²`
+    /// otherwise.
+    pub gamma: u64,
+    /// `δ'`: 0 for `U` vertices, the exact BFS depth in the cluster
+    /// otherwise.
+    pub delta: u32,
+    /// The cluster root's label.
+    pub l_aux: u64,
+    /// Whether the vertex joined `U` (singleton, small colors).
+    pub in_u: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Duty {
+    CcRecv(u8),
+    CcSend(u8),
+    BcRecv(u8),
+    BcSend(u8),
+    Info4,
+    Lin(u16),
+}
+
+/// The Lemma 15 vertex program.
+pub struct Lemma15Vertex {
+    cfg: Lemma15Config,
+    label: u64,
+    deg_h: u64,
+    nbr_labels: Vec<u64>,
+    c1: u64,
+    nbr_c1: BTreeMap<u64, u64>,
+    nbr_tables: BTreeMap<u64, Vec<(u64, u64)>>,
+    p1: Option<u64>,
+    shift: u64,
+    c2: u64,
+    p2: Option<u64>,
+    p2_c2: Option<u64>,
+    children: Vec<u64>,
+    bag_tree: Vec<TreeRec>,
+    tree: Vec<TreeRec>,
+    l_aux: u64,
+    in_u: bool,
+    same_cluster_nbrs: Vec<u64>,
+    bag_edges: Vec<(u64, Vec<u64>)>,
+    edges: Vec<(u64, Vec<u64>)>,
+    delta_aux: u32,
+    lin_color: u64,
+    lin_steps: Vec<Step>,
+    agenda: std::collections::VecDeque<(Round, Duty)>,
+    out: Option<Lemma15Out>,
+}
+
+impl Lemma15Vertex {
+    /// Build the vertex program from the gathered cluster input.
+    pub fn new(cfg: Lemma15Config, input: &VertexInput<()>) -> Self {
+        let label = input.label;
+        assert!(
+            label <= cfg.label_bound,
+            "label {label} exceeds bound {}",
+            cfg.label_bound
+        );
+        let nbr_labels = input.neighbor_labels();
+        let deg_h = nbr_labels.len() as u64;
+        // c₀ = label (unique labels form a distance-2 coloring of H);
+        // low-degree vertices shift their color above the threshold.
+        let c0 = label;
+        let c1 = if deg_h <= cfg.b {
+            c0 + cfg.label_bound
+        } else {
+            c0
+        };
+        Lemma15Vertex {
+            cfg,
+            label,
+            deg_h,
+            nbr_labels,
+            c1,
+            nbr_c1: BTreeMap::new(),
+            nbr_tables: BTreeMap::new(),
+            p1: None,
+            shift: 0,
+            c2: 0,
+            p2: None,
+            p2_c2: None,
+            children: Vec::new(),
+            bag_tree: Vec::new(),
+            tree: Vec::new(),
+            l_aux: 0,
+            in_u: false,
+            same_cluster_nbrs: Vec::new(),
+            bag_edges: Vec::new(),
+            edges: Vec::new(),
+            delta_aux: 0,
+            lin_color: 0,
+            lin_steps: cfg.lin_steps(),
+            agenda: Default::default(),
+            out: None,
+        }
+    }
+
+    fn flip(&self, c2: u64) -> u64 {
+        self.cfg.n6() - c2
+    }
+
+    /// Choose `p₁`, the shift, `c₂` and `p₂` from the 2-hop color tables.
+    fn compute_pointers(&mut self) {
+        // N(v): smallest c₁ strictly below ours.
+        let best_nbr = self
+            .nbr_labels
+            .iter()
+            .map(|&l| (self.nbr_c1[&l], l))
+            .min();
+        if let Some((c, l)) = best_nbr {
+            if c < self.c1 {
+                self.p1 = Some(l);
+                self.shift = 0;
+                self.c2 = 2 * c + 0;
+                self.p2 = Some(l);
+                return;
+            }
+        }
+        // N²(v): strictly-2-away vertices from the tables.
+        let mut two_hop: BTreeMap<u64, u64> = BTreeMap::new(); // label -> c1
+        for (_, table) in self.nbr_tables.iter() {
+            for &(w, c) in table {
+                if w != self.label && !self.nbr_labels.contains(&w) {
+                    two_hop.entry(w).or_insert(c);
+                }
+            }
+        }
+        let best2 = two_hop.iter().map(|(&l, &c)| (c, l)).min();
+        if let Some((c, l)) = best2 {
+            if c < self.c1 {
+                self.p1 = Some(l);
+                self.shift = 1;
+                self.c2 = 2 * c + 1;
+                // p₂: smallest-label common neighbor u ∈ N(v) ∩ N(p₁(v)).
+                let u = self
+                    .nbr_labels
+                    .iter()
+                    .copied()
+                    .find(|&u| {
+                        self.nbr_tables
+                            .get(&u)
+                            .is_some_and(|t| t.iter().any(|&(w, _)| w == l))
+                    })
+                    .expect("a 2-hop parent is reachable through a common neighbor");
+                self.p2 = Some(u);
+                return;
+            }
+        }
+        // Local minimum of c₁ in N ∪ N²: a root.
+        self.p1 = None;
+        self.p2 = None;
+        self.c2 = 0;
+    }
+
+    /// Agenda for the two Lemma 6 passes over `F₂`, built once `c₂(p₂)`
+    /// and the children are known (after virtual round 3).
+    fn build_tree_agenda(&mut self) {
+        let cfg = self.cfg;
+        let mut ag: Vec<(Round, Duty)> = Vec::new();
+        for pass in 0..2u8 {
+            let (cc_base, bc_base) = if pass == 0 {
+                (cfg.base1(), cfg.base2())
+            } else {
+                (cfg.base4(), cfg.base5())
+            };
+            if !self.children.is_empty() {
+                ag.push((cc_base + self.flip(self.c2), Duty::CcRecv(pass)));
+            }
+            if let Some(pc2) = self.p2_c2 {
+                ag.push((cc_base + self.flip(pc2), Duty::CcSend(pass)));
+                ag.push((bc_base + pc2, Duty::BcRecv(pass)));
+            }
+            if !self.children.is_empty() {
+                ag.push((bc_base + self.c2, Duty::BcSend(pass)));
+            }
+            if pass == 0 {
+                ag.push((cfg.base3(), Duty::Info4));
+            }
+        }
+        ag.sort_unstable_by_key(|&(r, _)| r);
+        self.agenda = ag.into();
+    }
+
+    /// Append the Linial duties once membership in `U` is established.
+    fn maybe_schedule_linial(&mut self) {
+        if self.in_u {
+            for t in 0..self.lin_steps.len().max(1) as u16 {
+                self.agenda
+                    .push_back((self.cfg.lin_start() + t as Round, Duty::Lin(t)));
+            }
+        }
+    }
+
+    fn duties_at(&self, vround: Round) -> Vec<Duty> {
+        self.agenda
+            .iter()
+            .filter(|&&(r, _)| r == vround)
+            .map(|&(_, d)| d)
+            .collect()
+    }
+
+    fn next_action(&mut self, vround: Round) -> Action {
+        while self
+            .agenda
+            .front()
+            .is_some_and(|&(r, _)| r <= vround)
+        {
+            self.agenda.pop_front();
+        }
+        match self.agenda.front() {
+            Some(&(r, _)) => Action::SleepUntil(r),
+            None => {
+                self.finish();
+                Action::Halt
+            }
+        }
+    }
+
+    /// Assemble the output once all duties are done.
+    fn finish(&mut self) {
+        let gamma = if self.in_u {
+            self.lin_color + 1
+        } else {
+            self.l_aux + self.cfg.ab2
+        };
+        self.out = Some(Lemma15Out {
+            gamma,
+            delta: if self.in_u { 0 } else { self.delta_aux },
+            l_aux: self.l_aux,
+            in_u: self.in_u,
+        });
+    }
+
+    /// Once the tree is known (after the first broadcast pass), derive the
+    /// root, `U`-membership, and our own record sanity.
+    fn absorb_tree(&mut self, tree: Vec<TreeRec>) {
+        self.tree = tree;
+        let root = self
+            .tree
+            .iter()
+            .find(|r| r.p2.is_none())
+            .expect("every F₂ tree has a root");
+        self.l_aux = root.label;
+        self.in_u = root.deg_h <= self.cfg.b;
+        if self.in_u {
+            // Paper's claim: all members of a small-root cluster have
+            // degree ≤ b (their c₁ colors sit above the threshold).
+            debug_assert!(
+                self.deg_h <= self.cfg.b,
+                "U cluster contains a high-degree vertex"
+            );
+        }
+        self.lin_color = self.label;
+        // Our first Linial-loop exchange needs the initial colors of
+        // U-neighbors, which arrive in the loop's own rounds.
+    }
+
+    /// Once the cluster's adjacency is known, compute the exact BFS depth.
+    fn absorb_edges(&mut self, edges: Vec<(u64, Vec<u64>)>) {
+        self.edges = edges;
+        let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (l, nbrs) in &self.edges {
+            for &w in nbrs {
+                adj.entry(*l).or_default().push(w);
+                adj.entry(w).or_default().push(*l);
+            }
+        }
+        // BFS from the root over cluster members.
+        let members: std::collections::BTreeSet<u64> =
+            self.tree.iter().map(|r| r.label).collect();
+        let mut dist: BTreeMap<u64, u32> = BTreeMap::new();
+        dist.insert(self.l_aux, 0);
+        let mut queue = std::collections::VecDeque::from([self.l_aux]);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            for &w in adj.get(&x).into_iter().flatten() {
+                if members.contains(&w) && !dist.contains_key(&w) {
+                    dist.insert(w, dx + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        self.delta_aux = *dist
+            .get(&self.label)
+            .expect("cluster is connected through p₂/tree edges");
+    }
+
+    fn tree_rec(&self) -> TreeRec {
+        TreeRec {
+            label: self.label,
+            c2: self.c2,
+            p2: self.p2,
+            deg_h: self.deg_h,
+        }
+    }
+}
+
+impl VirtualProgram for Lemma15Vertex {
+    type Msg = L15Msg;
+    type Output = Lemma15Out;
+    type Payload = ();
+
+    fn send(&mut self, vround: Round) -> Vec<VOutgoing<L15Msg>> {
+        match vround {
+            1 => vec![VOutgoing::Broadcast(L15Msg::Info1(self.c1))],
+            2 => {
+                let table: Vec<(u64, u64)> =
+                    self.nbr_c1.iter().map(|(&l, &c)| (l, c)).collect();
+                vec![VOutgoing::Broadcast(L15Msg::Info2(table))]
+            }
+            3 => vec![VOutgoing::Broadcast(L15Msg::Info3(self.c2, self.p2))],
+            _ => {
+                let mut out = Vec::new();
+                for duty in self.duties_at(vround) {
+                    match duty {
+                        Duty::CcSend(0) => out.push(VOutgoing::ToCluster(
+                            self.p2.expect("cc send implies a parent"),
+                            L15Msg::TreeUp(Arc::new(self.bag_tree.clone())),
+                        )),
+                        Duty::CcSend(_) => out.push(VOutgoing::ToCluster(
+                            self.p2.expect("cc send implies a parent"),
+                            L15Msg::EdgeUp(Arc::new(self.bag_edges.clone())),
+                        )),
+                        Duty::BcSend(0) => out.push(VOutgoing::Broadcast(L15Msg::TreeDown(
+                            Arc::new(self.tree.clone()),
+                        ))),
+                        Duty::BcSend(_) => out.push(VOutgoing::Broadcast(L15Msg::EdgeDown(
+                            Arc::new(self.edges.clone()),
+                        ))),
+                        Duty::Info4 => {
+                            out.push(VOutgoing::Broadcast(L15Msg::Info4(self.l_aux)))
+                        }
+                        Duty::Lin(_) => {
+                            out.push(VOutgoing::Broadcast(L15Msg::Lin(self.lin_color)))
+                        }
+                        Duty::CcRecv(_) | Duty::BcRecv(_) => {}
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn receive(&mut self, vround: Round, inbox: &[VEnvelope<L15Msg>]) -> Action {
+        match vround {
+            1 => {
+                for e in inbox {
+                    if let L15Msg::Info1(c1) = e.msg {
+                        self.nbr_c1.insert(e.from, c1);
+                    }
+                }
+                Action::Stay
+            }
+            2 => {
+                for e in inbox {
+                    if let L15Msg::Info2(t) = &e.msg {
+                        self.nbr_tables.insert(e.from, t.clone());
+                    }
+                }
+                self.compute_pointers();
+                Action::Stay
+            }
+            3 => {
+                for e in inbox {
+                    if let L15Msg::Info3(c2, p2) = e.msg {
+                        if p2 == Some(self.label) {
+                            self.children.push(e.from);
+                        }
+                        if Some(e.from) == self.p2 {
+                            self.p2_c2 = Some(c2);
+                        }
+                    }
+                }
+                self.children.sort_unstable();
+                self.bag_tree = vec![self.tree_rec()];
+                self.build_tree_agenda();
+                // A singleton root's tree is itself.
+                if self.p2.is_none() && self.children.is_empty() {
+                    self.absorb_tree(vec![self.tree_rec()]);
+                    self.maybe_schedule_linial_after_pass2_for_singleton();
+                }
+                self.next_action(vround)
+            }
+            _ => {
+                let duties = self.duties_at(vround);
+                for duty in duties {
+                    match duty {
+                        Duty::CcRecv(0) => {
+                            let mut seen: std::collections::BTreeSet<u64> =
+                                self.bag_tree.iter().map(|r| r.label).collect();
+                            for e in inbox {
+                                if let L15Msg::TreeUp(recs) = &e.msg {
+                                    if self.children.contains(&e.from) {
+                                        for r in recs.iter() {
+                                            if seen.insert(r.label) {
+                                                self.bag_tree.push(r.clone());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            if self.p2.is_none() {
+                                // Root: the tree is complete.
+                                self.tree = self.bag_tree.clone();
+                                self.absorb_tree(self.bag_tree.clone());
+                            }
+                        }
+                        Duty::CcRecv(_) => {
+                            let mut seen: std::collections::BTreeSet<u64> =
+                                self.bag_edges.iter().map(|r| r.0).collect();
+                            for e in inbox {
+                                if let L15Msg::EdgeUp(recs) = &e.msg {
+                                    if self.children.contains(&e.from) {
+                                        for r in recs.iter() {
+                                            if seen.insert(r.0) {
+                                                self.bag_edges.push(r.clone());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            if self.p2.is_none() {
+                                self.absorb_edges(self.bag_edges.clone());
+                                self.maybe_schedule_linial();
+                            }
+                        }
+                        Duty::BcRecv(0) => {
+                            let tree = inbox.iter().find_map(|e| match &e.msg {
+                                L15Msg::TreeDown(t) if Some(e.from) == self.p2 => {
+                                    Some(t.as_ref().clone())
+                                }
+                                _ => None,
+                            });
+                            let tree = tree.expect("parent broadcasts the tree");
+                            self.absorb_tree(tree);
+                        }
+                        Duty::BcRecv(_) => {
+                            let edges = inbox.iter().find_map(|e| match &e.msg {
+                                L15Msg::EdgeDown(t) if Some(e.from) == self.p2 => {
+                                    Some(t.as_ref().clone())
+                                }
+                                _ => None,
+                            });
+                            let edges = edges.expect("parent broadcasts the edges");
+                            self.absorb_edges(edges);
+                            self.maybe_schedule_linial();
+                        }
+                        Duty::Info4 => {
+                            self.same_cluster_nbrs = inbox
+                                .iter()
+                                .filter_map(|e| match &e.msg {
+                                    L15Msg::Info4(l) if *l == self.l_aux => Some(e.from),
+                                    _ => None,
+                                })
+                                .collect();
+                            self.same_cluster_nbrs.sort_unstable();
+                            self.bag_edges =
+                                vec![(self.label, self.same_cluster_nbrs.clone())];
+                            // Singleton clusters already know everything.
+                            if self.p2.is_none() && self.children.is_empty() {
+                                self.absorb_edges(self.bag_edges.clone());
+                                self.maybe_schedule_linial();
+                            }
+                        }
+                        Duty::Lin(t) => {
+                            let nbr_colors: Vec<u64> = inbox
+                                .iter()
+                                .filter_map(|e| match &e.msg {
+                                    L15Msg::Lin(c) => Some(*c),
+                                    _ => None,
+                                })
+                                .collect();
+                            if let Some(step) = self.lin_steps.get(t as usize).copied() {
+                                self.lin_color =
+                                    linial::reduce_color(self.lin_color, &nbr_colors, step);
+                            }
+                        }
+                        Duty::CcSend(_) | Duty::BcSend(_) => {}
+                    }
+                }
+                self.next_action(vround)
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Lemma15Out> {
+        self.out.clone()
+    }
+}
+
+impl Lemma15Vertex {
+    /// Singleton roots skip both tree passes entirely; they still wait for
+    /// the Info4 round (already on the agenda) and schedule Linial when
+    /// their (trivial) cluster adjacency is established there.
+    fn maybe_schedule_linial_after_pass2_for_singleton(&mut self) {
+        // Intentionally empty: handled in the Info4 duty.
+    }
+}

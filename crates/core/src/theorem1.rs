@@ -1,0 +1,111 @@
+//! Theorem 1 — the paper's headline result: any O-LOCAL problem is solved
+//! deterministically with awake complexity `O(√log n · log* n)`.
+//!
+//! Composition of [Theorem 13](crate::theorem13) (compute a colored
+//! BFS-clustering with `2^{O(√log n)}` colors) and
+//! [Theorem 9](crate::theorem9) (solve the problem on top of it with
+//! awake complexity logarithmic in the color count).
+
+use crate::clustering::Clustering;
+use crate::compose::Composition;
+use crate::params::Params;
+use crate::theorem13::{self, IterationStats};
+use crate::theorem9;
+use awake_graphs::Graph;
+use awake_olocal::OLocalProblem;
+use awake_sleeping::SimError;
+
+/// Options for [`solve`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Override the derived parameters (`None`: derive from the graph).
+    pub params: Option<Params>,
+}
+
+/// Result of an end-to-end run.
+#[derive(Debug)]
+pub struct Theorem1Result<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<O>,
+    /// Stage-by-stage accounting across both theorems (Lemma 8 totals).
+    pub composition: Composition,
+    /// The intermediate colored BFS-clustering.
+    pub clustering: Clustering,
+    /// Theorem 13's per-iteration statistics.
+    pub iteration_stats: Vec<IterationStats>,
+    /// The parameters used.
+    pub params: Params,
+}
+
+/// Solve `problem` on `g` end to end, using the problem's trivial inputs.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn solve<P>(g: &Graph, problem: &P, options: Options) -> Result<Theorem1Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone,
+{
+    let inputs = problem.trivial_inputs(g);
+    solve_with_inputs(g, problem, &inputs, options)
+}
+
+/// Solve `problem` on `g` end to end with explicit per-node inputs.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn solve_with_inputs<P>(
+    g: &Graph,
+    problem: &P,
+    inputs: &[P::Input],
+    options: Options,
+) -> Result<Theorem1Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone,
+{
+    let params = options.params.unwrap_or_else(|| Params::for_graph(g));
+    let t13 = theorem13::compute(g, &params)?;
+    let t9 = theorem9::solve(g, problem, inputs, &t13.clustering, params.color_bound())?;
+    let mut composition = Composition::new();
+    composition.extend_prefixed("theorem1", t13.composition);
+    composition.extend_prefixed("theorem1", t9.composition);
+    Ok(Theorem1Result {
+        outputs: t9.outputs,
+        composition,
+        clustering: t13.clustering,
+        iteration_stats: t13.iteration_stats,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use awake_graphs::generators;
+    use awake_olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet};
+
+    #[test]
+    fn end_to_end_coloring_and_mis() {
+        for g in [
+            generators::gnp(40, 0.15, 1),
+            generators::cycle(15),
+            generators::complete(9),
+        ] {
+            let r = solve(&g, &DeltaPlusOneColoring, Options::default()).unwrap();
+            DeltaPlusOneColoring
+                .validate(&g, &vec![(); g.n()], &r.outputs)
+                .unwrap();
+            assert!(
+                r.composition.max_awake() <= bounds::theorem1_awake(&r.params),
+                "awake {} > bound {}",
+                r.composition.max_awake(),
+                bounds::theorem1_awake(&r.params)
+            );
+
+            let r = solve(&g, &MaximalIndependentSet, Options::default()).unwrap();
+            MaximalIndependentSet
+                .validate(&g, &vec![(); g.n()], &r.outputs)
+                .unwrap();
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Lemma 7: running an algorithm designed for the virtual graph `H` on the
+//! underlying graph `G`, over a uniquely-labeled BFS-clustering.
+//!
+//! Every member of a cluster runs an identical **replica** of the vertex's
+//! program (the paper's "gather everything at every node" made explicit:
+//! since all members learn the same information, they can all simulate the
+//! vertex deterministically). One *virtual round* `x` of `H` becomes a
+//! *phase* of `2D+6` real rounds:
+//!
+//! 1. **exchange** — members forward the vertex's round-`x` messages across
+//!    border edges to adjacent awake clusters (and collect incoming ones);
+//! 2. **convergecast** — the incoming messages are merged up the BFS tree
+//!    (depth-synchronized, ≤ 2 awake rounds);
+//! 3. **broadcast** — the merged inbox is pushed back down (≤ 2 awake
+//!    rounds); every member then advances the replica by one round of the
+//!    inner program and sleeps until the phase of the vertex's next awake
+//!    virtual round.
+//!
+//! A member is awake ≤ 5 real rounds per awake virtual round (the paper
+//! proves ≤ 7), and clusters whose vertex sleeps are entirely asleep —
+//! messages sent to them are lost, exactly the Sleeping semantics on `H`.
+
+use crate::gather::{gather_rounds, ClusterView, GatherCore, GatherMsg, GatherStep, MemberRec};
+use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Cluster-level input handed to the inner program's factory.
+///
+/// Deliberately excludes member-specific data (own ident/ports) so that all
+/// replicas of a vertex are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexInput<P> {
+    /// The vertex's label (= cluster label).
+    pub label: u64,
+    /// Every member's record.
+    pub members: BTreeMap<u64, MemberRec<P>>,
+}
+
+impl<P: Clone> VertexInput<P> {
+    fn from_view(view: &ClusterView<P>) -> Self {
+        VertexInput {
+            label: view.label,
+            members: view.members.clone(),
+        }
+    }
+
+    /// Sorted distinct labels of adjacent vertices in `H`.
+    pub fn neighbor_labels(&self) -> Vec<u64> {
+        let mut l: Vec<u64> = self
+            .members
+            .values()
+            .flat_map(|m| m.border.iter().map(|b| b.1))
+            .collect();
+        l.sort_unstable();
+        l.dedup();
+        l
+    }
+
+    /// Degree in `H`.
+    pub fn h_degree(&self) -> usize {
+        self.neighbor_labels().len()
+    }
+
+    /// The root member's identifier.
+    pub fn root_ident(&self) -> u64 {
+        self.members
+            .values()
+            .find(|m| m.depth == 0)
+            .map(|m| m.ident)
+            .expect("BFS cluster has a root")
+    }
+
+    /// Intra-cluster edges as ident pairs (`a < b`, each once).
+    pub fn intra_edges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for m in self.members.values() {
+            for &w in &m.intra {
+                if m.ident < w {
+                    out.push((m.ident, w));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Border edges `(member ident, neighbor ident, neighbor label,
+    /// neighbor depth, neighbor payload)`.
+    pub fn border_edges(&self) -> Vec<(u64, u64, u64, u32, P)> {
+        let mut out = Vec::new();
+        for m in self.members.values() {
+            for b in &m.border {
+                out.push((m.ident, b.0, b.1, b.2, b.3.clone()));
+            }
+        }
+        out.sort_unstable_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        out
+    }
+}
+
+/// A message from an adjacent vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VEnvelope<M> {
+    /// Sender vertex label.
+    pub from: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+/// A message the inner program emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VOutgoing<M> {
+    /// To the vertex with this label (must be adjacent in `H`).
+    ToCluster(u64, M),
+    /// To every adjacent vertex.
+    Broadcast(M),
+}
+
+/// A program for one vertex of the virtual graph `H`, in the Sleeping
+/// model on `H`: `send` then `receive` per awake virtual round; all
+/// vertices are awake at virtual round 1.
+///
+/// Implementations must be deterministic — every cluster member replays an
+/// identical replica.
+pub trait VirtualProgram: Sized {
+    /// Virtual message type.
+    type Msg: Clone + std::fmt::Debug + Send + Sync + PartialEq;
+    /// Vertex-level output.
+    type Output: Clone + std::fmt::Debug + Send + Sync;
+    /// Per-node payload collected by the setup gather into [`VertexInput`].
+    type Payload: Clone + std::fmt::Debug + Send + Sync;
+
+    /// Messages to transmit at virtual round `vround`.
+    fn send(&mut self, vround: Round) -> Vec<VOutgoing<Self::Msg>>;
+
+    /// Process the messages received at `vround`; choose the next action
+    /// (rounds in the action are *virtual* rounds).
+    fn receive(&mut self, vround: Round, inbox: &[VEnvelope<Self::Msg>]) -> Action;
+
+    /// The vertex output; must be `Some` once halted.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Physical message type of the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VirtMsg<P, M> {
+    /// Setup-gather traffic.
+    Gather(GatherMsg<P>),
+    /// Border traffic at a phase's exchange round.
+    Exchange {
+        /// Sending vertex.
+        from: u64,
+        /// Target vertex (`None` = broadcast).
+        to: Option<u64>,
+        /// Per-round sequence number (for deduplication).
+        seq: u16,
+        /// Payload.
+        msg: M,
+    },
+    /// Intra-cluster merge traffic (`Arc`-shared: per-recipient clones
+    /// are O(1)).
+    Bag {
+        /// The cluster this bag belongs to.
+        label: u64,
+        /// Convergecast (`true`) or broadcast (`false`) leg.
+        up: bool,
+        /// `(from vertex, seq, msg)` triples.
+        items: Arc<Vec<(u64, u16, M)>>,
+    },
+}
+
+/// Rounds one phase occupies for depth bound `d`.
+pub fn phase_rounds(d: u32) -> Round {
+    2 * d as Round + 6
+}
+
+/// Total rounds of a simulation with `inner_rounds` virtual rounds.
+pub fn virt_rounds(d: u32, inner_rounds: Round) -> Round {
+    gather_rounds(d) + inner_rounds * phase_rounds(d)
+}
+
+// ---- phase timing (free functions over the public depth bound) ----
+
+fn t0(db: u32, vround: Round) -> Round {
+    1 + gather_rounds(db) + (vround - 1) * phase_rounds(db)
+}
+fn cc_recv(db: u32, vround: Round, depth: u32) -> Round {
+    t0(db, vround) + 1 + (db - depth) as Round
+}
+fn cc_send(db: u32, vround: Round, depth: u32) -> Round {
+    cc_recv(db, vround, depth) + 1
+}
+fn bc_base(db: u32, vround: Round) -> Round {
+    t0(db, vround) + db as Round + 3
+}
+fn bc_recv(db: u32, vround: Round, depth: u32) -> Round {
+    bc_base(db, vround) + depth as Round - 1
+}
+fn bc_send(db: u32, vround: Round, depth: u32) -> Round {
+    bc_base(db, vround) + depth as Round
+}
+
+struct RunState<VP: VirtualProgram> {
+    vp: VP,
+    depth: u32,
+    has_children: bool,
+    ports: Vec<(awake_graphs::NodeId, u64, u64)>,
+    label: u64,
+    /// Virtual round whose phase is currently executing.
+    cur: Round,
+    /// The vertex's next awake virtual round (set by `prime`).
+    next: Round,
+    /// The vertex's outgoing messages for `vround`.
+    outgoing: Vec<(u16, Option<u64>, VP::Msg)>,
+    /// Exchange items collected during the current phase.
+    collected: Vec<(u64, u16, VP::Msg)>,
+    /// Dedup keys of `collected`.
+    collected_keys: BTreeSet<(u64, u16)>,
+    /// Full merged inbox kept for the downward re-broadcast.
+    bc_copy: Vec<(u64, u16, VP::Msg)>,
+    /// Set once the inner program halts.
+    vp_done: bool,
+}
+
+enum St<VP: VirtualProgram> {
+    Inactive,
+    Gather(GatherCore<VP::Payload>),
+    Run(Box<RunState<VP>>),
+    Done,
+}
+
+/// The Lemma 7 simulator: a Sleeping-model [`Program`] on `G` executing a
+/// [`VirtualProgram`] on `H`.
+///
+/// Construct with [`VirtSim::participant`] / [`VirtSim::bystander`]; node
+/// output is `Some(vertex output)` for participants, `None` for bystanders.
+pub struct VirtSim<VP: VirtualProgram, F> {
+    st: St<VP>,
+    factory: F,
+    depth_bound: u32,
+    out: Option<VP::Output>,
+}
+
+impl<VP, F> VirtSim<VP, F>
+where
+    VP: VirtualProgram,
+    F: Fn(&VertexInput<VP::Payload>) -> VP,
+{
+    /// A participating node with cluster `label`, BFS `depth`, identifier
+    /// `ident` and gather payload `payload`.
+    pub fn participant(
+        label: u64,
+        depth: u32,
+        ident: u64,
+        payload: VP::Payload,
+        depth_bound: u32,
+        factory: F,
+    ) -> Self {
+        VirtSim {
+            st: St::Gather(GatherCore::new(label, depth, ident, payload, depth_bound, 1)),
+            factory,
+            depth_bound,
+            out: None,
+        }
+    }
+
+    /// A node outside the clustered subgraph: never wakes, outputs `None`.
+    pub fn bystander(factory: F) -> Self {
+        VirtSim {
+            st: St::Inactive,
+            factory,
+            depth_bound: 0,
+            out: None,
+        }
+    }
+}
+
+/// Prepare the outgoing messages for the vertex's next awake round.
+fn prime<VP: VirtualProgram>(run: &mut RunState<VP>, next: Round) {
+    run.next = next;
+    run.outgoing = run
+        .vp
+        .send(next)
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            VOutgoing::ToCluster(j, m) => (i as u16, Some(j), m),
+            VOutgoing::Broadcast(m) => (i as u16, None, m),
+        })
+        .collect();
+    run.collected.clear();
+    run.collected_keys.clear();
+}
+
+/// Advance the replica once the phase's full inbox is known; returns the
+/// engine action covering the node's remaining duties this phase.
+fn process<VP: VirtualProgram>(
+    out: &mut Option<VP::Output>,
+    db: u32,
+    run: &mut RunState<VP>,
+) -> Action {
+    let mut items = run.bc_copy.clone();
+    items.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    items.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    let inbox: Vec<VEnvelope<VP::Msg>> = items
+        .into_iter()
+        .map(|(from, _, msg)| VEnvelope { from, msg })
+        .collect();
+    let x = run.cur;
+    match run.vp.receive(x, &inbox) {
+        Action::Stay => prime(run, x + 1),
+        Action::SleepUntil(x2) => {
+            assert!(x2 > x, "inner program must sleep strictly forward");
+            prime(run, x2);
+        }
+        Action::Halt => {
+            run.vp_done = true;
+            *out = run.vp.output();
+            assert!(out.is_some(), "inner program halted without output");
+        }
+    }
+    if run.has_children {
+        // Still owe the downward re-broadcast of the merged inbox.
+        Action::SleepUntil(bc_send(db, x, run.depth))
+    } else if run.vp_done {
+        Action::Halt
+    } else {
+        Action::SleepUntil(t0(db, run.next))
+    }
+}
+
+fn merge_items<VP: VirtualProgram>(
+    run: &mut RunState<VP>,
+    inbox: &[Envelope<VirtMsg<VP::Payload, VP::Msg>>],
+    up: bool,
+) {
+    for e in inbox {
+        if let VirtMsg::Bag { label, up: u, items } = &e.msg {
+            if *label == run.label && *u == up {
+                for it in items.iter() {
+                    if run.collected_keys.insert((it.0, it.1)) {
+                        run.collected.push(it.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<VP, F> Program for VirtSim<VP, F>
+where
+    VP: VirtualProgram,
+    F: Fn(&VertexInput<VP::Payload>) -> VP,
+{
+    type Msg = VirtMsg<VP::Payload, VP::Msg>;
+    type Output = Option<VP::Output>;
+
+    fn initial_wake(&self) -> Option<Round> {
+        match self.st {
+            St::Inactive => None,
+            _ => Some(1),
+        }
+    }
+
+    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>> {
+        let db = self.depth_bound;
+        match &mut self.st {
+            St::Inactive | St::Done => vec![],
+            St::Gather(core) => core
+                .send_at(view.round)
+                .into_iter()
+                .map(|o| match o {
+                    Outgoing::To(p, m) => Outgoing::To(p, VirtMsg::Gather(m)),
+                    Outgoing::Broadcast(m) => Outgoing::Broadcast(VirtMsg::Gather(m)),
+                })
+                .collect(),
+            St::Run(run) => {
+                let round = view.round;
+                let mut out = Vec::new();
+                if !run.vp_done && round == t0(db, run.next) {
+                    for (seq, to, msg) in &run.outgoing {
+                        for &(port, _, l) in &run.ports {
+                            let ship = match to {
+                                Some(j) => l == *j,
+                                None => l != run.label,
+                            };
+                            if ship {
+                                out.push(Outgoing::To(
+                                    port,
+                                    VirtMsg::Exchange {
+                                        from: run.label,
+                                        to: *to,
+                                        seq: *seq,
+                                        msg: msg.clone(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                } else if round == cc_send(db, run.cur, run.depth) && run.depth > 0 {
+                    out.push(Outgoing::Broadcast(VirtMsg::Bag {
+                        label: run.label,
+                        up: true,
+                        items: Arc::new(run.collected.clone()),
+                    }));
+                } else if round == bc_send(db, run.cur, run.depth) && run.has_children {
+                    out.push(Outgoing::Broadcast(VirtMsg::Bag {
+                        label: run.label,
+                        up: false,
+                        items: Arc::new(run.bc_copy.clone()),
+                    }));
+                }
+                out
+            }
+        }
+    }
+
+    fn receive(&mut self, view: &View<'_>, inbox: &[Envelope<Self::Msg>]) -> Action {
+        let round = view.round;
+        let db = self.depth_bound;
+        match &mut self.st {
+            St::Inactive | St::Done => unreachable!("inactive nodes never wake"),
+            St::Gather(core) => {
+                let ginbox: Vec<Envelope<GatherMsg<VP::Payload>>> = inbox
+                    .iter()
+                    .filter_map(|e| match &e.msg {
+                        VirtMsg::Gather(g) => Some(Envelope {
+                            from: e.from,
+                            msg: g.clone(),
+                        }),
+                        _ => None,
+                    })
+                    .collect();
+                match core.recv_at(round, &ginbox) {
+                    GatherStep::WakeAt(r) => Action::SleepUntil(r),
+                    GatherStep::Done => {
+                        let cview = core.view().expect("gather done").clone();
+                        let vinput = VertexInput::from_view(&cview);
+                        let vp = (self.factory)(&vinput);
+                        let has_children = cview.my_ports.iter().any(|&(_, nid, l)| {
+                            l == cview.label
+                                && cview
+                                    .members
+                                    .get(&nid)
+                                    .is_some_and(|m| m.depth == cview.my_depth + 1)
+                        });
+                        let mut run = Box::new(RunState {
+                            vp,
+                            depth: cview.my_depth,
+                            has_children,
+                            ports: cview.my_ports.clone(),
+                            label: cview.label,
+                            cur: 1,
+                            next: 1,
+                            outgoing: vec![],
+                            collected: vec![],
+                            collected_keys: BTreeSet::new(),
+                            bc_copy: vec![],
+                            vp_done: false,
+                        });
+                        // All vertices are awake at virtual round 1.
+                        prime(&mut run, 1);
+                        let wake = t0(db, 1);
+                        self.st = St::Run(run);
+                        Action::SleepUntil(wake)
+                    }
+                }
+            }
+            St::Run(run) => {
+                let action = if round == t0(db, run.next) {
+                    // Entering the phase of the next awake virtual round.
+                    run.cur = run.next;
+                    let x = run.cur;
+                    for e in inbox {
+                        if let VirtMsg::Exchange { from, to, seq, msg } = &e.msg {
+                            let accept =
+                                *from != run.label && (to.is_none() || *to == Some(run.label));
+                            if accept && run.collected_keys.insert((*from, *seq)) {
+                                run.collected.push((*from, *seq, msg.clone()));
+                            }
+                        }
+                    }
+                    if run.depth == 0 && !run.has_children {
+                        run.bc_copy = run.collected.clone();
+                        process(&mut self.out, db, run)
+                    } else if run.has_children {
+                        Action::SleepUntil(cc_recv(db, x, run.depth))
+                    } else {
+                        Action::SleepUntil(cc_send(db, x, run.depth))
+                    }
+                } else if round == cc_recv(db, run.cur, run.depth) && run.has_children {
+                    merge_items(run, inbox, true);
+                    if run.depth == 0 {
+                        run.bc_copy = run.collected.clone();
+                        process(&mut self.out, db, run)
+                    } else {
+                        Action::SleepUntil(cc_send(db, run.cur, run.depth))
+                    }
+                } else if round == cc_send(db, run.cur, run.depth) && run.depth > 0 {
+                    Action::SleepUntil(bc_recv(db, run.cur, run.depth))
+                } else if round == bc_recv(db, run.cur, run.depth) && run.depth > 0 {
+                    run.collected.clear();
+                    run.collected_keys.clear();
+                    merge_items(run, inbox, false);
+                    run.bc_copy = run.collected.clone();
+                    process(&mut self.out, db, run)
+                } else if round == bc_send(db, run.cur, run.depth) {
+                    if run.vp_done {
+                        Action::Halt
+                    } else {
+                        Action::SleepUntil(t0(db, run.next))
+                    }
+                } else {
+                    unreachable!("VirtSim woke at unscheduled round {round}");
+                };
+                if matches!(action, Action::Halt) {
+                    self.st = St::Done;
+                }
+                action
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        match self.st {
+            St::Inactive => Some(None),
+            St::Done => Some(self.out.clone()),
+            _ => None,
+        }
+    }
+
+    fn span(&self) -> &'static str {
+        match self.st {
+            St::Gather(_) => "virt/gather",
+            _ => "virt/phase",
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Unit tests for the gather and Lemma 7 simulation machinery (kept in a
+//! separate module to keep the implementation files focused).
+
+use crate::clustering::{Assign, Clustering};
+use crate::gather::{ClusterGather, ClusterView};
+use crate::virt::{VEnvelope, VOutgoing, VertexInput, VirtSim, VirtualProgram};
+use awake_graphs::{generators, Graph};
+use awake_sleeping::{Action, Config, Engine, Round};
+
+/// Run a standalone gather over a clustering and return each node's view.
+fn run_gather(g: &Graph, cl: &Clustering) -> Vec<Option<ClusterView<u64>>> {
+    let programs: Vec<ClusterGather<u64>> = g
+        .nodes()
+        .map(|v| match cl.assign[v.index()] {
+            Some(a) => ClusterGather::participant(
+                a.label,
+                a.depth,
+                g.ident(v),
+                g.ident(v) * 100, // payload: a distinctive per-node value
+                g.n() as u32,
+            ),
+            None => ClusterGather::bystander(),
+        })
+        .collect();
+    let run = Engine::new(g, Config::default()).run(programs).unwrap();
+    // gather is awake-frugal: ≤ 5 rounds per node
+    assert!(run.metrics.max_awake() <= 5);
+    run.outputs
+}
+
+#[test]
+fn gather_collects_full_cluster_structure() {
+    // path 0-1-2-3-4 in two clusters: {0,1,2} rooted at 1, {3,4} rooted at 3.
+    let g = generators::path(5);
+    let cl = Clustering {
+        assign: vec![
+            Some(Assign { label: 10, depth: 1 }),
+            Some(Assign { label: 10, depth: 0 }),
+            Some(Assign { label: 10, depth: 1 }),
+            Some(Assign { label: 20, depth: 0 }),
+            Some(Assign { label: 20, depth: 1 }),
+        ],
+    };
+    cl.validate_uniquely_labeled(&g).unwrap();
+    let views = run_gather(&g, &cl);
+    let v0 = views[0].as_ref().unwrap();
+    assert_eq!(v0.label, 10);
+    assert_eq!(v0.members.len(), 3);
+    assert_eq!(v0.root_ident(), g.ident(awake_graphs::NodeId(1)));
+    assert_eq!(v0.intra_edges(), vec![(1, 2), (2, 3)]); // idents 1-2, 2-3
+    // border edge 3-4 (idents) seen from cluster 10 with neighbor label 20
+    let border: Vec<_> = v0
+        .members
+        .values()
+        .flat_map(|m| m.border.iter())
+        .collect();
+    assert_eq!(border.len(), 1);
+    assert_eq!(border[0].1, 20);
+    assert_eq!(border[0].3, 4 * 100); // neighbor payload travels in hellos
+    // all members of a cluster compute identical views (replica property)
+    let v2 = views[2].as_ref().unwrap();
+    assert_eq!(v0.members, v2.members);
+}
+
+#[test]
+fn gather_singleton_cluster_is_one_awake_round() {
+    let g = generators::star(5);
+    let cl = Clustering::singletons(&g);
+    let programs: Vec<ClusterGather<u64>> = g
+        .nodes()
+        .map(|v| {
+            let a = cl.assign[v.index()].unwrap();
+            ClusterGather::participant(a.label, a.depth, g.ident(v), 0, g.n() as u32)
+        })
+        .collect();
+    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+    // singleton roots finish at the hello round
+    assert_eq!(run.metrics.max_awake(), 1);
+    for v in g.nodes() {
+        let view = run.outputs[v.index()].as_ref().unwrap();
+        assert_eq!(view.members.len(), 1);
+        assert_eq!(view.h_degree(), g.degree(v));
+    }
+}
+
+#[test]
+fn gather_bystanders_never_wake() {
+    let g = generators::path(4);
+    let cl = Clustering {
+        assign: vec![
+            Some(Assign { label: 1, depth: 0 }),
+            Some(Assign { label: 1, depth: 1 }),
+            None,
+            None,
+        ],
+    };
+    let programs: Vec<ClusterGather<u64>> = g
+        .nodes()
+        .map(|v| match cl.assign[v.index()] {
+            Some(a) => ClusterGather::participant(a.label, a.depth, g.ident(v), 0, 4),
+            None => ClusterGather::bystander(),
+        })
+        .collect();
+    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+    assert_eq!(run.metrics.awake[2], 0);
+    assert_eq!(run.metrics.awake[3], 0);
+    assert!(run.outputs[2].is_none());
+    assert!(run.outputs[3].is_none());
+}
+
+/// A tiny virtual program: every vertex floods the maximum label it has
+/// heard for `t` virtual rounds, then outputs it. Exercises exchange,
+/// convergecast, broadcast, and replica determinism.
+#[derive(Debug)]
+struct VFlood {
+    label: u64,
+    best: u64,
+    t: Round,
+}
+
+impl VirtualProgram for VFlood {
+    type Msg = u64;
+    type Output = u64;
+    type Payload = ();
+
+    fn send(&mut self, _vround: Round) -> Vec<VOutgoing<u64>> {
+        vec![VOutgoing::Broadcast(self.best)]
+    }
+
+    fn receive(&mut self, vround: Round, inbox: &[VEnvelope<u64>]) -> Action {
+        for e in inbox {
+            assert_ne!(e.from, self.label, "no self-messages on H");
+            self.best = self.best.max(e.msg);
+        }
+        if vround >= self.t {
+            Action::Halt
+        } else {
+            Action::Stay
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        Some(self.best)
+    }
+}
+
+fn run_vflood(g: &Graph, cl: &Clustering, t: Round) -> (Vec<Option<u64>>, awake_sleeping::Metrics) {
+    let db = g.n() as u32;
+    let factory = move |vi: &VertexInput<()>| VFlood {
+        label: vi.label,
+        best: vi.label,
+        t,
+    };
+    let programs: Vec<VirtSim<VFlood, _>> = g
+        .nodes()
+        .map(|v| match cl.assign[v.index()] {
+            Some(a) => VirtSim::participant(a.label, a.depth, g.ident(v), (), db, factory),
+            None => VirtSim::bystander(factory),
+        })
+        .collect();
+    let run = Engine::new(g, Config::default()).run(programs).unwrap();
+    (run.outputs, run.metrics)
+}
+
+#[test]
+fn virtual_flood_spreads_across_h() {
+    // Two clusters on a path: H is a single edge; after 1 round both
+    // vertices know the max label.
+    let g = generators::path(6);
+    let cl = Clustering {
+        assign: vec![
+            Some(Assign { label: 3, depth: 2 }),
+            Some(Assign { label: 3, depth: 1 }),
+            Some(Assign { label: 3, depth: 0 }),
+            Some(Assign { label: 9, depth: 0 }),
+            Some(Assign { label: 9, depth: 1 }),
+            Some(Assign { label: 9, depth: 2 }),
+        ],
+    };
+    cl.validate_uniquely_labeled(&g).unwrap();
+    let (out, metrics) = run_vflood(&g, &cl, 2);
+    assert!(out.iter().all(|o| *o == Some(9)));
+    // Lemma 7 overhead: gather (≤5) + t awake vrounds × ≤5 each.
+    assert!(metrics.max_awake() <= 5 + 2 * 5);
+}
+
+#[test]
+fn virtual_flood_diameter_of_h() {
+    // A cycle of 9 nodes in 3 clusters: H = triangle; flood needs 1 round.
+    let g = generators::cycle(9);
+    let cl = Clustering {
+        assign: (0..9u32)
+            .map(|v| {
+                Some(Assign {
+                    label: (v / 3) as u64 + 1,
+                    depth: v % 3, // path-shaped cluster: depths 0,1,2
+                })
+            })
+            .collect(),
+    };
+    cl.validate_uniquely_labeled(&g).unwrap();
+    let (out, _) = run_vflood(&g, &cl, 2);
+    assert!(out.iter().all(|o| *o == Some(3)));
+}
+
+#[test]
+fn virtual_program_can_sleep_on_h() {
+    /// Vertex flips between sleeping and awake: awake at vrounds 1, 4, 5.
+    #[derive(Debug)]
+    struct Sleeper {
+        seen: Vec<Round>,
+    }
+    impl VirtualProgram for Sleeper {
+        type Msg = ();
+        type Output = Vec<Round>;
+        type Payload = ();
+        fn send(&mut self, _v: Round) -> Vec<VOutgoing<()>> {
+            vec![]
+        }
+        fn receive(&mut self, vround: Round, _inbox: &[VEnvelope<()>]) -> Action {
+            self.seen.push(vround);
+            match vround {
+                1 => Action::SleepUntil(4),
+                4 => Action::Stay,
+                _ => Action::Halt,
+            }
+        }
+        fn output(&self) -> Option<Vec<Round>> {
+            Some(self.seen.clone())
+        }
+    }
+    let g = generators::path(4);
+    let cl = Clustering::singletons(&g);
+    let factory = |_: &VertexInput<()>| Sleeper { seen: vec![] };
+    let programs: Vec<VirtSim<Sleeper, _>> = g
+        .nodes()
+        .map(|v| {
+            let a = cl.assign[v.index()].unwrap();
+            VirtSim::participant(a.label, a.depth, g.ident(v), (), 4, factory)
+        })
+        .collect();
+    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+    for o in run.outputs {
+        assert_eq!(o.unwrap(), vec![1, 4, 5]);
+    }
+}
+
+#[test]
+fn messages_to_sleeping_vertices_are_lost_on_h() {
+    /// Vertex 1 (label 1) broadcasts at every vround; vertex 2 sleeps
+    /// through vround 2 and must miss that message.
+    #[derive(Debug)]
+    struct Talker {
+        label: u64,
+        heard: Vec<(Round, u64)>,
+    }
+    impl VirtualProgram for Talker {
+        type Msg = u64;
+        type Output = Vec<(Round, u64)>;
+        type Payload = ();
+        fn send(&mut self, vround: Round) -> Vec<VOutgoing<u64>> {
+            if self.label == 1 {
+                vec![VOutgoing::Broadcast(vround * 10)]
+            } else {
+                vec![]
+            }
+        }
+        fn receive(&mut self, vround: Round, inbox: &[VEnvelope<u64>]) -> Action {
+            for e in inbox {
+                self.heard.push((vround, e.msg));
+            }
+            if self.label == 1 {
+                if vround < 3 {
+                    Action::Stay
+                } else {
+                    Action::Halt
+                }
+            } else if vround == 1 {
+                Action::SleepUntil(3)
+            } else {
+                Action::Halt
+            }
+        }
+        fn output(&self) -> Option<Vec<(Round, u64)>> {
+            Some(self.heard.clone())
+        }
+    }
+    let g = generators::path(2);
+    let cl = Clustering::singletons(&g);
+    let factory = |vi: &VertexInput<()>| Talker {
+        label: vi.label,
+        heard: vec![],
+    };
+    let programs: Vec<VirtSim<Talker, _>> = g
+        .nodes()
+        .map(|v| {
+            let a = cl.assign[v.index()].unwrap();
+            VirtSim::participant(a.label, a.depth, g.ident(v), (), 2, factory)
+        })
+        .collect();
+    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+    // vertex 2 hears vrounds 1 and 3 but NOT 2 (it was asleep on H).
+    assert_eq!(run.outputs[1].as_ref().unwrap(), &vec![(1, 10), (3, 30)]);
+}

@@ -1,0 +1,203 @@
+//! Validated graph construction.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced by [`GraphBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// The declared node count.
+        n: usize,
+    },
+    /// An edge `{v, v}` was added.
+    SelfLoop(
+        /// The node with the loop.
+        u32,
+    ),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for n={n}")
+            }
+            BuildError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// Parallel edges are deduplicated silently; self-loops and out-of-range
+/// endpoints are reported by [`build`](GraphBuilder::build).
+///
+/// # Example
+/// ```
+/// # use awake_graphs::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.edge(0, 1).edge(1, 2).edge(1, 2); // duplicate is fine
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), awake_graphs::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+    idents: Option<Vec<u64>>,
+}
+
+impl GraphBuilder {
+    /// Start building a graph on `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+            idents: None,
+        }
+    }
+
+    /// Add the undirected edge `{u, v}`; order and duplicates don't matter.
+    pub fn edge(&mut self, u: u32, v: u32) -> &mut Self {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.insert((a, b));
+        self
+    }
+
+    /// Add many edges at once.
+    pub fn edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Override the default `{1..n}` identifier assignment.
+    ///
+    /// Validation of distinctness happens in [`build`](GraphBuilder::build)
+    /// via [`Graph::with_idents`].
+    pub fn idents(&mut self, idents: Vec<u64>) -> &mut Self {
+        self.idents = Some(idents);
+        self
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    ///
+    /// # Errors
+    /// Returns [`BuildError`] on self-loops or out-of-range endpoints.
+    pub fn build(&self) -> Result<Graph, BuildError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(BuildError::SelfLoop(u));
+            }
+            if (v as usize) >= n {
+                return Err(BuildError::NodeOutOfRange { node: v, n });
+            }
+        }
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adjacency = vec![NodeId(0); acc as usize];
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u as usize] as usize] = NodeId(v);
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize] as usize] = NodeId(u);
+            cursor[v as usize] += 1;
+        }
+        // Entries written via the second endpoint interleave with those from
+        // the first, so sort each row to restore the sorted-adjacency invariant.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            adjacency[lo..hi].sort_unstable();
+        }
+        let idents = self
+            .idents
+            .clone()
+            .unwrap_or_else(|| (1..=n as u64).collect());
+        // Route ident validation through with_idents to share the checks.
+        let g = Graph::from_parts(offsets, adjacency, (1..=n as u64).collect());
+        Ok(g.with_idents(idents))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(3, 1).edge(1, 3).edge(0, 3).edge(4, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(
+            g.neighbors(NodeId(3)),
+            &[NodeId(0), NodeId(1), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(1, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::SelfLoop(1));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 5);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::NodeOutOfRange { node: 5, n: 2 }
+        ));
+    }
+
+    #[test]
+    fn custom_idents() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1).idents(vec![7, 9]);
+        let g = b.build().unwrap();
+        assert_eq!(g.ident(NodeId(1)), 9);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.degree(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(BuildError::SelfLoop(3).to_string().contains("self-loop"));
+        assert!(BuildError::NodeOutOfRange { node: 9, n: 2 }
+            .to_string()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Coloring checks and centralized reference algorithms.
+//!
+//! Distributed coloring lives in `awake-core`; this module provides the
+//! ground-truth validators and the sequential algorithms used to cross-check
+//! distributed outputs.
+
+use crate::{ops, Graph, NodeId};
+
+/// A violation found by a coloring validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoringViolation {
+    /// One endpoint of the offending pair.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The shared color.
+    pub color: u64,
+}
+
+impl std::fmt::Display for ColoringViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nodes {} and {} share color {}", self.u, self.v, self.color)
+    }
+}
+
+impl std::error::Error for ColoringViolation {}
+
+/// Check that `colors` is a proper vertex coloring of `g`.
+///
+/// # Errors
+/// Returns the first monochromatic edge found.
+pub fn check_proper(g: &Graph, colors: &[u64]) -> Result<(), ColoringViolation> {
+    assert_eq!(colors.len(), g.n(), "color vector length mismatch");
+    for (u, v) in g.edges() {
+        if colors[u.index()] == colors[v.index()] {
+            return Err(ColoringViolation {
+                u,
+                v,
+                color: colors[u.index()],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check that `colors` is a *distance-2* coloring of `g` (a proper coloring
+/// of `G²`).
+///
+/// # Errors
+/// Returns the first pair at distance ≤ 2 sharing a color.
+pub fn check_distance2(g: &Graph, colors: &[u64]) -> Result<(), ColoringViolation> {
+    check_proper(&ops::square(g), colors)
+}
+
+/// Number of distinct colors used.
+pub fn palette_size(colors: &[u64]) -> usize {
+    let mut c = colors.to_vec();
+    c.sort_unstable();
+    c.dedup();
+    c.len()
+}
+
+/// Centralized greedy coloring in the given node order; returns colors in
+/// `0..` (first-fit). Uses at most `Δ+1` colors for any order.
+pub fn greedy_in_order(g: &Graph, order: &[NodeId]) -> Vec<u64> {
+    assert_eq!(order.len(), g.n(), "order must cover all nodes");
+    let mut colors = vec![u64::MAX; g.n()];
+    for &v in order {
+        let mut used: Vec<u64> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| colors[u.index()])
+            .filter(|&c| c != u64::MAX)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut pick = 0u64;
+        for c in used {
+            if c == pick {
+                pick += 1;
+            } else if c > pick {
+                break;
+            }
+        }
+        colors[v.index()] = pick;
+    }
+    colors
+}
+
+/// A degeneracy order (repeatedly remove a minimum-degree node) and the
+/// degeneracy value. Greedy coloring along the *reverse* of this order uses
+/// at most `degeneracy + 1` colors.
+pub fn degeneracy_order(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    let mut deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    for _ in 0..n {
+        let v = g
+            .nodes()
+            .filter(|&v| !removed[v.index()])
+            .min_by_key(|&v| deg[v.index()])
+            .expect("nodes remain");
+        degeneracy = degeneracy.max(deg[v.index()]);
+        removed[v.index()] = true;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w.index()] {
+                deg[w.index()] -= 1;
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn proper_checker_accepts_and_rejects() {
+        let g = generators::cycle(4);
+        assert!(check_proper(&g, &[0, 1, 0, 1]).is_ok());
+        let err = check_proper(&g, &[0, 0, 1, 1]).unwrap_err();
+        assert_eq!(err.color, 0);
+        assert!(err.to_string().contains("share color"));
+    }
+
+    #[test]
+    fn distance2_checker() {
+        let g = generators::path(3);
+        // proper but not distance-2: endpoints share a color at distance 2.
+        assert!(check_proper(&g, &[0, 1, 0]).is_ok());
+        assert!(check_distance2(&g, &[0, 1, 0]).is_err());
+        assert!(check_distance2(&g, &[0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn greedy_uses_at_most_delta_plus_one() {
+        let g = generators::gnp(50, 0.2, 4);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let colors = greedy_in_order(&g, &order);
+        assert!(check_proper(&g, &colors).is_ok());
+        assert!(palette_size(&colors) <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn greedy_first_fit_picks_smallest() {
+        let g = generators::star(4);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let colors = greedy_in_order(&g, &order);
+        assert_eq!(colors[0], 0);
+        assert!(colors[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn degeneracy_of_tree_is_one() {
+        let (order, d) = degeneracy_order(&generators::random_tree(30, 7));
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 30);
+    }
+
+    #[test]
+    fn degeneracy_of_clique() {
+        let (_, d) = degeneracy_order(&generators::complete(6));
+        assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn palette_size_counts_distinct() {
+        assert_eq!(palette_size(&[3, 3, 7, 1]), 3);
+        assert_eq!(palette_size(&[]), 0);
+    }
+}

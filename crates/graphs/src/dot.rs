@@ -1,0 +1,51 @@
+//! GraphViz DOT export, for debugging and the figure gallery.
+
+use crate::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Render the graph in DOT format. `label` supplies an optional extra label
+/// per node (shown under the identifier).
+///
+/// # Example
+/// ```
+/// # use awake_graphs::{generators, to_dot};
+/// let g = generators::path(2);
+/// let dot = to_dot(&g, |_| None);
+/// assert!(dot.contains("graph G"));
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn to_dot<F: Fn(NodeId) -> Option<String>>(g: &Graph, label: F) -> String {
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for v in g.nodes() {
+        match label(v) {
+            Some(extra) => {
+                let _ = writeln!(out, "  {} [label=\"{}\\n{}\"];", v.0, g.ident(v), extra);
+            }
+            None => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, g.ident(v));
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_edges_and_labels() {
+        let g = generators::cycle(3);
+        let dot = to_dot(&g, |v| if v.0 == 0 { Some("root".into()) } else { None });
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.contains("0 -- 2"));
+        assert!(dot.contains("root"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

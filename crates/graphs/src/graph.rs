@@ -1,0 +1,260 @@
+//! The core immutable graph type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`Graph`], contiguous in `0..n`.
+///
+/// `NodeId` is a *position*, not an identifier: distributed algorithms that
+/// need unique identifiers from a polynomial range use [`Graph::ident`],
+/// which defaults to `id + 1` (the `{1..n}` range of the paper's Remark
+/// after Theorem 13) but can be remapped via [`Graph::with_idents`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The position as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An immutable simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Invariants (enforced by [`crate::GraphBuilder`]):
+/// * no self-loops,
+/// * no parallel edges,
+/// * adjacency lists sorted ascending,
+/// * node identifiers (`ident`) are pairwise distinct and ≥ 1.
+///
+/// # Example
+/// ```
+/// use awake_graphs::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1).edge(1, 2);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert_eq!(g.max_degree(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists, length `2m`.
+    adjacency: Vec<NodeId>,
+    /// Unique identifier of each node (the "ID" of the LOCAL model).
+    idents: Vec<u64>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(offsets: Vec<u32>, adjacency: Vec<NodeId>, idents: Vec<u64>) -> Self {
+        debug_assert_eq!(offsets.len(), idents.len() + 1);
+        Graph {
+            offsets,
+            adjacency,
+            idents,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.idents.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Iterator over all node positions `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&w| (u, w)))
+            .filter(|(u, w)| u < w)
+    }
+
+    /// The unique identifier of node `v` (≥ 1).
+    ///
+    /// Defaults to `v.0 + 1`, i.e. the `{1, …, n}` identifier range that the
+    /// paper's Remark (after Theorem 13) uses to obtain `O(n²·2^{√log n})`
+    /// round complexity.
+    #[inline]
+    pub fn ident(&self, v: NodeId) -> u64 {
+        self.idents[v.index()]
+    }
+
+    /// Largest identifier present in the graph (0 for the empty graph).
+    pub fn ident_bound(&self) -> u64 {
+        self.idents.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The node whose identifier is `ident`, if any. `O(n)`.
+    pub fn node_with_ident(&self, ident: u64) -> Option<NodeId> {
+        self.idents
+            .iter()
+            .position(|&i| i == ident)
+            .map(|p| NodeId(p as u32))
+    }
+
+    /// Returns a copy of this graph with node identifiers replaced by
+    /// `idents` (must be pairwise distinct and ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `idents.len() != n`, if any identifier is 0, or if
+    /// identifiers are not pairwise distinct.
+    pub fn with_idents(&self, idents: Vec<u64>) -> Graph {
+        assert_eq!(idents.len(), self.n(), "ident vector length mismatch");
+        assert!(idents.iter().all(|&i| i >= 1), "identifiers must be >= 1");
+        let mut sorted = idents.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), idents.len(), "identifiers must be distinct");
+        Graph {
+            offsets: self.offsets.clone(),
+            adjacency: self.adjacency.clone(),
+            idents,
+        }
+    }
+
+    /// Sum of all degrees (= 2m); useful for sizing message buffers.
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2).edge(0, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree_sum(), 6);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn default_idents_are_one_based() {
+        let g = triangle();
+        assert_eq!(g.ident(NodeId(0)), 1);
+        assert_eq!(g.ident(NodeId(2)), 3);
+        assert_eq!(g.ident_bound(), 3);
+        assert_eq!(g.node_with_ident(2), Some(NodeId(1)));
+        assert_eq!(g.node_with_ident(99), None);
+    }
+
+    #[test]
+    fn with_idents_remaps() {
+        let g = triangle().with_idents(vec![10, 20, 30]);
+        assert_eq!(g.ident(NodeId(1)), 20);
+        assert_eq!(g.ident_bound(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn with_idents_rejects_duplicates() {
+        triangle().with_idents(vec![5, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn with_idents_rejects_zero() {
+        triangle().with_idents(vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.ident_bound(), 0);
+    }
+
+    #[test]
+    fn edges_yield_each_once_ordered() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(
+            e,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2))
+            ]
+        );
+    }
+}

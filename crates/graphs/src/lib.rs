@@ -1,0 +1,53 @@
+//! Graph substrate for the `awake` workspace.
+//!
+//! This crate provides the graph machinery every other crate builds on:
+//!
+//! * [`Graph`] — an immutable, CSR-backed simple undirected graph with
+//!   contiguous [`NodeId`]s and an arbitrary per-node *identifier* space
+//!   (the distributed algorithms in `awake-core` operate on identifiers,
+//!   which the Sleeping-model papers draw from a polynomial range).
+//! * [`GraphBuilder`] — validated construction (rejects self-loops,
+//!   deduplicates parallel edges).
+//! * [`generators`] — deterministic, seeded graph families used by the
+//!   experiment harness: paths, cycles, grids, hypercubes, trees, random
+//!   regular graphs, `G(n,p)`, power-law graphs, and adversarial gadgets.
+//! * [`ops`] — induced subgraphs, the square `G²`, disjoint unions, and the
+//!   quotient (cluster-contraction) operation that realizes the *virtual
+//!   graphs* of Definitions 3 and 5 of the paper.
+//! * [`traversal`] — BFS distances, connected components, diameter.
+//! * [`orientation`] — acyclic edge orientations (the `µ` of the O-LOCAL
+//!   class definition), topological orders, descendant closures.
+//! * [`coloring`] — proper/distance-2 coloring checks and centralized
+//!   reference algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use awake_graphs::{generators, traversal};
+//!
+//! let g = generators::cycle(8);
+//! assert_eq!(g.n(), 8);
+//! assert_eq!(g.m(), 8);
+//! assert_eq!(g.degree(awake_graphs::NodeId(0)), 2);
+//! let dist = traversal::bfs_distances(&g, awake_graphs::NodeId(0));
+//! assert_eq!(dist[4], Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod coloring;
+mod dot;
+pub mod generators;
+mod graph;
+pub mod ops;
+pub mod orientation;
+#[cfg(feature = "strategies")]
+pub mod strategies;
+pub mod traversal;
+
+pub use builder::{BuildError, GraphBuilder};
+pub use dot::to_dot;
+pub use graph::{Graph, NodeId};
+pub use orientation::AcyclicOrientation;

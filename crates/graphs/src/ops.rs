@@ -1,0 +1,197 @@
+//! Graph operations: induced subgraphs, squares, unions, quotients.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::collections::BTreeMap;
+
+/// An induced subgraph together with the mapping back to the host graph.
+#[derive(Debug, Clone)]
+pub struct Induced {
+    /// The subgraph; node `i` corresponds to `back[i]` in the host.
+    pub graph: Graph,
+    /// For each subgraph node, the host node it came from.
+    pub back: Vec<NodeId>,
+    /// For each host node, its subgraph position (if selected).
+    pub fwd: Vec<Option<NodeId>>,
+}
+
+/// The subgraph induced by the selected nodes. Identifiers are inherited
+/// from the host graph.
+pub fn induced<F: Fn(NodeId) -> bool>(g: &Graph, select: F) -> Induced {
+    let back: Vec<NodeId> = g.nodes().filter(|&v| select(v)).collect();
+    let mut fwd = vec![None; g.n()];
+    for (i, &v) in back.iter().enumerate() {
+        fwd[v.index()] = Some(NodeId(i as u32));
+    }
+    let mut b = GraphBuilder::new(back.len());
+    for (i, &v) in back.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            if let Some(j) = fwd[w.index()] {
+                if (i as u32) < j.0 {
+                    b.edge(i as u32, j.0);
+                }
+            }
+        }
+    }
+    b.idents(back.iter().map(|&v| g.ident(v)).collect());
+    Induced {
+        graph: b.build().expect("induced subgraph is valid"),
+        back,
+        fwd,
+    }
+}
+
+/// The square `G²`: same nodes, edges between nodes at distance 1 or 2.
+///
+/// Lemma 15 computes a proper coloring of `G²` (a *distance-2* coloring
+/// of `G`); this operation provides the centralized reference object.
+pub fn square(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(g.n());
+    for v in g.nodes() {
+        for &u in g.neighbors(v) {
+            if v < u {
+                b.edge(v.0, u.0);
+            }
+            for &w in g.neighbors(u) {
+                if v < w {
+                    b.edge(v.0, w.0);
+                }
+            }
+        }
+    }
+    b.idents(g.nodes().map(|v| g.ident(v)).collect());
+    b.build().expect("square is valid")
+}
+
+/// Disjoint union: nodes of `b` are shifted by `a.n()`. Identifiers of `b`
+/// are shifted by `a.ident_bound()` to stay distinct.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let shift = a.n() as u32;
+    let ident_shift = a.ident_bound();
+    let mut builder = GraphBuilder::new(a.n() + b.n());
+    for (u, v) in a.edges() {
+        builder.edge(u.0, v.0);
+    }
+    for (u, v) in b.edges() {
+        builder.edge(u.0 + shift, v.0 + shift);
+    }
+    let mut idents: Vec<u64> = a.nodes().map(|v| a.ident(v)).collect();
+    idents.extend(b.nodes().map(|v| b.ident(v) + ident_shift));
+    builder.idents(idents);
+    builder.build().expect("union is valid")
+}
+
+/// A quotient (cluster contraction) of a graph, realizing the *virtual
+/// graph* of Definitions 3 and 5 of the paper: each distinct label becomes
+/// one vertex; two vertices are adjacent iff some cross-label edge exists.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    /// The virtual graph. Vertex `i` has identifier = its cluster label.
+    pub graph: Graph,
+    /// Sorted distinct labels; `labels[i]` is the label of virtual vertex `i`.
+    pub labels: Vec<u64>,
+    /// For each host node with a label, the virtual vertex it maps to.
+    pub vertex_of: Vec<Option<NodeId>>,
+}
+
+/// Contract nodes by label. Nodes with `label(v) == None` are dropped
+/// (they are outside the clustered subgraph).
+///
+/// The caller is responsible for labels forming connected clusters when a
+/// *uniquely-labeled* clustering is intended; this function contracts
+/// whatever it is given (for colored clusterings, contract per component
+/// before calling, or use `awake-core`'s clustering types which do).
+pub fn quotient<F: Fn(NodeId) -> Option<u64>>(g: &Graph, label: F) -> Quotient {
+    let mut labels: Vec<u64> = g.nodes().filter_map(&label).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let index: BTreeMap<u64, u32> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i as u32))
+        .collect();
+    let mut vertex_of = vec![None; g.n()];
+    for v in g.nodes() {
+        if let Some(l) = label(v) {
+            vertex_of[v.index()] = Some(NodeId(index[&l]));
+        }
+    }
+    let mut b = GraphBuilder::new(labels.len());
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (vertex_of[u.index()], vertex_of[v.index()]) {
+            if cu != cv {
+                b.edge(cu.0, cv.0);
+            }
+        }
+    }
+    // Virtual vertices take their labels as identifiers. Labels may be 0 in
+    // caller space; shift by 1 to satisfy the ident >= 1 invariant.
+    b.idents(labels.iter().map(|&l| l + 1).collect());
+    Quotient {
+        graph: b.build().expect("quotient is valid"),
+        labels,
+        vertex_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn induced_subgraph_keeps_idents() {
+        let g = generators::cycle(6); // idents 1..=6
+        let ind = induced(&g, |v| v.0 % 2 == 0);
+        assert_eq!(ind.graph.n(), 3);
+        assert_eq!(ind.graph.m(), 0); // even cycle: alternate nodes not adjacent
+        assert_eq!(ind.graph.ident(NodeId(1)), 3); // host node v2
+        assert_eq!(ind.back[2], NodeId(4));
+        assert_eq!(ind.fwd[4], Some(NodeId(2)));
+        assert_eq!(ind.fwd[1], None);
+    }
+
+    #[test]
+    fn square_of_path() {
+        let g = generators::path(5);
+        let s = square(&g);
+        assert!(s.has_edge(NodeId(0), NodeId(2)));
+        assert!(!s.has_edge(NodeId(0), NodeId(3)));
+        assert_eq!(s.m(), 4 + 3);
+    }
+
+    #[test]
+    fn square_of_star_is_complete() {
+        let s = square(&generators::star(6));
+        assert_eq!(s.m(), 15);
+    }
+
+    #[test]
+    fn union_shifts_idents() {
+        let a = generators::path(3);
+        let b = generators::path(2);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.n(), 5);
+        assert_eq!(u.m(), 3);
+        assert_eq!(u.ident(NodeId(3)), 4); // b's node 0: ident 1 + shift 3
+    }
+
+    #[test]
+    fn quotient_cycle_into_halves() {
+        let g = generators::cycle(6);
+        let q = quotient(&g, |v| Some(if v.0 < 3 { 10 } else { 20 }));
+        assert_eq!(q.graph.n(), 2);
+        assert_eq!(q.graph.m(), 1); // two bridge edges collapse into one
+        assert_eq!(q.labels, vec![10, 20]);
+        assert_eq!(q.vertex_of[5], Some(NodeId(1)));
+        assert_eq!(q.graph.ident(NodeId(0)), 11);
+    }
+
+    #[test]
+    fn quotient_drops_unlabeled() {
+        let g = generators::path(4);
+        let q = quotient(&g, |v| if v.0 == 0 { None } else { Some(v.0 as u64) });
+        assert_eq!(q.graph.n(), 3);
+        assert_eq!(q.graph.m(), 2);
+        assert_eq!(q.vertex_of[0], None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Acyclic edge orientations — the `µ` of the O-LOCAL class definition.
+//!
+//! The paper defines O-LOCAL problems relative to an *arbitrary acyclic
+//! orientation* of the edges of `G` (§2.2). We represent orientations by a
+//! per-node *priority*: the edge `{u, v}` is oriented from the higher
+//! priority endpoint to the lower one, with ties broken by node identifier
+//! (higher ident → lower ident). Any such orientation is acyclic since
+//! `(priority, ident)` is a strict potential, and conversely every acyclic
+//! orientation arises from a topological numbering, so this representation
+//! is fully general.
+
+use crate::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An acyclic orientation of a graph's edges.
+///
+/// The edge `{u, v}` points **from** the endpoint with the lexicographically
+/// larger `(priority, ident)` pair **to** the smaller. "Out-neighbors" of
+/// `v` are the targets of `v`'s outgoing edges; in the greedy process a node
+/// may be processed only after all its out-neighbors (its *descendants*,
+/// following outgoing edges).
+///
+/// # Example
+/// ```
+/// # use awake_graphs::{generators, AcyclicOrientation, NodeId};
+/// let g = generators::path(3);
+/// // Orient by identifier only (all priorities equal): edges point from
+/// // higher ident to lower, so v2 -> v1 -> v0.
+/// let mu = AcyclicOrientation::by_ident(&g);
+/// assert_eq!(mu.out_neighbors(&g, NodeId(2)), vec![NodeId(1)]);
+/// assert_eq!(mu.out_degree(&g, NodeId(0)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcyclicOrientation {
+    priority: Vec<u64>,
+    ident: Vec<u64>,
+}
+
+impl AcyclicOrientation {
+    /// Orientation from an explicit priority vector (ties by identifier).
+    ///
+    /// # Panics
+    /// Panics if `priority.len() != g.n()`.
+    pub fn from_priorities(g: &Graph, priority: Vec<u64>) -> Self {
+        assert_eq!(priority.len(), g.n(), "priority vector length mismatch");
+        AcyclicOrientation {
+            priority,
+            ident: g.nodes().map(|v| g.ident(v)).collect(),
+        }
+    }
+
+    /// The identifier orientation: higher ident → lower ident.
+    pub fn by_ident(g: &Graph) -> Self {
+        Self::from_priorities(g, vec![0; g.n()])
+    }
+
+    /// Orientation induced by a coloring: higher color → lower color
+    /// (exactly the orientation Lemma 11 derives from a proper coloring).
+    pub fn by_coloring(g: &Graph, colors: &[u64]) -> Self {
+        Self::from_priorities(g, colors.to_vec())
+    }
+
+    /// Random acyclic orientation: priorities are a random permutation.
+    pub fn random(g: &Graph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut perm: Vec<u64> = (0..g.n() as u64).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        Self::from_priorities(g, perm)
+    }
+
+    /// The comparable key of a node.
+    #[inline]
+    pub fn key(&self, v: NodeId) -> (u64, u64) {
+        (self.priority[v.index()], self.ident[v.index()])
+    }
+
+    /// Does the edge `{u, v}` point from `u` to `v`?
+    #[inline]
+    pub fn points(&self, u: NodeId, v: NodeId) -> bool {
+        self.key(u) > self.key(v)
+    }
+
+    /// Out-neighbors of `v` (edge targets).
+    pub fn out_neighbors(&self, g: &Graph, v: NodeId) -> Vec<NodeId> {
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| self.points(v, u))
+            .collect()
+    }
+
+    /// In-neighbors of `v` (edge sources).
+    pub fn in_neighbors(&self, g: &Graph, v: NodeId) -> Vec<NodeId> {
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| self.points(u, v))
+            .collect()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
+        g.neighbors(v).iter().filter(|&&u| self.points(v, u)).count()
+    }
+
+    /// A topological order: sinks first (every node appears after all of its
+    /// out-neighbors), i.e. a valid greedy processing order.
+    pub fn topological_order(&self, g: &Graph) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        order.sort_by_key(|&v| self.key(v));
+        order
+    }
+
+    /// The descendant closure `Gµ(v) ∖ {v}`: all nodes reachable from `v`
+    /// by following outgoing edges.
+    pub fn descendants(&self, g: &Graph, v: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![v];
+        seen[v.index()] = true;
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            for &w in g.neighbors(x) {
+                if self.points(x, w) && !seen[w.index()] {
+                    seen[w.index()] = true;
+                    out.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Verify acyclicity explicitly (always true by construction; used by
+    /// property tests as a sanity check of the representation).
+    pub fn is_acyclic(&self, g: &Graph) -> bool {
+        // Follow any outgoing edge: keys strictly decrease, so no cycle.
+        g.edges().all(|(u, v)| self.key(u) != self.key(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ident_orientation_on_path() {
+        let g = generators::path(4);
+        let mu = AcyclicOrientation::by_ident(&g);
+        assert!(mu.points(NodeId(3), NodeId(2)));
+        assert_eq!(mu.out_degree(&g, NodeId(0)), 0);
+        assert_eq!(mu.in_neighbors(&g, NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(
+            mu.topological_order(&g),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn coloring_orientation_breaks_ties_by_ident() {
+        let g = generators::path(3);
+        // colors: v0=1, v1=0, v2=1  => v0 -> v1 <- v2; v0 vs v2 not adjacent.
+        let mu = AcyclicOrientation::by_coloring(&g, &[1, 0, 1]);
+        assert!(mu.points(NodeId(0), NodeId(1)));
+        assert!(mu.points(NodeId(2), NodeId(1)));
+        assert_eq!(mu.out_degree(&g, NodeId(1)), 0);
+    }
+
+    #[test]
+    fn descendants_closure() {
+        let g = generators::path(5);
+        let mu = AcyclicOrientation::by_ident(&g);
+        assert_eq!(
+            mu.descendants(&g, NodeId(3)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert!(mu.descendants(&g, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn random_orientations_are_acyclic() {
+        let g = generators::gnp(40, 0.2, 3);
+        for seed in 0..5 {
+            let mu = AcyclicOrientation::random(&g, seed);
+            assert!(mu.is_acyclic(&g));
+            // Check the topological order is consistent with edges.
+            let order = mu.topological_order(&g);
+            let mut pos = vec![0usize; g.n()];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            for (u, v) in g.edges() {
+                let (src, dst) = if mu.points(u, v) { (u, v) } else { (v, u) };
+                assert!(pos[dst.index()] < pos[src.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn out_plus_in_equals_degree() {
+        let g = generators::gnp(30, 0.3, 9);
+        let mu = AcyclicOrientation::random(&g, 1);
+        for v in g.nodes() {
+            assert_eq!(
+                mu.out_degree(&g, v) + mu.in_neighbors(&g, v).len(),
+                g.degree(v)
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Proptest strategies for random graphs (feature `strategies`).
+//!
+//! These strategies let downstream crates property-test invariants over a
+//! diverse sample of graphs:
+//!
+//! ```
+//! use proptest::prelude::*;
+//! use awake_graphs::strategies::any_graph;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn degree_sum_is_twice_m(g in any_graph(24)) {
+//!         prop_assert_eq!(g.degree_sum(), 2 * g.m());
+//!     }
+//! }
+//! ```
+
+use crate::{generators, Graph};
+use proptest::prelude::*;
+
+/// Any simple graph with up to `max_n` nodes, drawn from a mix of families.
+pub fn any_graph(max_n: usize) -> BoxedStrategy<Graph> {
+    let max_n = max_n.max(4);
+    prop_oneof![
+        (1..=max_n).prop_map(generators::path),
+        (3..=max_n).prop_map(generators::cycle),
+        (1..=max_n.min(12)).prop_map(generators::complete),
+        (2..=max_n).prop_map(generators::star),
+        ((2..=max_n), any::<u64>()).prop_map(|(n, s)| generators::random_tree(n, s)),
+        ((4..=max_n), (0.02f64..0.6), any::<u64>()).prop_map(|(n, p, s)| generators::gnp(n, p, s)),
+        ((2..=max_n / 2).prop_flat_map(|r| ((r * 2..=r * 3), Just(r))))
+            .prop_map(|(n, r)| generators::balanced_tree(n, r)),
+    ]
+    .boxed()
+}
+
+/// Any *connected* graph with up to `max_n` nodes.
+pub fn connected_graph(max_n: usize) -> BoxedStrategy<Graph> {
+    any_graph(max_n)
+        .prop_filter("connected", |g| {
+            g.n() > 0 && crate::traversal::connected_components(g).count == 1
+        })
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn strategies_produce_valid_graphs(g in any_graph(20)) {
+            // neighbors sorted, no self loops
+            for v in g.nodes() {
+                let nb = g.neighbors(v);
+                prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(!nb.contains(&v));
+            }
+        }
+
+        #[test]
+        fn connected_strategy_is_connected(g in connected_graph(16)) {
+            prop_assert_eq!(crate::traversal::connected_components(&g).count, 1);
+        }
+    }
+}

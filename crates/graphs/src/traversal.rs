@@ -1,0 +1,186 @@
+//! Breadth-first traversals, components, and distance computations.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; `None` for unreachable nodes.
+///
+/// # Example
+/// ```
+/// # use awake_graphs::{generators, traversal, NodeId};
+/// let g = generators::path(4);
+/// let d = traversal::bfs_distances(&g, NodeId(0));
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    multi_source_bfs(g, std::iter::once(source))
+}
+
+/// BFS distances from the nearest of several sources.
+pub fn multi_source_bfs<I: IntoIterator<Item = NodeId>>(g: &Graph, sources: I) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.n()];
+    let mut q = VecDeque::new();
+    for s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            q.push_back(s);
+        }
+    }
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for &w in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances restricted to the subgraph induced by `member` (nodes for
+/// which `member(v)` is true). `source` must be a member.
+pub fn bfs_distances_within<F: Fn(NodeId) -> bool>(
+    g: &Graph,
+    source: NodeId,
+    member: F,
+) -> Vec<Option<u32>> {
+    assert!(member(source), "source must satisfy the membership predicate");
+    let mut dist = vec![None; g.n()];
+    dist[source.index()] = Some(0);
+    let mut q = VecDeque::from([source]);
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for &w in g.neighbors(v) {
+            if member(w) && dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Result of [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component index of each node, in `0..count`.
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Nodes of component `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|(_, &cc)| cc == c)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut component = vec![u32::MAX; g.n()];
+    let mut count = 0u32;
+    for s in g.nodes() {
+        if component[s.index()] != u32::MAX {
+            continue;
+        }
+        let mut q = VecDeque::from([s]);
+        component[s.index()] = count;
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if component[w.index()] == u32::MAX {
+                    component[w.index()] = count;
+                    q.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        component,
+        count: count as usize,
+    }
+}
+
+/// Exact diameter (max eccentricity over the largest component); `0` for
+/// graphs with ≤ 1 node. `O(n·m)` — intended for test-scale graphs.
+pub fn diameter(g: &Graph) -> u32 {
+    let mut best = 0;
+    for v in g.nodes() {
+        let d = bfs_distances(g, v);
+        for dv in d.into_iter().flatten() {
+            best = best.max(dv);
+        }
+    }
+    best
+}
+
+/// Eccentricity of `v` within its component.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = generators::path(7);
+        let d = multi_source_bfs(&g, [NodeId(0), NodeId(6)]);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn within_subgraph() {
+        // path 0-1-2-3-4; exclude node 2 -> 4 unreachable from 0.
+        let g = generators::path(5);
+        let d = bfs_distances_within(&g, NodeId(0), |v| v != NodeId(2));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership")]
+    fn within_requires_member_source() {
+        let g = generators::path(3);
+        let _ = bfs_distances_within(&g, NodeId(0), |v| v != NodeId(0));
+    }
+
+    #[test]
+    fn components_and_members() {
+        let mut b = crate::GraphBuilder::new(5);
+        b.edge(0, 1).edge(2, 3);
+        let g = b.build().unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3);
+        assert_eq!(cc.component[0], cc.component[1]);
+        assert_ne!(cc.component[0], cc.component[2]);
+        assert_eq!(cc.members(cc.component[4]), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = generators::path(10);
+        assert_eq!(diameter(&g), 9);
+        assert_eq!(eccentricity(&g, NodeId(5)), 5);
+        assert_eq!(diameter(&generators::complete(5)), 1);
+        assert_eq!(diameter(&crate::GraphBuilder::new(1).build().unwrap()), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The **O-LOCAL** class of graph problems (Barenboim–Maimon, DISC 2021;
+//! §2.2 of the PODC 2025 paper this workspace reproduces).
+//!
+//! A labeling problem Π is in O-LOCAL if it can be solved by the following
+//! restricted sequential greedy process **for every acyclic orientation**
+//! `µ` of the input graph's edges: nodes are processed in any order that
+//! respects `µ` (a node only after all nodes reachable from it along
+//! outgoing edges), and the output of a node must be computable from the
+//! outputs previously fixed for exactly those reachable nodes (its
+//! *descendant closure* `Gµ(v) ∖ {v}`).
+//!
+//! O-LOCAL contains (Δ+1)-vertex-coloring, maximal independent set,
+//! degree+1-list-coloring, and minimal vertex cover — all implemented here —
+//! but **not** distance-2 coloring (see [`not_olocal`] for the executable
+//! counterexample from the paper).
+//!
+//! ```
+//! use awake_graphs::{generators, AcyclicOrientation};
+//! use awake_olocal::{greedy, problems::DeltaPlusOneColoring, OLocalProblem};
+//!
+//! let g = generators::gnp(30, 0.2, 42);
+//! let problem = DeltaPlusOneColoring;
+//! let mu = AcyclicOrientation::random(&g, 7);
+//! let inputs = problem.trivial_inputs(&g);
+//! let outputs = greedy::solve_sequentially(&problem, &g, &mu, &inputs);
+//! problem.validate(&g, &inputs, &outputs).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod not_olocal;
+mod problem;
+pub mod problems;
+
+pub use problem::{GreedyView, OLocalProblem, Violation};

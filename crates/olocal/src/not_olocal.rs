@@ -1,0 +1,102 @@
+//! Executable demonstration that **distance-2 coloring is not O-LOCAL**
+//! (§2.2 of the paper).
+//!
+//! The paper's argument: take the path `P` on `n ≥ 6` nodes with the edge
+//! orientation `µ` in which every two incident edges point in opposite
+//! directions. Under `µ`, every node of out-degree 0 must fix its color
+//! knowing nothing but its own identifier. For any function
+//! `f : {1..n} → {1..5}` there is an identifier assignment making `f`
+//! collide on two nodes at distance 2 — so no greedy rule with a (Δ²+1)=5
+//! palette can exist.
+//!
+//! [`defeat_distance2_rule`] turns that proof into code: given *any*
+//! claimed greedy rule `f` (the color a sink picks as a function of its
+//! identifier), it constructs an identifier assignment on the path under
+//! which the rule produces an invalid distance-2 coloring.
+
+use awake_graphs::{generators, Graph};
+
+/// The alternating orientation's sink positions on a path of length `n`:
+/// even positions are sinks (out-degree 0) when edges alternate
+/// `0←1→2←3→4…`.
+pub fn sink_positions(n: usize) -> Vec<usize> {
+    (0..n).step_by(2).collect()
+}
+
+/// Given a claimed sink rule `f : ident → color` with palette `{0..palette}`
+/// for distance-2 coloring on paths, find an identifier assignment for the
+/// `n`-node path on which two sinks at distance 2 collide. Returns the
+/// adversarial graph and the two colliding node positions, or `None` if `f`
+/// is injective-enough to survive (impossible when the number of sinks
+/// exceeds the palette size, by pigeonhole).
+pub fn defeat_distance2_rule<F: Fn(u64) -> u64>(
+    n: usize,
+    palette: u64,
+    f: F,
+) -> Option<(Graph, usize, usize)> {
+    assert!(n >= 6, "the paper's argument needs n >= 6");
+    let sinks = sink_positions(n);
+    // Pigeonhole over identifiers 1..=n: find two idents with equal f-value;
+    // place them on two sinks at distance 2.
+    let mut by_color: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for ident in 1..=n as u64 {
+        let c = f(ident);
+        assert!(c < palette, "rule must respect the palette");
+        by_color.entry(c).or_default().push(ident);
+    }
+    let collide = by_color.values().find(|v| v.len() >= 2)?;
+    let (a, b) = (collide[0], collide[1]);
+    // Put ident a at sink position s0 and ident b at sink position s0+2.
+    let (s0, s1) = (sinks[0], sinks[1]);
+    debug_assert_eq!(s1 - s0, 2);
+    let mut idents: Vec<u64> = Vec::with_capacity(n);
+    let mut rest: Vec<u64> = (1..=n as u64).filter(|&i| i != a && i != b).collect();
+    for pos in 0..n {
+        if pos == s0 {
+            idents.push(a);
+        } else if pos == s1 {
+            idents.push(b);
+        } else {
+            idents.push(rest.pop().expect("enough identifiers"));
+        }
+    }
+    Some((generators::alternating_path(n, idents), s0, s1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awake_graphs::NodeId;
+
+    #[test]
+    fn sinks_are_every_other_node() {
+        assert_eq!(sink_positions(7), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn every_rule_with_small_palette_is_defeated() {
+        // Try a few "clever" rules; with palette 5 and n = 12 identifiers,
+        // pigeonhole guarantees defeat.
+        let rules: Vec<Box<dyn Fn(u64) -> u64>> = vec![
+            Box::new(|id| id % 5),
+            Box::new(|id| (id * 7 + 3) % 5),
+            Box::new(|id| if id < 6 { id - 1 } else { (id * id) % 5 }),
+        ];
+        for f in rules {
+            let (g, s0, s1) =
+                defeat_distance2_rule(12, 5, &f).expect("pigeonhole must find a collision");
+            // The two sinks are at distance 2 and the rule colors them equal:
+            let c0 = f(g.ident(NodeId(s0 as u32)));
+            let c1 = f(g.ident(NodeId(s1 as u32)));
+            assert_eq!(c0, c1, "adversarial placement forces a collision");
+            assert_eq!(s1 - s0, 2);
+        }
+    }
+
+    #[test]
+    fn injective_rule_with_huge_palette_survives() {
+        // With palette >= n an injective rule cannot be defeated — the
+        // construction correctly reports None.
+        assert!(defeat_distance2_rule(8, 100, |id| id).is_none());
+    }
+}

@@ -1,0 +1,364 @@
+//! Canonical O-LOCAL problems.
+//!
+//! Each problem's doc comment carries the argument for why the greedy step
+//! is correct under **every** acyclic orientation — the membership proof
+//! obligation of the class.
+
+use crate::problem::{GreedyView, OLocalProblem, Violation};
+use awake_graphs::Graph;
+
+/// (Δ+1)-vertex coloring.
+///
+/// **Membership:** when `v` is decided, only its out-neighbors (≤ deg(v) ≤ Δ
+/// many) constrain it, so some color in `{0, …, Δ}` — indeed in
+/// `{0, …, deg(v)}` — is free. Every edge is an out-edge of exactly one
+/// endpoint (the later-processed one), which sees the other's color, so the
+/// result is proper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaPlusOneColoring;
+
+impl OLocalProblem for DeltaPlusOneColoring {
+    type Input = ();
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "(Δ+1)-coloring"
+    }
+
+    fn decide(&self, view: &GreedyView<'_, (), u64>) -> u64 {
+        let mut used: Vec<u64> = view.out_neighbors.iter().map(|(_, c)| *c).collect();
+        used.sort_unstable();
+        used.dedup();
+        first_free(&used)
+    }
+
+    fn validate(&self, graph: &Graph, _inputs: &[()], outputs: &[u64]) -> Result<(), Violation> {
+        expect_len(graph, outputs.len())?;
+        for (u, v) in graph.edges() {
+            if outputs[u.index()] == outputs[v.index()] {
+                return Err(Violation::new(
+                    format!("monochromatic edge with color {}", outputs[u.index()]),
+                    vec![u, v],
+                ));
+            }
+        }
+        let delta = graph.max_degree() as u64;
+        if let Some(v) = graph.nodes().find(|&v| outputs[v.index()] > delta) {
+            return Err(Violation::new(
+                format!(
+                    "color {} exceeds Δ = {delta}",
+                    outputs[v.index()]
+                ),
+                vec![v],
+            ));
+        }
+        Ok(())
+    }
+
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<()> {
+        vec![(); graph.n()]
+    }
+}
+
+/// Degree+1 list coloring: node `v` receives a list of `deg(v)+1` colors and
+/// must pick one of them, properly.
+///
+/// **Membership:** `v` has at most `deg(v)` out-neighbors, so at least one
+/// list entry is unused by them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegreePlusOneListColoring;
+
+impl OLocalProblem for DegreePlusOneListColoring {
+    /// The color list (must have length ≥ deg(v)+1, entries distinct).
+    type Input = Vec<u64>;
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "(deg+1)-list-coloring"
+    }
+
+    fn decide(&self, view: &GreedyView<'_, Vec<u64>, u64>) -> u64 {
+        let used: Vec<u64> = view.out_neighbors.iter().map(|(_, c)| *c).collect();
+        *view
+            .input
+            .iter()
+            .find(|c| !used.contains(c))
+            .expect("list has deg+1 entries, at most deg are blocked")
+    }
+
+    fn validate(
+        &self,
+        graph: &Graph,
+        inputs: &[Vec<u64>],
+        outputs: &[u64],
+    ) -> Result<(), Violation> {
+        expect_len(graph, outputs.len())?;
+        for v in graph.nodes() {
+            let mut list = inputs[v.index()].clone();
+            list.sort_unstable();
+            list.dedup();
+            if list.len() < graph.degree(v) + 1 {
+                return Err(Violation::new(
+                    format!(
+                        "list of {} distinct colors < deg+1 = {}",
+                        list.len(),
+                        graph.degree(v) + 1
+                    ),
+                    vec![v],
+                ));
+            }
+            if !inputs[v.index()].contains(&outputs[v.index()]) {
+                return Err(Violation::new("color not from the node's list", vec![v]));
+            }
+        }
+        for (u, v) in graph.edges() {
+            if outputs[u.index()] == outputs[v.index()] {
+                return Err(Violation::new("monochromatic edge", vec![u, v]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lists `{0, …, deg(v)}` — reduces to (deg+1)-coloring.
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<Vec<u64>> {
+        graph
+            .nodes()
+            .map(|v| (0..=graph.degree(v) as u64).collect())
+            .collect()
+    }
+}
+
+/// Maximal independent set.
+///
+/// **Membership:** `v` joins iff no out-neighbor joined. Independence: each
+/// edge is the out-edge of its later endpoint, which declines if the earlier
+/// one joined. Maximality: a node that declines has a joined out-neighbor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaximalIndependentSet;
+
+impl OLocalProblem for MaximalIndependentSet {
+    type Input = ();
+    /// `true` = in the set.
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "MIS"
+    }
+
+    fn decide(&self, view: &GreedyView<'_, (), bool>) -> bool {
+        view.out_neighbors.iter().all(|(_, joined)| !joined)
+    }
+
+    fn validate(&self, graph: &Graph, _inputs: &[()], outputs: &[bool]) -> Result<(), Violation> {
+        expect_len(graph, outputs.len())?;
+        for (u, v) in graph.edges() {
+            if outputs[u.index()] && outputs[v.index()] {
+                return Err(Violation::new("adjacent nodes both in MIS", vec![u, v]));
+            }
+        }
+        for v in graph.nodes() {
+            if !outputs[v.index()]
+                && !graph.neighbors(v).iter().any(|&u| outputs[u.index()])
+            {
+                return Err(Violation::new(
+                    "node outside MIS with no neighbor inside (not maximal)",
+                    vec![v],
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<()> {
+        vec![(); graph.n()]
+    }
+}
+
+/// Minimal (inclusion-wise) vertex cover.
+///
+/// **Membership:** `v` joins iff some out-neighbor stayed out. Coverage:
+/// every edge is the out-edge of its later endpoint `u`; if the earlier
+/// endpoint is out, `u` joins. Minimality: a node joins only because of an
+/// uncovered incident edge that *needs* it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimalVertexCover;
+
+impl OLocalProblem for MinimalVertexCover {
+    type Input = ();
+    /// `true` = in the cover.
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "minimal vertex cover"
+    }
+
+    fn decide(&self, view: &GreedyView<'_, (), bool>) -> bool {
+        view.out_neighbors.iter().any(|(_, in_cover)| !in_cover)
+    }
+
+    fn validate(&self, graph: &Graph, _inputs: &[()], outputs: &[bool]) -> Result<(), Violation> {
+        expect_len(graph, outputs.len())?;
+        for (u, v) in graph.edges() {
+            if !outputs[u.index()] && !outputs[v.index()] {
+                return Err(Violation::new("uncovered edge", vec![u, v]));
+            }
+        }
+        // minimality: every cover node has a neighbor outside the cover
+        // (otherwise it could be removed).
+        for v in graph.nodes() {
+            if outputs[v.index()]
+                && graph.degree(v) > 0
+                && graph.neighbors(v).iter().all(|&u| outputs[u.index()])
+            {
+                return Err(Violation::new(
+                    "redundant cover node (all neighbors covered)",
+                    vec![v],
+                ));
+            }
+            if outputs[v.index()] && graph.degree(v) == 0 {
+                return Err(Violation::new("isolated node in cover", vec![v]));
+            }
+        }
+        Ok(())
+    }
+
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<()> {
+        vec![(); graph.n()]
+    }
+}
+
+fn first_free(used_sorted: &[u64]) -> u64 {
+    let mut pick = 0u64;
+    for &c in used_sorted {
+        if c == pick {
+            pick += 1;
+        } else if c > pick {
+            break;
+        }
+    }
+    pick
+}
+
+fn expect_len(graph: &Graph, got: usize) -> Result<(), Violation> {
+    if got != graph.n() {
+        return Err(Violation::new(
+            format!("output length {got} != n = {}", graph.n()),
+            vec![],
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::solve_sequentially;
+    use awake_graphs::{generators, AcyclicOrientation, NodeId};
+
+    fn check_on<P: OLocalProblem>(p: &P, g: &Graph, seed: u64) {
+        let mu = AcyclicOrientation::random(g, seed);
+        let inputs = p.trivial_inputs(g);
+        let outputs = solve_sequentially(p, g, &mu, &inputs);
+        p.validate(g, &inputs, &outputs)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+    }
+
+    #[test]
+    fn all_problems_on_families() {
+        let graphs = vec![
+            generators::path(17),
+            generators::cycle(12),
+            generators::complete(9),
+            generators::star(10),
+            generators::gnp(40, 0.15, 3),
+            generators::grid(5, 6),
+            generators::random_tree(25, 8),
+        ];
+        for g in &graphs {
+            for seed in 0..3 {
+                check_on(&DeltaPlusOneColoring, g, seed);
+                check_on(&DegreePlusOneListColoring, g, seed);
+                check_on(&MaximalIndependentSet, g, seed);
+                check_on(&MinimalVertexCover, g, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_uses_at_most_delta_plus_one_colors() {
+        let g = generators::gnp(50, 0.3, 5);
+        let p = DeltaPlusOneColoring;
+        let mu = AcyclicOrientation::by_ident(&g);
+        let out = solve_sequentially(&p, &g, &mu, &p.trivial_inputs(&g));
+        assert!(out.iter().all(|&c| c <= g.max_degree() as u64));
+    }
+
+    #[test]
+    fn coloring_validator_rejects_monochromatic() {
+        let g = generators::path(2);
+        let err = DeltaPlusOneColoring.validate(&g, &[(), ()], &[0, 0]).unwrap_err();
+        assert!(err.reason.contains("monochromatic"));
+    }
+
+    #[test]
+    fn coloring_validator_rejects_large_palette() {
+        let g = generators::path(2);
+        let err = DeltaPlusOneColoring.validate(&g, &[(), ()], &[0, 9]).unwrap_err();
+        assert!(err.reason.contains("exceeds"));
+    }
+
+    #[test]
+    fn mis_validator_rejects_non_maximal() {
+        let g = generators::path(3);
+        let err = MaximalIndependentSet
+            .validate(&g, &[(), (), ()], &[false, false, false])
+            .unwrap_err();
+        assert!(err.reason.contains("maximal"));
+        let err2 = MaximalIndependentSet
+            .validate(&g, &[(), (), ()], &[true, true, false])
+            .unwrap_err();
+        assert!(err2.reason.contains("adjacent"));
+    }
+
+    #[test]
+    fn vc_validator_rejects_uncovered_and_redundant() {
+        let g = generators::path(3);
+        let err = MinimalVertexCover
+            .validate(&g, &[(), (), ()], &[false, false, false])
+            .unwrap_err();
+        assert!(err.reason.contains("uncovered"));
+        let err2 = MinimalVertexCover
+            .validate(&g, &[(), (), ()], &[true, true, true])
+            .unwrap_err();
+        assert!(err2.reason.contains("redundant"));
+    }
+
+    #[test]
+    fn list_coloring_respects_lists() {
+        let g = generators::cycle(5);
+        let p = DegreePlusOneListColoring;
+        // custom disjoint-ish lists
+        let inputs: Vec<Vec<u64>> = (0..5).map(|i| vec![i, i + 10, i + 20]).collect();
+        let mu = AcyclicOrientation::by_ident(&g);
+        let out = solve_sequentially(&p, &g, &mu, &inputs);
+        p.validate(&g, &inputs, &out).unwrap();
+        for v in g.nodes() {
+            assert!(inputs[v.index()].contains(&out[v.index()]));
+        }
+    }
+
+    #[test]
+    fn list_coloring_validator_rejects_short_list() {
+        let g = generators::path(2);
+        let err = DegreePlusOneListColoring
+            .validate(&g, &[vec![1], vec![1, 2]], &[1, 2])
+            .unwrap_err();
+        assert!(err.reason.contains("deg+1"));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::new("boom", vec![NodeId(3)]);
+        assert!(v.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The deterministic skip-ahead executor.
+
+use crate::metrics::Metrics;
+use crate::program::{Action, Envelope, Outgoing, Program, View};
+use crate::trace::{TraceEvent, TraceMode, Tracer};
+use crate::Round;
+use awake_graphs::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Abort if the next scheduled round exceeds this bound.
+    pub max_rounds: Round,
+    /// Tracing mode.
+    pub trace: TraceMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // Generous but finite: the paper's round complexities are
+            // polynomial; anything beyond this is a runaway schedule bug.
+            max_rounds: u64::MAX / 4,
+            trace: TraceMode::Off,
+        }
+    }
+}
+
+impl Config {
+    /// Config with a specific round budget.
+    pub fn with_max_rounds(max_rounds: Round) -> Self {
+        Config {
+            max_rounds,
+            ..Config::default()
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A program slept to a round not strictly in the future.
+    InvalidSleep {
+        /// The offending node.
+        node: NodeId,
+        /// Current round.
+        round: Round,
+        /// Requested wake round.
+        until: Round,
+    },
+    /// A program halted but returned no output.
+    MissingOutput(
+        /// The offending node.
+        NodeId,
+    ),
+    /// A program addressed a message to a non-neighbor.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// The schedule exceeded [`Config::max_rounds`].
+    RoundBudgetExceeded {
+        /// The configured budget.
+        limit: Round,
+    },
+    /// The number of programs didn't match the number of nodes.
+    ProgramCountMismatch {
+        /// Programs supplied.
+        got: usize,
+        /// Nodes in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidSleep { node, round, until } => write!(
+                f,
+                "node {node} at round {round} requested non-future wake round {until}"
+            ),
+            SimError::MissingOutput(v) => write!(f, "node {v} halted without an output"),
+            SimError::NotANeighbor { from, to } => {
+                write!(f, "node {from} sent a message to non-neighbor {to}")
+            }
+            SimError::RoundBudgetExceeded { limit } => {
+                write!(f, "round budget {limit} exceeded")
+            }
+            SimError::ProgramCountMismatch { got, expected } => {
+                write!(f, "got {got} programs for {expected} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A completed execution.
+#[derive(Debug)]
+pub struct Run<O> {
+    /// Output of each node (indexed by [`NodeId`]).
+    pub outputs: Vec<O>,
+    /// Resource accounting.
+    pub metrics: Metrics,
+    /// Recorded events (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The serial deterministic executor.
+///
+/// See the [crate docs](crate) for a worked example.
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    config: Config,
+}
+
+impl<'g> Engine<'g> {
+    /// Create an engine over `graph`.
+    pub fn new(graph: &'g Graph, config: Config) -> Self {
+        Engine { graph, config }
+    }
+
+    /// Execute `programs` (one per node, indexed by [`NodeId`]) to completion.
+    ///
+    /// # Errors
+    /// Any [`SimError`]; see the variants for the contract each program must
+    /// uphold.
+    pub fn run<P: Program>(&self, mut programs: Vec<P>) -> Result<Run<P::Output>, SimError> {
+        let n = self.graph.n();
+        if programs.len() != n {
+            return Err(SimError::ProgramCountMismatch {
+                got: programs.len(),
+                expected: n,
+            });
+        }
+        let mut metrics = Metrics::new(n);
+        let mut tracer = Tracer::new(self.config.trace);
+        if n == 0 {
+            return Ok(Run {
+                outputs: vec![],
+                metrics,
+                trace: tracer.events,
+            });
+        }
+
+        // next_wake[v] = Some(r): v will be awake at round r. None: halted.
+        let mut next_wake: Vec<Option<Round>> = Vec::with_capacity(n);
+        let mut heap: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::with_capacity(n);
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        for v in 0..n {
+            match programs[v].initial_wake() {
+                Some(r) => {
+                    next_wake.push(Some(r));
+                    heap.push(Reverse((r, v as u32)));
+                }
+                None => {
+                    // Node sleeps through the whole stage (Lemma 8 composition).
+                    next_wake.push(None);
+                    match programs[v].output() {
+                        Some(o) => outputs[v] = Some(o),
+                        None => return Err(SimError::MissingOutput(NodeId(v as u32))),
+                    }
+                }
+            }
+        }
+
+        // Scratch buffers reused across rounds.
+        let mut awake: Vec<u32> = Vec::new();
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+        while let Some(&Reverse((round, _))) = heap.peek() {
+            if round > self.config.max_rounds {
+                return Err(SimError::RoundBudgetExceeded {
+                    limit: self.config.max_rounds,
+                });
+            }
+            metrics.rounds = round;
+
+            awake.clear();
+            while let Some(&Reverse((r, v))) = heap.peek() {
+                if r != round {
+                    break;
+                }
+                heap.pop();
+                awake.push(v);
+            }
+            awake.sort_unstable();
+
+            // Phase A: all awake nodes transmit.
+            for &v in &awake {
+                let vid = NodeId(v);
+                let view = View {
+                    round,
+                    me: vid,
+                    ident: self.graph.ident(vid),
+                    n,
+                    neighbors: self.graph.neighbors(vid),
+                };
+                metrics.note_awake(vid, programs[v as usize].span());
+                tracer.push(|| TraceEvent::Awake { round, node: vid });
+                for out in programs[v as usize].send(&view) {
+                    match out {
+                        Outgoing::To(w, m) => {
+                            if !self.graph.has_edge(vid, w) {
+                                return Err(SimError::NotANeighbor { from: vid, to: w });
+                            }
+                            metrics.messages_sent += 1;
+                            deliver(
+                                &mut inboxes,
+                                &next_wake,
+                                round,
+                                vid,
+                                w,
+                                m,
+                                &mut metrics,
+                                &mut tracer,
+                            );
+                        }
+                        Outgoing::Broadcast(m) => {
+                            for &w in self.graph.neighbors(vid) {
+                                metrics.messages_sent += 1;
+                                deliver(
+                                    &mut inboxes,
+                                    &next_wake,
+                                    round,
+                                    vid,
+                                    w,
+                                    m.clone(),
+                                    &mut metrics,
+                                    &mut tracer,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Phase B: all awake nodes receive and choose their next action.
+            for &v in &awake {
+                let vid = NodeId(v);
+                let view = View {
+                    round,
+                    me: vid,
+                    ident: self.graph.ident(vid),
+                    n,
+                    neighbors: self.graph.neighbors(vid),
+                };
+                let mut inbox = std::mem::take(&mut inboxes[v as usize]);
+                inbox.sort_by_key(|e| e.from);
+                match programs[v as usize].receive(&view, &inbox) {
+                    Action::Stay => {
+                        next_wake[v as usize] = Some(round + 1);
+                        heap.push(Reverse((round + 1, v)));
+                    }
+                    Action::SleepUntil(until) => {
+                        if until <= round {
+                            return Err(SimError::InvalidSleep {
+                                node: vid,
+                                round,
+                                until,
+                            });
+                        }
+                        tracer.push(|| TraceEvent::Sleep {
+                            round,
+                            node: vid,
+                            until,
+                        });
+                        next_wake[v as usize] = Some(until);
+                        heap.push(Reverse((until, v)));
+                    }
+                    Action::Halt => {
+                        tracer.push(|| TraceEvent::Halt { round, node: vid });
+                        next_wake[v as usize] = None;
+                        match programs[v as usize].output() {
+                            Some(o) => outputs[v as usize] = Some(o),
+                            None => return Err(SimError::MissingOutput(vid)),
+                        }
+                    }
+                }
+                inbox.clear();
+                inboxes[v as usize] = inbox; // return the buffer
+            }
+        }
+
+        let outputs = outputs
+            .into_iter()
+            .enumerate()
+            .map(|(v, o)| o.ok_or(SimError::MissingOutput(NodeId(v as u32))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Run {
+            outputs,
+            metrics,
+            trace: tracer.events,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn deliver<M>(
+    inboxes: &mut [Vec<Envelope<M>>],
+    next_wake: &[Option<Round>],
+    round: Round,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    metrics: &mut Metrics,
+    tracer: &mut Tracer,
+) {
+    // A recipient is listening iff it is awake at exactly this round.
+    if next_wake[to.index()] == Some(round) {
+        metrics.messages_delivered += 1;
+        tracer.push(|| TraceEvent::Delivered { round, from, to });
+        inboxes[to.index()].push(Envelope { from, msg });
+    } else {
+        metrics.messages_lost += 1;
+        tracer.push(|| TraceEvent::Lost { round, from, to });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awake_graphs::generators;
+
+    /// Broadcasts ident at round 1; collects neighbor idents; halts.
+    #[derive(Default)]
+    struct OneShot {
+        heard: Vec<u64>,
+    }
+
+    impl Program for OneShot {
+        type Msg = u64;
+        type Output = Vec<u64>;
+        fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
+            vec![Outgoing::Broadcast(view.ident)]
+        }
+        fn receive(&mut self, _view: &View, inbox: &[Envelope<u64>]) -> Action {
+            self.heard = inbox.iter().map(|e| e.msg).collect();
+            Action::Halt
+        }
+        fn output(&self) -> Option<Vec<u64>> {
+            Some(self.heard.clone())
+        }
+    }
+
+    #[test]
+    fn round_one_exchange() {
+        let g = generators::path(3);
+        let run = Engine::new(&g, Config::default())
+            .run(vec![OneShot::default(), OneShot::default(), OneShot::default()])
+            .unwrap();
+        assert_eq!(run.outputs[0], vec![2]);
+        assert_eq!(run.outputs[1], vec![1, 3]);
+        assert_eq!(run.metrics.rounds, 1);
+        assert_eq!(run.metrics.max_awake(), 1);
+        assert_eq!(run.metrics.messages_sent, 4);
+        assert_eq!(run.metrics.messages_delivered, 4);
+        assert_eq!(run.metrics.messages_lost, 0);
+    }
+
+    /// Node 0 stays awake 3 rounds broadcasting; node 1 sleeps immediately
+    /// until round 3: the round-2 message must be lost.
+    struct Phased {
+        is_sender: bool,
+        got: Vec<(Round, u64)>,
+    }
+
+    impl Program for Phased {
+        type Msg = u64;
+        type Output = Vec<(Round, u64)>;
+        fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
+            if self.is_sender {
+                vec![Outgoing::Broadcast(view.round * 10)]
+            } else {
+                vec![]
+            }
+        }
+        fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+            for e in inbox {
+                self.got.push((view.round, e.msg));
+            }
+            if self.is_sender {
+                if view.round < 3 {
+                    Action::Stay
+                } else {
+                    Action::Halt
+                }
+            } else if view.round == 1 {
+                Action::SleepUntil(3)
+            } else {
+                Action::Halt
+            }
+        }
+        fn output(&self) -> Option<Self::Output> {
+            Some(self.got.clone())
+        }
+    }
+
+    #[test]
+    fn messages_to_sleeping_nodes_are_lost() {
+        let g = generators::path(2);
+        let run = Engine::new(&g, Config::default())
+            .run(vec![
+                Phased {
+                    is_sender: true,
+                    got: vec![],
+                },
+                Phased {
+                    is_sender: false,
+                    got: vec![],
+                },
+            ])
+            .unwrap();
+        // receiver hears round 1 and round 3, but not round 2
+        assert_eq!(run.outputs[1], vec![(1, 10), (3, 30)]);
+        assert_eq!(run.metrics.messages_lost, 1);
+        assert_eq!(run.metrics.awake[1], 2);
+        assert_eq!(run.metrics.awake[0], 3);
+    }
+
+    struct Sleeper(Round);
+    impl Program for Sleeper {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
+            vec![]
+        }
+        fn receive(&mut self, view: &View, _: &[Envelope<()>]) -> Action {
+            if view.round == 1 {
+                Action::SleepUntil(self.0)
+            } else {
+                Action::Halt
+            }
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn skip_ahead_is_cheap_for_huge_gaps() {
+        let g = generators::path(2);
+        let far = 1_000_000_000_000;
+        let t0 = std::time::Instant::now();
+        let run = Engine::new(&g, Config::default())
+            .run(vec![Sleeper(far), Sleeper(far)])
+            .unwrap();
+        assert_eq!(run.metrics.rounds, far);
+        assert_eq!(run.metrics.max_awake(), 2);
+        assert!(t0.elapsed().as_millis() < 100, "skip-ahead must be O(awake)");
+    }
+
+    #[test]
+    fn invalid_sleep_detected() {
+        let g = generators::path(2);
+        let err = Engine::new(&g, Config::default())
+            .run(vec![Sleeper(1), Sleeper(5)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidSleep { until: 1, .. }));
+    }
+
+    #[test]
+    fn round_budget_enforced() {
+        let g = generators::path(2);
+        let err = Engine::new(&g, Config::with_max_rounds(10))
+            .run(vec![Sleeper(50), Sleeper(50)])
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundBudgetExceeded { limit: 10 });
+    }
+
+    struct BadSend;
+    impl Program for BadSend {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
+            vec![Outgoing::To(NodeId(2), ())] // not a neighbor on a path of 3
+        }
+        fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
+            Action::Halt
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn non_neighbor_send_detected() {
+        let g = generators::path(3);
+        let err = Engine::new(&g, Config::default())
+            .run(vec![BadSend, BadSend, BadSend])
+            .unwrap_err();
+        assert!(matches!(err, SimError::NotANeighbor { .. }));
+    }
+
+    struct NoOutput;
+    impl Program for NoOutput {
+        type Msg = ();
+        type Output = u32;
+        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
+            vec![]
+        }
+        fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
+            Action::Halt
+        }
+        fn output(&self) -> Option<u32> {
+            None
+        }
+    }
+
+    #[test]
+    fn missing_output_detected() {
+        let g = generators::path(2);
+        let err = Engine::new(&g, Config::default())
+            .run(vec![NoOutput, NoOutput])
+            .unwrap_err();
+        assert!(matches!(err, SimError::MissingOutput(_)));
+    }
+
+    #[test]
+    fn program_count_mismatch() {
+        let g = generators::path(3);
+        let err = Engine::new(&g, Config::default())
+            .run(vec![NoOutput])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ProgramCountMismatch {
+                got: 1,
+                expected: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = awake_graphs::GraphBuilder::new(0).build().unwrap();
+        let run = Engine::new(&g, Config::default())
+            .run(Vec::<OneShot>::new())
+            .unwrap();
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let g = generators::path(2);
+        let mut cfg = Config::default();
+        cfg.trace = TraceMode::Capped(100);
+        let run = Engine::new(&g, cfg)
+            .run(vec![OneShot::default(), OneShot::default()])
+            .unwrap();
+        assert!(run
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delivered { .. })));
+        assert!(run.trace.iter().any(|e| matches!(e, TraceEvent::Halt { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::NotANeighbor {
+            from: NodeId(0),
+            to: NodeId(9),
+        };
+        assert!(e.to_string().contains("non-neighbor"));
+    }
+}

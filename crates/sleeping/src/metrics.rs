@@ -1,0 +1,119 @@
+//! Awake-complexity and message accounting.
+
+use crate::Round;
+use awake_graphs::NodeId;
+use std::collections::BTreeMap;
+
+/// Resource accounting for one execution.
+///
+/// The two headline numbers of the Sleeping model are
+/// [`max_awake`](Metrics::max_awake) (the *awake complexity*) and
+/// [`rounds`](Metrics::rounds) (the *round complexity*). Spans attribute
+/// awake rounds to algorithm phases (driven by [`crate::Program::span`]),
+/// which is how the experiment harness reports per-lemma budgets.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Number of awake rounds per node.
+    pub awake: Vec<u64>,
+    /// Last round at which any node was awake (round complexity).
+    pub rounds: Round,
+    /// Messages handed to the engine.
+    pub messages_sent: u64,
+    /// Messages received by an awake node.
+    pub messages_delivered: u64,
+    /// Messages lost because the recipient was asleep or halted.
+    pub messages_lost: u64,
+    /// Per-node awake rounds attributed to each span label.
+    pub node_spans: Vec<BTreeMap<&'static str, u64>>,
+}
+
+impl Metrics {
+    /// Fresh metrics for `n` nodes (also useful for external accounting,
+    /// e.g. the Lemma 8 composition helper in `awake-core`).
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            awake: vec![0; n],
+            rounds: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_lost: 0,
+            node_spans: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Record one awake round for `v`, attributed to `span`.
+    pub fn note_awake(&mut self, v: NodeId, span: &'static str) {
+        self.awake[v.index()] += 1;
+        *self.node_spans[v.index()].entry(span).or_insert(0) += 1;
+    }
+
+    /// The awake complexity: `max_v` (#rounds `v` was awake).
+    pub fn max_awake(&self) -> u64 {
+        self.awake.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average awake rounds per node (the *node-averaged* awake complexity).
+    pub fn avg_awake(&self) -> f64 {
+        if self.awake.is_empty() {
+            0.0
+        } else {
+            self.awake.iter().sum::<u64>() as f64 / self.awake.len() as f64
+        }
+    }
+
+    /// Total awake node-rounds (≈ simulation work).
+    pub fn total_awake(&self) -> u64 {
+        self.awake.iter().sum()
+    }
+
+    /// Max over nodes of awake rounds attributed to `span`.
+    pub fn span_max_awake(&self, span: &str) -> u64 {
+        self.node_spans
+            .iter()
+            .filter_map(|m| m.get(span))
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All span labels seen, with `(max-per-node, total)` awake rounds.
+    pub fn span_summary(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut out: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for m in &self.node_spans {
+            for (&k, &v) in m {
+                let e = out.entry(k).or_insert((0, 0));
+                e.0 = e.0.max(v);
+                e.1 += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut m = Metrics::new(3);
+        m.note_awake(NodeId(0), "a");
+        m.note_awake(NodeId(0), "a");
+        m.note_awake(NodeId(1), "b");
+        assert_eq!(m.max_awake(), 2);
+        assert_eq!(m.total_awake(), 3);
+        assert!((m.avg_awake() - 1.0).abs() < 1e-9);
+        assert_eq!(m.span_max_awake("a"), 2);
+        assert_eq!(m.span_max_awake("missing"), 0);
+        let s = m.span_summary();
+        assert_eq!(s["a"], (2, 2));
+        assert_eq!(s["b"], (1, 1));
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::new(0);
+        assert_eq!(m.max_awake(), 0);
+        assert_eq!(m.avg_awake(), 0.0);
+    }
+}

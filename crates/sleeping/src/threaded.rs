@@ -1,0 +1,375 @@
+//! A multi-threaded executor built on crossbeam channels.
+//!
+//! The serial [`Engine`](crate::Engine) is the reference implementation;
+//! this executor demonstrates that the [`Program`] abstraction maps directly
+//! onto real message passing: each round, awake nodes are fanned out to a
+//! worker pool over channels, workers run `send`/`receive` concurrently, and
+//! the results are merged deterministically (sorted by node), so the two
+//! executors agree **bit for bit** (this is asserted in the integration
+//! tests).
+//!
+//! The design is a barrier-synchronized bulk-synchronous executor:
+//!
+//! ```text
+//!   main thread                      workers (crossbeam channels)
+//!   ───────────                      ────────────────────────────
+//!   pop awake set for round r
+//!   ship (program, view) ───────────▶ run send()
+//!   collect outgoing     ◀─────────── (program, messages)
+//!   route messages (lost vs delivered)
+//!   ship (program, inbox) ──────────▶ run receive()
+//!   collect actions      ◀─────────── (program, action)
+//!   schedule wakes / halts
+//! ```
+
+use crate::metrics::Metrics;
+use crate::program::{Action, Envelope, Outgoing, Program, View};
+use crate::{Config, Round, Run, SimError};
+use awake_graphs::{Graph, NodeId};
+use crossbeam::channel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Work shipped to a worker for one node-round.
+struct Job<P: Program> {
+    node: u32,
+    round: Round,
+    program: P,
+    /// `None` for the send phase, `Some(inbox)` for the receive phase.
+    inbox: Option<Vec<Envelope<P::Msg>>>,
+}
+
+/// Result returned by a worker.
+struct Done<P: Program> {
+    node: u32,
+    program: P,
+    outgoing: Vec<Outgoing<P::Msg>>,
+    action: Option<Action>,
+    span: &'static str,
+}
+
+/// Run `programs` on `graph` using `workers` threads.
+///
+/// Semantics are identical to [`Engine::run`](crate::Engine::run); programs
+/// must be deterministic for the executors to agree.
+///
+/// # Errors
+/// Same contract as the serial engine ([`SimError`]).
+pub fn run_threaded<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Send,
+{
+    let n = graph.n();
+    if programs.len() != n {
+        return Err(SimError::ProgramCountMismatch {
+            got: programs.len(),
+            expected: n,
+        });
+    }
+    let workers = workers.max(1);
+    let mut metrics = Metrics::new(n);
+    if n == 0 {
+        return Ok(Run {
+            outputs: vec![],
+            metrics,
+            trace: vec![],
+        });
+    }
+
+    let mut slots: Vec<Option<P>> = programs.into_iter().map(Some).collect();
+    let mut next_wake: Vec<Option<Round>> = Vec::with_capacity(n);
+    let mut heap: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::with_capacity(n);
+    let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+    for v in 0..n {
+        let p = slots[v].as_ref().expect("program present");
+        match p.initial_wake() {
+            Some(r) => {
+                next_wake.push(Some(r));
+                heap.push(Reverse((r, v as u32)));
+            }
+            None => {
+                next_wake.push(None);
+                match p.output() {
+                    Some(o) => outputs[v] = Some(o),
+                    None => return Err(SimError::MissingOutput(NodeId(v as u32))),
+                }
+            }
+        }
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<Job<P>>();
+    let (done_tx, done_rx) = channel::unbounded::<Done<P>>();
+
+    let result: Result<(), SimError> = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let graph_ref = &*graph;
+            scope.spawn(move || {
+                while let Ok(mut job) = job_rx.recv() {
+                    let vid = NodeId(job.node);
+                    let view = View {
+                        round: job.round,
+                        me: vid,
+                        ident: graph_ref.ident(vid),
+                        n: graph_ref.n(),
+                        neighbors: graph_ref.neighbors(vid),
+                    };
+                    let done = match job.inbox.take() {
+                        None => {
+                            let span = job.program.span();
+                            let outgoing = job.program.send(&view);
+                            Done {
+                                node: job.node,
+                                program: job.program,
+                                outgoing,
+                                action: None,
+                                span,
+                            }
+                        }
+                        Some(mut inbox) => {
+                            inbox.sort_by_key(|e| e.from);
+                            let action = job.program.receive(&view, &inbox);
+                            Done {
+                                node: job.node,
+                                program: job.program,
+                                outgoing: vec![],
+                                action: Some(action),
+                                span: "",
+                            }
+                        }
+                    };
+                    if done_tx.send(done).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        let mut awake: Vec<u32> = Vec::new();
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+        while let Some(&Reverse((round, _))) = heap.peek() {
+            if round > config.max_rounds {
+                return Err(SimError::RoundBudgetExceeded {
+                    limit: config.max_rounds,
+                });
+            }
+            metrics.rounds = round;
+            awake.clear();
+            while let Some(&Reverse((r, v))) = heap.peek() {
+                if r != round {
+                    break;
+                }
+                heap.pop();
+                awake.push(v);
+            }
+            awake.sort_unstable();
+
+            // ---- send phase (parallel) ----
+            for &v in &awake {
+                let program = slots[v as usize].take().expect("program present");
+                job_tx
+                    .send(Job {
+                        node: v,
+                        round,
+                        program,
+                        inbox: None,
+                    })
+                    .expect("workers alive");
+            }
+            let mut sends: Vec<Done<P>> = (0..awake.len())
+                .map(|_| done_rx.recv().expect("worker reply"))
+                .collect();
+            sends.sort_by_key(|d| d.node);
+            for done in sends {
+                let vid = NodeId(done.node);
+                metrics.note_awake(vid, done.span);
+                for out in &done.outgoing {
+                    match out {
+                        Outgoing::To(w, m) => {
+                            if !graph.has_edge(vid, *w) {
+                                return Err(SimError::NotANeighbor { from: vid, to: *w });
+                            }
+                            metrics.messages_sent += 1;
+                            route(&mut inboxes, &next_wake, round, vid, *w, m.clone(), &mut metrics);
+                        }
+                        Outgoing::Broadcast(m) => {
+                            for &w in graph.neighbors(vid) {
+                                metrics.messages_sent += 1;
+                                route(&mut inboxes, &next_wake, round, vid, w, m.clone(), &mut metrics);
+                            }
+                        }
+                    }
+                }
+                slots[done.node as usize] = Some(done.program);
+            }
+
+            // ---- receive phase (parallel) ----
+            for &v in &awake {
+                let program = slots[v as usize].take().expect("program present");
+                let inbox = std::mem::take(&mut inboxes[v as usize]);
+                job_tx
+                    .send(Job {
+                        node: v,
+                        round,
+                        program,
+                        inbox: Some(inbox),
+                    })
+                    .expect("workers alive");
+            }
+            let mut recvs: Vec<Done<P>> = (0..awake.len())
+                .map(|_| done_rx.recv().expect("worker reply"))
+                .collect();
+            recvs.sort_by_key(|d| d.node);
+            for done in recvs {
+                let vid = NodeId(done.node);
+                match done.action.expect("receive jobs carry actions") {
+                    Action::Stay => {
+                        next_wake[done.node as usize] = Some(round + 1);
+                        heap.push(Reverse((round + 1, done.node)));
+                        slots[done.node as usize] = Some(done.program);
+                    }
+                    Action::SleepUntil(until) => {
+                        if until <= round {
+                            return Err(SimError::InvalidSleep {
+                                node: vid,
+                                round,
+                                until,
+                            });
+                        }
+                        next_wake[done.node as usize] = Some(until);
+                        heap.push(Reverse((until, done.node)));
+                        slots[done.node as usize] = Some(done.program);
+                    }
+                    Action::Halt => {
+                        next_wake[done.node as usize] = None;
+                        match done.program.output() {
+                            Some(o) => outputs[done.node as usize] = Some(o),
+                            None => return Err(SimError::MissingOutput(vid)),
+                        }
+                        slots[done.node as usize] = Some(done.program);
+                    }
+                }
+            }
+        }
+        drop(job_tx);
+        Ok(())
+    });
+    result?;
+
+    let outputs = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(v, o)| o.ok_or(SimError::MissingOutput(NodeId(v as u32))))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Run {
+        outputs,
+        metrics,
+        trace: vec![],
+    })
+}
+
+fn route<M>(
+    inboxes: &mut [Vec<Envelope<M>>],
+    next_wake: &[Option<Round>],
+    round: Round,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    metrics: &mut Metrics,
+) {
+    if next_wake[to.index()] == Some(round) {
+        metrics.messages_delivered += 1;
+        inboxes[to.index()].push(Envelope { from, msg });
+    } else {
+        metrics.messages_lost += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awake_graphs::generators;
+
+    /// Flood the maximum ident seen so far for `n` rounds, then halt.
+    #[derive(Clone)]
+    struct FloodMax {
+        best: u64,
+        rounds: u64,
+    }
+
+    impl Program for FloodMax {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _view: &View) -> Vec<Outgoing<u64>> {
+            vec![Outgoing::Broadcast(self.best)]
+        }
+        fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+            self.best = self.best.max(view.ident);
+            for e in inbox {
+                self.best = self.best.max(e.msg);
+            }
+            if view.round >= self.rounds {
+                Action::Halt
+            } else {
+                Action::Stay
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.best)
+        }
+    }
+
+    #[test]
+    fn threaded_matches_serial_flood() {
+        let g = generators::random_tree(40, 9);
+        let mk = || {
+            (0..40)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 12,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = crate::Engine::new(&g, Config::default()).run(mk()).unwrap();
+        let threaded = run_threaded(&g, mk(), Config::default(), 4).unwrap();
+        assert_eq!(serial.outputs, threaded.outputs);
+        assert_eq!(serial.metrics.max_awake(), threaded.metrics.max_awake());
+        assert_eq!(serial.metrics.rounds, threaded.metrics.rounds);
+        assert_eq!(
+            serial.metrics.messages_delivered,
+            threaded.metrics.messages_delivered
+        );
+        // everyone learned the max ident (tree has diameter < 12)
+        assert!(serial.outputs.iter().all(|&b| b == 40));
+    }
+
+    #[test]
+    fn threaded_single_worker() {
+        let g = generators::cycle(6);
+        let progs = (0..6)
+            .map(|_| FloodMax { best: 0, rounds: 3 })
+            .collect::<Vec<_>>();
+        let run = run_threaded(&g, progs, Config::default(), 1).unwrap();
+        assert_eq!(run.metrics.rounds, 3);
+    }
+
+    #[test]
+    fn threaded_detects_budget() {
+        let g = generators::path(2);
+        let progs = (0..2)
+            .map(|_| FloodMax {
+                best: 0,
+                rounds: 100,
+            })
+            .collect::<Vec<_>>();
+        let err = run_threaded(&g, progs, Config::with_max_rounds(5), 2).unwrap_err();
+        assert_eq!(err, SimError::RoundBudgetExceeded { limit: 5 });
+    }
+}

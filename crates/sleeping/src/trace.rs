@@ -1,0 +1,114 @@
+//! Optional execution tracing for debugging and tests.
+
+use crate::Round;
+use awake_graphs::NodeId;
+
+/// How much tracing to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing (default).
+    #[default]
+    Off,
+    /// Record up to this many events, then stop recording.
+    Capped(usize),
+}
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Node was awake at a round.
+    Awake {
+        /// Round number.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+    /// A message was delivered.
+    Delivered {
+        /// Round number.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+    },
+    /// A message was lost (recipient asleep or halted).
+    Lost {
+        /// Round number.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// Node went to sleep until the given round.
+    Sleep {
+        /// Round at which the decision was made.
+        round: Round,
+        /// The node.
+        node: NodeId,
+        /// Wake-up round.
+        until: Round,
+    },
+    /// Node halted.
+    Halt {
+        /// Round number.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Tracer {
+    mode: TraceMode,
+    pub(crate) events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    pub(crate) fn new(mode: TraceMode) -> Self {
+        Tracer {
+            mode,
+            events: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        match self.mode {
+            TraceMode::Off => {}
+            TraceMode::Capped(cap) => {
+                if self.events.len() < cap {
+                    self.events.push(ev());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_tracer_stops() {
+        let mut t = Tracer::new(TraceMode::Capped(2));
+        for i in 0..5 {
+            t.push(|| TraceEvent::Awake {
+                round: i,
+                node: NodeId(0),
+            });
+        }
+        assert_eq!(t.events.len(), 2);
+    }
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let mut t = Tracer::new(TraceMode::Off);
+        t.push(|| TraceEvent::Halt {
+            round: 1,
+            node: NodeId(0),
+        });
+        assert!(t.events.is_empty());
+    }
+}

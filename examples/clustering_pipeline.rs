@@ -1,0 +1,57 @@
+//! Watch Theorem 13 build a colored BFS-clustering, iteration by
+//! iteration (the Figure 3 loop).
+//!
+//! ```sh
+//! cargo run --release --example clustering_pipeline
+//! ```
+
+use awake::core::{params::Params, theorem13};
+use awake::graphs::generators;
+
+fn main() {
+    let g = generators::gnp(384, 0.04, 3);
+    let params = Params::for_graph(&g);
+    println!("graph: {g:?}");
+    println!(
+        "params: b = {}, iterations = {}, a·b² = {}, color bound = {}\n",
+        params.b,
+        params.iterations,
+        params.ab2,
+        params.color_bound()
+    );
+
+    let res = theorem13::compute(&g, &params).expect("pipeline runs");
+    res.clustering.validate_colored(&g).expect("valid colored BFS-clustering");
+
+    println!(
+        "{:>5} {:>16} {:>16} {:>18} {:>14}",
+        "iter", "clusters before", "finalized nodes", "surviving clusters", "≤ before/b?"
+    );
+    for s in &res.iteration_stats {
+        println!(
+            "{:>5} {:>16} {:>16} {:>18} {:>14}",
+            s.iteration,
+            s.clusters_before,
+            s.finalized_nodes,
+            s.clusters_after,
+            if (s.clusters_after as u64) * params.b <= s.clusters_before as u64 {
+                "yes"
+            } else {
+                "NO (bug!)"
+            }
+        );
+    }
+
+    let labels = res.clustering.labels();
+    println!(
+        "\ncolors used: {} (bound {}), clusters: {}",
+        labels.len(),
+        params.color_bound(),
+        res.clustering.cluster_count(&g)
+    );
+    println!(
+        "awake complexity: {} | rounds: {}",
+        res.composition.max_awake(),
+        res.composition.rounds()
+    );
+}

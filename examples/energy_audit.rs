@@ -1,0 +1,69 @@
+//! Energy audit: compare the three algorithm generations on one network.
+//!
+//! A battery-powered sensor mesh needs a maximal independent set (cluster
+//! heads). Energy ∝ awake rounds. This example runs the trivial
+//! by-identifier greedy (awake `O(Δ)`), Barenboim–Maimon (awake
+//! `O(log Δ + log* n)`), and the paper's Theorem 1 (awake
+//! `O(√log n · log* n)`) and prints the energy bill of each.
+//!
+//! ```sh
+//! cargo run --release --example energy_audit
+//! ```
+
+use awake::core::{bm21, theorem1, trivial};
+use awake::graphs::generators;
+use awake::olocal::problems::MaximalIndependentSet;
+use awake::olocal::OLocalProblem;
+use awake::sleeping::{Config, Engine};
+
+fn main() {
+    // Dense sensor field: n = 512, Δ ≈ 64.
+    let g = generators::random_with_max_degree(512, 64, 7);
+    let p = MaximalIndependentSet;
+    println!("sensor mesh: {g:?}\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>14}",
+        "algorithm", "max awake", "avg awake", "rounds"
+    );
+
+    // 1. Trivial by-ident greedy.
+    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> =
+        g.nodes().map(|_| trivial::TrivialGreedy::new(p, ())).collect();
+    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
+    p.validate(&g, &vec![(); g.n()], &run.outputs).unwrap();
+    println!(
+        "{:<28} {:>12} {:>12.1} {:>14}",
+        "trivial (awake O(Δ))",
+        run.metrics.max_awake(),
+        run.metrics.avg_awake(),
+        run.metrics.rounds
+    );
+
+    // 2. BM21.
+    let r = bm21::solve(&g, &p, &vec![(); g.n()], None).unwrap();
+    p.validate(&g, &vec![(); g.n()], &r.outputs).unwrap();
+    println!(
+        "{:<28} {:>12} {:>12.1} {:>14}",
+        "BM21 (awake O(log Δ))",
+        r.composition.max_awake(),
+        r.composition.avg_awake(),
+        r.composition.rounds()
+    );
+
+    // 3. Theorem 1.
+    let r = theorem1::solve(&g, &p, Default::default()).unwrap();
+    p.validate(&g, &vec![(); g.n()], &r.outputs).unwrap();
+    println!(
+        "{:<28} {:>12} {:>12.1} {:>14}",
+        "Theorem 1 (awake O(√log n))",
+        r.composition.max_awake(),
+        r.composition.avg_awake(),
+        r.composition.rounds()
+    );
+
+    println!(
+        "\nNote: Theorem 1's constants dominate at laptop scale — its value \
+         is the *shape*: its awake complexity is independent of Δ and grows \
+         only as √log n (see benches/exp_e2_crossover for the sweep)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Property tests on the Theorem 13 clustering across random graphs, and
+//! invariants of the clustering machinery.
+
+use awake::core::clustering::{synthesize, Clustering};
+use awake::core::params::Params;
+use awake::core::theorem13;
+use awake::graphs::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn theorem13_always_produces_valid_colored_clusterings(
+        n in 4usize..40,
+        p in 0.05f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let params = Params::for_graph(&g);
+        let res = theorem13::compute(&g, &params).expect("pipeline runs");
+        prop_assert_eq!(res.clustering.assigned(), g.n());
+        prop_assert!(res.clustering.validate_colored(&g).is_ok());
+        prop_assert!(res.clustering.max_label() <= params.color_bound());
+        for s in &res.iteration_stats {
+            prop_assert!((s.clusters_after as u64) * params.b <= s.clusters_before as u64);
+        }
+    }
+
+    #[test]
+    fn synthesize_always_valid(
+        n in 2usize..50,
+        clusters in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, 0.15, seed);
+        let c = synthesize(&g, clusters, seed);
+        prop_assert!(c.validate_colored(&g).is_ok());
+        prop_assert_eq!(c.assigned(), g.n());
+    }
+
+    #[test]
+    fn root_overlay_of_synthesized_is_uniquely_labeled(
+        n in 2usize..40,
+        clusters in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let g = generators::gnp(n, 0.2, seed);
+        let c = synthesize(&g, clusters, seed);
+        let u = c.root_ident_overlay(&g);
+        prop_assert!(u.validate_uniquely_labeled(&g).is_ok());
+        // Overlay preserves depths.
+        for v in g.nodes() {
+            prop_assert_eq!(
+                c.assign[v.index()].unwrap().depth,
+                u.assign[v.index()].unwrap().depth
+            );
+        }
+    }
+}
+
+#[test]
+fn singleton_clustering_round_trips_through_virtual_graph() {
+    let g = generators::grid(4, 4);
+    let c = Clustering::singletons(&g);
+    let q = c.virtual_graph(&g);
+    assert_eq!(q.graph.n(), g.n());
+    assert_eq!(q.graph.m(), g.m());
+}
+
+#[test]
+fn theorem13_on_structured_families() {
+    for g in [
+        generators::caterpillar(8, 3),
+        generators::barbell(6, 3),
+        generators::lollipop(7, 5),
+        generators::torus(4, 5),
+        generators::hypercube(5),
+    ] {
+        let params = Params::for_graph(&g);
+        let res = theorem13::compute(&g, &params).unwrap();
+        res.clustering
+            .validate_colored(&g)
+            .unwrap_or_else(|e| panic!("{g:?}: {e}"));
+    }
+}

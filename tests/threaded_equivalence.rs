@@ -1,0 +1,55 @@
+//! The serial skip-ahead engine and the crossbeam worker-pool executor
+//! must agree bit for bit on deterministic programs.
+
+use awake::core::linial::ColorReduction;
+use awake::core::trivial::TrivialGreedy;
+use awake::graphs::generators;
+use awake::olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet};
+use awake::sleeping::{threaded, Config, Engine};
+
+#[test]
+fn linial_agrees_across_executors() {
+    let g = generators::gnp(120, 0.07, 13);
+    let delta = g.max_degree() as u64;
+    let mk = || -> Vec<ColorReduction> {
+        g.nodes()
+            .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
+            .collect()
+    };
+    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
+    for workers in [1, 2, 8] {
+        let par = threaded::run_threaded(&g, mk(), Config::default(), workers).unwrap();
+        assert_eq!(serial.outputs, par.outputs, "workers = {workers}");
+        assert_eq!(serial.metrics.awake, par.metrics.awake);
+        assert_eq!(serial.metrics.rounds, par.metrics.rounds);
+        assert_eq!(serial.metrics.messages_sent, par.metrics.messages_sent);
+        assert_eq!(serial.metrics.messages_lost, par.metrics.messages_lost);
+    }
+}
+
+#[test]
+fn trivial_greedy_agrees_across_executors() {
+    let g = generators::random_with_max_degree(150, 12, 3);
+    let mk = || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
+        g.nodes()
+            .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
+            .collect()
+    };
+    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
+    let par = threaded::run_threaded(&g, mk(), Config::default(), 4).unwrap();
+    assert_eq!(serial.outputs, par.outputs);
+    assert_eq!(serial.metrics.awake, par.metrics.awake);
+}
+
+#[test]
+fn coloring_program_agrees_across_executors() {
+    let g = generators::cycle(64);
+    let mk = || -> Vec<TrivialGreedy<DeltaPlusOneColoring>> {
+        g.nodes()
+            .map(|_| TrivialGreedy::new(DeltaPlusOneColoring, ()))
+            .collect()
+    };
+    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
+    let par = threaded::run_threaded(&g, mk(), Config::default(), 3).unwrap();
+    assert_eq!(serial.outputs, par.outputs);
+}
