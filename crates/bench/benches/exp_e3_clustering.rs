@@ -14,7 +14,9 @@ fn main() {
         let g = generators::gnp(n, (8.0 / n as f64).min(0.5), 77 + exp as u64);
         let params = Params::for_graph(&g);
         let res = theorem13::compute(&g, &params).unwrap();
-        res.clustering.validate_colored(&g).expect("valid clustering");
+        res.clustering
+            .validate_colored(&g)
+            .expect("valid clustering");
         let worst_shrink = res
             .iteration_stats
             .iter()

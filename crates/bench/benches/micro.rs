@@ -1,12 +1,50 @@
-//! Criterion micro-benchmarks for the substrate: engine throughput, the
-//! Lemma 10 mapping, Linial reduction steps, and graph operations.
+//! Micro-benchmarks for the substrate: engine throughput, the Lemma 10
+//! mapping, Linial reduction steps, and graph operations.
+//!
+//! Run with `cargo bench --bench micro`. Emits `BENCH_engine.json`
+//! (override the path with `BENCH_OUT`) so the engine's perf trajectory is
+//! machine-readable across PRs: ns per awake node-round, node-rounds/sec,
+//! messages/sec, and heap allocations per node-round — for the current
+//! executors *and* for a faithful in-bench reconstruction of the
+//! pre-optimization hot path (binary-heap scheduler, per-send `Vec`,
+//! per-node `Vec<Vec<Envelope>>` inboxes with a per-round sort, `BTreeMap`
+//! span metrics), so every report carries its own baseline.
 
 use awake_core::lemma10::PaletteTree;
 use awake_core::linial;
-use awake_graphs::{generators, ops, traversal, NodeId};
-use awake_sleeping::{Action, Config, Engine, Envelope, Outgoing, Program, View};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use awake_graphs::{generators, ops, traversal, Graph, NodeId};
+use awake_sleeping::{threaded, Action, Config, Engine, Envelope, Outbox, Outgoing, Program, View};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations so the zero-allocation steady state is a
+/// measured number, not a claim.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// A flood program: every node broadcasts its best-known ident for `t`
 /// rounds — a dense all-awake workload for engine throughput.
@@ -14,11 +52,12 @@ struct Flood {
     best: u64,
     t: u64,
 }
+
 impl Program for Flood {
     type Msg = u64;
     type Output = u64;
-    fn send(&mut self, _: &View) -> Vec<Outgoing<u64>> {
-        vec![Outgoing::Broadcast(self.best)]
+    fn send(&mut self, _: &View, out: &mut Outbox<u64>) {
+        out.broadcast(self.best);
     }
     fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
         self.best = self.best.max(view.ident);
@@ -36,55 +75,317 @@ impl Program for Flood {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let g = generators::random_regular(256, 8, 1);
-    c.bench_function("engine/flood-256x10", |b| {
-        b.iter_batched(
-            || {
-                (0..256)
-                    .map(|_| Flood { best: 0, t: 10 })
-                    .collect::<Vec<_>>()
-            },
-            |progs| {
-                let run = Engine::new(&g, Config::default()).run(progs).unwrap();
-                black_box(run.metrics.rounds)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+/// The same flood workload on a reconstruction of the seed engine's hot
+/// path, costed per node-round exactly as the pre-optimization executor
+/// was: a fresh `Vec<Outgoing>` per `send`, a `BinaryHeap` push/pop per
+/// node-round (including `Stay`), per-node `Vec<Vec<Envelope>>` inboxes
+/// re-sorted every round, and per-node `BTreeMap` span accounting.
+mod legacy {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::{BTreeMap, BinaryHeap};
 
-fn bench_lemma10(c: &mut Criterion) {
-    let t = PaletteTree::new(1 << 12);
-    c.bench_function("lemma10/r-path-4096", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for color in 1..=4096u64 {
-                acc += t.r(black_box(color)).len() as u64;
+    pub struct LegacyStats {
+        pub node_rounds: u64,
+        pub messages: u64,
+        pub delivered: u64,
+        pub lost: u64,
+        pub outputs: Vec<u64>,
+    }
+
+    pub fn flood(graph: &Graph, t: u64) -> LegacyStats {
+        let n = graph.n();
+        let mut best: Vec<u64> = vec![0; n];
+        let mut halted: Vec<bool> = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(n);
+        let mut next_wake: Vec<Option<u64>> = vec![Some(1); n];
+        let mut node_spans: Vec<BTreeMap<&'static str, u64>> = vec![BTreeMap::new(); n];
+        let mut inboxes: Vec<Vec<Envelope<u64>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut node_rounds = 0u64;
+        let mut messages = 0u64;
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        for v in 0..n {
+            heap.push(Reverse((1, v as u32)));
+        }
+        let mut awake: Vec<u32> = Vec::new();
+        while let Some(&Reverse((round, _))) = heap.peek() {
+            awake.clear();
+            while let Some(&Reverse((r, v))) = heap.peek() {
+                if r != round {
+                    break;
+                }
+                heap.pop();
+                awake.push(v);
             }
-            acc
-        })
-    });
+            awake.sort_unstable();
+            for &v in &awake {
+                node_rounds += 1;
+                *node_spans[v as usize].entry("main").or_insert(0) += 1;
+                // per-send allocation, exactly like the seed API
+                let out: Vec<Outgoing<u64>> = vec![Outgoing::Broadcast(best[v as usize])];
+                for o in out {
+                    if let Outgoing::Broadcast(m) = o {
+                        for &w in graph.neighbors(NodeId(v)) {
+                            messages += 1;
+                            if next_wake[w.index()] == Some(round) {
+                                delivered += 1;
+                                inboxes[w.index()].push(Envelope {
+                                    from: NodeId(v),
+                                    msg: m,
+                                });
+                            } else {
+                                lost += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for &v in &awake {
+                let mut inbox = std::mem::take(&mut inboxes[v as usize]);
+                inbox.sort_by_key(|e| e.from);
+                let b = &mut best[v as usize];
+                *b = (*b).max(graph.ident(NodeId(v)));
+                for e in &inbox {
+                    *b = (*b).max(e.msg);
+                }
+                if round >= t {
+                    halted[v as usize] = true;
+                    next_wake[v as usize] = None;
+                } else {
+                    next_wake[v as usize] = Some(round + 1);
+                    heap.push(Reverse((round + 1, v)));
+                }
+                inbox.clear();
+                inboxes[v as usize] = inbox;
+            }
+        }
+        assert!(halted.iter().all(|&h| h));
+        black_box(&node_spans);
+        LegacyStats {
+            node_rounds,
+            messages,
+            delivered,
+            lost,
+            outputs: best,
+        }
+    }
 }
 
-fn bench_linial(c: &mut Criterion) {
+struct EngineReport {
+    ns_per_node_round: f64,
+    node_rounds_per_sec: f64,
+    messages_per_sec: f64,
+    allocations: u64,
+    allocations_per_node_round: f64,
+}
+
+fn report(elapsed_ns: f64, node_rounds: u64, messages: u64, allocations: u64) -> EngineReport {
+    EngineReport {
+        ns_per_node_round: elapsed_ns / node_rounds as f64,
+        node_rounds_per_sec: node_rounds as f64 / (elapsed_ns / 1e9),
+        messages_per_sec: messages as f64 / (elapsed_ns / 1e9),
+        allocations,
+        allocations_per_node_round: allocations as f64 / node_rounds as f64,
+    }
+}
+
+fn json_section(r: &EngineReport) -> String {
+    format!(
+        "{{\"ns_per_node_round\": {:.2}, \"node_rounds_per_sec\": {:.0}, \
+         \"messages_per_sec\": {:.0}, \"allocations\": {}, \
+         \"allocations_per_node_round\": {:.4}}}",
+        r.ns_per_node_round,
+        r.node_rounds_per_sec,
+        r.messages_per_sec,
+        r.allocations,
+        r.allocations_per_node_round
+    )
+}
+
+const N: usize = 8192;
+const DEG: usize = 8;
+const ROUNDS: u64 = 150;
+const ITERS: usize = 5;
+
+fn bench_engine_flood(g: &Graph) -> (EngineReport, EngineReport, f64) {
+    let mk = || {
+        (0..N)
+            .map(|_| Flood { best: 0, t: ROUNDS })
+            .collect::<Vec<Flood>>()
+    };
+
+    // Current engine: best-of-ITERS wall time; allocations from the last
+    // timed run (programs pre-built so the measured window is the engine).
+    let mut best_ns = f64::INFINITY;
+    let mut allocs = 0u64;
+    let mut totals = (0u64, 0u64);
+    for _ in 0..ITERS {
+        let progs = mk();
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        let run = Engine::new(g, Config::default()).run(progs).unwrap();
+        let ns = t0.elapsed().as_nanos() as f64;
+        allocs = alloc_count() - a0;
+        totals = (run.metrics.total_awake(), run.metrics.messages_sent);
+        black_box(&run.outputs);
+        best_ns = best_ns.min(ns);
+    }
+    let engine = report(best_ns, totals.0, totals.1, allocs);
+
+    // Legacy reconstruction, same workload.
+    let mut best_ns = f64::INFINITY;
+    let mut lallocs = 0u64;
+    let mut ltotals = (0u64, 0u64);
+    for _ in 0..ITERS {
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        let stats = legacy::flood(g, ROUNDS);
+        let ns = t0.elapsed().as_nanos() as f64;
+        lallocs = alloc_count() - a0;
+        ltotals = (stats.node_rounds, stats.messages);
+        black_box(&stats.outputs);
+        best_ns = best_ns.min(ns);
+    }
+    let legacy = report(best_ns, ltotals.0, ltotals.1, lallocs);
+
+    // The two must compute the same answer, or the comparison is vacuous.
+    let cur = Engine::new(g, Config::default()).run(mk()).unwrap();
+    let leg = legacy::flood(g, ROUNDS);
+    assert_eq!(cur.outputs, leg.outputs, "baseline must agree on outputs");
+    assert_eq!(cur.metrics.messages_delivered, leg.delivered);
+    assert_eq!(cur.metrics.messages_lost, leg.lost);
+
+    let speedup = engine.node_rounds_per_sec / legacy.node_rounds_per_sec;
+    (engine, legacy, speedup)
+}
+
+fn bench_threaded_flood(g: &Graph) -> EngineReport {
+    let mk = || {
+        (0..N)
+            .map(|_| Flood { best: 0, t: ROUNDS })
+            .collect::<Vec<Flood>>()
+    };
+    let mut best_ns = f64::INFINITY;
+    let mut allocs = 0u64;
+    let mut totals = (0u64, 0u64);
+    for _ in 0..ITERS {
+        let progs = mk();
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        let run = threaded::run_threaded(g, progs, Config::default(), 4).unwrap();
+        let ns = t0.elapsed().as_nanos() as f64;
+        allocs = alloc_count() - a0;
+        totals = (run.metrics.total_awake(), run.metrics.messages_sent);
+        black_box(&run.outputs);
+        best_ns = best_ns.min(ns);
+    }
+    report(best_ns, totals.0, totals.1, allocs)
+}
+
+fn bench_lemma10() {
+    let t = PaletteTree::new(1 << 12);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..50 {
+        for color in 1..=4096u64 {
+            acc += t.r(black_box(color)).len() as u64;
+        }
+    }
+    println!(
+        "lemma10/r-path-4096          {:>12.1} ns/call (acc {acc})",
+        t0.elapsed().as_nanos() as f64 / (50.0 * 4096.0)
+    );
+}
+
+fn bench_linial() {
     let step = linial::step_params(1 << 20, 16);
     let neighbors: Vec<u64> = (0..16).map(|i| i * 991 + 7).collect();
-    c.bench_function("linial/reduce-color", |b| {
-        b.iter(|| linial::reduce_color(black_box(123_456), &neighbors, step))
-    });
-    c.bench_function("linial/schedule-from-2^40", |b| {
-        b.iter(|| linial::schedule(black_box(1u64 << 40), 16).len())
-    });
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..100_000 {
+        acc += linial::reduce_color(black_box(123_456 + i % 7), &neighbors, step);
+    }
+    println!(
+        "linial/reduce-color          {:>12.1} ns/call (acc {acc})",
+        t0.elapsed().as_nanos() as f64 / 1e5
+    );
+    let t0 = Instant::now();
+    let mut len = 0usize;
+    for _ in 0..100 {
+        len = linial::schedule(black_box(1u64 << 40), 16).len();
+    }
+    println!(
+        "linial/schedule-from-2^40    {:>12.1} ns/call (len {len})",
+        t0.elapsed().as_nanos() as f64 / 100.0
+    );
 }
 
-fn bench_graphs(c: &mut Criterion) {
+fn bench_graphs() {
     let g = generators::gnp(512, 0.05, 3);
-    c.bench_function("graphs/square-512", |b| b.iter(|| ops::square(&g).m()));
-    c.bench_function("graphs/bfs-512", |b| {
-        b.iter(|| traversal::bfs_distances(&g, NodeId(0)).len())
-    });
+    let t0 = Instant::now();
+    let mut m = 0usize;
+    for _ in 0..20 {
+        m = ops::square(black_box(&g)).m();
+    }
+    println!(
+        "graphs/square-512            {:>12.1} µs/call (m {m})",
+        t0.elapsed().as_nanos() as f64 / 20.0 / 1e3
+    );
+    let t0 = Instant::now();
+    let mut d = 0usize;
+    for _ in 0..200 {
+        d = traversal::bfs_distances(black_box(&g), NodeId(0)).len();
+    }
+    println!(
+        "graphs/bfs-512               {:>12.1} µs/call (n {d})",
+        t0.elapsed().as_nanos() as f64 / 200.0 / 1e3
+    );
 }
 
-criterion_group!(benches, bench_engine, bench_lemma10, bench_linial, bench_graphs);
-criterion_main!(benches);
+fn main() {
+    let g = generators::random_regular(N, DEG, 1);
+    println!("engine/flood: n = {N}, degree ≈ {DEG}, {ROUNDS} rounds, best of {ITERS}\n");
+
+    let (engine, legacy, speedup) = bench_engine_flood(&g);
+    let thr = bench_threaded_flood(&g);
+    println!(
+        "engine  (serial)   {:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs ({:.4}/node-round)",
+        engine.ns_per_node_round,
+        engine.node_rounds_per_sec,
+        engine.allocations,
+        engine.allocations_per_node_round
+    );
+    println!(
+        "engine  (4 workers){:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs",
+        thr.ns_per_node_round, thr.node_rounds_per_sec, thr.allocations
+    );
+    println!(
+        "legacy  baseline   {:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs ({:.4}/node-round)",
+        legacy.ns_per_node_round,
+        legacy.node_rounds_per_sec,
+        legacy.allocations,
+        legacy.allocations_per_node_round
+    );
+    println!("speedup (serial vs legacy baseline): {speedup:.2}x\n");
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine/flood\",\n  \"n\": {N},\n  \"degree\": {DEG},\n  \
+         \"rounds\": {ROUNDS},\n  \"engine\": {},\n  \"threaded_4_workers\": {},\n  \
+         \"legacy_baseline\": {},\n  \"speedup_vs_legacy\": {:.3}\n}}\n",
+        json_section(&engine),
+        json_section(&thr),
+        json_section(&legacy),
+        speedup
+    );
+    // cargo runs benches with CWD = the package dir; anchor the report at
+    // the workspace root so its path is stable across invocation styles.
+    let out = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
+    std::fs::write(&out, &json).expect("write bench report");
+    println!("wrote {out}");
+
+    bench_lemma10();
+    bench_linial();
+    bench_graphs();
+}

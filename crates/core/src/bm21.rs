@@ -84,8 +84,7 @@ mod tests {
     use crate::bounds;
     use awake_graphs::{coloring, generators};
     use awake_olocal::problems::{
-        DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet,
-        MinimalVertexCover,
+        DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
     };
 
     #[test]
@@ -130,11 +129,11 @@ mod tests {
         // On cliques Δ = n−1: awake ≈ 2 log n; on cycles Δ = 2: awake O(1).
         let clique = generators::complete(64);
         let cycle = generators::cycle(64);
-        let a_clique = solve(&clique, &MaximalIndependentSet, &vec![(); 64], None)
+        let a_clique = solve(&clique, &MaximalIndependentSet, &[(); 64], None)
             .unwrap()
             .composition
             .max_awake();
-        let a_cycle = solve(&cycle, &MaximalIndependentSet, &vec![(); 64], None)
+        let a_cycle = solve(&cycle, &MaximalIndependentSet, &[(); 64], None)
             .unwrap()
             .composition
             .max_awake();

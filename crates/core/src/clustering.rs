@@ -14,11 +14,10 @@
 //! subgraph, as in the intermediate stages of Theorem 13.
 
 use awake_graphs::{ops, traversal, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One node's cluster assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Assign {
     /// Cluster label (uniquely-labeled) or color (colored).
     pub label: u64,
@@ -28,7 +27,7 @@ pub struct Assign {
 
 /// A (partial) BFS-clustering; interpretation (uniquely-labeled vs colored)
 /// is chosen by which validator you call.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Clustering {
     /// Per-node assignment (`None` = outside the clustered subgraph).
     pub assign: Vec<Option<Assign>>,
@@ -263,13 +262,11 @@ pub fn split_components(g: &Graph, members: &[NodeId]) -> Vec<Vec<NodeId>> {
 /// # Panics
 /// Panics on an empty graph.
 pub fn synthesize(g: &Graph, clusters: usize, seed: u64) -> Clustering {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     assert!(g.n() > 0, "need a non-empty graph");
     let clusters = clusters.clamp(1, g.n());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = awake_graphs::rng::Rng::seed_from_u64(seed);
     let mut nodes: Vec<NodeId> = g.nodes().collect();
-    nodes.shuffle(&mut rng);
+    rng.shuffle(&mut nodes);
     let mut seeds: Vec<NodeId> = nodes.into_iter().take(clusters).collect();
 
     // Voronoi assignment by (distance, seed index): connected cells.
@@ -279,7 +276,7 @@ pub fn synthesize(g: &Graph, clusters: usize, seed: u64) -> Clustering {
         for v in g.nodes() {
             if let Some(d) = dist[v.index()] {
                 let key = (d, si);
-                if cell[v.index()].map_or(true, |k| key < k) {
+                if cell[v.index()].is_none_or(|k| key < k) {
                     cell[v.index()] = Some(key);
                 }
             }

@@ -18,7 +18,7 @@
 //! ([`crate::virt`]) share one implementation.
 
 use awake_graphs::NodeId;
-use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use awake_sleeping::{Action, Envelope, Outbox, Outgoing, Program, Round, View};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -148,7 +148,14 @@ pub enum GatherStep {
 impl<P: Clone + std::fmt::Debug + Send + Sync> GatherCore<P> {
     /// New core for a node with cluster `label`, BFS `depth`, its own
     /// identifier, and payload.
-    pub fn new(label: u64, depth: u32, ident: u64, payload: P, depth_bound: u32, base: Round) -> Self {
+    pub fn new(
+        label: u64,
+        depth: u32,
+        ident: u64,
+        payload: P,
+        depth_bound: u32,
+        base: Round,
+    ) -> Self {
         GatherCore {
             label,
             depth,
@@ -310,12 +317,8 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> GatherCore<P> {
     }
 
     fn finish(&mut self, me_ident: u64) {
-        let members: BTreeMap<u64, MemberRec<P>> = self
-            .bag
-            .iter()
-            .cloned()
-            .map(|r| (r.ident, r))
-            .collect();
+        let members: BTreeMap<u64, MemberRec<P>> =
+            self.bag.iter().cloned().map(|r| (r.ident, r)).collect();
         self.view = Some(ClusterView {
             label: self.label,
             my_ident: me_ident,
@@ -324,7 +327,6 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> GatherCore<P> {
             my_ports: self.my_ports.clone(),
         });
     }
-
 }
 
 /// Standalone gather program: every participant outputs its
@@ -338,7 +340,14 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> ClusterGather<P> {
     /// A participating node.
     pub fn participant(label: u64, depth: u32, ident: u64, payload: P, depth_bound: u32) -> Self {
         ClusterGather {
-            core: Some(GatherCore::new(label, depth, ident, payload, depth_bound, 1)),
+            core: Some(GatherCore::new(
+                label,
+                depth,
+                ident,
+                payload,
+                depth_bound,
+                1,
+            )),
             done_view: None,
         }
     }
@@ -360,10 +369,9 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> Program for ClusterGather<P> {
         self.core.as_ref().map(|_| 1)
     }
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<GatherMsg<P>>> {
-        match &mut self.core {
-            Some(core) => core.send_at(view.round),
-            None => vec![],
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<GatherMsg<P>>) {
+        if let Some(core) = &mut self.core {
+            out.extend(core.send_at(view.round));
         }
     }
 

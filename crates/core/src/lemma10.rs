@@ -65,7 +65,11 @@ impl PaletteTree {
     /// # Panics
     /// Panics unless `1 ≤ c ≤ q`.
     pub fn phi(&self, c: u64) -> u64 {
-        assert!(c >= 1 && c <= self.q, "color {c} out of range 1..={}", self.q);
+        assert!(
+            c >= 1 && c <= self.q,
+            "color {c} out of range 1..={}",
+            self.q
+        );
         2 * c - 1
     }
 
@@ -87,7 +91,11 @@ impl PaletteTree {
             if node == leaf {
                 break;
             }
-            node = if leaf < node { node - step } else { node + step };
+            node = if leaf < node {
+                node - step
+            } else {
+                node + step
+            };
             step /= 2;
         }
         path.sort_unstable();
@@ -115,7 +123,6 @@ impl PaletteTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn figure1_values() {
@@ -176,8 +183,7 @@ mod tests {
                 let r2 = t.r(c2);
                 let (lo, hi) = (t.phi(c1).min(t.phi(c2)), t.phi(c1).max(t.phi(c2)));
                 assert!(
-                    r1.iter()
-                        .any(|x| r2.contains(x) && *x > lo && *x < hi),
+                    r1.iter().any(|x| r2.contains(x) && *x > lo && *x < hi),
                     "q={q} c1={c1} c2={c2}"
                 );
             }
@@ -191,21 +197,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn properties_random_pairs_large_q(e in 7u32..=12, c1 in 1u64..4096, c2 in 1u64..4096) {
+    #[test]
+    fn properties_random_pairs_large_q() {
+        let mut rng = awake_graphs::rng::Rng::seed_from_u64(0x00de_ad10);
+        for case in 0..32 {
+            let e = 7 + rng.bounded_u64(6) as u32; // 7..=12
             let q = 1u64 << e;
             let t = PaletteTree::new(q);
-            let (c1, c2) = (1 + (c1 - 1) % q, 1 + (c2 - 1) % q);
-            prop_assert_eq!(t.r(c1).len() as u64, t.path_len());
-            prop_assert!(t.r(c1).contains(&t.phi(c1)));
+            let c1 = 1 + rng.bounded_u64(q);
+            let c2 = 1 + rng.bounded_u64(q);
+            assert_eq!(t.r(c1).len() as u64, t.path_len(), "case {case}");
+            assert!(t.r(c1).contains(&t.phi(c1)), "case {case}");
             if c1 != c2 {
                 let r1 = t.r(c1);
                 let r2 = t.r(c2);
                 let (lo, hi) = (t.phi(c1).min(t.phi(c2)), t.phi(c1).max(t.phi(c2)));
-                prop_assert!(r1.iter().any(|x| r2.contains(x) && *x > lo && *x < hi));
+                assert!(
+                    r1.iter().any(|x| r2.contains(x) && *x > lo && *x < hi),
+                    "case {case}: q={q} c1={c1} c2={c2}"
+                );
             }
         }
     }

@@ -19,7 +19,7 @@
 
 use crate::lemma10::PaletteTree;
 use awake_olocal::{GreedyView, OLocalProblem};
-use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use awake_sleeping::{Action, Envelope, Outbox, Program, Round, View};
 use std::collections::BTreeMap;
 
 /// The state a node shares once decided.
@@ -133,12 +133,10 @@ impl<P: OLocalProblem> Program for ColorScheduled<P> {
     type Msg = NodeState<P::Output>;
     type Output = P::Output;
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>> {
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>) {
         // Send rounds: elements of r(c) strictly above φ(c).
         if view.round > 1 && view.round > self.phi_round() {
-            vec![Outgoing::Broadcast(self.state(view))]
-        } else {
-            vec![]
+            out.broadcast(self.state(view));
         }
     }
 
@@ -179,9 +177,7 @@ impl<P: OLocalProblem> Program for ColorScheduled<P> {
 mod tests {
     use super::*;
     use awake_graphs::{coloring, generators, AcyclicOrientation, Graph, NodeId};
-    use awake_olocal::problems::{
-        DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
-    };
+    use awake_olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover};
     use awake_sleeping::{Config, Engine};
 
     fn greedy_coloring(g: &Graph) -> Vec<u64> {
@@ -202,7 +198,9 @@ mod tests {
         let inputs = p.trivial_inputs(g);
         let programs: Vec<ColorScheduled<P>> = g
             .nodes()
-            .map(|v| ColorScheduled::new(p.clone(), inputs[v.index()].clone(), colors[v.index()], k))
+            .map(|v| {
+                ColorScheduled::new(p.clone(), inputs[v.index()].clone(), colors[v.index()], k)
+            })
             .collect();
         let run = Engine::new(g, Config::default()).run(programs).unwrap();
         (run.outputs, run.metrics)
@@ -221,7 +219,9 @@ mod tests {
             let k = *colors.iter().max().unwrap();
 
             let (out, m) = run_lemma11(&g, DeltaPlusOneColoring, &colors, k);
-            DeltaPlusOneColoring.validate(&g, &vec![(); g.n()], &out).unwrap();
+            DeltaPlusOneColoring
+                .validate(&g, &vec![(); g.n()], &out)
+                .unwrap();
             let q = PaletteTree::covering(k);
             assert!(
                 m.max_awake() <= 2 + q.q().trailing_zeros() as u64,
@@ -232,10 +232,14 @@ mod tests {
             assert!(m.rounds <= 2 * q.q());
 
             let (mis, _) = run_lemma11(&g, MaximalIndependentSet, &colors, k);
-            MaximalIndependentSet.validate(&g, &vec![(); g.n()], &mis).unwrap();
+            MaximalIndependentSet
+                .validate(&g, &vec![(); g.n()], &mis)
+                .unwrap();
 
             let (vc, _) = run_lemma11(&g, MinimalVertexCover, &colors, k);
-            MinimalVertexCover.validate(&g, &vec![(); g.n()], &vc).unwrap();
+            MinimalVertexCover
+                .validate(&g, &vec![(); g.n()], &vc)
+                .unwrap();
         }
     }
 
@@ -263,12 +267,9 @@ mod tests {
         let g = generators::cycle(24);
         let colors = greedy_coloring(&g); // colors in 1..=3
         let k = 3;
-        let inputs = vec![(); g.n()];
         let programs: Vec<ColorScheduled<DeltaPlusOneColoring>> = g
             .nodes()
-            .map(|v| {
-                ColorScheduled::new(DeltaPlusOneColoring, inputs[v.index()], colors[v.index()], k)
-            })
+            .map(|v| ColorScheduled::new(DeltaPlusOneColoring, (), colors[v.index()], k))
             .collect();
         let budget = programs[0].awake_budget();
         let run = Engine::new(&g, Config::default()).run(programs).unwrap();

@@ -217,16 +217,12 @@ impl Lemma15Vertex {
     /// Choose `p₁`, the shift, `c₂` and `p₂` from the 2-hop color tables.
     fn compute_pointers(&mut self) {
         // N(v): smallest c₁ strictly below ours.
-        let best_nbr = self
-            .nbr_labels
-            .iter()
-            .map(|&l| (self.nbr_c1[&l], l))
-            .min();
+        let best_nbr = self.nbr_labels.iter().map(|&l| (self.nbr_c1[&l], l)).min();
         if let Some((c, l)) = best_nbr {
             if c < self.c1 {
                 self.p1 = Some(l);
                 self.shift = 0;
-                self.c2 = 2 * c + 0;
+                self.c2 = 2 * c;
                 self.p2 = Some(l);
                 return;
             }
@@ -315,11 +311,7 @@ impl Lemma15Vertex {
     }
 
     fn next_action(&mut self, vround: Round) -> Action {
-        while self
-            .agenda
-            .front()
-            .is_some_and(|&(r, _)| r <= vround)
-        {
+        while self.agenda.front().is_some_and(|&(r, _)| r <= vround) {
             self.agenda.pop_front();
         }
         match self.agenda.front() {
@@ -381,8 +373,7 @@ impl Lemma15Vertex {
             }
         }
         // BFS from the root over cluster members.
-        let members: std::collections::BTreeSet<u64> =
-            self.tree.iter().map(|r| r.label).collect();
+        let members: std::collections::BTreeSet<u64> = self.tree.iter().map(|r| r.label).collect();
         let mut dist: BTreeMap<u64, u32> = BTreeMap::new();
         dist.insert(self.l_aux, 0);
         let mut queue = std::collections::VecDeque::from([self.l_aux]);
@@ -419,8 +410,7 @@ impl VirtualProgram for Lemma15Vertex {
         match vround {
             1 => vec![VOutgoing::Broadcast(L15Msg::Info1(self.c1))],
             2 => {
-                let table: Vec<(u64, u64)> =
-                    self.nbr_c1.iter().map(|(&l, &c)| (l, c)).collect();
+                let table: Vec<(u64, u64)> = self.nbr_c1.iter().map(|(&l, &c)| (l, c)).collect();
                 vec![VOutgoing::Broadcast(L15Msg::Info2(table))]
             }
             3 => vec![VOutgoing::Broadcast(L15Msg::Info3(self.c2, self.p2))],
@@ -442,12 +432,8 @@ impl VirtualProgram for Lemma15Vertex {
                         Duty::BcSend(_) => out.push(VOutgoing::Broadcast(L15Msg::EdgeDown(
                             Arc::new(self.edges.clone()),
                         ))),
-                        Duty::Info4 => {
-                            out.push(VOutgoing::Broadcast(L15Msg::Info4(self.l_aux)))
-                        }
-                        Duty::Lin(_) => {
-                            out.push(VOutgoing::Broadcast(L15Msg::Lin(self.lin_color)))
-                        }
+                        Duty::Info4 => out.push(VOutgoing::Broadcast(L15Msg::Info4(self.l_aux))),
+                        Duty::Lin(_) => out.push(VOutgoing::Broadcast(L15Msg::Lin(self.lin_color))),
                         Duty::CcRecv(_) | Duty::BcRecv(_) => {}
                     }
                 }
@@ -569,8 +555,7 @@ impl VirtualProgram for Lemma15Vertex {
                                 })
                                 .collect();
                             self.same_cluster_nbrs.sort_unstable();
-                            self.bag_edges =
-                                vec![(self.label, self.same_cluster_nbrs.clone())];
+                            self.bag_edges = vec![(self.label, self.same_cluster_nbrs.clone())];
                             // Singleton clusters already know everything.
                             if self.p2.is_none() && self.children.is_empty() {
                                 self.absorb_edges(self.bag_edges.clone());

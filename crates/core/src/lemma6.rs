@@ -19,7 +19,7 @@
 //! times — asserted by the tests and measured by experiment E5.
 
 use awake_graphs::NodeId;
-use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use awake_sleeping::{Action, Envelope, Outbox, Program, Round, View};
 
 /// Per-node input for the Lemma 6 protocols.
 #[derive(Debug, Clone)]
@@ -83,9 +83,9 @@ impl<T: Clone + std::fmt::Debug + Send + Sync> Program for Broadcast<T> {
     type Msg = TreeMsg<T>;
     type Output = T;
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<TreeMsg<T>>> {
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<TreeMsg<T>>) {
         match self.stage {
-            Stage::AnnounceLabels => vec![Outgoing::Broadcast(TreeMsg::Label(self.input.label))],
+            Stage::AnnounceLabels => out.broadcast(TreeMsg::Label(self.input.label)),
             // forwarding round: 2 + L(v)
             Stage::Deliver if view.round == 2 + self.input.label => {
                 let m = self
@@ -93,9 +93,9 @@ impl<T: Clone + std::fmt::Debug + Send + Sync> Program for Broadcast<T> {
                     .clone()
                     .or_else(|| self.received.clone())
                     .expect("payload present when forwarding");
-                vec![Outgoing::Broadcast(TreeMsg::Down(m))]
+                out.broadcast(TreeMsg::Down(m));
             }
-            _ => vec![],
+            _ => {}
         }
     }
 
@@ -191,17 +191,17 @@ impl<T: Clone + std::fmt::Debug + Send + Sync> Program for Convergecast<T> {
     type Msg = TreeMsg<T>;
     type Output = Vec<T>;
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<TreeMsg<T>>> {
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<TreeMsg<T>>) {
         match self.stage {
             CcStage::AnnounceLabels => {
-                vec![Outgoing::Broadcast(TreeMsg::Label(self.input.label))]
+                out.broadcast(TreeMsg::Label(self.input.label));
             }
             CcStage::Forward => {
                 let parent = self.input.parent.expect("only non-roots forward");
                 debug_assert!(view.round > self.collect_round());
-                vec![Outgoing::To(parent, TreeMsg::Up(self.bag.clone()))]
+                out.to(parent, TreeMsg::Up(self.bag.clone()));
             }
-            _ => vec![],
+            _ => {}
         }
     }
 
@@ -305,15 +305,10 @@ mod tests {
     fn bfs_order_index(g: &Graph, v: NodeId) -> u64 {
         // order nodes by (distance, id): parent precedes child.
         let dist = traversal::bfs_distances(g, NodeId(0));
-        let mut order: Vec<(u32, u32)> = g
-            .nodes()
-            .map(|u| (dist[u.index()].unwrap(), u.0))
-            .collect();
+        let mut order: Vec<(u32, u32)> =
+            g.nodes().map(|u| (dist[u.index()].unwrap(), u.0)).collect();
         order.sort_unstable();
-        order
-            .iter()
-            .position(|&(_, u)| u == v.0)
-            .expect("present") as u64
+        order.iter().position(|&(_, u)| u == v.0).expect("present") as u64
     }
 
     #[test]
@@ -336,7 +331,11 @@ mod tests {
             assert!(run.outputs.iter().all(|m| m == "hello"));
             // every non-root awake exactly 3 rounds; root exactly 2
             for v in g.nodes() {
-                let expect = if inputs[v.index()].parent.is_none() { 2 } else { 3 };
+                let expect = if inputs[v.index()].parent.is_none() {
+                    2
+                } else {
+                    3
+                };
                 assert_eq!(run.metrics.awake[v.index()], expect, "node {v}");
             }
             // round complexity O(N)
@@ -376,7 +375,11 @@ mod tests {
             let expected: Vec<u64> = (1..=g.n() as u64).collect();
             assert_eq!(root_bag, expected, "root gathers all payloads");
             for v in g.nodes() {
-                let expect = if inputs[v.index()].parent.is_none() { 2 } else { 3 };
+                let expect = if inputs[v.index()].parent.is_none() {
+                    2
+                } else {
+                    3
+                };
                 assert_eq!(run.metrics.awake[v.index()], expect, "node {v}");
             }
         }

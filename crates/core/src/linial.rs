@@ -25,7 +25,7 @@
 //!   first step in the general-identifier regime);
 //! * plain function calls inside virtual programs (Lemma 15 on `H[U]`).
 
-use awake_sleeping::{Action, Envelope, Outgoing, Program, View};
+use awake_sleeping::{Action, Envelope, Outbox, Program, View};
 
 /// Parameters of one reduction step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,12 +50,12 @@ fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut f = 3;
     while f * f <= x {
-        if x % f == 0 {
+        if x.is_multiple_of(f) {
             return false;
         }
         f += 2;
@@ -110,7 +110,7 @@ pub fn step_params(m: u64, delta: u64) -> Step {
     for d in 1..=64u64 {
         let q = next_prime((d * delta + 1).max(int_root_ceil(m, d as u32 + 1)));
         let cand = Step { m, d, q };
-        if best.map_or(true, |b| cand.out_palette() < b.out_palette()) {
+        if best.is_none_or(|b| cand.out_palette() < b.out_palette()) {
             best = Some(cand);
         }
         // Once d·delta alone exceeds the best q, larger d cannot win.
@@ -233,11 +233,9 @@ impl Program for ColorReduction {
     type Msg = u64;
     type Output = u64;
 
-    fn send(&mut self, _view: &View<'_>) -> Vec<Outgoing<u64>> {
+    fn send(&mut self, _view: &View<'_>, out: &mut Outbox<u64>) {
         if self.t < self.steps.len() {
-            vec![Outgoing::Broadcast(self.color)]
-        } else {
-            vec![]
+            out.broadcast(self.color);
         }
     }
 
@@ -304,16 +302,16 @@ impl Program for ColorReductionD2 {
     type Msg = Vec<u64>;
     type Output = u64;
 
-    fn send(&mut self, _view: &View<'_>) -> Vec<Outgoing<Vec<u64>>> {
+    fn send(&mut self, _view: &View<'_>, out: &mut Outbox<Vec<u64>>) {
         if self.t >= self.steps.len() {
-            return vec![];
+            return;
         }
         if !self.phase2 {
-            vec![Outgoing::Broadcast(vec![self.color])]
+            out.broadcast(vec![self.color]);
         } else {
             let mut table = vec![self.color];
             table.extend(self.ring1.iter().copied());
-            vec![Outgoing::Broadcast(table)]
+            out.broadcast(table);
         }
     }
 

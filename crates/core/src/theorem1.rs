@@ -41,7 +41,11 @@ pub struct Theorem1Result<O> {
 ///
 /// # Errors
 /// Propagates simulator errors.
-pub fn solve<P>(g: &Graph, problem: &P, options: Options) -> Result<Theorem1Result<P::Output>, SimError>
+pub fn solve<P>(
+    g: &Graph,
+    problem: &P,
+    options: Options,
+) -> Result<Theorem1Result<P::Output>, SimError>
 where
     P: OLocalProblem + Clone,
 {

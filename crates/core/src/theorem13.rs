@@ -25,9 +25,9 @@ use crate::clustering::{Assign, Clustering};
 use crate::compose::Composition;
 use crate::lemma14::{lemma14_vrounds, L14Payload, TreeGatherVertex};
 use crate::lemma15::{Lemma15Config, Lemma15Out, Lemma15Vertex};
+use crate::linial;
 use crate::params::Params;
 use crate::virt::{virt_rounds, VirtSim};
-use crate::linial;
 use awake_graphs::Graph;
 use awake_sleeping::{Config, Engine, SimError};
 
@@ -96,9 +96,7 @@ pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> 
         let programs: Vec<VirtSim<Lemma15Vertex, _>> = g
             .nodes()
             .map(|v| match current[v.index()] {
-                Some(a) => {
-                    VirtSim::participant(a.label, a.depth, g.ident(v), (), db, factory)
-                }
+                Some(a) => VirtSim::participant(a.label, a.depth, g.ident(v), (), db, factory),
                 None => VirtSim::bystander(factory),
             })
             .collect();
@@ -126,8 +124,7 @@ pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> 
         let survivors = current.iter().flatten().count();
         let mut clusters_after = 0;
         if survivors > 0 {
-            let budget =
-                Config::with_max_rounds(virt_rounds(db, lemma14_vrounds(db) + 2) + 2);
+            let budget = Config::with_max_rounds(virt_rounds(db, lemma14_vrounds(db) + 2) + 2);
             let factory =
                 move |vi: &crate::virt::VertexInput<L14Payload>| TreeGatherVertex::new(vi, db);
             let programs: Vec<VirtSim<TreeGatherVertex, _>> = g
@@ -148,10 +145,7 @@ pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> 
                         .as_ref()
                         .expect("survivors participate in Lemma 14");
                     let depth = o.depths[&g.ident(v)];
-                    current[v.index()] = Some(Assign {
-                        label: o.l2,
-                        depth,
-                    });
+                    current[v.index()] = Some(Assign { label: o.l2, depth });
                 }
             }
             clusters_after = Clustering {

@@ -244,11 +244,7 @@ where
     P: OLocalProblem + Clone,
 {
     assert_eq!(inputs.len(), g.n(), "inputs length mismatch");
-    assert_eq!(
-        clustering.assigned(),
-        g.n(),
-        "Theorem 9 needs a full cover"
-    );
+    assert_eq!(clustering.assigned(), g.n(), "Theorem 9 needs a full cover");
     assert!(
         clustering.max_label() <= c_bound,
         "colors exceed the public bound"
@@ -314,8 +310,7 @@ mod tests {
     use crate::clustering::synthesize;
     use awake_graphs::generators;
     use awake_olocal::problems::{
-        DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet,
-        MinimalVertexCover,
+        DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
     };
 
     #[test]

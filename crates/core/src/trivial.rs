@@ -9,7 +9,7 @@
 //! `O(√log n · log* n)` (Theorem 1).
 
 use awake_olocal::{GreedyView, OLocalProblem};
-use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use awake_sleeping::{Action, Envelope, Outbox, Program, Round, View};
 use std::collections::BTreeMap;
 
 /// Message: `(ident, output)`.
@@ -46,38 +46,46 @@ impl<P: OLocalProblem> IdentScheduled<P> {
     }
 }
 
+impl<P: OLocalProblem> IdentScheduled<P> {
+    /// Decide (at the scheduled round) and produce the announcement to
+    /// broadcast — shared by the bare and [`TrivialGreedy`]-wrapped forms.
+    fn announcement(&mut self, view: &View<'_>) -> Option<Announce<P::Output>> {
+        if view.round != 1 + view.ident {
+            return None;
+        }
+        // Decide now: all lower neighbors announced at earlier rounds.
+        let out_neighbors = self.collected.clone();
+        let closure: BTreeMap<u64, P::Output> = out_neighbors.iter().cloned().collect();
+        let gv = GreedyView {
+            ident: view.ident,
+            degree: view.degree(),
+            input: &self.input,
+            out_neighbors: &out_neighbors,
+            closure_outputs: &closure,
+        };
+        let out = self.problem.decide(&gv);
+        self.decided = Some(out.clone());
+        Some(Announce {
+            ident: view.ident,
+            output: out,
+        })
+    }
+}
+
 impl<P: OLocalProblem> Program for IdentScheduled<P> {
     type Msg = Announce<P::Output>;
     type Output = P::Output;
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>> {
-        if view.round == 1 + view.ident {
-            // Decide now: all lower neighbors announced at earlier rounds.
-            let out_neighbors = self.collected.clone();
-            let closure: BTreeMap<u64, P::Output> = out_neighbors.iter().cloned().collect();
-            let gv = GreedyView {
-                ident: view.ident,
-                degree: view.degree(),
-                input: &self.input,
-                out_neighbors: &out_neighbors,
-                closure_outputs: &closure,
-            };
-            let out = self.problem.decide(&gv);
-            self.decided = Some(out.clone());
-            return vec![Outgoing::Broadcast(Announce {
-                ident: view.ident,
-                output: out,
-            })];
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>) {
+        if let Some(a) = self.announcement(view) {
+            out.broadcast(a);
         }
-        vec![]
     }
 
     fn receive(&mut self, view: &View<'_>, inbox: &[Envelope<Self::Msg>]) -> Action {
         debug_assert!(view.round > 1, "round 1 is handled by TrivialGreedy");
         for e in inbox {
-            if e.msg.ident < view.ident
-                && !self.collected.iter().any(|(i, _)| *i == e.msg.ident)
-            {
+            if e.msg.ident < view.ident && !self.collected.iter().any(|(i, _)| *i == e.msg.ident) {
                 self.collected.push((e.msg.ident, e.msg.output.clone()));
             }
         }
@@ -125,18 +133,11 @@ impl<P: OLocalProblem> Program for TrivialGreedy<P> {
     type Msg = TrivialMsg<P::Output>;
     type Output = P::Output;
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>> {
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>) {
         if view.round == 1 {
-            vec![Outgoing::Broadcast(TrivialMsg::Hello(view.ident))]
-        } else {
-            self.inner
-                .send(view)
-                .into_iter()
-                .map(|o| match o {
-                    Outgoing::To(p, m) => Outgoing::To(p, TrivialMsg::Decision(m)),
-                    Outgoing::Broadcast(m) => Outgoing::Broadcast(TrivialMsg::Decision(m)),
-                })
-                .collect()
+            out.broadcast(TrivialMsg::Hello(view.ident));
+        } else if let Some(a) = self.inner.announcement(view) {
+            out.broadcast(TrivialMsg::Decision(a));
         }
     }
 
@@ -205,8 +206,7 @@ mod tests {
             p.validate(&g, &vec![(); g.n()], &run.outputs).unwrap();
             // identical to the sequential greedy along the by-ident orientation
             let mu = AcyclicOrientation::by_ident(&g);
-            let seq =
-                awake_olocal::greedy::solve_sequentially(&p, &g, &mu, &vec![(); g.n()]);
+            let seq = awake_olocal::greedy::solve_sequentially(&p, &g, &mu, &vec![(); g.n()]);
             assert_eq!(run.outputs, seq);
             // awake ≤ deg + 2, rounds ≤ ident bound + 1
             for v in g.nodes() {

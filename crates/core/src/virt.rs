@@ -21,7 +21,7 @@
 //! messages sent to them are lost, exactly the Sleeping semantics on `H`.
 
 use crate::gather::{gather_rounds, ClusterView, GatherCore, GatherMsg, GatherStep, MemberRec};
-use awake_sleeping::{Action, Envelope, Outgoing, Program, Round, View};
+use awake_sleeping::{Action, Envelope, Outbox, Outgoing, Program, Round, View};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -95,7 +95,7 @@ impl<P: Clone> VertexInput<P> {
                 out.push((m.ident, b.0, b.1, b.2, b.3.clone()));
             }
         }
-        out.sort_unstable_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        out.sort_unstable_by_key(|a| (a.0, a.1, a.2));
         out
     }
 }
@@ -259,7 +259,14 @@ where
         factory: F,
     ) -> Self {
         VirtSim {
-            st: St::Gather(GatherCore::new(label, depth, ident, payload, depth_bound, 1)),
+            st: St::Gather(GatherCore::new(
+                label,
+                depth,
+                ident,
+                payload,
+                depth_bound,
+                1,
+            )),
             factory,
             depth_bound,
             out: None,
@@ -302,7 +309,7 @@ fn process<VP: VirtualProgram>(
     run: &mut RunState<VP>,
 ) -> Action {
     let mut items = run.bc_copy.clone();
-    items.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    items.sort_by_key(|a| (a.0, a.1));
     items.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
     let inbox: Vec<VEnvelope<VP::Msg>> = items
         .into_iter()
@@ -337,7 +344,12 @@ fn merge_items<VP: VirtualProgram>(
     up: bool,
 ) {
     for e in inbox {
-        if let VirtMsg::Bag { label, up: u, items } = &e.msg {
+        if let VirtMsg::Bag {
+            label,
+            up: u,
+            items,
+        } = &e.msg
+        {
             if *label == run.label && *u == up {
                 for it in items.iter() {
                     if run.collected_keys.insert((it.0, it.1)) {
@@ -364,21 +376,16 @@ where
         }
     }
 
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>> {
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>) {
         let db = self.depth_bound;
         match &mut self.st {
-            St::Inactive | St::Done => vec![],
-            St::Gather(core) => core
-                .send_at(view.round)
-                .into_iter()
-                .map(|o| match o {
-                    Outgoing::To(p, m) => Outgoing::To(p, VirtMsg::Gather(m)),
-                    Outgoing::Broadcast(m) => Outgoing::Broadcast(VirtMsg::Gather(m)),
-                })
-                .collect(),
+            St::Inactive | St::Done => {}
+            St::Gather(core) => out.extend(core.send_at(view.round).into_iter().map(|o| match o {
+                Outgoing::To(p, m) => Outgoing::To(p, VirtMsg::Gather(m)),
+                Outgoing::Broadcast(m) => Outgoing::Broadcast(VirtMsg::Gather(m)),
+            })),
             St::Run(run) => {
                 let round = view.round;
-                let mut out = Vec::new();
                 if !run.vp_done && round == t0(db, run.next) {
                     for (seq, to, msg) in &run.outgoing {
                         for &(port, _, l) in &run.ports {
@@ -387,7 +394,7 @@ where
                                 None => l != run.label,
                             };
                             if ship {
-                                out.push(Outgoing::To(
+                                out.to(
                                     port,
                                     VirtMsg::Exchange {
                                         from: run.label,
@@ -395,24 +402,23 @@ where
                                         seq: *seq,
                                         msg: msg.clone(),
                                     },
-                                ));
+                                );
                             }
                         }
                     }
                 } else if round == cc_send(db, run.cur, run.depth) && run.depth > 0 {
-                    out.push(Outgoing::Broadcast(VirtMsg::Bag {
+                    out.broadcast(VirtMsg::Bag {
                         label: run.label,
                         up: true,
                         items: Arc::new(run.collected.clone()),
-                    }));
+                    });
                 } else if round == bc_send(db, run.cur, run.depth) && run.has_children {
-                    out.push(Outgoing::Broadcast(VirtMsg::Bag {
+                    out.broadcast(VirtMsg::Bag {
                         label: run.label,
                         up: false,
                         items: Arc::new(run.bc_copy.clone()),
-                    }));
+                    });
                 }
-                out
             }
         }
     }

@@ -155,10 +155,7 @@ mod tests {
         b.edge(3, 1).edge(1, 3).edge(0, 3).edge(4, 3);
         let g = b.build().unwrap();
         assert_eq!(g.m(), 3);
-        assert_eq!(
-            g.neighbors(NodeId(3)),
-            &[NodeId(0), NodeId(1), NodeId(4)]
-        );
+        assert_eq!(g.neighbors(NodeId(3)), &[NodeId(0), NodeId(1), NodeId(4)]);
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct ColoringViolation {
 
 impl std::fmt::Display for ColoringViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "nodes {} and {} share color {}", self.u, self.v, self.color)
+        write!(
+            f,
+            "nodes {} and {} share color {}",
+            self.u, self.v, self.color
+        )
     }
 }
 

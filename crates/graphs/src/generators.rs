@@ -12,10 +12,8 @@
 //! assert_eq!(g, h); // same seed, same graph
 //! ```
 
+use crate::rng::Rng;
 use crate::{Graph, GraphBuilder};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 fn must(b: GraphBuilder) -> Graph {
     b.build().expect("generator produced invalid graph")
@@ -184,7 +182,7 @@ pub fn lollipop(k: usize, tail: usize) -> Graph {
 
 /// Random labeled tree on `n` nodes (uniform random attachment).
 pub fn random_tree(n: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
         let p = rng.gen_range(0..v);
@@ -196,7 +194,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// Erdős–Rényi `G(n, p)`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
@@ -213,13 +211,13 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// when rejections exhaust the stub pool. `n*d` should be even.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be < n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut seen = std::collections::HashSet::new();
     let mut stubs: Vec<u32> = (0..n as u32)
-        .flat_map(|v| std::iter::repeat(v).take(d))
+        .flat_map(|v| std::iter::repeat_n(v, d))
         .collect();
-    stubs.shuffle(&mut rng);
+    rng.shuffle(&mut stubs);
     // Greedy pairing with bounded retries: swap a conflicting partner with a
     // random later stub. Falls back to dropping the pair.
     let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
@@ -245,7 +243,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 /// scaled so the expected average degree is `avg_deg`.
 pub fn power_law(n: usize, beta: f64, avg_deg: f64, seed: u64) -> Graph {
     assert!(beta > 2.0, "beta must be > 2 for finite mean");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let exp = -1.0 / (beta - 1.0);
     let w: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
     let sum: f64 = w.iter().sum();
@@ -270,7 +268,7 @@ pub fn power_law(n: usize, beta: f64, avg_deg: f64, seed: u64) -> Graph {
 /// Used by the crossover experiment (E2) to sweep Δ at fixed `n`.
 pub fn random_with_max_degree(n: usize, target_delta: usize, seed: u64) -> Graph {
     assert!(target_delta >= 2, "need Δ >= 2");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut deg = vec![0usize; n];
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
@@ -315,9 +313,8 @@ pub fn clique_cycle(k: usize, s: usize) -> Graph {
         }
         if k >= 2 {
             let next = (((c + 1) % k) * s) as u32;
+            // On k = 2 the "cycle" is a single bridge; add it once.
             if c + 1 < k || k > 2 {
-                b.edge(base + (s as u32 - 1), next);
-            } else if c == 0 {
                 b.edge(base + (s as u32 - 1), next);
             }
         }
@@ -409,7 +406,10 @@ mod tests {
         let g = random_regular(50, 6, 11);
         assert!(g.nodes().all(|v| g.degree(v) <= 6));
         let total: usize = g.nodes().map(|v| g.degree(v)).sum();
-        assert!(total >= 50 * 6 * 8 / 10, "should be near-regular, got {total}");
+        assert!(
+            total >= 50 * 6 * 8 / 10,
+            "should be near-regular, got {total}"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The core immutable graph type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a [`Graph`], contiguous in `0..n`.
@@ -9,9 +8,7 @@ use std::fmt;
 /// need unique identifiers from a polynomial range use [`Graph::ident`],
 /// which defaults to `id + 1` (the `{1..n}` range of the paper's Remark
 /// after Theorem 13) but can be remapped via [`Graph::with_idents`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -57,7 +54,7 @@ impl From<u32> for NodeId {
 /// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
 /// assert_eq!(g.max_degree(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR row offsets, length `n + 1`.
     offsets: Vec<u32>,
@@ -179,7 +176,13 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree())
+        write!(
+            f,
+            "Graph(n={}, m={}, Δ={})",
+            self.n(),
+            self.m(),
+            self.max_degree()
+        )
     }
 }
 

@@ -43,7 +43,7 @@ pub mod generators;
 mod graph;
 pub mod ops;
 pub mod orientation;
-#[cfg(feature = "strategies")]
+pub mod rng;
 pub mod strategies;
 pub mod traversal;
 

@@ -10,7 +10,6 @@
 //! is fully general.
 
 use crate::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// An acyclic orientation of a graph's edges.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(mu.out_neighbors(&g, NodeId(2)), vec![NodeId(1)]);
 /// assert_eq!(mu.out_degree(&g, NodeId(0)), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AcyclicOrientation {
     priority: Vec<u64>,
     ident: Vec<u64>,
@@ -62,10 +61,8 @@ impl AcyclicOrientation {
 
     /// Random acyclic orientation: priorities are a random permutation.
     pub fn random(g: &Graph, seed: u64) -> Self {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let mut perm: Vec<u64> = (0..g.n() as u64).collect();
-        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        crate::rng::Rng::seed_from_u64(seed).shuffle(&mut perm);
         Self::from_priorities(g, perm)
     }
 
@@ -101,7 +98,10 @@ impl AcyclicOrientation {
 
     /// Out-degree of `v`.
     pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
-        g.neighbors(v).iter().filter(|&&u| self.points(v, u)).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|&&u| self.points(v, u))
+            .count()
     }
 
     /// A topological order: sinks first (every node appears after all of its

@@ -1,68 +1,81 @@
-//! Proptest strategies for random graphs (feature `strategies`).
+//! Seeded random-graph samplers for property-style tests.
 //!
-//! These strategies let downstream crates property-test invariants over a
-//! diverse sample of graphs:
+//! The workspace has no external property-testing dependency, so these
+//! samplers play the role proptest strategies would: a seeded [`Rng`] draws
+//! graphs from a diverse mix of families, and test loops iterate over many
+//! seeds. Failures reproduce exactly from the printed seed.
 //!
 //! ```
-//! use proptest::prelude::*;
+//! use awake_graphs::rng::Rng;
 //! use awake_graphs::strategies::any_graph;
 //!
-//! proptest! {
-//!     #[test]
-//!     fn degree_sum_is_twice_m(g in any_graph(24)) {
-//!         prop_assert_eq!(g.degree_sum(), 2 * g.m());
-//!     }
+//! for case in 0..32 {
+//!     let g = any_graph(&mut Rng::seed_from_u64(case), 24);
+//!     assert_eq!(g.degree_sum(), 2 * g.m(), "case {case}");
 //! }
 //! ```
 
+use crate::rng::Rng;
 use crate::{generators, Graph};
-use proptest::prelude::*;
 
 /// Any simple graph with up to `max_n` nodes, drawn from a mix of families.
-pub fn any_graph(max_n: usize) -> BoxedStrategy<Graph> {
+pub fn any_graph(rng: &mut Rng, max_n: usize) -> Graph {
     let max_n = max_n.max(4);
-    prop_oneof![
-        (1..=max_n).prop_map(generators::path),
-        (3..=max_n).prop_map(generators::cycle),
-        (1..=max_n.min(12)).prop_map(generators::complete),
-        (2..=max_n).prop_map(generators::star),
-        ((2..=max_n), any::<u64>()).prop_map(|(n, s)| generators::random_tree(n, s)),
-        ((4..=max_n), (0.02f64..0.6), any::<u64>()).prop_map(|(n, p, s)| generators::gnp(n, p, s)),
-        ((2..=max_n / 2).prop_flat_map(|r| ((r * 2..=r * 3), Just(r))))
-            .prop_map(|(n, r)| generators::balanced_tree(n, r)),
-    ]
-    .boxed()
+    match rng.bounded_u64(7) {
+        0 => generators::path(rng.gen_range(1..max_n + 1)),
+        1 => generators::cycle(rng.gen_range(3..max_n + 1)),
+        2 => generators::complete(rng.gen_range(1..max_n.min(12) + 1)),
+        3 => generators::star(rng.gen_range(2..max_n + 1)),
+        4 => generators::random_tree(rng.gen_range(2..max_n + 1), rng.next_u64()),
+        5 => {
+            let n = rng.gen_range(4..max_n + 1);
+            let p = 0.02 + rng.gen_f64() * 0.58;
+            generators::gnp(n, p, rng.next_u64())
+        }
+        _ => {
+            let r = rng.gen_range(2..max_n / 2 + 1);
+            let n = rng.gen_range(r * 2..r * 3 + 1);
+            generators::balanced_tree(n, r)
+        }
+    }
 }
 
-/// Any *connected* graph with up to `max_n` nodes.
-pub fn connected_graph(max_n: usize) -> BoxedStrategy<Graph> {
-    any_graph(max_n)
-        .prop_filter("connected", |g| {
-            g.n() > 0 && crate::traversal::connected_components(g).count == 1
-        })
-        .boxed()
+/// Any *connected* graph with up to `max_n` nodes (resamples until connected).
+pub fn connected_graph(rng: &mut Rng, max_n: usize) -> Graph {
+    loop {
+        let g = any_graph(rng, max_n);
+        if g.n() > 0 && crate::traversal::connected_components(&g).count == 1 {
+            return g;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn strategies_produce_valid_graphs(g in any_graph(20)) {
+    #[test]
+    fn strategies_produce_valid_graphs() {
+        for case in 0..64 {
+            let g = any_graph(&mut Rng::seed_from_u64(case), 20);
             // neighbors sorted, no self loops
             for v in g.nodes() {
                 let nb = g.neighbors(v);
-                prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
-                prop_assert!(!nb.contains(&v));
+                assert!(nb.windows(2).all(|w| w[0] < w[1]), "case {case}");
+                assert!(!nb.contains(&v), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn connected_strategy_is_connected(g in connected_graph(16)) {
-            prop_assert_eq!(crate::traversal::connected_components(&g).count, 1);
+    #[test]
+    fn connected_strategy_is_connected() {
+        for case in 0..64 {
+            let g = connected_graph(&mut Rng::seed_from_u64(1000 + case), 16);
+            assert_eq!(
+                crate::traversal::connected_components(&g).count,
+                1,
+                "case {case}"
+            );
         }
     }
 }

@@ -45,7 +45,10 @@ pub fn bfs_distances_within<F: Fn(NodeId) -> bool>(
     source: NodeId,
     member: F,
 ) -> Vec<Option<u32>> {
-    assert!(member(source), "source must satisfy the membership predicate");
+    assert!(
+        member(source),
+        "source must satisfy the membership predicate"
+    );
     let mut dist = vec![None; g.n()];
     dist[source.index()] = Some(0);
     let mut q = VecDeque::from([source]);

@@ -99,15 +99,12 @@ pub fn solve_cluster<P: OLocalProblem>(
                 let out = decided
                     .get(&u)
                     .or_else(|| known.get(&u))
-                    .unwrap_or_else(|| {
-                        panic!("out-neighbor {u} of {v} has no decided output")
-                    })
+                    .unwrap_or_else(|| panic!("out-neighbor {u} of {v} has no decided output"))
                     .clone();
                 (graph.ident(u), out)
             })
             .collect();
-        let mut closure: BTreeMap<u64, P::Output> =
-            out_neighbors.iter().cloned().collect();
+        let mut closure: BTreeMap<u64, P::Output> = out_neighbors.iter().cloned().collect();
         if problem.needs_full_closure() {
             for (k, val) in known {
                 closure.insert(graph.ident(*k), val.clone());
@@ -155,9 +152,8 @@ mod tests {
         // Orientation: all edges toward smaller ident (priority = ident).
         let mu = AcyclicOrientation::by_ident(&g);
         let full = solve_sequentially(&p, &g, &mu, &p.trivial_inputs(&g));
-        let known: BTreeMap<NodeId, u64> = (0..4u32)
-            .map(|v| (NodeId(v), full[v as usize]))
-            .collect();
+        let known: BTreeMap<NodeId, u64> =
+            (0..4u32).map(|v| (NodeId(v), full[v as usize])).collect();
         // members: nodes 4..8 with δ = distance from node 4
         let members: Vec<(NodeId, u32)> = (4..8u32).map(|v| (NodeId(v), v - 4)).collect();
         let got = solve_cluster(&p, &g, &mu, &p.trivial_inputs(&g), &members, &known);

@@ -45,10 +45,7 @@ impl OLocalProblem for DeltaPlusOneColoring {
         let delta = graph.max_degree() as u64;
         if let Some(v) = graph.nodes().find(|&v| outputs[v.index()] > delta) {
             return Err(Violation::new(
-                format!(
-                    "color {} exceeds Δ = {delta}",
-                    outputs[v.index()]
-                ),
+                format!("color {} exceeds Δ = {delta}", outputs[v.index()]),
                 vec![v],
             ));
         }
@@ -157,9 +154,7 @@ impl OLocalProblem for MaximalIndependentSet {
             }
         }
         for v in graph.nodes() {
-            if !outputs[v.index()]
-                && !graph.neighbors(v).iter().any(|&u| outputs[u.index()])
-            {
+            if !outputs[v.index()] && !graph.neighbors(v).iter().any(|&u| outputs[u.index()]) {
                 return Err(Violation::new(
                     "node outside MIS with no neighbor inside (not maximal)",
                     vec![v],
@@ -296,14 +291,18 @@ mod tests {
     #[test]
     fn coloring_validator_rejects_monochromatic() {
         let g = generators::path(2);
-        let err = DeltaPlusOneColoring.validate(&g, &[(), ()], &[0, 0]).unwrap_err();
+        let err = DeltaPlusOneColoring
+            .validate(&g, &[(), ()], &[0, 0])
+            .unwrap_err();
         assert!(err.reason.contains("monochromatic"));
     }
 
     #[test]
     fn coloring_validator_rejects_large_palette() {
         let g = generators::path(2);
-        let err = DeltaPlusOneColoring.validate(&g, &[(), ()], &[0, 9]).unwrap_err();
+        let err = DeltaPlusOneColoring
+            .validate(&g, &[(), ()], &[0, 9])
+            .unwrap_err();
         assert!(err.reason.contains("exceeds"));
     }
 

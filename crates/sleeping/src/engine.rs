@@ -1,12 +1,31 @@
 //! The deterministic skip-ahead executor.
+//!
+//! # Hot-path design
+//!
+//! The per-node-round loop is allocation-free in steady state:
+//!
+//! * **Sending** — programs write into one engine-owned [`Outbox`] that is
+//!   cleared (capacity retained) between nodes; no `Vec` is returned per
+//!   `send` call.
+//! * **Scheduling** — wake-ups live in a hierarchical bucket queue
+//!   ([`crate::wheel`]) instead of a binary heap, and [`Action::Stay`] — the
+//!   dominant action in dense phases — bypasses the queue entirely via a
+//!   *stay lane*: nodes that remain awake are carried to the next round in
+//!   an already-sorted `Vec`.
+//! * **Inboxes** — messages are delivered straight into pooled
+//!   per-recipient segments (one write per message, capacity reused across
+//!   rounds). Because awake nodes transmit in ascending order, each inbox
+//!   is born sorted by sender — no per-round comparison sort (asserted in
+//!   debug builds; see [`crate::arena`] for the design notes and the
+//!   benchmarked alternative).
 
+use crate::arena::InboxArena;
 use crate::metrics::Metrics;
-use crate::program::{Action, Envelope, Outgoing, Program, View};
+use crate::program::{Action, Outbox, Program, View};
 use crate::trace::{TraceEvent, TraceMode, Tracer};
+use crate::wheel::WakeWheel;
 use crate::Round;
 use awake_graphs::{Graph, NodeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Engine configuration.
@@ -75,6 +94,13 @@ pub enum SimError {
         /// Nodes in the graph.
         expected: usize,
     },
+    /// A program's [`Program::initial_wake`] was before [`crate::FIRST_ROUND`].
+    InvalidInitialWake {
+        /// The offending node.
+        node: NodeId,
+        /// The requested first awake round.
+        round: Round,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -94,6 +120,13 @@ impl fmt::Display for SimError {
             SimError::ProgramCountMismatch { got, expected } => {
                 write!(f, "got {got} programs for {expected} nodes")
             }
+            SimError::InvalidInitialWake { node, round } => {
+                write!(
+                    f,
+                    "node {node} requested initial wake round {round}, before round {}",
+                    crate::FIRST_ROUND
+                )
+            }
         }
     }
 }
@@ -109,6 +142,95 @@ pub struct Run<O> {
     pub metrics: Metrics,
     /// Recorded events (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+}
+
+/// `next_wake` sentinel for "halted / never wakes" (rounds are 1-based, so
+/// 0 is free; a plain `Round` stamp is half the size of `Option<Round>`,
+/// which matters because the delivery check reads it once per message).
+pub(crate) const NEVER: Round = 0;
+
+/// Initialize `next_wake`/`outputs` and seed the scheduler from
+/// [`Program::initial_wake`]. Shared by the serial and threaded executors.
+pub(crate) fn seed_schedule<P: Program>(
+    programs: &[P],
+    wheel: &mut WakeWheel,
+    next_wake: &mut Vec<Round>,
+    outputs: &mut [Option<P::Output>],
+) -> Result<(), SimError> {
+    for (v, p) in programs.iter().enumerate() {
+        match p.initial_wake() {
+            Some(r) => {
+                if r < crate::FIRST_ROUND {
+                    // Round 0 would alias the NEVER sentinel and violate the
+                    // wheel's strictly-future invariant; reject it typed.
+                    return Err(SimError::InvalidInitialWake {
+                        node: NodeId(v as u32),
+                        round: r,
+                    });
+                }
+                next_wake.push(r);
+                wheel.schedule(r, v as u32);
+            }
+            None => {
+                // Node sleeps through the whole stage (Lemma 8 composition).
+                next_wake.push(NEVER);
+                match p.output() {
+                    Some(o) => outputs[v] = Some(o),
+                    None => return Err(SimError::MissingOutput(NodeId(v as u32))),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pop the next round's awake set into `awake` (ascending), merging the
+/// stay lane (nodes that chose [`Action::Stay`] at `prev_round`, already
+/// sorted) with the wheel. Returns `None` when nothing is pending.
+///
+/// A non-empty stay lane wakes at `prev_round + 1`, which is the earliest
+/// any pending event can be — so the wheel only participates when its
+/// minimum is exactly that round, and the common dense case (everybody
+/// `Stay`s) never touches the wheel at all.
+pub(crate) fn next_awake_set(
+    wheel: &mut WakeWheel,
+    stay: &mut Vec<u32>,
+    prev_round: Round,
+    awake: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) -> Option<Round> {
+    awake.clear();
+    if stay.is_empty() {
+        let round = wheel.pop_next(awake)?;
+        awake.sort_unstable();
+        return Some(round);
+    }
+    let round = prev_round + 1;
+    if wheel.peek_min() == Some(round) {
+        scratch.clear();
+        let popped = wheel.pop_next(scratch);
+        debug_assert_eq!(popped, Some(round));
+        scratch.sort_unstable();
+        // Merge two sorted, disjoint sets.
+        let mut si = 0;
+        let mut wi = 0;
+        while si < stay.len() && wi < scratch.len() {
+            if stay[si] < scratch[wi] {
+                awake.push(stay[si]);
+                si += 1;
+            } else {
+                awake.push(scratch[wi]);
+                wi += 1;
+            }
+        }
+        awake.extend_from_slice(&stay[si..]);
+        awake.extend_from_slice(&scratch[wi..]);
+        stay.clear();
+        scratch.clear();
+    } else {
+        awake.append(stay); // fast lane: already sorted
+    }
+    Some(round)
 }
 
 /// The serial deterministic executor.
@@ -140,56 +262,32 @@ impl<'g> Engine<'g> {
         }
         let mut metrics = Metrics::new(n);
         let mut tracer = Tracer::new(self.config.trace);
-        if n == 0 {
-            return Ok(Run {
-                outputs: vec![],
-                metrics,
-                trace: tracer.events,
-            });
-        }
-
-        // next_wake[v] = Some(r): v will be awake at round r. None: halted.
-        let mut next_wake: Vec<Option<Round>> = Vec::with_capacity(n);
-        let mut heap: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::with_capacity(n);
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        for v in 0..n {
-            match programs[v].initial_wake() {
-                Some(r) => {
-                    next_wake.push(Some(r));
-                    heap.push(Reverse((r, v as u32)));
-                }
-                None => {
-                    // Node sleeps through the whole stage (Lemma 8 composition).
-                    next_wake.push(None);
-                    match programs[v].output() {
-                        Some(o) => outputs[v] = Some(o),
-                        None => return Err(SimError::MissingOutput(NodeId(v as u32))),
-                    }
-                }
-            }
-        }
 
-        // Scratch buffers reused across rounds.
+        // next_wake[v] = r: v will be awake at round r; NEVER: halted.
+        let mut next_wake: Vec<Round> = Vec::with_capacity(n);
+        let mut wheel = WakeWheel::new();
+        seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
+
+        // Round-scratch state, all reused: zero allocations per node-round
+        // once capacities have grown to the workload's high-water mark.
         let mut awake: Vec<u32> = Vec::new();
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut stay: Vec<u32> = Vec::new();
+        let mut outbox: Outbox<P::Msg> = Outbox::new();
+        let mut arena: InboxArena<P::Msg> = InboxArena::new(n);
+        let mut prev_round: Round = 0;
 
-        while let Some(&Reverse((round, _))) = heap.peek() {
+        while let Some(round) =
+            next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch)
+        {
             if round > self.config.max_rounds {
                 return Err(SimError::RoundBudgetExceeded {
                     limit: self.config.max_rounds,
                 });
             }
             metrics.rounds = round;
-
-            awake.clear();
-            while let Some(&Reverse((r, v))) = heap.peek() {
-                if r != round {
-                    break;
-                }
-                heap.pop();
-                awake.push(v);
-            }
-            awake.sort_unstable();
+            prev_round = round;
 
             // Phase A: all awake nodes transmit.
             for &v in &awake {
@@ -203,41 +301,18 @@ impl<'g> Engine<'g> {
                 };
                 metrics.note_awake(vid, programs[v as usize].span());
                 tracer.push(|| TraceEvent::Awake { round, node: vid });
-                for out in programs[v as usize].send(&view) {
-                    match out {
-                        Outgoing::To(w, m) => {
-                            if !self.graph.has_edge(vid, w) {
-                                return Err(SimError::NotANeighbor { from: vid, to: w });
-                            }
-                            metrics.messages_sent += 1;
-                            deliver(
-                                &mut inboxes,
-                                &next_wake,
-                                round,
-                                vid,
-                                w,
-                                m,
-                                &mut metrics,
-                                &mut tracer,
-                            );
-                        }
-                        Outgoing::Broadcast(m) => {
-                            for &w in self.graph.neighbors(vid) {
-                                metrics.messages_sent += 1;
-                                deliver(
-                                    &mut inboxes,
-                                    &next_wake,
-                                    round,
-                                    vid,
-                                    w,
-                                    m.clone(),
-                                    &mut metrics,
-                                    &mut tracer,
-                                );
-                            }
-                        }
-                    }
-                }
+                outbox.clear();
+                programs[v as usize].send(&view, &mut outbox);
+                route_messages(
+                    self.graph,
+                    outbox.items.drain(..),
+                    &next_wake,
+                    round,
+                    vid,
+                    &mut arena,
+                    &mut metrics,
+                    &mut tracer,
+                )?;
             }
 
             // Phase B: all awake nodes receive and choose their next action.
@@ -250,12 +325,13 @@ impl<'g> Engine<'g> {
                     n,
                     neighbors: self.graph.neighbors(vid),
                 };
-                let mut inbox = std::mem::take(&mut inboxes[v as usize]);
-                inbox.sort_by_key(|e| e.from);
-                match programs[v as usize].receive(&view, &inbox) {
+                let action = programs[v as usize].receive(&view, arena.inbox(v));
+                // Clear while the segment header is hot (see `arena`).
+                arena.clear_inbox(v);
+                match action {
                     Action::Stay => {
-                        next_wake[v as usize] = Some(round + 1);
-                        heap.push(Reverse((round + 1, v)));
+                        next_wake[v as usize] = round + 1;
+                        stay.push(v); // fast lane: never touches the wheel
                     }
                     Action::SleepUntil(until) => {
                         if until <= round {
@@ -270,20 +346,18 @@ impl<'g> Engine<'g> {
                             node: vid,
                             until,
                         });
-                        next_wake[v as usize] = Some(until);
-                        heap.push(Reverse((until, v)));
+                        next_wake[v as usize] = until;
+                        wheel.schedule(until, v);
                     }
                     Action::Halt => {
                         tracer.push(|| TraceEvent::Halt { round, node: vid });
-                        next_wake[v as usize] = None;
+                        next_wake[v as usize] = NEVER;
                         match programs[v as usize].output() {
                             Some(o) => outputs[v as usize] = Some(o),
                             None => return Err(SimError::MissingOutput(vid)),
                         }
                     }
                 }
-                inbox.clear();
-                inboxes[v as usize] = inbox; // return the buffer
             }
         }
 
@@ -300,10 +374,57 @@ impl<'g> Engine<'g> {
     }
 }
 
+/// Route one node's outbox entries: validate addressing, expand
+/// broadcasts, and stage every transmitted message into the arena (or
+/// count it lost). Shared with the threaded executor, which replays worker
+/// outboxes through this same path so the two executors count and order
+/// identically.
 #[allow(clippy::too_many_arguments)]
+pub(crate) fn route_messages<M: Clone>(
+    graph: &Graph,
+    entries: impl Iterator<Item = crate::program::OutEntry<M>>,
+    next_wake: &[Round],
+    round: Round,
+    from: NodeId,
+    arena: &mut InboxArena<M>,
+    metrics: &mut Metrics,
+    tracer: &mut Tracer,
+) -> Result<(), SimError> {
+    for entry in entries {
+        match entry.to {
+            Some(w) => {
+                if !graph.has_edge(from, w) {
+                    return Err(SimError::NotANeighbor { from, to: w });
+                }
+                metrics.messages_sent += 1;
+                deliver(arena, next_wake, round, from, w, entry.msg, metrics, tracer);
+            }
+            None => {
+                let neighbors = graph.neighbors(from);
+                metrics.messages_sent += neighbors.len() as u64;
+                for &w in neighbors {
+                    deliver(
+                        arena,
+                        next_wake,
+                        round,
+                        from,
+                        w,
+                        entry.msg.clone(),
+                        metrics,
+                        tracer,
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
 fn deliver<M>(
-    inboxes: &mut [Vec<Envelope<M>>],
-    next_wake: &[Option<Round>],
+    arena: &mut InboxArena<M>,
+    next_wake: &[Round],
     round: Round,
     from: NodeId,
     to: NodeId,
@@ -312,10 +433,10 @@ fn deliver<M>(
     tracer: &mut Tracer,
 ) {
     // A recipient is listening iff it is awake at exactly this round.
-    if next_wake[to.index()] == Some(round) {
+    if next_wake[to.index()] == round {
         metrics.messages_delivered += 1;
         tracer.push(|| TraceEvent::Delivered { round, from, to });
-        inboxes[to.index()].push(Envelope { from, msg });
+        arena.stage(from, to, msg);
     } else {
         metrics.messages_lost += 1;
         tracer.push(|| TraceEvent::Lost { round, from, to });
@@ -325,6 +446,7 @@ fn deliver<M>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::Envelope;
     use awake_graphs::generators;
 
     /// Broadcasts ident at round 1; collects neighbor idents; halts.
@@ -336,8 +458,8 @@ mod tests {
     impl Program for OneShot {
         type Msg = u64;
         type Output = Vec<u64>;
-        fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
-            vec![Outgoing::Broadcast(view.ident)]
+        fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+            out.broadcast(view.ident);
         }
         fn receive(&mut self, _view: &View, inbox: &[Envelope<u64>]) -> Action {
             self.heard = inbox.iter().map(|e| e.msg).collect();
@@ -352,7 +474,11 @@ mod tests {
     fn round_one_exchange() {
         let g = generators::path(3);
         let run = Engine::new(&g, Config::default())
-            .run(vec![OneShot::default(), OneShot::default(), OneShot::default()])
+            .run(vec![
+                OneShot::default(),
+                OneShot::default(),
+                OneShot::default(),
+            ])
             .unwrap();
         assert_eq!(run.outputs[0], vec![2]);
         assert_eq!(run.outputs[1], vec![1, 3]);
@@ -373,11 +499,9 @@ mod tests {
     impl Program for Phased {
         type Msg = u64;
         type Output = Vec<(Round, u64)>;
-        fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
+        fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
             if self.is_sender {
-                vec![Outgoing::Broadcast(view.round * 10)]
-            } else {
-                vec![]
+                out.broadcast(view.round * 10);
             }
         }
         fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
@@ -427,9 +551,7 @@ mod tests {
     impl Program for Sleeper {
         type Msg = ();
         type Output = ();
-        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
-            vec![]
-        }
+        fn send(&mut self, _: &View, _: &mut Outbox<()>) {}
         fn receive(&mut self, view: &View, _: &[Envelope<()>]) -> Action {
             if view.round == 1 {
                 Action::SleepUntil(self.0)
@@ -452,7 +574,10 @@ mod tests {
             .unwrap();
         assert_eq!(run.metrics.rounds, far);
         assert_eq!(run.metrics.max_awake(), 2);
-        assert!(t0.elapsed().as_millis() < 100, "skip-ahead must be O(awake)");
+        assert!(
+            t0.elapsed().as_millis() < 100,
+            "skip-ahead must be O(awake)"
+        );
     }
 
     #[test]
@@ -477,8 +602,8 @@ mod tests {
     impl Program for BadSend {
         type Msg = ();
         type Output = ();
-        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
-            vec![Outgoing::To(NodeId(2), ())] // not a neighbor on a path of 3
+        fn send(&mut self, _: &View, out: &mut Outbox<()>) {
+            out.to(NodeId(2), ()); // not a neighbor on a path of 3
         }
         fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
             Action::Halt
@@ -501,9 +626,7 @@ mod tests {
     impl Program for NoOutput {
         type Msg = ();
         type Output = u32;
-        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
-            vec![]
-        }
+        fn send(&mut self, _: &View, _: &mut Outbox<()>) {}
         fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
             Action::Halt
         }
@@ -549,8 +672,10 @@ mod tests {
     #[test]
     fn trace_records_events() {
         let g = generators::path(2);
-        let mut cfg = Config::default();
-        cfg.trace = TraceMode::Capped(100);
+        let cfg = Config {
+            trace: TraceMode::Capped(100),
+            ..Config::default()
+        };
         let run = Engine::new(&g, cfg)
             .run(vec![OneShot::default(), OneShot::default()])
             .unwrap();
@@ -558,7 +683,42 @@ mod tests {
             .trace
             .iter()
             .any(|e| matches!(e, TraceEvent::Delivered { .. })));
-        assert!(run.trace.iter().any(|e| matches!(e, TraceEvent::Halt { .. })));
+        assert!(run
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Halt { .. })));
+    }
+
+    struct WakesAtZero;
+    impl Program for WakesAtZero {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &View, _: &mut Outbox<()>) {}
+        fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
+            Action::Halt
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+        fn initial_wake(&self) -> Option<Round> {
+            Some(0)
+        }
+    }
+
+    #[test]
+    fn initial_wake_before_first_round_is_a_typed_error() {
+        let g = generators::path(2);
+        let err = Engine::new(&g, Config::default())
+            .run(vec![WakesAtZero, WakesAtZero])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidInitialWake {
+                node: NodeId(0),
+                round: 0
+            }
+        );
+        assert!(err.to_string().contains("initial wake"));
     }
 
     #[test]
@@ -568,5 +728,62 @@ mod tests {
             to: NodeId(9),
         };
         assert!(e.to_string().contains("non-neighbor"));
+    }
+
+    /// Stay-lane and wheel wakes interleaving: node 0 stays every round,
+    /// node 1 sleeps in jumps; they must meet exactly when scheduled.
+    struct Mixed {
+        jumps: bool,
+        meetings: Vec<Round>,
+    }
+
+    impl Program for Mixed {
+        type Msg = u64;
+        type Output = Vec<Round>;
+        fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+            out.broadcast(view.round);
+        }
+        fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+            if !inbox.is_empty() {
+                self.meetings.push(view.round);
+            }
+            if self.jumps {
+                if view.round >= 20 {
+                    Action::Halt
+                } else {
+                    Action::SleepUntil(view.round + 7)
+                }
+            } else if view.round >= 22 {
+                Action::Halt
+            } else {
+                Action::Stay
+            }
+        }
+        fn output(&self) -> Option<Vec<Round>> {
+            Some(self.meetings.clone())
+        }
+    }
+
+    #[test]
+    fn stay_lane_meets_wheel_wakes() {
+        let g = generators::path(2);
+        let run = Engine::new(&g, Config::default())
+            .run(vec![
+                Mixed {
+                    jumps: false,
+                    meetings: vec![],
+                },
+                Mixed {
+                    jumps: true,
+                    meetings: vec![],
+                },
+            ])
+            .unwrap();
+        // node 1 awake at 1, 8, 15, 22; node 0 awake 1..=22: they exchange
+        // exactly at node 1's wake rounds.
+        assert_eq!(run.outputs[0], vec![1, 8, 15, 22]);
+        assert_eq!(run.outputs[1], vec![1, 8, 15, 22]);
+        assert_eq!(run.metrics.awake[1], 4);
+        assert_eq!(run.metrics.awake[0], 22);
     }
 }

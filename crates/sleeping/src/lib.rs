@@ -22,16 +22,16 @@
 //! # The simulator
 //!
 //! [`Engine`] executes a [`Program`] per node. It is a *skip-ahead*
-//! simulator: a priority queue of wake times jumps directly to the next
-//! round in which any node is awake, so simulating an algorithm whose round
-//! complexity is `Θ(n²·2^{√log n})` costs wall-clock time proportional only
-//! to the total *awake* work — precisely the resource the Sleeping model
-//! measures. This matters: the paper's algorithms sleep through the
-//! overwhelming majority of rounds.
+//! simulator: the scheduler jumps directly to the next round in which any
+//! node is awake, so simulating an algorithm whose round complexity is
+//! `Θ(n²·2^{√log n})` costs wall-clock time proportional only to the total
+//! *awake* work — precisely the resource the Sleeping model measures. This
+//! matters: the paper's algorithms sleep through the overwhelming majority
+//! of rounds.
 //!
 //! ```
 //! use awake_graphs::generators;
-//! use awake_sleeping::{Action, Config, Engine, Envelope, Outgoing, Program, View};
+//! use awake_sleeping::{Action, Config, Engine, Envelope, Outbox, Program, View};
 //!
 //! /// Every node broadcasts its identifier once, then sleeps until round 6,
 //! /// then halts with the number of identifiers heard.
@@ -40,8 +40,8 @@
 //! impl Program for Hello {
 //!     type Msg = u64;
 //!     type Output = usize;
-//!     fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
-//!         if view.round == 1 { vec![Outgoing::Broadcast(view.ident)] } else { vec![] }
+//!     fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+//!         if view.round == 1 { out.broadcast(view.ident); }
 //!     }
 //!     fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
 //!         self.heard.extend(inbox.iter().map(|e| e.msg));
@@ -58,19 +58,51 @@
 //! assert_eq!(run.metrics.max_awake(), 2);       // round 1 + round 6
 //! assert_eq!(run.metrics.rounds, 6);
 //! ```
+//!
+//! # The hot path: sending via [`Outbox`]
+//!
+//! [`Program::send`] does not return a `Vec` of messages; it writes into an
+//! **engine-owned, reusable** [`Outbox`]. The executor clears the buffer
+//! (retaining capacity) between node-rounds, so a steady-state round
+//! performs **zero heap allocations** no matter how many nodes broadcast:
+//!
+//! * [`Outbox::to`] queues a message to one port,
+//! * [`Outbox::broadcast`] queues a message to every neighbor,
+//! * [`Outbox::push`]/[`Extend`] accept the legacy [`Outgoing`] value form,
+//!   for helper layers that build message lists independently of a buffer.
+//!
+//! Inboxes are slices into a per-round flat arena, grouped by recipient by
+//! a stable counting sort; envelopes always arrive sorted by sending port.
+//!
+//! # The scheduler: bucketed wake-ups + a `Stay` fast lane
+//!
+//! Wake times live in a hierarchical bucket (calendar) queue over the full
+//! `u64` round space — amortized O(1) per event with bitmap probes to find
+//! the next non-empty bucket, rather than a binary heap's `O(log n)` per
+//! node-round. The dominant action, [`Action::Stay`], never touches the
+//! queue at all: nodes staying awake ride a pre-sorted *stay lane* straight
+//! into the next round's awake set.
+//!
+//! Two executors share these mechanics: the serial [`Engine`] (the
+//! reference semantics) and [`threaded::run_threaded`] (a persistent worker
+//! pool over contiguous chunks of the awake set). They are required to
+//! agree **bit for bit**, outputs and [`Metrics`] alike, for deterministic
+//! programs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod engine;
 mod metrics;
 mod program;
 pub mod threaded;
 mod trace;
+mod wheel;
 
 pub use engine::{Config, Engine, Run, SimError};
 pub use metrics::Metrics;
-pub use program::{Action, Envelope, Outgoing, Program, View};
+pub use program::{Action, Envelope, Outbox, Outgoing, Program, View};
 pub use trace::{TraceEvent, TraceMode};
 
 /// Round numbers are 1-based; all nodes are awake at [`FIRST_ROUND`].

@@ -11,7 +11,14 @@ use std::collections::BTreeMap;
 /// [`rounds`](Metrics::rounds) (the *round complexity*). Spans attribute
 /// awake rounds to algorithm phases (driven by [`crate::Program::span`]),
 /// which is how the experiment harness reports per-lemma budgets.
-#[derive(Debug, Clone, Default)]
+///
+/// Span labels are interned on first use: each distinct label gets a small
+/// integer id and a dense per-node counter column, so the executor's
+/// per-node-round accounting is a table lookup plus an increment — no
+/// per-node map structures on the hot path. Executions that attribute the
+/// same rounds to the same spans in the same order compare equal, which is
+/// what the serial/threaded bit-for-bit equivalence tests assert.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Number of awake rounds per node.
     pub awake: Vec<u64>,
@@ -23,8 +30,11 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages lost because the recipient was asleep or halted.
     pub messages_lost: u64,
-    /// Per-node awake rounds attributed to each span label.
-    pub node_spans: Vec<BTreeMap<&'static str, u64>>,
+    /// Interned span labels, in first-seen order.
+    span_names: Vec<&'static str>,
+    /// One dense per-node counter column per interned span:
+    /// `span_counts[s][v]` = awake rounds of node `v` attributed to span `s`.
+    span_counts: Vec<Vec<u64>>,
 }
 
 impl Metrics {
@@ -37,14 +47,35 @@ impl Metrics {
             messages_sent: 0,
             messages_delivered: 0,
             messages_lost: 0,
-            node_spans: vec![BTreeMap::new(); n],
+            span_names: Vec::new(),
+            span_counts: Vec::new(),
         }
     }
 
+    /// The id of `span`, interning it on first use.
+    ///
+    /// Labels come from [`crate::Program::span`], so there are a handful per
+    /// execution: a linear scan (pointer comparison first) beats any map.
+    #[inline]
+    fn span_id(&mut self, span: &'static str) -> usize {
+        if let Some(id) = self
+            .span_names
+            .iter()
+            .position(|&s| std::ptr::eq(s, span) || s == span)
+        {
+            return id;
+        }
+        self.span_names.push(span);
+        self.span_counts.push(vec![0; self.awake.len()]);
+        self.span_names.len() - 1
+    }
+
     /// Record one awake round for `v`, attributed to `span`.
+    #[inline]
     pub fn note_awake(&mut self, v: NodeId, span: &'static str) {
         self.awake[v.index()] += 1;
-        *self.node_spans[v.index()].entry(span).or_insert(0) += 1;
+        let id = self.span_id(span);
+        self.span_counts[id][v.index()] += 1;
     }
 
     /// The awake complexity: `max_v` (#rounds `v` was awake).
@@ -66,25 +97,30 @@ impl Metrics {
         self.awake.iter().sum()
     }
 
+    /// All span labels seen, in first-recorded order.
+    pub fn span_names(&self) -> &[&'static str] {
+        &self.span_names
+    }
+
     /// Max over nodes of awake rounds attributed to `span`.
     pub fn span_max_awake(&self, span: &str) -> u64 {
-        self.node_spans
+        self.span_names
             .iter()
-            .filter_map(|m| m.get(span))
-            .copied()
-            .max()
+            .position(|&s| s == span)
+            .map(|id| self.span_counts[id].iter().copied().max().unwrap_or(0))
             .unwrap_or(0)
     }
 
     /// All span labels seen, with `(max-per-node, total)` awake rounds.
     pub fn span_summary(&self) -> BTreeMap<&'static str, (u64, u64)> {
         let mut out: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-        for m in &self.node_spans {
-            for (&k, &v) in m {
-                let e = out.entry(k).or_insert((0, 0));
-                e.0 = e.0.max(v);
-                e.1 += v;
-            }
+        for (id, &name) in self.span_names.iter().enumerate() {
+            let col = &self.span_counts[id];
+            let max = col.iter().copied().max().unwrap_or(0);
+            let total: u64 = col.iter().sum();
+            let e = out.entry(name).or_insert((0, 0));
+            e.0 = e.0.max(max);
+            e.1 += total;
         }
         out
     }
@@ -115,5 +151,32 @@ mod tests {
         let m = Metrics::new(0);
         assert_eq!(m.max_awake(), 0);
         assert_eq!(m.avg_awake(), 0.0);
+    }
+
+    #[test]
+    fn interning_is_by_content_and_first_seen_order() {
+        let mut m = Metrics::new(2);
+        // distinct allocations with identical content must intern together
+        let a1: &'static str = Box::leak("phase-x".to_string().into_boxed_str());
+        let a2: &'static str = Box::leak("phase-x".to_string().into_boxed_str());
+        m.note_awake(NodeId(0), a1);
+        m.note_awake(NodeId(1), a2);
+        m.note_awake(NodeId(0), "other");
+        assert_eq!(m.span_names(), &["phase-x", "other"]);
+        assert_eq!(m.span_summary()["phase-x"], (1, 2));
+    }
+
+    #[test]
+    fn equality_tracks_span_attribution() {
+        let mk = || {
+            let mut m = Metrics::new(2);
+            m.note_awake(NodeId(0), "a");
+            m.note_awake(NodeId(1), "b");
+            m
+        };
+        assert_eq!(mk(), mk());
+        let mut other = mk();
+        other.note_awake(NodeId(1), "a");
+        assert_ne!(mk(), other);
     }
 }

@@ -20,7 +20,7 @@ pub struct View<'a> {
     pub ident: u64,
     /// Number of nodes in the graph (known to all nodes, per the model).
     pub n: usize,
-    /// Ports to neighbors. Opaque addresses for [`Outgoing::To`].
+    /// Ports to neighbors. Opaque addresses for [`Outbox::to`].
     pub neighbors: &'a [NodeId],
 }
 
@@ -33,12 +33,106 @@ impl View<'_> {
 }
 
 /// A message handed to the engine for delivery *this round*.
+///
+/// Retained as the *value form* of an outbox entry so helper layers can
+/// build message lists independently of an [`Outbox`] (see
+/// [`Outbox::push`]); [`Program::send`] itself writes into the engine-owned
+/// [`Outbox`] and never allocates a `Vec` of these on the hot path.
 #[derive(Debug, Clone)]
 pub enum Outgoing<M> {
     /// Send to one neighbor (must be in `view.neighbors`).
     To(NodeId, M),
     /// Send to every neighbor.
     Broadcast(M),
+}
+
+/// One queued outbox entry: `to == None` means broadcast.
+#[derive(Debug, Clone)]
+pub(crate) struct OutEntry<M> {
+    pub(crate) to: Option<NodeId>,
+    pub(crate) msg: M,
+}
+
+/// The engine-owned, reusable send buffer handed to [`Program::send`].
+///
+/// The executor clears and re-passes one `Outbox` for every awake
+/// node-round, so steady-state sending performs **zero heap allocations**:
+/// the buffer's capacity is retained across nodes and rounds. Programs
+/// queue messages with [`to`](Outbox::to) and
+/// [`broadcast`](Outbox::broadcast); [`push`](Outbox::push) and
+/// [`Extend`] accept the legacy [`Outgoing`] value form.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    pub(crate) items: Vec<OutEntry<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox (executors construct and reuse these).
+    pub(crate) fn new() -> Self {
+        Outbox { items: Vec::new() }
+    }
+
+    /// Wrap an existing backing buffer (worker pools recycle buffers).
+    pub(crate) fn from_vec(items: Vec<OutEntry<M>>) -> Self {
+        Outbox { items }
+    }
+
+    /// Recover the backing buffer.
+    pub(crate) fn into_vec(self) -> Vec<OutEntry<M>> {
+        self.items
+    }
+
+    /// Queue a message to one neighbor (must be a port in
+    /// [`View::neighbors`], or the engine aborts with
+    /// [`SimError::NotANeighbor`](crate::SimError::NotANeighbor)).
+    #[inline]
+    pub fn to(&mut self, port: NodeId, msg: M) {
+        self.items.push(OutEntry {
+            to: Some(port),
+            msg,
+        });
+    }
+
+    /// Queue a message to every neighbor.
+    #[inline]
+    pub fn broadcast(&mut self, msg: M) {
+        self.items.push(OutEntry { to: None, msg });
+    }
+
+    /// Queue an [`Outgoing`] value (compatibility with helpers that build
+    /// message lists as values).
+    #[inline]
+    pub fn push(&mut self, out: Outgoing<M>) {
+        match out {
+            Outgoing::To(p, m) => self.to(p, m),
+            Outgoing::Broadcast(m) => self.broadcast(m),
+        }
+    }
+
+    /// Number of queued entries (broadcasts count once).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the outbox empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<M> Extend<Outgoing<M>> for Outbox<M> {
+    fn extend<I: IntoIterator<Item = Outgoing<M>>>(&mut self, iter: I) {
+        for out in iter {
+            self.push(out);
+        }
+    }
 }
 
 /// A message received from an awake neighbor this round.
@@ -91,10 +185,14 @@ pub trait Program {
     /// The node's final output.
     type Output: Clone + std::fmt::Debug + Send + Sync;
 
-    /// Messages to transmit at the current round.
-    fn send(&mut self, view: &View<'_>) -> Vec<Outgoing<Self::Msg>>;
+    /// Queue the messages to transmit at the current round into the
+    /// engine-owned [`Outbox`] (cleared before every call, reused across
+    /// node-rounds — sending is allocation-free in steady state).
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>);
 
     /// Process this round's inbox and choose what to do next.
+    ///
+    /// Envelopes arrive sorted by sending port, ascending.
     fn receive(&mut self, view: &View<'_>, inbox: &[Envelope<Self::Msg>]) -> Action;
 
     /// The final output; must be `Some` once the program halts.
@@ -135,5 +233,19 @@ mod tests {
         // sleeping for t rounds starting after round r means waking at r+t+1,
         // matching the paper's "asleep for t rounds, wakes at round r+t+1".
         assert_eq!(Action::sleep_for(10, 3), Action::SleepUntil(14));
+    }
+
+    #[test]
+    fn outbox_accumulates_and_clears_without_reallocating() {
+        let mut ob: Outbox<u32> = Outbox::new();
+        ob.to(NodeId(1), 10);
+        ob.broadcast(20);
+        ob.push(Outgoing::To(NodeId(2), 30));
+        ob.extend([Outgoing::Broadcast(40)]);
+        assert_eq!(ob.len(), 4);
+        let cap = ob.items.capacity();
+        ob.clear();
+        assert!(ob.is_empty());
+        assert_eq!(ob.items.capacity(), cap, "clear retains capacity");
     }
 }

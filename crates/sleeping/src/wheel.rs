@@ -1,0 +1,308 @@
+//! The wake-up scheduler: a hierarchical bucket (timing-wheel) queue.
+//!
+//! The executors must repeatedly answer "which round is next, and who wakes
+//! then?" over the full `u64` round space — the paper's schedules jump by
+//! polynomially long sleeps, so the queue has to skip-ahead in O(awake)
+//! rather than scan rounds. A binary heap does this in `O(log n)` per
+//! node-round with poor locality; this wheel does it in amortized `O(1)`
+//! per event with a handful of word-sized bitmap probes per advance.
+//!
+//! Rounds are split into [`LEVELS`] groups of [`GROUP_BITS`] bits. An event
+//! is bucketed at the *highest* group in which its round differs from the
+//! wheel's current position, so level 0 holds the rounds of the current
+//! 64-round block exactly, and higher levels hold coarser "cascade later"
+//! bags. A per-level occupancy bitmap makes "lowest non-empty bucket" a
+//! `trailing_zeros` instruction. Advancing to the next event drains at most
+//! one bucket per level back down (each event cascades at most [`LEVELS`]
+//! times over its lifetime), and every bucket is a reusable `Vec`, so the
+//! steady state allocates nothing.
+//!
+//! The dominant action of dense algorithm phases — [`Action::Stay`] — never
+//! touches this structure at all: the executors keep a *fast lane* of nodes
+//! waking at `previous round + 1` and only consult the wheel for genuine
+//! sleeps (see `Engine::run`).
+//!
+//! [`Action::Stay`]: crate::Action::Stay
+
+use crate::Round;
+
+/// Bits per wheel level; each level has `2^GROUP_BITS` buckets.
+const GROUP_BITS: u32 = 6;
+/// Buckets per level (64, so one occupancy word per level).
+const SLOTS: usize = 1 << GROUP_BITS;
+/// Levels needed to cover all of `u64` (`11 * 6 = 66 ≥ 64`).
+const LEVELS: usize = 11;
+
+/// A hierarchical bucket queue of `(wake round, node)` events.
+#[derive(Debug)]
+pub(crate) struct WakeWheel {
+    /// `buckets[level * SLOTS + slot]`; reused across the run.
+    buckets: Vec<Vec<(Round, u32)>>,
+    /// One bit per bucket, per level.
+    occupied: [u64; LEVELS],
+    /// The last round handed out; all stored events are strictly later.
+    current: Round,
+    /// Total events stored.
+    len: usize,
+    /// Memoized earliest pending round; `None` = unknown (recomputed and
+    /// re-memoized by the next [`peek_min`](Self::peek_min)).
+    cached_min: Option<Round>,
+}
+
+impl WakeWheel {
+    pub(crate) fn new() -> Self {
+        WakeWheel {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            current: 0,
+            len: 0,
+            cached_min: None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The level at which `round` is bucketed relative to `current`:
+    /// the highest 6-bit group where they differ.
+    #[inline]
+    fn level_of(&self, round: Round) -> usize {
+        let diff = round ^ self.current;
+        debug_assert!(diff != 0, "events must be strictly in the future");
+        ((63 - diff.leading_zeros()) / GROUP_BITS) as usize
+    }
+
+    /// Queue `node` to wake at `round`.
+    ///
+    /// `round` must be strictly greater than the last round handed out by
+    /// [`pop_next`](Self::pop_next) — the executors validate sleeps before
+    /// scheduling them.
+    #[inline]
+    pub(crate) fn schedule(&mut self, round: Round, node: u32) {
+        debug_assert!(
+            round > self.current,
+            "schedule({round}) ≤ current ({})",
+            self.current
+        );
+        let level = self.level_of(round);
+        let slot = (round >> (GROUP_BITS * level as u32)) as usize & (SLOTS - 1);
+        self.buckets[level * SLOTS + slot].push((round, node));
+        self.occupied[level] |= 1 << slot;
+        self.len += 1;
+        if self.cached_min.is_none_or(|m| round < m) {
+            self.cached_min = Some(round);
+        }
+    }
+
+    /// The earliest pending round, without advancing the wheel.
+    ///
+    /// No cascade: the executors use this to decide whether the wheel
+    /// participates in a stay-lane round *before* committing the wheel's
+    /// position, so sleeps scheduled while processing that round stay
+    /// insertable. Amortized O(1): `schedule` keeps the memo current and
+    /// only a `pop_next` invalidates it, so at most one recomputation —
+    /// a scan of the lowest occupied bucket, where the global minimum
+    /// must live — happens per pop.
+    pub(crate) fn peek_min(&mut self) -> Option<Round> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(m) = self.cached_min {
+            return Some(m);
+        }
+        let min = if self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as usize;
+            Some((self.current & !((SLOTS as u64) - 1)) | slot as u64)
+        } else {
+            let level = (1..LEVELS)
+                .find(|&l| self.occupied[l] != 0)
+                .expect("len > 0 implies some occupied level");
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.buckets[level * SLOTS + slot]
+                .iter()
+                .map(|&(r, _)| r)
+                .min()
+        };
+        self.cached_min = min;
+        min
+    }
+
+    /// Advance to the earliest pending round, append its nodes to `out`
+    /// (in arbitrary order — callers sort), and return the round.
+    pub(crate) fn pop_next(&mut self, out: &mut Vec<u32>) -> Option<Round> {
+        if self.len == 0 {
+            return None;
+        }
+        self.cached_min = None;
+        loop {
+            // Level 0 buckets are exact rounds inside the current 64-round
+            // block; anything at a higher level is in a later block.
+            if self.occupied[0] != 0 {
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                let round = (self.current & !((SLOTS as u64) - 1)) | slot as u64;
+                let bucket = &mut self.buckets[slot];
+                self.len -= bucket.len();
+                for &(r, node) in bucket.iter() {
+                    debug_assert_eq!(r, round, "level-0 buckets hold one exact round");
+                    out.push(node);
+                }
+                bucket.clear();
+                self.occupied[0] &= !(1 << slot);
+                self.current = round;
+                return Some(round);
+            }
+            // Cascade the lowest occupied bucket of the lowest non-empty
+            // level down one step.
+            let level = (1..LEVELS)
+                .find(|&l| self.occupied[l] != 0)
+                .expect("len > 0 implies some occupied level");
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            // Rebase `current` to the start of that bucket's round range:
+            // groups above `level` unchanged, group `level` = slot, lower
+            // groups zeroed. Events in the bucket stay strictly ahead or
+            // land exactly at the new base, so re-inserting them is valid.
+            let shift = GROUP_BITS * level as u32;
+            let keep_mask = match 1u64.checked_shl(shift + GROUP_BITS) {
+                Some(b) => !(b - 1),
+                None => 0, // top level: no higher groups to keep
+            };
+            self.current = (self.current & keep_mask) | ((slot as u64) << shift);
+            let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            self.occupied[level] &= !(1 << slot);
+            self.len -= bucket.len();
+            for &(r, node) in bucket.iter() {
+                debug_assert!(r >= self.current);
+                if r == self.current {
+                    // Exactly the new base round: belongs to level 0.
+                    self.buckets[(r as usize) & (SLOTS - 1)].push((r, node));
+                    self.occupied[0] |= 1 << ((r as usize) & (SLOTS - 1));
+                    self.len += 1;
+                } else {
+                    self.schedule(r, node);
+                }
+            }
+            bucket.clear();
+            // Return the drained Vec so its capacity is reused.
+            self.buckets[level * SLOTS + slot] = bucket;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(w: &mut WakeWheel) -> Vec<(Round, Vec<u32>)> {
+        let mut out = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(r) = w.pop_next(&mut batch) {
+            batch.sort_unstable();
+            out.push((r, std::mem::take(&mut batch)));
+        }
+        out
+    }
+
+    #[test]
+    fn orders_rounds_and_batches_ties() {
+        let mut w = WakeWheel::new();
+        for (r, v) in [(5u64, 0u32), (1, 1), (5, 2), (100, 3), (1, 4)] {
+            w.schedule(r, v);
+        }
+        let got = drain_all(&mut w);
+        assert_eq!(got, vec![(1, vec![1, 4]), (5, vec![0, 2]), (100, vec![3])]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn skip_ahead_over_huge_gaps() {
+        let mut w = WakeWheel::new();
+        w.schedule(1, 0);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(1));
+        w.schedule(1_000_000_000_000, 1);
+        w.schedule(u64::MAX / 4, 2);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(1_000_000_000_000));
+        assert_eq!(batch, vec![1]);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(u64::MAX / 4));
+        assert_eq!(batch, vec![2]);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut w = WakeWheel::new();
+        w.schedule(2, 0);
+        w.schedule(2, 1);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(2));
+        batch.sort_unstable();
+        assert_eq!(batch, vec![0, 1]);
+        // schedule relative to the new position, spanning block boundaries
+        w.schedule(3, 0);
+        w.schedule(64, 1);
+        w.schedule(65, 2);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(3));
+        assert_eq!(batch, vec![0]);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(64));
+        assert_eq!(batch, vec![1]);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(65));
+        assert_eq!(batch, vec![2]);
+        assert_eq!(w.pop_next(&mut batch), None);
+    }
+
+    #[test]
+    fn agrees_with_a_reference_heap_on_random_workloads() {
+        use awake_graphs::rng::Rng;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut rng = Rng::seed_from_u64(99);
+        for case in 0..50 {
+            let mut w = WakeWheel::new();
+            let mut heap: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::new();
+            let mut current = 0u64;
+            let mut pending = 0usize;
+            let mut node = 0u32;
+            for _ in 0..200 {
+                // schedule a burst of future events, then pop one batch
+                for _ in 0..rng.gen_range(0..4) {
+                    let gap = match rng.bounded_u64(3) {
+                        0 => 1 + rng.bounded_u64(3),
+                        1 => 1 + rng.bounded_u64(200),
+                        _ => 1 + rng.bounded_u64(1 << 40),
+                    };
+                    w.schedule(current + gap, node);
+                    heap.push(Reverse((current + gap, node)));
+                    node += 1;
+                    pending += 1;
+                }
+                if pending == 0 {
+                    continue;
+                }
+                let mut batch = Vec::new();
+                let r = w.pop_next(&mut batch).expect("pending events");
+                batch.sort_unstable();
+                let mut expect = Vec::new();
+                let Reverse((er, _)) = *heap.peek().unwrap();
+                while let Some(&Reverse((hr, hv))) = heap.peek() {
+                    if hr != er {
+                        break;
+                    }
+                    heap.pop();
+                    expect.push(hv);
+                }
+                expect.sort_unstable();
+                assert_eq!(r, er, "case {case}");
+                assert_eq!(batch, expect, "case {case} round {r}");
+                pending -= batch.len();
+                current = r;
+            }
+        }
+    }
+}

@@ -21,7 +21,9 @@ fn main() {
     );
 
     let res = theorem13::compute(&g, &params).expect("pipeline runs");
-    res.clustering.validate_colored(&g).expect("valid colored BFS-clustering");
+    res.clustering
+        .validate_colored(&g)
+        .expect("valid colored BFS-clustering");
 
     println!(
         "{:>5} {:>16} {:>16} {:>18} {:>14}",

@@ -27,8 +27,10 @@ fn main() {
     );
 
     // 1. Trivial by-ident greedy.
-    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> =
-        g.nodes().map(|_| trivial::TrivialGreedy::new(p, ())).collect();
+    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> = g
+        .nodes()
+        .map(|_| trivial::TrivialGreedy::new(p, ()))
+        .collect();
     let run = Engine::new(&g, Config::default()).run(programs).unwrap();
     p.validate(&g, &vec![(); g.n()], &run.outputs).unwrap();
     println!(

@@ -21,7 +21,11 @@ fn figure1() {
     println!("── Figure 1: the Lemma 10 tree for q = 8 ──");
     let t = PaletteTree::new(8);
     for c in 1..=8u64 {
-        println!("  color {c}: φ({c}) = {:>2}, r({c}) = {:?}", t.phi(c), t.r(c));
+        println!(
+            "  color {c}: φ({c}) = {:>2}, r({c}) = {:?}",
+            t.phi(c),
+            t.r(c)
+        );
     }
     println!(
         "  paper's caption: φ(2) = {}, r(2) = {:?}; φ(4) = {}, r(4) = {:?}",
@@ -74,10 +78,7 @@ fn figure4() {
     // A star (its high-degree hub roots a tree that survives iteration 1
     // as a big cluster) next to a path (its low-degree tree root sends the
     // whole region into U as small-colored singletons).
-    let g = awake::graphs::ops::disjoint_union(
-        &generators::star(30),
-        &generators::path(20),
-    );
+    let g = awake::graphs::ops::disjoint_union(&generators::star(30), &generators::path(20));
     let params = Params::for_graph(&g);
     let res = theorem13::compute(&g, &params).expect("pipeline runs");
     res.clustering.validate_colored(&g).unwrap();

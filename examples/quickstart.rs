@@ -14,8 +14,8 @@ fn main() {
     let g = generators::random_with_max_degree(256, 16, 42);
     println!("graph: {g:?}");
 
-    let result = theorem1::solve(&g, &DeltaPlusOneColoring, Default::default())
-        .expect("simulation runs");
+    let result =
+        theorem1::solve(&g, &DeltaPlusOneColoring, Default::default()).expect("simulation runs");
 
     coloring::check_proper(&g, &result.outputs).expect("output is a proper coloring");
     println!(
@@ -31,11 +31,7 @@ fn main() {
     println!(
         "round complexity: {} — the skip-ahead simulator only paid for {} awake node-rounds",
         result.composition.rounds(),
-        result
-            .composition
-            .awake_per_node()
-            .iter()
-            .sum::<u64>()
+        result.composition.awake_per_node().iter().sum::<u64>()
     );
     println!("\nper-stage accounting:\n{}", result.composition.report());
 }

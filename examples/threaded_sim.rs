@@ -1,6 +1,6 @@
 //! Run the same Sleeping-model program on the serial skip-ahead engine and
-//! the crossbeam-channel worker-pool executor, and verify they agree bit
-//! for bit.
+//! the persistent worker-pool executor, and verify they agree bit for bit
+//! — outputs and metrics alike.
 //!
 //! ```sh
 //! cargo run --release --example threaded_sim
@@ -29,12 +29,7 @@ fn main() {
 
     p.validate(&g, &vec![(); g.n()], &serial.outputs).unwrap();
     assert_eq!(serial.outputs, par.outputs, "executors must agree");
-    assert_eq!(serial.metrics.max_awake(), par.metrics.max_awake());
-    assert_eq!(serial.metrics.rounds, par.metrics.rounds);
-    assert_eq!(
-        serial.metrics.messages_delivered,
-        par.metrics.messages_delivered
-    );
+    assert_eq!(serial.metrics, par.metrics, "metrics agree bit for bit");
 
     println!("graph: {g:?}");
     println!(

@@ -1,59 +1,69 @@
 //! Property tests on the Theorem 13 clustering across random graphs, and
-//! invariants of the clustering machinery.
+//! invariants of the clustering machinery. Seeded loops stand in for a
+//! property-testing framework; failures reproduce from the printed case.
 
 use awake::core::clustering::{synthesize, Clustering};
 use awake::core::params::Params;
 use awake::core::theorem13;
 use awake::graphs::generators;
-use proptest::prelude::*;
+use awake::graphs::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn theorem13_always_produces_valid_colored_clusterings(
-        n in 4usize..40,
-        p in 0.05f64..0.5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn theorem13_always_produces_valid_colored_clusterings() {
+    let mut rng = Rng::seed_from_u64(0x7e13);
+    for case in 0..12 {
+        let n = rng.gen_range(4..40);
+        let p = 0.05 + rng.gen_f64() * 0.45;
+        let seed = rng.bounded_u64(1000);
         let g = generators::gnp(n, p, seed);
         let params = Params::for_graph(&g);
         let res = theorem13::compute(&g, &params).expect("pipeline runs");
-        prop_assert_eq!(res.clustering.assigned(), g.n());
-        prop_assert!(res.clustering.validate_colored(&g).is_ok());
-        prop_assert!(res.clustering.max_label() <= params.color_bound());
+        assert_eq!(res.clustering.assigned(), g.n(), "case {case}");
+        assert!(res.clustering.validate_colored(&g).is_ok(), "case {case}");
+        assert!(
+            res.clustering.max_label() <= params.color_bound(),
+            "case {case}"
+        );
         for s in &res.iteration_stats {
-            prop_assert!((s.clusters_after as u64) * params.b <= s.clusters_before as u64);
+            assert!(
+                (s.clusters_after as u64) * params.b <= s.clusters_before as u64,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn synthesize_always_valid(
-        n in 2usize..50,
-        clusters in 1usize..20,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn synthesize_always_valid() {
+    let mut rng = Rng::seed_from_u64(0x5a11d);
+    for case in 0..12 {
+        let n = rng.gen_range(2..50);
+        let clusters = rng.gen_range(1..20);
+        let seed = rng.bounded_u64(1000);
         let g = generators::gnp(n, 0.15, seed);
         let c = synthesize(&g, clusters, seed);
-        prop_assert!(c.validate_colored(&g).is_ok());
-        prop_assert_eq!(c.assigned(), g.n());
+        assert!(c.validate_colored(&g).is_ok(), "case {case}");
+        assert_eq!(c.assigned(), g.n(), "case {case}");
     }
+}
 
-    #[test]
-    fn root_overlay_of_synthesized_is_uniquely_labeled(
-        n in 2usize..40,
-        clusters in 1usize..10,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn root_overlay_of_synthesized_is_uniquely_labeled() {
+    let mut rng = Rng::seed_from_u64(0x0e1a);
+    for case in 0..12 {
+        let n = rng.gen_range(2..40);
+        let clusters = rng.gen_range(1..10);
+        let seed = rng.bounded_u64(100);
         let g = generators::gnp(n, 0.2, seed);
         let c = synthesize(&g, clusters, seed);
         let u = c.root_ident_overlay(&g);
-        prop_assert!(u.validate_uniquely_labeled(&g).is_ok());
+        assert!(u.validate_uniquely_labeled(&g).is_ok(), "case {case}");
         // Overlay preserves depths.
         for v in g.nodes() {
-            prop_assert_eq!(
+            assert_eq!(
                 c.assign[v.index()].unwrap().depth,
-                u.assign[v.index()].unwrap().depth
+                u.assign[v.index()].unwrap().depth,
+                "case {case}"
             );
         }
     }

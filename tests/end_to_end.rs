@@ -65,8 +65,10 @@ fn all_three_generations_solve_the_same_instance() {
     let g = generators::random_with_max_degree(200, 24, 5);
     let p = MaximalIndependentSet;
 
-    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> =
-        g.nodes().map(|_| trivial::TrivialGreedy::new(p, ())).collect();
+    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> = g
+        .nodes()
+        .map(|_| trivial::TrivialGreedy::new(p, ()))
+        .collect();
     let triv = Engine::new(&g, Config::default()).run(programs).unwrap();
     p.validate(&g, &vec![(); g.n()], &triv.outputs).unwrap();
 
@@ -86,10 +88,8 @@ fn all_three_generations_solve_the_same_instance() {
 
 #[test]
 fn disconnected_graphs_are_handled() {
-    let g = awake::graphs::ops::disjoint_union(
-        &generators::cycle(9),
-        &generators::random_tree(12, 1),
-    );
+    let g =
+        awake::graphs::ops::disjoint_union(&generators::cycle(9), &generators::random_tree(12, 1));
     let r = theorem1::solve(&g, &DeltaPlusOneColoring, Default::default()).unwrap();
     DeltaPlusOneColoring
         .validate(&g, &vec![(); g.n()], &r.outputs)

@@ -3,7 +3,7 @@
 
 use awake::core::lemma6::{Broadcast, Convergecast, TreeInput};
 use awake::graphs::{generators, traversal, Graph, NodeId};
-use awake::sleeping::{Action, Config, Engine, Envelope, Outgoing, Program, View};
+use awake::sleeping::{Action, Config, Engine, Envelope, Outbox, Program, View};
 
 fn bfs_tree_inputs(g: &Graph) -> Vec<TreeInput> {
     let dist = traversal::bfs_distances(g, NodeId(0));
@@ -36,7 +36,11 @@ fn lemma6_awake_is_exactly_three_on_many_trees() {
         let run = Engine::new(&g, Config::default()).run(programs).unwrap();
         assert!(run.outputs.iter().all(|&m| m == 99));
         for v in g.nodes() {
-            let expect = if inputs[v.index()].parent.is_none() { 2 } else { 3 };
+            let expect = if inputs[v.index()].parent.is_none() {
+                2
+            } else {
+                3
+            };
             assert_eq!(run.metrics.awake[v.index()], expect);
         }
 
@@ -61,11 +65,9 @@ struct Probe {
 impl Program for Probe {
     type Msg = u64;
     type Output = Vec<u64>;
-    fn send(&mut self, view: &View) -> Vec<Outgoing<u64>> {
+    fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
         if self.is_sender {
-            vec![Outgoing::Broadcast(view.round)]
-        } else {
-            vec![]
+            out.broadcast(view.round);
         }
     }
     fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
@@ -134,9 +136,7 @@ fn round_budget_protects_against_runaway_schedules() {
     impl Program for Forever {
         type Msg = ();
         type Output = ();
-        fn send(&mut self, _: &View) -> Vec<Outgoing<()>> {
-            vec![]
-        }
+        fn send(&mut self, _: &View, _: &mut Outbox<()>) {}
         fn receive(&mut self, view: &View, _: &[Envelope<()>]) -> Action {
             Action::SleepUntil(view.round + 1000)
         }

@@ -1,55 +1,112 @@
-//! The serial skip-ahead engine and the crossbeam worker-pool executor
-//! must agree bit for bit on deterministic programs.
+//! The serial skip-ahead engine and the persistent worker-pool executor
+//! must agree **bit for bit** on deterministic programs: equal outputs and
+//! equal [`Metrics`] — awake vectors, message counters, round counts, and
+//! span attribution — across worker counts.
 
 use awake::core::linial::ColorReduction;
 use awake::core::trivial::TrivialGreedy;
-use awake::graphs::generators;
+use awake::graphs::{generators, Graph};
 use awake::olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet};
-use awake::sleeping::{threaded, Config, Engine};
+use awake::sleeping::{threaded, Config, Engine, Metrics, Program, Run};
 
-#[test]
-fn linial_agrees_across_executors() {
-    let g = generators::gnp(120, 0.07, 13);
-    let delta = g.max_degree() as u64;
-    let mk = || -> Vec<ColorReduction> {
-        g.nodes()
-            .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
-            .collect()
-    };
-    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
-    for workers in [1, 2, 8] {
-        let par = threaded::run_threaded(&g, mk(), Config::default(), workers).unwrap();
-        assert_eq!(serial.outputs, par.outputs, "workers = {workers}");
-        assert_eq!(serial.metrics.awake, par.metrics.awake);
-        assert_eq!(serial.metrics.rounds, par.metrics.rounds);
-        assert_eq!(serial.metrics.messages_sent, par.metrics.messages_sent);
-        assert_eq!(serial.metrics.messages_lost, par.metrics.messages_lost);
+/// Run serially and under 1, 2 and 8 workers; assert full equivalence.
+fn assert_equivalent<P, F>(g: &Graph, mk: F)
+where
+    P: Program + Send,
+    P::Output: PartialEq,
+    F: Fn() -> Vec<P>,
+{
+    let serial: Run<P::Output> = Engine::new(g, Config::default()).run(mk()).unwrap();
+    for workers in [1usize, 2, 8] {
+        let par = threaded::run_threaded(g, mk(), Config::default(), workers).unwrap();
+        assert!(
+            serial.outputs == par.outputs,
+            "outputs diverge at workers = {workers}"
+        );
+        let (s, p): (&Metrics, &Metrics) = (&serial.metrics, &par.metrics);
+        assert_eq!(s.awake, p.awake, "awake vectors, workers = {workers}");
+        assert_eq!(s.rounds, p.rounds, "rounds, workers = {workers}");
+        assert_eq!(
+            s.messages_sent, p.messages_sent,
+            "sent, workers = {workers}"
+        );
+        assert_eq!(
+            s.messages_delivered, p.messages_delivered,
+            "delivered, workers = {workers}"
+        );
+        assert_eq!(
+            s.messages_lost, p.messages_lost,
+            "lost, workers = {workers}"
+        );
+        assert_eq!(
+            s.span_summary(),
+            p.span_summary(),
+            "span summaries, workers = {workers}"
+        );
+        assert_eq!(s, p, "full Metrics equality, workers = {workers}");
     }
 }
 
 #[test]
-fn trivial_greedy_agrees_across_executors() {
-    let g = generators::random_with_max_degree(150, 12, 3);
-    let mk = || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
+fn linial_agrees_on_erdos_renyi() {
+    let g = generators::gnp(120, 0.07, 13);
+    let delta = g.max_degree() as u64;
+    assert_equivalent(&g, || -> Vec<ColorReduction> {
+        g.nodes()
+            .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
+            .collect()
+    });
+}
+
+#[test]
+fn linial_agrees_on_random_tree() {
+    let g = generators::random_tree(90, 21);
+    let delta = g.max_degree() as u64;
+    assert_equivalent(&g, || -> Vec<ColorReduction> {
+        g.nodes()
+            .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
+            .collect()
+    });
+}
+
+#[test]
+fn trivial_greedy_agrees_on_erdos_renyi() {
+    // The trivial baseline exercises long sleeps and message loss, so this
+    // covers the wheel (not just the stay lane).
+    let g = generators::gnp(80, 0.1, 29);
+    assert_equivalent(&g, || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
         g.nodes()
             .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
             .collect()
-    };
-    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
-    let par = threaded::run_threaded(&g, mk(), Config::default(), 4).unwrap();
-    assert_eq!(serial.outputs, par.outputs);
-    assert_eq!(serial.metrics.awake, par.metrics.awake);
+    });
+}
+
+#[test]
+fn trivial_greedy_agrees_on_random_tree() {
+    let g = generators::random_tree(110, 5);
+    assert_equivalent(&g, || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
+        g.nodes()
+            .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
+            .collect()
+    });
+}
+
+#[test]
+fn trivial_greedy_agrees_on_bounded_degree_graph() {
+    let g = generators::random_with_max_degree(150, 12, 3);
+    assert_equivalent(&g, || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
+        g.nodes()
+            .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
+            .collect()
+    });
 }
 
 #[test]
 fn coloring_program_agrees_across_executors() {
     let g = generators::cycle(64);
-    let mk = || -> Vec<TrivialGreedy<DeltaPlusOneColoring>> {
+    assert_equivalent(&g, || -> Vec<TrivialGreedy<DeltaPlusOneColoring>> {
         g.nodes()
             .map(|_| TrivialGreedy::new(DeltaPlusOneColoring, ()))
             .collect()
-    };
-    let serial = Engine::new(&g, Config::default()).run(mk()).unwrap();
-    let par = threaded::run_threaded(&g, mk(), Config::default(), 3).unwrap();
-    assert_eq!(serial.outputs, par.outputs);
+    });
 }
