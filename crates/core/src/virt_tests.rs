@@ -63,12 +63,14 @@ fn gather_collects_full_cluster_structure() {
     assert_eq!(v0.members.len(), 3);
     assert_eq!(v0.root_ident(), g.ident(awake_graphs::NodeId(1)));
     assert_eq!(v0.intra_edges(), vec![(1, 2), (2, 3)]); // idents 1-2, 2-3
-                                                        // border edge 3-4 (idents) seen from cluster 10 with neighbor label 20
+
+    // border edge 3-4 (idents) seen from cluster 10 with neighbor label 20
     let border: Vec<_> = v0.members.values().flat_map(|m| m.border.iter()).collect();
     assert_eq!(border.len(), 1);
     assert_eq!(border[0].1, 20);
     assert_eq!(border[0].3, 4 * 100); // neighbor payload travels in hellos
-                                      // all members of a cluster compute identical views (replica property)
+
+    // all members of a cluster compute identical views (replica property)
     let v2 = views[2].as_ref().unwrap();
     assert_eq!(v0.members, v2.members);
 }

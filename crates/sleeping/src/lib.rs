@@ -71,8 +71,11 @@
 //! * [`Outbox::push`]/[`Extend`] accept the legacy [`Outgoing`] value form,
 //!   for helper layers that build message lists independently of a buffer.
 //!
-//! Inboxes are slices into a per-round flat arena, grouped by recipient by
-//! a stable counting sort; envelopes always arrive sorted by sending port.
+//! Inboxes are pooled per-recipient segments: each delivered message is one
+//! write into its recipient's reusable buffer, and because awake nodes
+//! transmit in ascending order, envelopes arrive already sorted by sending
+//! port — no per-round sort (see the `arena` module source for the design
+//! notes and the benchmarked flat counting-sort alternative it replaced).
 //!
 //! # The scheduler: bucketed wake-ups + a `Stay` fast lane
 //!

@@ -91,9 +91,19 @@ impl WakeWheel {
         self.buckets[level * SLOTS + slot].push((round, node));
         self.occupied[level] |= 1 << slot;
         self.len += 1;
-        if self.cached_min.is_none_or(|m| round < m) {
+        if self.len == 1 {
+            // Only event stored: trivially the minimum.
             self.cached_min = Some(round);
+        } else if let Some(m) = self.cached_min {
+            if round < m {
+                self.cached_min = Some(round);
+            }
         }
+        // A `None` memo must stay `None`: it means "unknown", and events this
+        // schedule never saw may be pending earlier than `round`. Promoting it
+        // to `Some(round)` here would make peek_min report a too-late minimum
+        // after a pop_next + schedule sequence. Only a full recomputation
+        // (peek_min) may re-arm the memo.
     }
 
     /// The earliest pending round, without advancing the wheel.
@@ -101,9 +111,9 @@ impl WakeWheel {
     /// No cascade: the executors use this to decide whether the wheel
     /// participates in a stay-lane round *before* committing the wheel's
     /// position, so sleeps scheduled while processing that round stay
-    /// insertable. Amortized O(1): `schedule` keeps the memo current and
-    /// only a `pop_next` invalidates it, so at most one recomputation —
-    /// a scan of the lowest occupied bucket, where the global minimum
+    /// insertable. Amortized O(1): `schedule` keeps a valid memo tight,
+    /// and only a `pop_next` invalidates it, so at most one recomputation
+    /// — a scan of the lowest occupied bucket, where the global minimum
     /// must live — happens per pop.
     pub(crate) fn peek_min(&mut self) -> Option<Round> {
         if self.len == 0 {
@@ -135,7 +145,6 @@ impl WakeWheel {
         if self.len == 0 {
             return None;
         }
-        self.cached_min = None;
         loop {
             // Level 0 buckets are exact rounds inside the current 64-round
             // block; anything at a higher level is in a later block.
@@ -151,6 +160,12 @@ impl WakeWheel {
                 bucket.clear();
                 self.occupied[0] &= !(1 << slot);
                 self.current = round;
+                // Invalidate at the point of return, not at entry: the
+                // cascade below re-inserts events through `schedule`, which
+                // would otherwise re-memoize the very round being popped
+                // here — and peek_min would then report an already-popped
+                // round, making the executors skip coinciding wake-ups.
+                self.cached_min = None;
                 return Some(round);
             }
             // Cascade the lowest occupied bucket of the lowest non-empty
@@ -256,6 +271,43 @@ mod tests {
         assert_eq!(w.pop_next(&mut batch), None);
     }
 
+    /// Regression: a cascading pop_next re-inserts events via `schedule`,
+    /// which used to re-memoize the very round being popped; peek_min then
+    /// returned the already-popped round. Wakes at 65/66 from current = 0
+    /// cascade across the first 64-round block boundary.
+    #[test]
+    fn peek_is_fresh_after_a_cascading_pop() {
+        let mut w = WakeWheel::new();
+        w.schedule(65, 0);
+        w.schedule(66, 1);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(65));
+        assert_eq!(batch, vec![0]);
+        assert_eq!(w.peek_min(), Some(66), "memo must not hold popped round");
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(66));
+        assert_eq!(batch, vec![1]);
+        assert_eq!(w.peek_min(), None);
+    }
+
+    /// Regression: after a pop leaves older events pending, a `schedule` of
+    /// a *later* round must not re-arm the memo — peek_min would otherwise
+    /// report the freshly scheduled round and hide the older event.
+    #[test]
+    fn schedule_after_pop_does_not_hide_older_events() {
+        let mut w = WakeWheel::new();
+        w.schedule(66, 0);
+        w.schedule(70, 1);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(66));
+        w.schedule(100, 2);
+        assert_eq!(w.peek_min(), Some(70), "70 is still pending, not 100");
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(70));
+        assert_eq!(batch, vec![1]);
+        assert_eq!(w.peek_min(), Some(100));
+    }
+
     #[test]
     fn agrees_with_a_reference_heap_on_random_workloads() {
         use awake_graphs::rng::Rng;
@@ -282,11 +334,28 @@ mod tests {
                     node += 1;
                     pending += 1;
                 }
+                // Cross-check peek_min against the heap's min between every
+                // schedule burst and pop, so stale memos (e.g. left behind
+                // by a cascade) can't hide: peek must agree whether it is
+                // answered from the memo or recomputed.
+                assert_eq!(
+                    w.peek_min(),
+                    heap.peek().map(|&Reverse((r, _))| r),
+                    "case {case} peek after schedules"
+                );
                 if pending == 0 {
                     continue;
                 }
                 let mut batch = Vec::new();
                 let r = w.pop_next(&mut batch).expect("pending events");
+                assert_eq!(
+                    w.peek_min(),
+                    heap.iter()
+                        .map(|&Reverse((hr, _))| hr)
+                        .filter(|&hr| hr != r)
+                        .min(),
+                    "case {case} peek after pop at {r}"
+                );
                 batch.sort_unstable();
                 let mut expect = Vec::new();
                 let Reverse((er, _)) = *heap.peek().unwrap();

@@ -7,7 +7,9 @@ use awake::core::linial::ColorReduction;
 use awake::core::trivial::TrivialGreedy;
 use awake::graphs::{generators, Graph};
 use awake::olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet};
-use awake::sleeping::{threaded, Config, Engine, Metrics, Program, Run};
+use awake::sleeping::{
+    threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, Run, View,
+};
 
 /// Run serially and under 1, 2 and 8 workers; assert full equivalence.
 fn assert_equivalent<P, F>(g: &Graph, mk: F)
@@ -99,6 +101,70 @@ fn trivial_greedy_agrees_on_bounded_degree_graph() {
             .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
             .collect()
     });
+}
+
+/// Wakes at `initial`, broadcasts its ident, stays until `halt_at`.
+struct BlockBoundary {
+    initial: Round,
+    halt_at: Round,
+    heard: Vec<(Round, u64)>,
+}
+
+impl Program for BlockBoundary {
+    type Msg = u64;
+    type Output = Vec<(Round, u64)>;
+    fn initial_wake(&self) -> Option<Round> {
+        Some(self.initial)
+    }
+    fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+        out.broadcast(view.ident);
+    }
+    fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+        for e in inbox {
+            self.heard.push((view.round, e.msg));
+        }
+        if view.round >= self.halt_at {
+            Action::Halt
+        } else {
+            Action::Stay
+        }
+    }
+    fn output(&self) -> Option<Self::Output> {
+        Some(self.heard.clone())
+    }
+}
+
+/// A wheel wake (node 1 at round 66) coinciding with a stay-lane round
+/// after the seed events cascade across the first 64-round block boundary.
+/// Equivalence alone is blind to scheduler bugs both executors share, so
+/// this asserts the *absolute* expected exchange on both of them.
+#[test]
+fn stay_lane_meets_wheel_wake_across_block_boundary() {
+    let g = generators::path(2);
+    let mk = || {
+        vec![
+            BlockBoundary {
+                initial: 65,
+                halt_at: 70,
+                heard: vec![],
+            },
+            BlockBoundary {
+                initial: 66,
+                halt_at: 66,
+                heard: vec![],
+            },
+        ]
+    };
+    assert_equivalent(&g, mk);
+    for run in [
+        Engine::new(&g, Config::default()).run(mk()).unwrap(),
+        threaded::run_threaded(&g, mk(), Config::default(), 2).unwrap(),
+    ] {
+        assert_eq!(run.outputs[0], vec![(66, 2)], "node 0 must hear node 1");
+        assert_eq!(run.outputs[1], vec![(66, 1)], "node 1 must hear node 0");
+        assert_eq!(run.metrics.rounds, 70);
+        assert_eq!(run.metrics.awake, vec![6, 1]);
+    }
 }
 
 #[test]
