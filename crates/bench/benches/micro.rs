@@ -2,8 +2,11 @@
 //! mapping, Linial reduction steps, and graph operations.
 //!
 //! Run with `cargo bench --bench micro`. Emits `BENCH_engine.json`
-//! (override the path with `BENCH_OUT`) so the engine's perf trajectory is
-//! machine-readable across PRs: ns per awake node-round, node-rounds/sec,
+//! (override the path with `BENCH_OUT`) through the shared
+//! `awake_lab::report::{PerfStats, BenchReport}` schema — the same format
+//! the scenario suite and the CI baseline differ consume — so the engine's
+//! perf trajectory is machine-readable across PRs: ns per awake node-round,
+//! node-rounds/sec,
 //! messages/sec, and heap allocations per node-round — for the current
 //! executors *and* for a faithful in-bench reconstruction of the
 //! pre-optimization hot path (binary-heap scheduler, per-send `Vec`,
@@ -13,6 +16,7 @@
 use awake_core::lemma10::PaletteTree;
 use awake_core::linial;
 use awake_graphs::{generators, ops, traversal, Graph, NodeId};
+use awake_lab::report::{BenchReport, PerfStats};
 use awake_sleeping::{threaded, Action, Config, Engine, Envelope, Outbox, Outgoing, Program, View};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -172,43 +176,12 @@ mod legacy {
     }
 }
 
-struct EngineReport {
-    ns_per_node_round: f64,
-    node_rounds_per_sec: f64,
-    messages_per_sec: f64,
-    allocations: u64,
-    allocations_per_node_round: f64,
-}
-
-fn report(elapsed_ns: f64, node_rounds: u64, messages: u64, allocations: u64) -> EngineReport {
-    EngineReport {
-        ns_per_node_round: elapsed_ns / node_rounds as f64,
-        node_rounds_per_sec: node_rounds as f64 / (elapsed_ns / 1e9),
-        messages_per_sec: messages as f64 / (elapsed_ns / 1e9),
-        allocations,
-        allocations_per_node_round: allocations as f64 / node_rounds as f64,
-    }
-}
-
-fn json_section(r: &EngineReport) -> String {
-    format!(
-        "{{\"ns_per_node_round\": {:.2}, \"node_rounds_per_sec\": {:.0}, \
-         \"messages_per_sec\": {:.0}, \"allocations\": {}, \
-         \"allocations_per_node_round\": {:.4}}}",
-        r.ns_per_node_round,
-        r.node_rounds_per_sec,
-        r.messages_per_sec,
-        r.allocations,
-        r.allocations_per_node_round
-    )
-}
-
 const N: usize = 8192;
 const DEG: usize = 8;
 const ROUNDS: u64 = 150;
 const ITERS: usize = 5;
 
-fn bench_engine_flood(g: &Graph) -> (EngineReport, EngineReport, f64) {
+fn bench_engine_flood(g: &Graph) -> (PerfStats, PerfStats) {
     let mk = || {
         (0..N)
             .map(|_| Flood { best: 0, t: ROUNDS })
@@ -231,7 +204,12 @@ fn bench_engine_flood(g: &Graph) -> (EngineReport, EngineReport, f64) {
         black_box(&run.outputs);
         best_ns = best_ns.min(ns);
     }
-    let engine = report(best_ns, totals.0, totals.1, allocs);
+    let engine = PerfStats {
+        node_rounds: totals.0,
+        messages: totals.1,
+        allocations: allocs,
+        wall_ns: best_ns,
+    };
 
     // Legacy reconstruction, same workload.
     let mut best_ns = f64::INFINITY;
@@ -247,7 +225,12 @@ fn bench_engine_flood(g: &Graph) -> (EngineReport, EngineReport, f64) {
         black_box(&stats.outputs);
         best_ns = best_ns.min(ns);
     }
-    let legacy = report(best_ns, ltotals.0, ltotals.1, lallocs);
+    let legacy = PerfStats {
+        node_rounds: ltotals.0,
+        messages: ltotals.1,
+        allocations: lallocs,
+        wall_ns: best_ns,
+    };
 
     // The two must compute the same answer, or the comparison is vacuous.
     let cur = Engine::new(g, Config::default()).run(mk()).unwrap();
@@ -256,11 +239,10 @@ fn bench_engine_flood(g: &Graph) -> (EngineReport, EngineReport, f64) {
     assert_eq!(cur.metrics.messages_delivered, leg.delivered);
     assert_eq!(cur.metrics.messages_lost, leg.lost);
 
-    let speedup = engine.node_rounds_per_sec / legacy.node_rounds_per_sec;
-    (engine, legacy, speedup)
+    (engine, legacy)
 }
 
-fn bench_threaded_flood(g: &Graph) -> EngineReport {
+fn bench_threaded_flood(g: &Graph) -> PerfStats {
     let mk = || {
         (0..N)
             .map(|_| Flood { best: 0, t: ROUNDS })
@@ -280,7 +262,12 @@ fn bench_threaded_flood(g: &Graph) -> EngineReport {
         black_box(&run.outputs);
         best_ns = best_ns.min(ns);
     }
-    report(best_ns, totals.0, totals.1, allocs)
+    PerfStats {
+        node_rounds: totals.0,
+        messages: totals.1,
+        allocations: allocs,
+        wall_ns: best_ns,
+    }
 }
 
 fn bench_lemma10() {
@@ -347,42 +334,47 @@ fn main() {
     let g = generators::random_regular(N, DEG, 1);
     println!("engine/flood: n = {N}, degree ≈ {DEG}, {ROUNDS} rounds, best of {ITERS}\n");
 
-    let (engine, legacy, speedup) = bench_engine_flood(&g);
+    let (engine, legacy) = bench_engine_flood(&g);
     let thr = bench_threaded_flood(&g);
+    let report = BenchReport {
+        bench: "engine/flood".into(),
+        n: N,
+        degree: DEG,
+        rounds: ROUNDS,
+        engine,
+        threaded_4_workers: thr,
+        legacy_baseline: legacy,
+    };
     println!(
         "engine  (serial)   {:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs ({:.4}/node-round)",
-        engine.ns_per_node_round,
-        engine.node_rounds_per_sec,
+        engine.ns_per_node_round(),
+        engine.node_rounds_per_sec(),
         engine.allocations,
-        engine.allocations_per_node_round
+        engine.allocations_per_node_round()
     );
     println!(
         "engine  (4 workers){:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs",
-        thr.ns_per_node_round, thr.node_rounds_per_sec, thr.allocations
+        thr.ns_per_node_round(),
+        thr.node_rounds_per_sec(),
+        thr.allocations
     );
     println!(
         "legacy  baseline   {:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs ({:.4}/node-round)",
-        legacy.ns_per_node_round,
-        legacy.node_rounds_per_sec,
+        legacy.ns_per_node_round(),
+        legacy.node_rounds_per_sec(),
         legacy.allocations,
-        legacy.allocations_per_node_round
+        legacy.allocations_per_node_round()
     );
-    println!("speedup (serial vs legacy baseline): {speedup:.2}x\n");
+    println!(
+        "speedup (serial vs legacy baseline): {:.2}x\n",
+        report.speedup_vs_legacy()
+    );
 
-    let json = format!(
-        "{{\n  \"bench\": \"engine/flood\",\n  \"n\": {N},\n  \"degree\": {DEG},\n  \
-         \"rounds\": {ROUNDS},\n  \"engine\": {},\n  \"threaded_4_workers\": {},\n  \
-         \"legacy_baseline\": {},\n  \"speedup_vs_legacy\": {:.3}\n}}\n",
-        json_section(&engine),
-        json_section(&thr),
-        json_section(&legacy),
-        speedup
-    );
     // cargo runs benches with CWD = the package dir; anchor the report at
     // the workspace root so its path is stable across invocation styles.
     let out = std::env::var("BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
-    std::fs::write(&out, &json).expect("write bench report");
+    std::fs::write(&out, report.to_json()).expect("write bench report");
     println!("wrote {out}");
 
     bench_lemma10();

@@ -1,0 +1,429 @@
+//! Diffing a fresh bench report against the committed baseline.
+//!
+//! The CI regression gate: after `cargo bench -p awake-bench --bench micro`
+//! writes a fresh `BENCH_engine.json`, [`diff_bench`] compares it to the
+//! committed `BENCH_baseline.json` and flags
+//!
+//! * **throughput** (`node_rounds_per_sec` of the serial and worker-pool
+//!   executors, and the machine-portable `speedup_vs_legacy` ratio):
+//!   a relative drop beyond [`Tolerances::throughput_drop`] fails;
+//! * **allocations** (`allocations_per_node_round`): *any* increase beyond
+//!   a small absolute epsilon fails — a new steady-state allocation shows
+//!   up here as ≈ +1.0, and the whole point of the zero-allocation hot
+//!   path is that this number never creeps.
+//!
+//! Everything else in the report (`ns_per_node_round`, `messages_per_sec`,
+//! the legacy section) is shown in the diff table as context but never
+//! gates, to keep the gate's flake surface minimal.
+//!
+//! Absolute throughput numbers are only comparable on the machine that
+//! recorded the baseline. [`GateMode::Portable`] (CI's mode, `--portable`
+//! on the binary) instead gates the current-vs-legacy throughput *ratios* —
+//! the legacy reconstruction runs in the same process, so hardware speed
+//! cancels out — and downgrades the absolute rows to context.
+
+use crate::json::Value;
+use std::fmt::Write as _;
+
+/// Which rows gate: absolute throughput (same-machine diffs) or only the
+/// machine-portable ratios and allocation rates (cross-machine CI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateMode {
+    /// Gate absolute `node_rounds_per_sec` — valid when baseline and
+    /// current ran on the same hardware.
+    #[default]
+    Absolute,
+    /// Gate only `*_vs_legacy` ratios and allocations per node-round;
+    /// absolute throughput becomes informational.
+    Portable,
+}
+
+/// Gate thresholds for [`diff_bench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Maximum tolerated relative throughput drop (0.15 = 15%).
+    pub throughput_drop: f64,
+    /// Absolute slack on `allocations_per_node_round` (absorbs the 4-decimal
+    /// formatting granularity and first-touch jitter, nothing more).
+    pub alloc_epsilon: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            throughput_drop: 0.15,
+            alloc_epsilon: 0.002,
+        }
+    }
+}
+
+/// How one metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Higher is better; gate on relative drop.
+    Throughput,
+    /// Lower is better; gate on any absolute increase.
+    Allocations,
+    /// Shown for context, never gates.
+    Info,
+}
+
+/// One row of the diff table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Dotted metric path (e.g. `engine.node_rounds_per_sec`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub current: f64,
+    /// Relative change, in percent (positive = current larger).
+    pub change_pct: f64,
+    /// The rule applied.
+    pub rule: Rule,
+    /// Whether the row passes its rule.
+    pub ok: bool,
+}
+
+/// Compare a fresh bench report against the baseline.
+///
+/// Both values must be parsed `BENCH_engine.json` documents
+/// (see [`crate::report::BenchReport`]).
+///
+/// # Errors
+/// Returns a message naming the first metric missing from either document.
+pub fn diff_bench(
+    baseline: &Value,
+    current: &Value,
+    tol: &Tolerances,
+    mode: GateMode,
+) -> Result<Vec<MetricDiff>, String> {
+    let absolute_rule = match mode {
+        GateMode::Absolute => Rule::Throughput,
+        GateMode::Portable => Rule::Info,
+    };
+    let mut rows = Vec::new();
+    for section in ["engine", "threaded_4_workers"] {
+        rows.push(row(
+            baseline,
+            current,
+            &[section, "node_rounds_per_sec"],
+            absolute_rule,
+            tol,
+        )?);
+        rows.push(row(
+            baseline,
+            current,
+            &[section, "allocations_per_node_round"],
+            Rule::Allocations,
+            tol,
+        )?);
+        rows.push(row(
+            baseline,
+            current,
+            &[section, "ns_per_node_round"],
+            Rule::Info,
+            tol,
+        )?);
+        rows.push(row(
+            baseline,
+            current,
+            &[section, "messages_per_sec"],
+            Rule::Info,
+            tol,
+        )?);
+    }
+    rows.push(row(
+        baseline,
+        current,
+        &["speedup_vs_legacy"],
+        Rule::Throughput,
+        tol,
+    )?);
+    if mode == GateMode::Portable {
+        rows.push(ratio_row(
+            baseline,
+            current,
+            &["threaded_4_workers", "node_rounds_per_sec"],
+            &["legacy_baseline", "node_rounds_per_sec"],
+            "threaded_4_workers_vs_legacy",
+            tol,
+        )?);
+    }
+    rows.push(row(
+        baseline,
+        current,
+        &["legacy_baseline", "node_rounds_per_sec"],
+        Rule::Info,
+        tol,
+    )?);
+    Ok(rows)
+}
+
+/// A derived row: `num / den` within each document, gated as throughput.
+/// The same-process legacy run divides hardware speed out, so the ratio is
+/// comparable across machines.
+fn ratio_row(
+    baseline: &Value,
+    current: &Value,
+    num: &[&str],
+    den: &[&str],
+    name: &str,
+    tol: &Tolerances,
+) -> Result<MetricDiff, String> {
+    let get = |doc: &Value, path: &[&str], which: &str| {
+        doc.path(path).and_then(Value::as_f64).ok_or_else(|| {
+            format!(
+                "{which} report is missing numeric metric `{}`",
+                path.join(".")
+            )
+        })
+    };
+    let base = get(baseline, num, "baseline")? / get(baseline, den, "baseline")?;
+    let cur = get(current, num, "current")? / get(current, den, "current")?;
+    let change_pct = if base != 0.0 {
+        (cur - base) / base * 100.0
+    } else {
+        0.0
+    };
+    Ok(MetricDiff {
+        metric: name.to_string(),
+        baseline: base,
+        current: cur,
+        change_pct,
+        rule: Rule::Throughput,
+        ok: cur >= base * (1.0 - tol.throughput_drop),
+    })
+}
+
+fn row(
+    baseline: &Value,
+    current: &Value,
+    path: &[&str],
+    rule: Rule,
+    tol: &Tolerances,
+) -> Result<MetricDiff, String> {
+    let name = path.join(".");
+    let get = |doc: &Value, which: &str| {
+        doc.path(path)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{which} report is missing numeric metric `{name}`"))
+    };
+    let base = get(baseline, "baseline")?;
+    let cur = get(current, "current")?;
+    let change_pct = if base != 0.0 {
+        (cur - base) / base * 100.0
+    } else {
+        0.0
+    };
+    let ok = match rule {
+        Rule::Throughput => cur >= base * (1.0 - tol.throughput_drop),
+        Rule::Allocations => cur <= base + tol.alloc_epsilon,
+        Rule::Info => true,
+    };
+    Ok(MetricDiff {
+        metric: name,
+        baseline: base,
+        current: cur,
+        change_pct,
+        rule,
+        ok,
+    })
+}
+
+/// Render the diff as an aligned table (the form CI prints into the log).
+pub fn render_table(rows: &[MetricDiff]) -> String {
+    let mut out = String::new();
+    let w = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let _ = writeln!(
+        out,
+        "{:<w$} {:>16} {:>16} {:>9}  {:<11} status",
+        "metric", "baseline", "current", "change", "rule"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(w + 65));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<w$} {:>16.4} {:>16.4} {:>+8.1}%  {:<11} {}",
+            r.metric,
+            r.baseline,
+            r.current,
+            r.change_pct,
+            match r.rule {
+                Rule::Throughput => "throughput",
+                Rule::Allocations => "allocations",
+                Rule::Info => "info",
+            },
+            if r.ok { "ok" } else { "FAIL" },
+        );
+    }
+    out
+}
+
+/// The regressed rows, if any (empty slice = gate passes).
+pub fn failures(rows: &[MetricDiff]) -> Vec<&MetricDiff> {
+    rows.iter().filter(|r| !r.ok).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::report::{BenchReport, PerfStats};
+
+    fn report(engine_ns: f64, allocs: u64) -> Value {
+        let mk = |wall_ns: f64, allocations: u64| PerfStats {
+            node_rounds: 1_000_000,
+            messages: 8_000_000,
+            allocations,
+            wall_ns,
+        };
+        let b = BenchReport {
+            bench: "engine/flood".into(),
+            n: 8192,
+            degree: 8,
+            rounds: 150,
+            engine: mk(engine_ns, allocs),
+            threaded_4_workers: mk(engine_ns * 1.8, allocs),
+            legacy_baseline: mk(engine_ns * 2.2, 1_000_000),
+        };
+        json::parse(&b.to_json()).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(6.0e7, 13_000);
+        let rows = diff_bench(&base, &base, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+    }
+
+    #[test]
+    fn small_regression_within_tolerance_passes() {
+        let base = report(6.0e7, 13_000);
+        // 10% slower: wall time up by 1/0.9
+        let cur = report(6.0e7 / 0.9, 13_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+    }
+
+    #[test]
+    fn injected_twenty_percent_regression_fails() {
+        let base = report(6.0e7, 13_000);
+        // 20% throughput drop: wall time divided by 0.8
+        let cur = report(6.0e7 / 0.8, 13_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        let failed = failures(&rows);
+        assert!(
+            failed
+                .iter()
+                .any(|r| r.metric == "engine.node_rounds_per_sec"),
+            "{}",
+            render_table(&rows)
+        );
+    }
+
+    #[test]
+    fn allocation_increase_fails() {
+        let base = report(6.0e7, 13_000);
+        // one new allocation per node-round
+        let cur = report(6.0e7, 1_013_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        let failed = failures(&rows);
+        assert!(failed
+            .iter()
+            .any(|r| r.metric == "engine.allocations_per_node_round"));
+        // throughput unchanged ⇒ only allocation rows fail
+        assert!(failed.iter().all(|r| r.rule == Rule::Allocations));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = report(6.0e7, 13_000);
+        let cur = report(3.0e7, 0); // 2× faster, allocation-free
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows).is_empty());
+    }
+
+    #[test]
+    fn portable_mode_ignores_uniform_hardware_slowdown() {
+        let base = report(6.0e7, 13_000);
+        // every section 40% slower — a slower CI runner, not a regression
+        let cur = report(6.0e7 * 1.4, 13_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        // the same slowdown fails the absolute gate
+        let abs = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(!failures(&abs).is_empty());
+    }
+
+    #[test]
+    fn portable_mode_catches_engine_only_regression() {
+        let mk = |wall_ns: f64| PerfStats {
+            node_rounds: 1_000_000,
+            messages: 8_000_000,
+            allocations: 13_000,
+            wall_ns,
+        };
+        let doc = |engine_ns: f64, threaded_ns: f64| {
+            json::parse(
+                &BenchReport {
+                    bench: "engine/flood".into(),
+                    n: 8192,
+                    degree: 8,
+                    rounds: 150,
+                    engine: mk(engine_ns),
+                    threaded_4_workers: mk(threaded_ns),
+                    legacy_baseline: mk(1.3e8),
+                }
+                .to_json(),
+            )
+            .unwrap()
+        };
+        let base = doc(6.0e7, 1.1e8);
+        // serial engine alone 25% slower; legacy (same hardware) unchanged
+        let eng = diff_bench(
+            &base,
+            &doc(6.0e7 / 0.75, 1.1e8),
+            &Tolerances::default(),
+            GateMode::Portable,
+        )
+        .unwrap();
+        assert!(failures(&eng)
+            .iter()
+            .any(|r| r.metric == "speedup_vs_legacy"));
+        // worker-pool executor alone 25% slower
+        let thr = diff_bench(
+            &base,
+            &doc(6.0e7, 1.1e8 / 0.75),
+            &Tolerances::default(),
+            GateMode::Portable,
+        )
+        .unwrap();
+        assert!(failures(&thr)
+            .iter()
+            .any(|r| r.metric == "threaded_4_workers_vs_legacy"));
+    }
+
+    #[test]
+    fn missing_metric_is_reported() {
+        let base = report(6.0e7, 13_000);
+        let cur = json::parse("{\"engine\": {}}").unwrap();
+        let err = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap_err();
+        assert!(err.contains("node_rounds_per_sec"));
+        assert!(err.contains("current"));
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let base = report(6.0e7, 13_000);
+        let rows = diff_bench(&base, &base, &Tolerances::default(), GateMode::Absolute).unwrap();
+        let table = render_table(&rows);
+        assert_eq!(table.lines().count(), rows.len() + 2);
+        assert!(table.contains("speedup_vs_legacy"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Diff a fresh `BENCH_engine.json` against the committed baseline — the
+//! CI bench-regression gate.
+//!
+//! ```sh
+//! cargo run --release -p awake-lab --bin baseline-diff -- \
+//!     BENCH_baseline.json BENCH_engine.json [--tolerance 0.15]
+//! ```
+//!
+//! Prints the per-metric diff table and exits non-zero on a gated
+//! regression: a throughput drop beyond the tolerance, or any increase in
+//! allocations per node-round (see `awake_lab::baselines` for the rules).
+
+use awake_lab::baselines::{self, GateMode, Tolerances};
+use awake_lab::json;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: baseline-diff <baseline.json> <current.json> [--tolerance FRACTION] [--portable]\n\
+         \n  --portable  gate only machine-portable metrics (vs-legacy throughput\n\
+         \x20             ratios and allocations per node-round); use when the\n\
+         \x20             baseline was recorded on different hardware, e.g. in CI"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut mode = GateMode::Absolute;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let Some(v) = argv.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage()
+                };
+                tol.throughput_drop = v;
+            }
+            "--portable" => mode = GateMode::Portable,
+            p if !p.starts_with("--") => paths.push(p.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let result = (|| {
+        let baseline = load(baseline_path)?;
+        let current = load(current_path)?;
+        baselines::diff_bench(&baseline, &current, &tol, mode)
+    })();
+    let rows = match result {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("baseline-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench regression gate: {} vs {} (throughput tolerance {:.0}%, alloc epsilon {}{})\n",
+        baseline_path,
+        current_path,
+        tol.throughput_drop * 100.0,
+        tol.alloc_epsilon,
+        if mode == GateMode::Portable {
+            ", portable metrics only"
+        } else {
+            ""
+        }
+    );
+    print!("{}", baselines::render_table(&rows));
+
+    let failed = baselines::failures(&rows);
+    if failed.is_empty() {
+        println!("\ngate PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("\ngate FAILED ({} metric(s) regressed):", failed.len());
+        for r in &failed {
+            println!(
+                "  {}: {:.4} -> {:.4} ({:+.1}%)",
+                r.metric, r.baseline, r.current, r.change_pct
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

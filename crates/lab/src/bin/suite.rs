@@ -1,0 +1,151 @@
+//! Run a named scenario suite and write its JSON report.
+//!
+//! ```sh
+//! cargo run --release -p awake-lab --bin suite -- --preset quick
+//! suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--list]
+//! ```
+//!
+//! Exits non-zero if any scenario fails to run or fails validation.
+
+use awake_lab::runner::Runner;
+use awake_lab::scenario::presets;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations so the suite can report per-scenario deltas.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+struct Args {
+    preset: String,
+    seed: u64,
+    shards: usize,
+    out: String,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--list]\n\
+         \n  --preset NAME  suite preset to run (default: quick)\
+         \n  --seed N       suite seed; scenario seeds derive from it (default: 1)\
+         \n  --shards K     run up to K scenarios concurrently (default: 1)\
+         \n  --out PATH     where to write the JSON report (default: suite_report.json)\
+         \n  --list         list presets and exit"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        preset: "quick".into(),
+        seed: 1,
+        shards: 1,
+        out: "suite_report.json".into(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage_missing(name));
+        match flag.as_str() {
+            "--preset" => args.preset = value("--preset"),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = value("--out"),
+            "--list" => args.list = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_missing(name: &str) -> ! {
+    eprintln!("missing value for {name}");
+    usage()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list {
+        println!("available presets:");
+        for (name, desc, scenarios) in presets::registry() {
+            println!("  {name:<10} {desc} [{} scenarios]", scenarios.len());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(scenarios) = presets::by_name(&args.preset) else {
+        eprintln!(
+            "unknown preset `{}` — try --list for the registry",
+            args.preset
+        );
+        return ExitCode::from(2);
+    };
+
+    println!(
+        "suite `{}`: {} scenarios, seed {}, {} shard(s)\n",
+        args.preset,
+        scenarios.len(),
+        args.seed,
+        args.shards
+    );
+    let runner = if args.shards > 1 {
+        Runner::sharded(args.shards)
+    } else {
+        Runner::serial()
+    }
+    .with_alloc_probe(alloc_count);
+
+    let t0 = Instant::now();
+    let report = match runner.run(&args.preset, &scenarios, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.text_table());
+    println!("\nsuite wall time: {:.2?}", t0.elapsed());
+
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    let invalid: Vec<&str> = report
+        .scenarios
+        .iter()
+        .filter(|s| !s.valid)
+        .map(|s| s.name.as_str())
+        .collect();
+    if !invalid.is_empty() {
+        eprintln!("validation FAILED for: {}", invalid.join(", "));
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,75 @@
+//! **awake-lab** — the scenario harness: declarative batch experiments
+//! over the Sleeping-model stack.
+//!
+//! The paper's headline claim is a *trade-off surface* — awake complexity
+//! vs. round complexity across problems, graph families, and solvers.
+//! This crate turns one point of that surface into a value you can build,
+//! run, batch, and diff:
+//!
+//! * [`scenario`] — a [`Scenario`](scenario::Scenario) names a
+//!   (graph family × problem × algorithm/executor) tuple. Build one with
+//!   [`Scenario::of`](scenario::Scenario::of), or take a curated suite
+//!   from [`scenario::presets`] (`quick`, `full`, `algos`, `executors`).
+//! * [`runner`] — a [`Runner`](runner::Runner) executes a suite serially
+//!   or sharded across worker threads. Every scenario derives its RNG
+//!   seed from the suite seed and its graph-family key, so results are
+//!   deterministic, independent of shard count, and same-family rows
+//!   share one graph instance.
+//! * [`report`] — a [`Report`](report::Report) captures rounds, awake
+//!   complexity, messages, wall time, and allocations per scenario, and
+//!   renders as an aligned text table or JSON. The *canonical* JSON form
+//!   is byte-stable at a fixed seed (golden-tested); the same module's
+//!   [`PerfStats`](report::PerfStats)/[`BenchReport`](report::BenchReport)
+//!   are the schema of `BENCH_engine.json`, so micro benches and suites
+//!   share one format.
+//! * [`baselines`] — diffs a fresh bench report against the committed
+//!   `BENCH_baseline.json` with per-metric tolerance rules (the CI
+//!   regression gate).
+//! * [`json`] — the minimal std-only JSON reader backing the differ.
+//!
+//! # Defining and running a scenario
+//!
+//! ```
+//! use awake_lab::runner::Runner;
+//! use awake_lab::scenario::{Algo, GraphFamily, ProblemKind, Scenario};
+//!
+//! let scenario = Scenario::of(
+//!     GraphFamily::RandomTree { n: 48 },
+//!     ProblemKind::Mis,
+//!     Algo::Theorem1,
+//! )
+//! .build();
+//!
+//! let report = Runner::serial().run("demo", &[scenario], 7).unwrap();
+//! let row = &report.scenarios[0];
+//! assert!(row.valid); // the MIS validator accepted the outputs
+//! println!("{}", report.text_table());
+//! println!("{}", report.canonical_json());
+//! ```
+//!
+//! # Running a preset suite
+//!
+//! ```no_run
+//! use awake_lab::{runner::Runner, scenario::presets};
+//!
+//! let suite = presets::by_name("quick").unwrap();
+//! let report = Runner::sharded(4).run("quick", &suite, 1).unwrap();
+//! std::fs::write("suite_report.json", report.to_json()).unwrap();
+//! ```
+//!
+//! or from the command line:
+//!
+//! ```sh
+//! cargo run --release -p awake-lab --bin suite -- --preset quick
+//! cargo run --release -p awake-lab --bin baseline-diff -- \
+//!     BENCH_baseline.json BENCH_engine.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod scenario;

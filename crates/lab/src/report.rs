@@ -1,0 +1,444 @@
+//! The shared report model: one schema for suite runs and micro benches.
+//!
+//! Two layers:
+//!
+//! * [`Report`] / [`ScenarioReport`] / [`ScenarioMetrics`] — the output of
+//!   a suite run (`awake-lab/report/v1`). The *canonical* JSON form
+//!   ([`Report::canonical_json`]) contains only deterministic fields and is
+//!   byte-stable across runs at a fixed seed; [`Report::to_json`] adds the
+//!   per-scenario wall time and allocation counts.
+//! * [`PerfStats`] / [`BenchReport`] — the micro-bench schema
+//!   (`awake-lab/bench/v1`, the shape of `BENCH_engine.json`). The bench
+//!   crate emits through these types, so the CI baseline differ and the
+//!   suite runner read one format.
+
+use awake_core::compose::Composition;
+use awake_sleeping::Metrics;
+use std::fmt::Write as _;
+
+/// Deterministic per-scenario measurements.
+///
+/// Every field is a pure function of (scenario, seed): two runs of the same
+/// scenario — serial or sharded, debug or release — must compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMetrics {
+    /// Round complexity (last round any node was awake).
+    pub rounds: u64,
+    /// Awake complexity (max over nodes of awake rounds).
+    pub max_awake: u64,
+    /// Total awake node-rounds (≈ simulation work).
+    pub total_awake: u64,
+    /// Node-averaged awake rounds.
+    pub avg_awake: f64,
+    /// Messages handed to the engine.
+    pub messages_sent: u64,
+    /// Messages lost to sleeping/halted recipients.
+    pub messages_lost: u64,
+}
+
+impl ScenarioMetrics {
+    /// Collect from a single engine run.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        ScenarioMetrics {
+            rounds: m.rounds,
+            max_awake: m.max_awake(),
+            total_awake: m.total_awake(),
+            avg_awake: m.avg_awake(),
+            messages_sent: m.messages_sent,
+            messages_lost: m.messages_lost,
+        }
+    }
+
+    /// Collect from a staged pipeline (Lemma 8 additive accounting).
+    pub fn from_composition(c: &Composition) -> Self {
+        ScenarioMetrics {
+            rounds: c.rounds(),
+            max_awake: c.max_awake(),
+            total_awake: c.awake_per_node().iter().sum(),
+            avg_awake: c.avg_awake(),
+            messages_sent: c.messages_sent(),
+            messages_lost: c.messages_lost(),
+        }
+    }
+}
+
+/// Non-deterministic measurements: excluded from the canonical JSON form
+/// and from determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Timing {
+    /// Wall-clock time for the scenario (graph build + solve + validate).
+    pub wall_ns: f64,
+    /// Heap allocations during the scenario, when the host binary installs
+    /// a counting allocator (see [`crate::runner::Runner::with_alloc_probe`]);
+    /// `0` otherwise. Attribution is only exact on a serial runner.
+    pub allocations: u64,
+}
+
+/// The result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (unique within the suite).
+    pub name: String,
+    /// Problem label ([`crate::scenario::ProblemKind::key`]).
+    pub problem: &'static str,
+    /// Graph-family label ([`crate::scenario::GraphFamily::key`]).
+    pub family: String,
+    /// Solver label ([`crate::scenario::Algo::key`]).
+    pub algo: String,
+    /// The derived per-scenario RNG seed actually used.
+    pub seed: u64,
+    /// Nodes in the built graph.
+    pub n: usize,
+    /// Edges in the built graph.
+    pub m: usize,
+    /// Whether the problem validator accepted the outputs.
+    pub valid: bool,
+    /// Deterministic measurements.
+    pub metrics: ScenarioMetrics,
+    /// Wall time / allocations (non-deterministic).
+    pub timing: Timing,
+}
+
+/// The result of a suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Suite name (preset name, or a caller-chosen label).
+    pub suite: String,
+    /// The suite seed every scenario seed was derived from.
+    pub seed: u64,
+    /// Per-scenario results, in suite order (independent of sharding).
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Schema tag of [`Report`] JSON documents.
+pub const REPORT_SCHEMA: &str = "awake-lab/report/v1";
+/// Schema tag of [`BenchReport`] JSON documents (`BENCH_engine.json`).
+pub const BENCH_SCHEMA: &str = "awake-lab/bench/v1";
+
+impl Report {
+    /// Full JSON document, including per-scenario timing.
+    pub fn to_json(&self) -> String {
+        self.json(true)
+    }
+
+    /// Deterministic JSON document: timing omitted. Byte-stable across
+    /// runs, executors, shard counts, and build profiles at a fixed seed —
+    /// the form the golden-snapshot test pins.
+    pub fn canonical_json(&self) -> String {
+        self.json(false)
+    }
+
+    fn json(&self, timings: bool) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{REPORT_SCHEMA}\",\n  \"suite\": {},\n  \"seed\": {},\n  \"scenarios\": [",
+            json_str(&self.suite),
+            self.seed
+        );
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"problem\": {}, \"family\": {}, \"algo\": {}, \
+                 \"seed\": {}, \"n\": {}, \"m\": {}, \"valid\": {}, \
+                 \"rounds\": {}, \"max_awake\": {}, \"total_awake\": {}, \"avg_awake\": {:.3}, \
+                 \"messages_sent\": {}, \"messages_lost\": {}",
+                json_str(&s.name),
+                json_str(s.problem),
+                json_str(&s.family),
+                json_str(&s.algo),
+                s.seed,
+                s.n,
+                s.m,
+                s.valid,
+                s.metrics.rounds,
+                s.metrics.max_awake,
+                s.metrics.total_awake,
+                s.metrics.avg_awake,
+                s.metrics.messages_sent,
+                s.metrics.messages_lost,
+            );
+            if timings {
+                let _ = write!(
+                    out,
+                    ", \"wall_ms\": {:.3}, \"allocations\": {}",
+                    s.timing.wall_ns / 1e6,
+                    s.timing.allocations
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// An aligned text table of the suite (one row per scenario).
+    pub fn text_table(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .scenarios
+            .iter()
+            .map(|s| s.name.chars().count())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>6}",
+            "scenario", "n", "m", "rounds", "awake", "avg", "msgs", "wall ms", "valid"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(name_w + 73));
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>9.2} {:>10} {:>9.2} {:>6}",
+                s.name,
+                s.n,
+                s.m,
+                s.metrics.rounds,
+                s.metrics.max_awake,
+                s.metrics.avg_awake,
+                s.metrics.messages_sent,
+                s.timing.wall_ns / 1e6,
+                if s.valid { "yes" } else { "NO" },
+            );
+        }
+        out
+    }
+}
+
+/// Raw counters of one timed benchmark workload; the derived rates are the
+/// section fields of `BENCH_engine.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfStats {
+    /// Awake node-rounds executed.
+    pub node_rounds: u64,
+    /// Messages handed to the engine.
+    pub messages: u64,
+    /// Heap allocations during the timed window.
+    pub allocations: u64,
+    /// Elapsed wall time, nanoseconds.
+    pub wall_ns: f64,
+}
+
+impl PerfStats {
+    /// Nanoseconds per awake node-round.
+    pub fn ns_per_node_round(&self) -> f64 {
+        self.wall_ns / self.node_rounds as f64
+    }
+
+    /// Awake node-rounds per second — the headline throughput metric the
+    /// CI regression gate checks.
+    pub fn node_rounds_per_sec(&self) -> f64 {
+        self.node_rounds as f64 / (self.wall_ns / 1e9)
+    }
+
+    /// Messages per second.
+    pub fn messages_per_sec(&self) -> f64 {
+        self.messages as f64 / (self.wall_ns / 1e9)
+    }
+
+    /// Heap allocations per awake node-round — the zero-allocation
+    /// steady-state claim as a number.
+    pub fn allocations_per_node_round(&self) -> f64 {
+        self.allocations as f64 / self.node_rounds as f64
+    }
+
+    /// One JSON section, the exact field set of `BENCH_engine.json`.
+    pub fn section_json(&self) -> String {
+        format!(
+            "{{\"ns_per_node_round\": {:.2}, \"node_rounds_per_sec\": {:.0}, \
+             \"messages_per_sec\": {:.0}, \"allocations\": {}, \
+             \"allocations_per_node_round\": {:.4}}}",
+            self.ns_per_node_round(),
+            self.node_rounds_per_sec(),
+            self.messages_per_sec(),
+            self.allocations,
+            self.allocations_per_node_round()
+        )
+    }
+}
+
+/// The micro-bench report (`BENCH_engine.json`): current serial engine,
+/// worker-pool executor, and the in-bench legacy reconstruction — every
+/// report carries its own baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Workload label (e.g. `"engine/flood"`).
+    pub bench: String,
+    /// Nodes.
+    pub n: usize,
+    /// Approximate degree.
+    pub degree: usize,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// The current serial engine.
+    pub engine: PerfStats,
+    /// The worker-pool executor (4 workers).
+    pub threaded_4_workers: PerfStats,
+    /// The pre-optimization hot-path reconstruction.
+    pub legacy_baseline: PerfStats,
+}
+
+impl BenchReport {
+    /// Serial-engine throughput over the legacy reconstruction — the
+    /// machine-portable speedup figure.
+    pub fn speedup_vs_legacy(&self) -> f64 {
+        self.engine.node_rounds_per_sec() / self.legacy_baseline.node_rounds_per_sec()
+    }
+
+    /// The full `BENCH_engine.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"bench\": {},\n  \"n\": {},\n  \
+             \"degree\": {},\n  \"rounds\": {},\n  \"engine\": {},\n  \
+             \"threaded_4_workers\": {},\n  \"legacy_baseline\": {},\n  \
+             \"speedup_vs_legacy\": {:.3}\n}}\n",
+            json_str(&self.bench),
+            self.n,
+            self.degree,
+            self.rounds,
+            self.engine.section_json(),
+            self.threaded_4_workers.section_json(),
+            self.legacy_baseline.section_json(),
+            self.speedup_vs_legacy()
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            suite: "t".into(),
+            seed: 1,
+            scenarios: vec![ScenarioReport {
+                name: "mis/path-4/trivial".into(),
+                problem: "mis",
+                family: "path-4".into(),
+                algo: "trivial".into(),
+                seed: 99,
+                n: 4,
+                m: 3,
+                valid: true,
+                metrics: ScenarioMetrics {
+                    rounds: 5,
+                    max_awake: 3,
+                    total_awake: 10,
+                    avg_awake: 2.5,
+                    messages_sent: 12,
+                    messages_lost: 2,
+                },
+                timing: Timing {
+                    wall_ns: 1.5e6,
+                    allocations: 7,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn canonical_json_omits_timing() {
+        let r = sample();
+        let full = r.to_json();
+        let canon = r.canonical_json();
+        assert!(full.contains("wall_ms"));
+        assert!(full.contains("allocations"));
+        assert!(!canon.contains("wall_ms"));
+        assert!(!canon.contains("allocations"));
+        assert!(canon.contains("\"schema\": \"awake-lab/report/v1\""));
+    }
+
+    #[test]
+    fn canonical_json_ignores_timing_values() {
+        let mut a = sample();
+        let mut b = sample();
+        a.scenarios[0].timing.wall_ns = 1.0;
+        b.scenarios[0].timing.wall_ns = 2.0;
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn perf_stats_derivations() {
+        let p = PerfStats {
+            node_rounds: 1000,
+            messages: 4000,
+            allocations: 10,
+            wall_ns: 1e6,
+        };
+        assert!((p.ns_per_node_round() - 1000.0).abs() < 1e-9);
+        assert!((p.node_rounds_per_sec() - 1e6).abs() < 1e-3);
+        assert!((p.messages_per_sec() - 4e6).abs() < 1e-3);
+        assert!((p.allocations_per_node_round() - 0.01).abs() < 1e-12);
+        let j = p.section_json();
+        assert!(j.contains("\"node_rounds_per_sec\": 1000000"));
+    }
+
+    #[test]
+    fn bench_report_json_shape() {
+        let p = PerfStats {
+            node_rounds: 100,
+            messages: 100,
+            allocations: 0,
+            wall_ns: 1e6,
+        };
+        let b = BenchReport {
+            bench: "engine/flood".into(),
+            n: 8,
+            degree: 2,
+            rounds: 3,
+            engine: p,
+            threaded_4_workers: p,
+            legacy_baseline: PerfStats { wall_ns: 2e6, ..p },
+        };
+        assert!((b.speedup_vs_legacy() - 2.0).abs() < 1e-9);
+        let j = b.to_json();
+        for key in [
+            "\"schema\"",
+            "\"engine\"",
+            "\"threaded_4_workers\"",
+            "\"legacy_baseline\"",
+            "\"speedup_vs_legacy\": 2.000",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn text_table_has_one_row_per_scenario() {
+        let t = sample().text_table();
+        assert_eq!(t.lines().count(), 3); // header + rule + 1 row
+        assert!(t.contains("mis/path-4/trivial"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Executing scenarios: serially, or sharded across worker threads.
+//!
+//! The runner guarantees that the *deterministic* part of a
+//! [`Report`] — everything in
+//! [`ScenarioMetrics`] plus the graph
+//! shape and validation verdict — is identical regardless of shard count:
+//! each scenario derives its RNG seed from the suite seed and its
+//! graph-family key ([`Scenario::seed`]), runs independently, and results
+//! are merged in suite order. The determinism test in `tests/golden.rs`
+//! asserts this.
+
+use crate::report::{Report, ScenarioMetrics, ScenarioReport, Timing};
+use crate::scenario::{Algo, ProblemKind, Scenario};
+use awake_core::trivial::TrivialGreedy;
+use awake_core::{bm21, theorem1};
+use awake_graphs::Graph;
+use awake_olocal::problems::{
+    DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
+};
+use awake_olocal::OLocalProblem;
+use awake_sleeping::{threaded, Config, Engine, SimError};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A scenario run failure: which scenario, and what the simulator said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabError {
+    /// The failing scenario's name.
+    pub scenario: String,
+    /// The underlying simulator error.
+    pub error: SimError,
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {}: {}", self.scenario, self.error)
+    }
+}
+
+impl std::error::Error for LabError {}
+
+/// Reads a process-wide allocation counter (installed by the host binary's
+/// `#[global_allocator]`); the runner records deltas around each scenario.
+pub type AllocProbe = fn() -> u64;
+
+/// Runs suites of [`Scenario`]s and produces [`Report`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Runner {
+    shards: usize,
+    alloc_probe: Option<AllocProbe>,
+}
+
+impl Runner {
+    /// A serial runner: scenarios execute one by one, in suite order.
+    pub fn serial() -> Self {
+        Runner {
+            shards: 1,
+            alloc_probe: None,
+        }
+    }
+
+    /// A sharded runner: up to `shards` scenarios execute concurrently on
+    /// worker threads (results are still reported in suite order, and the
+    /// deterministic fields are identical to a serial run).
+    pub fn sharded(shards: usize) -> Self {
+        Runner {
+            shards: shards.max(1),
+            alloc_probe: None,
+        }
+    }
+
+    /// Record per-scenario heap-allocation deltas through `probe`.
+    ///
+    /// Attribution is exact only on a serial runner — sharded scenarios
+    /// share the process-wide counter, so their deltas overlap. The field
+    /// is excluded from the canonical report either way.
+    pub fn with_alloc_probe(mut self, probe: AllocProbe) -> Self {
+        self.alloc_probe = Some(probe);
+        self
+    }
+
+    /// Run every scenario and collect a [`Report`].
+    ///
+    /// # Errors
+    /// Returns the first failing scenario's [`LabError`] (in suite order).
+    pub fn run(&self, suite: &str, scenarios: &[Scenario], seed: u64) -> Result<Report, LabError> {
+        let results: Vec<Result<ScenarioReport, LabError>> = if self.shards == 1 {
+            scenarios
+                .iter()
+                .map(|sc| run_scenario(sc, seed, self.alloc_probe))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<Result<ScenarioReport, LabError>>>> =
+                scenarios.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.shards.min(scenarios.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(sc) = scenarios.get(i) else { break };
+                        let r = run_scenario(sc, seed, self.alloc_probe);
+                        *slots[i].lock().unwrap() = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r?);
+        }
+        Ok(Report {
+            suite: suite.to_string(),
+            seed,
+            scenarios: out,
+        })
+    }
+}
+
+/// Run one scenario with the given suite seed.
+///
+/// # Errors
+/// Propagates simulator errors, tagged with the scenario name.
+pub fn run_scenario(
+    sc: &Scenario,
+    suite_seed: u64,
+    probe: Option<AllocProbe>,
+) -> Result<ScenarioReport, LabError> {
+    let seed = sc.seed(suite_seed);
+    let a0 = probe.map(|p| p()).unwrap_or(0);
+    let t0 = Instant::now();
+    let g = sc.family.build(seed);
+    let (metrics, valid) = match sc.problem {
+        ProblemKind::Coloring => solve(&DeltaPlusOneColoring, sc, &g),
+        ProblemKind::ListColoring => solve(&DegreePlusOneListColoring, sc, &g),
+        ProblemKind::Mis => solve(&MaximalIndependentSet, sc, &g),
+        ProblemKind::VertexCover => solve(&MinimalVertexCover, sc, &g),
+    }
+    .map_err(|error| LabError {
+        scenario: sc.name.clone(),
+        error,
+    })?;
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    let allocations = probe.map(|p| p() - a0).unwrap_or(0);
+    Ok(ScenarioReport {
+        name: sc.name.clone(),
+        problem: sc.problem.key(),
+        family: sc.family.key(),
+        algo: sc.algo.key(),
+        seed,
+        n: g.n(),
+        m: g.m(),
+        valid,
+        metrics,
+        timing: Timing {
+            wall_ns,
+            allocations,
+        },
+    })
+}
+
+/// Solve the scenario's problem on `g` with the scenario's algorithm and
+/// validate the outputs.
+fn solve<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), SimError>
+where
+    P: OLocalProblem + Clone + Send + Sync,
+    P::Input: Clone,
+{
+    let inputs = problem.trivial_inputs(g);
+    match sc.algo {
+        Algo::Trivial => {
+            let programs: Vec<TrivialGreedy<P>> = g
+                .nodes()
+                .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
+                .collect();
+            let run = Engine::new(g, Config::default()).run(programs)?;
+            let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
+            Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
+        }
+        Algo::TrivialThreaded(workers) => {
+            let programs: Vec<TrivialGreedy<P>> = g
+                .nodes()
+                .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
+                .collect();
+            let run = threaded::run_threaded(g, programs, Config::default(), workers)?;
+            let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
+            Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
+        }
+        Algo::Bm21 => {
+            let r = bm21::solve(g, problem, &inputs, None)?;
+            let valid = problem.validate(g, &inputs, &r.outputs).is_ok();
+            Ok((ScenarioMetrics::from_composition(&r.composition), valid))
+        }
+        Algo::Theorem1 => {
+            let r = theorem1::solve_with_inputs(g, problem, &inputs, Default::default())?;
+            let valid = problem.validate(g, &inputs, &r.outputs).is_ok();
+            Ok((ScenarioMetrics::from_composition(&r.composition), valid))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::GraphFamily;
+
+    fn tiny(algo: Algo) -> Scenario {
+        Scenario::of(GraphFamily::Gnp { n: 24, p: 0.15 }, ProblemKind::Mis, algo).build()
+    }
+
+    #[test]
+    fn all_algorithms_run_and_validate() {
+        for algo in [
+            Algo::Trivial,
+            Algo::TrivialThreaded(2),
+            Algo::Bm21,
+            Algo::Theorem1,
+        ] {
+            let r = run_scenario(&tiny(algo), 3, None).unwrap();
+            assert!(r.valid, "{} invalid", r.name);
+            assert!(r.metrics.max_awake > 0);
+            assert_eq!(r.n, 24);
+        }
+    }
+
+    #[test]
+    fn serial_and_threaded_trivial_agree_exactly() {
+        // same family ⇒ same seed ⇒ same graph instance
+        let a = run_scenario(&tiny(Algo::Trivial), 3, None).unwrap();
+        let b = run_scenario(&tiny(Algo::TrivialThreaded(4)), 3, None).unwrap();
+        assert_eq!(a.metrics, b.metrics, "executors must agree bit for bit");
+    }
+
+    #[test]
+    fn sharded_runner_matches_serial() {
+        let scenarios: Vec<Scenario> = [
+            ProblemKind::Coloring,
+            ProblemKind::ListColoring,
+            ProblemKind::Mis,
+            ProblemKind::VertexCover,
+        ]
+        .into_iter()
+        .map(|p| Scenario::of(GraphFamily::RandomTree { n: 32 }, p, Algo::Bm21).build())
+        .collect();
+        let serial = Runner::serial().run("t", &scenarios, 11).unwrap();
+        let sharded = Runner::sharded(3).run("t", &scenarios, 11).unwrap();
+        assert_eq!(serial.canonical_json(), sharded.canonical_json());
+    }
+
+    #[test]
+    fn errors_carry_the_scenario_name() {
+        let e = LabError {
+            scenario: "x".into(),
+            error: SimError::RoundBudgetExceeded { limit: 1 },
+        };
+        assert!(e.to_string().contains("scenario x"));
+        assert!(e.to_string().contains("budget 1"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Scenario specifications: what to run, on what graph, with which solver.
+//!
+//! A [`Scenario`] is one point of the paper's trade-off surface — a
+//! (graph family × problem × algorithm/executor) tuple plus a name. The
+//! [`presets`] registry enumerates curated suites; [`ScenarioBuilder`]
+//! assembles one-off scenarios for examples and tests.
+
+use awake_graphs::{generators, Graph};
+
+/// A seeded graph family — the first axis of a scenario.
+///
+/// Random families receive the scenario's derived seed at build time, so a
+/// suite re-run with the same suite seed regenerates identical graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphFamily {
+    /// Path `P_n`.
+    Path {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// `rows × cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Uniform random tree on `n` nodes.
+    RandomTree {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Random `d`-regular graph — the bounded-degree expander family.
+    RandomRegular {
+        /// Number of nodes.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Random graph with maximum degree capped at `delta`.
+    BoundedDegree {
+        /// Number of nodes.
+        n: usize,
+        /// Maximum degree.
+        delta: usize,
+    },
+}
+
+impl GraphFamily {
+    /// A short stable label (used in scenario names and reports).
+    pub fn key(&self) -> String {
+        match self {
+            GraphFamily::Path { n } => format!("path-{n}"),
+            GraphFamily::Cycle { n } => format!("cycle-{n}"),
+            GraphFamily::Grid { rows, cols } => format!("grid-{rows}x{cols}"),
+            GraphFamily::RandomTree { n } => format!("tree-{n}"),
+            // `{p}` is f64 Display — the shortest string that round-trips,
+            // so distinct probabilities never collide on key (or, since the
+            // key salts it, on derived seed)
+            GraphFamily::Gnp { n, p } => format!("gnp-{n}-p{p}"),
+            GraphFamily::RandomRegular { n, d } => format!("regular-{n}-d{d}"),
+            GraphFamily::BoundedDegree { n, delta } => format!("bdeg-{n}-Δ{delta}"),
+        }
+    }
+
+    /// Build the graph, feeding `seed` to the random families.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            GraphFamily::Path { n } => generators::path(n),
+            GraphFamily::Cycle { n } => generators::cycle(n),
+            GraphFamily::Grid { rows, cols } => generators::grid(rows, cols),
+            GraphFamily::RandomTree { n } => generators::random_tree(n, seed),
+            GraphFamily::Gnp { n, p } => generators::gnp(n, p, seed),
+            GraphFamily::RandomRegular { n, d } => generators::random_regular(n, d, seed),
+            GraphFamily::BoundedDegree { n, delta } => {
+                generators::random_with_max_degree(n, delta, seed)
+            }
+        }
+    }
+}
+
+/// One of the four bundled O-LOCAL problems — the second axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// (Δ+1)-vertex coloring.
+    Coloring,
+    /// (deg+1)-list coloring (with the trivial `{0..deg}` lists).
+    ListColoring,
+    /// Maximal independent set.
+    Mis,
+    /// Minimal vertex cover.
+    VertexCover,
+}
+
+impl ProblemKind {
+    /// All four problems, in registry order.
+    pub const ALL: [ProblemKind; 4] = [
+        ProblemKind::Coloring,
+        ProblemKind::ListColoring,
+        ProblemKind::Mis,
+        ProblemKind::VertexCover,
+    ];
+
+    /// A short stable label.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProblemKind::Coloring => "coloring",
+            ProblemKind::ListColoring => "list-coloring",
+            ProblemKind::Mis => "mis",
+            ProblemKind::VertexCover => "vertex-cover",
+        }
+    }
+}
+
+/// The solver / executor — the third axis.
+///
+/// `Trivial*` run the folklore by-identifier greedy as a Sleeping-model
+/// [`Program`](awake_sleeping::Program) on the serial engine or the
+/// persistent worker pool; `Bm21` and `Theorem1` are the staged pipelines
+/// from `awake-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// By-identifier greedy on the serial skip-ahead engine, awake `O(Δ)`.
+    Trivial,
+    /// By-identifier greedy on the worker-pool executor with this many
+    /// workers (bit-for-bit identical results to [`Algo::Trivial`]).
+    TrivialThreaded(usize),
+    /// Barenboim–Maimon, awake `O(log Δ + log* n)`.
+    Bm21,
+    /// The paper's Theorem 1, awake `O(√log n · log* n)`.
+    Theorem1,
+}
+
+impl Algo {
+    /// A short stable label.
+    pub fn key(&self) -> String {
+        match self {
+            Algo::Trivial => "trivial".into(),
+            Algo::TrivialThreaded(w) => format!("trivial-t{w}"),
+            Algo::Bm21 => "bm21".into(),
+            Algo::Theorem1 => "theorem1".into(),
+        }
+    }
+}
+
+/// One runnable experiment: a named (family × problem × algo) tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique name within a suite (labeling only — the RNG seed derives
+    /// from the graph-family key, see [`Scenario::seed`]).
+    pub name: String,
+    /// The graph family.
+    pub family: GraphFamily,
+    /// The problem to solve.
+    pub problem: ProblemKind,
+    /// The solver/executor.
+    pub algo: Algo,
+}
+
+impl Scenario {
+    /// Start building a scenario from its three axes; the name defaults to
+    /// `problem/family/algo`.
+    pub fn of(family: GraphFamily, problem: ProblemKind, algo: Algo) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: None,
+            family,
+            problem,
+            algo,
+        }
+    }
+
+    /// The scenario's RNG seed: the suite seed salted with a stable hash
+    /// of the graph-family key. Deterministic, order-independent, and
+    /// stable across platforms — part of the report compatibility surface.
+    ///
+    /// Salting by *family* (not by name) means every scenario over the same
+    /// family spec in a suite gets the **same graph instance**, so
+    /// cross-problem and cross-algorithm rows compare like for like, while
+    /// distinct families draw independent streams.
+    pub fn seed(&self, suite_seed: u64) -> u64 {
+        splitmix64(suite_seed ^ fnv1a(self.family.key().as_bytes()))
+    }
+}
+
+/// Builder for [`Scenario`] (see [`Scenario::of`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: Option<String>,
+    family: GraphFamily,
+    problem: ProblemKind,
+    algo: Algo,
+}
+
+impl ScenarioBuilder {
+    /// Override the derived name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Finish the scenario.
+    pub fn build(self) -> Scenario {
+        let name = self.name.unwrap_or_else(|| {
+            format!(
+                "{}/{}/{}",
+                self.problem.key(),
+                self.family.key(),
+                self.algo.key()
+            )
+        });
+        Scenario {
+            name,
+            family: self.family,
+            problem: self.problem,
+            algo: self.algo,
+        }
+    }
+}
+
+/// FNV-1a over bytes — stable graph-family-key hashing for seed derivation.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One SplitMix64 step — whitens the suite-seed/name-hash mix.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Named suite presets.
+pub mod presets {
+    use super::*;
+
+    /// The five core families at a small size — one scenario per
+    /// (problem × family), all solved with Theorem 1.
+    ///
+    /// 4 problems × 5 families = 20 scenarios; small enough for CI smoke
+    /// runs and the golden-snapshot test.
+    pub fn quick() -> Vec<Scenario> {
+        families_at(Size::Small)
+            .into_iter()
+            .flat_map(|family| {
+                ProblemKind::ALL.iter().map(move |&problem| {
+                    Scenario::of(family.clone(), problem, Algo::Theorem1).build()
+                })
+            })
+            .collect()
+    }
+
+    /// The full sweep: the five core families at three sizes, every
+    /// problem, Theorem 1 (60 scenarios).
+    pub fn full() -> Vec<Scenario> {
+        [Size::Small, Size::Medium, Size::Large]
+            .into_iter()
+            .flat_map(|size| {
+                families_at(size).into_iter().flat_map(|family| {
+                    ProblemKind::ALL.iter().map(move |&problem| {
+                        Scenario::of(family.clone(), problem, Algo::Theorem1).build()
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Algorithm-generation comparison: every problem × every solver on a
+    /// bounded-degree mesh (the energy-audit workload), 16 scenarios.
+    pub fn algos() -> Vec<Scenario> {
+        let family = GraphFamily::BoundedDegree { n: 256, delta: 24 };
+        ProblemKind::ALL
+            .iter()
+            .flat_map(|&problem| {
+                let family = family.clone();
+                [
+                    Algo::Trivial,
+                    Algo::TrivialThreaded(4),
+                    Algo::Bm21,
+                    Algo::Theorem1,
+                ]
+                .into_iter()
+                .map(move |algo| Scenario::of(family.clone(), problem, algo).build())
+            })
+            .collect()
+    }
+
+    /// Serial vs. worker-pool executor agreement workload: every problem
+    /// on `G(n, p)` under both executors (8 scenarios).
+    pub fn executors() -> Vec<Scenario> {
+        let family = GraphFamily::Gnp { n: 300, p: 0.05 };
+        ProblemKind::ALL
+            .iter()
+            .flat_map(|&problem| {
+                let family = family.clone();
+                [Algo::Trivial, Algo::TrivialThreaded(8)]
+                    .into_iter()
+                    .map(move |algo| Scenario::of(family.clone(), problem, algo).build())
+            })
+            .collect()
+    }
+
+    /// Every preset as `(name, description, scenarios)`.
+    pub fn registry() -> Vec<(&'static str, &'static str, Vec<Scenario>)> {
+        vec![
+            (
+                "quick",
+                "4 problems × 5 families, small sizes, Theorem 1 (20 scenarios)",
+                quick(),
+            ),
+            (
+                "full",
+                "4 problems × 5 families × 3 sizes, Theorem 1 (60 scenarios)",
+                full(),
+            ),
+            (
+                "algos",
+                "4 problems × 4 solvers on a bounded-degree mesh (16 scenarios)",
+                algos(),
+            ),
+            (
+                "executors",
+                "serial vs. worker-pool executor on G(n,p), all problems (8 scenarios)",
+                executors(),
+            ),
+        ]
+    }
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<Vec<Scenario>> {
+        registry()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, _, s)| s)
+    }
+
+    #[derive(Clone, Copy)]
+    enum Size {
+        Small,
+        Medium,
+        Large,
+    }
+
+    /// The five core families of the ISSUE spec, scaled to `size`:
+    /// Erdős–Rényi, random trees, grids, paths/cycles, bounded-degree
+    /// expanders.
+    fn families_at(size: Size) -> Vec<GraphFamily> {
+        match size {
+            Size::Small => vec![
+                GraphFamily::Gnp { n: 72, p: 0.08 },
+                GraphFamily::RandomTree { n: 72 },
+                GraphFamily::Grid { rows: 8, cols: 9 },
+                GraphFamily::Cycle { n: 64 },
+                GraphFamily::RandomRegular { n: 64, d: 4 },
+            ],
+            Size::Medium => vec![
+                GraphFamily::Gnp { n: 192, p: 0.04 },
+                GraphFamily::RandomTree { n: 192 },
+                GraphFamily::Grid { rows: 12, cols: 16 },
+                GraphFamily::Path { n: 192 },
+                GraphFamily::RandomRegular { n: 192, d: 6 },
+            ],
+            Size::Large => vec![
+                GraphFamily::Gnp { n: 384, p: 0.02 },
+                GraphFamily::RandomTree { n: 384 },
+                GraphFamily::Grid { rows: 16, cols: 24 },
+                GraphFamily::Cycle { n: 384 },
+                GraphFamily::RandomRegular { n: 384, d: 8 },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_names_are_unique_within_presets() {
+        for (preset, _, scenarios) in presets::registry() {
+            let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate names in preset {preset}");
+        }
+    }
+
+    #[test]
+    fn quick_preset_covers_the_issue_floor() {
+        let quick = presets::quick();
+        assert!(quick.len() >= 20, "quick preset has {}", quick.len());
+        let problems: std::collections::BTreeSet<&str> =
+            quick.iter().map(|s| s.problem.key()).collect();
+        assert_eq!(problems.len(), 4);
+        let families: std::collections::BTreeSet<String> =
+            quick.iter().map(|s| s.family.key()).collect();
+        assert!(families.len() >= 5);
+    }
+
+    #[test]
+    fn seeds_are_stable_and_family_dependent() {
+        let a = Scenario::of(GraphFamily::Path { n: 8 }, ProblemKind::Mis, Algo::Trivial).build();
+        let b = Scenario::of(GraphFamily::Path { n: 9 }, ProblemKind::Mis, Algo::Trivial).build();
+        // same family ⇒ same seed ⇒ same graph instance, even across
+        // problems/algorithms (like-for-like comparison rows)
+        let c = Scenario::of(
+            GraphFamily::Path { n: 8 },
+            ProblemKind::Coloring,
+            Algo::Bm21,
+        )
+        .named("other")
+        .build();
+        assert_eq!(a.seed(7), a.seed(7));
+        assert_eq!(a.seed(7), c.seed(7));
+        assert_ne!(a.seed(7), b.seed(7));
+        assert_ne!(a.seed(7), a.seed(8));
+    }
+
+    #[test]
+    fn families_build_the_requested_sizes() {
+        assert_eq!(GraphFamily::Path { n: 5 }.build(0).n(), 5);
+        assert_eq!(GraphFamily::Grid { rows: 3, cols: 4 }.build(0).n(), 12);
+        let g = GraphFamily::RandomRegular { n: 32, d: 4 }.build(9);
+        assert_eq!(g.n(), 32);
+        assert!(g.max_degree() <= 4);
+        // same seed, same graph
+        assert_eq!(
+            GraphFamily::Gnp { n: 40, p: 0.1 }.build(3),
+            GraphFamily::Gnp { n: 40, p: 0.1 }.build(3)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden-snapshot and determinism tests for the suite report.
+//!
+//! The canonical JSON form of a suite report is a compatibility surface:
+//! the committed snapshot pins it byte for byte at a fixed seed. If a
+//! change legitimately alters the report (new metric, new preset member,
+//! changed RNG derivation — all semver-relevant events), regenerate with
+//!
+//! ```sh
+//! BLESS=1 cargo test -p awake-lab --test golden
+//! ```
+
+use awake_lab::report::Report;
+use awake_lab::runner::Runner;
+use awake_lab::scenario::presets;
+
+/// The seed the snapshot was blessed at (also the suite binary's default).
+const GOLDEN_SEED: u64 = 1;
+
+fn quick_report(runner: Runner) -> Report {
+    let suite = presets::by_name("quick").expect("quick preset exists");
+    runner
+        .run("quick", &suite, GOLDEN_SEED)
+        .expect("quick suite runs")
+}
+
+#[test]
+fn quick_canonical_json_matches_golden_snapshot() {
+    let canon = quick_report(Runner::serial()).canonical_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_quick.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &canon).expect("write blessed snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("committed snapshot exists");
+    assert_eq!(
+        canon, expected,
+        "canonical suite JSON drifted from tests/golden_quick.json — if the \
+         change is intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn serial_and_sharded_runners_produce_identical_reports() {
+    let serial = quick_report(Runner::serial());
+    let sharded = quick_report(Runner::sharded(4));
+
+    // Everything deterministic must agree, scenario by scenario…
+    assert_eq!(serial.scenarios.len(), sharded.scenarios.len());
+    for (a, b) in serial.scenarios.iter().zip(&sharded.scenarios) {
+        assert_eq!(a.name, b.name, "suite order must be preserved");
+        assert_eq!(a.seed, b.seed);
+        assert_eq!((a.n, a.m), (b.n, b.m));
+        assert_eq!(a.valid, b.valid);
+        assert_eq!(a.metrics, b.metrics, "metrics differ for {}", a.name);
+    }
+    // …and so must the canonical serialization, byte for byte.
+    assert_eq!(serial.canonical_json(), sharded.canonical_json());
+}

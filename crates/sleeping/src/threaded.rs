@@ -12,7 +12,7 @@
 //! (no per-node-round thread or channel traffic). Each round is two
 //! barrier-synchronized phases over the sorted awake set, which is split
 //! into at most `workers` **contiguous chunks**; each chunk travels to its
-//! worker as one reusable [`Batch`] carrying the chunk's programs, and
+//! worker as one reusable `Batch` carrying the chunk's programs, and
 //! comes back with the chunk's results — two channel messages per worker
 //! per phase, independent of how many nodes are awake:
 //!

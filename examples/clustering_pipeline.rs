@@ -1,15 +1,31 @@
 //! Watch Theorem 13 build a colored BFS-clustering, iteration by
 //! iteration (the Figure 3 loop).
 //!
+//! A thin front-end over the `awake-lab` scenario harness: the scenario
+//! spec supplies the graph family and the deterministic seed, the harness
+//! reports the end-to-end row, and the iteration table drills into the
+//! Theorem 13 stage on the same graph instance.
+//!
 //! ```sh
 //! cargo run --release --example clustering_pipeline
 //! ```
 
 use awake::core::{params::Params, theorem13};
-use awake::graphs::generators;
+use awake_lab::runner::Runner;
+use awake_lab::scenario::{Algo, GraphFamily, ProblemKind, Scenario};
 
 fn main() {
-    let g = generators::gnp(384, 0.04, 3);
+    let scenario = Scenario::of(
+        GraphFamily::Gnp { n: 384, p: 0.04 },
+        ProblemKind::Coloring,
+        Algo::Theorem1,
+    )
+    .build();
+    let suite_seed = 3;
+
+    // Drill-down: rebuild the scenario's graph and run the Theorem 13
+    // stage alone, printing the Figure 3 iteration statistics.
+    let g = scenario.family.build(scenario.seed(suite_seed));
     let params = Params::for_graph(&g);
     println!("graph: {g:?}");
     println!(
@@ -51,9 +67,23 @@ fn main() {
         params.color_bound(),
         res.clustering.cluster_count(&g)
     );
+
+    // The harness row for the same scenario: the full Theorem 1 pipeline
+    // (Theorem 13 + Theorem 9) on the identical graph instance.
+    let report = Runner::serial()
+        .run(
+            "clustering-pipeline",
+            std::slice::from_ref(&scenario),
+            suite_seed,
+        )
+        .expect("suite runs");
+    print!(
+        "\nend-to-end (Theorem 1) harness row:\n{}",
+        report.text_table()
+    );
+    let row = &report.scenarios[0];
     println!(
         "awake complexity: {} | rounds: {}",
-        res.composition.max_awake(),
-        res.composition.rounds()
+        row.metrics.max_awake, row.metrics.rounds
     );
 }

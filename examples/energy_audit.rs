@@ -1,68 +1,50 @@
 //! Energy audit: compare the three algorithm generations on one network.
 //!
 //! A battery-powered sensor mesh needs a maximal independent set (cluster
-//! heads). Energy ∝ awake rounds. This example runs the trivial
-//! by-identifier greedy (awake `O(Δ)`), Barenboim–Maimon (awake
-//! `O(log Δ + log* n)`), and the paper's Theorem 1 (awake
-//! `O(√log n · log* n)`) and prints the energy bill of each.
+//! heads). Energy ∝ awake rounds. This example is a thin front-end over
+//! the `awake-lab` scenario harness: three scenarios on the *same* graph
+//! instance (scenario seeds are derived per graph family, so the rows
+//! compare like for like) — the trivial by-identifier greedy (awake
+//! `O(Δ)`), Barenboim–Maimon (awake `O(log Δ + log* n)`), and the paper's
+//! Theorem 1 (awake `O(√log n · log* n)`).
 //!
 //! ```sh
 //! cargo run --release --example energy_audit
 //! ```
 
-use awake::core::{bm21, theorem1, trivial};
-use awake::graphs::generators;
-use awake::olocal::problems::MaximalIndependentSet;
-use awake::olocal::OLocalProblem;
-use awake::sleeping::{Config, Engine};
+use awake_lab::runner::Runner;
+use awake_lab::scenario::{Algo, GraphFamily, ProblemKind, Scenario};
 
 fn main() {
-    // Dense sensor field: n = 512, Δ ≈ 64.
-    let g = generators::random_with_max_degree(512, 64, 7);
-    let p = MaximalIndependentSet;
-    println!("sensor mesh: {g:?}\n");
-    println!(
-        "{:<28} {:>12} {:>12} {:>14}",
-        "algorithm", "max awake", "avg awake", "rounds"
-    );
+    // Dense sensor field: n = 512, Δ ≤ 64.
+    let family = GraphFamily::BoundedDegree { n: 512, delta: 64 };
+    let scenarios: Vec<Scenario> = [
+        (Algo::Trivial, "trivial (awake O(Δ))"),
+        (Algo::Bm21, "BM21 (awake O(log Δ + log* n))"),
+        (Algo::Theorem1, "Theorem 1 (awake O(√log n · log* n))"),
+    ]
+    .into_iter()
+    .map(|(algo, label)| {
+        Scenario::of(family.clone(), ProblemKind::Mis, algo)
+            .named(label)
+            .build()
+    })
+    .collect();
 
-    // 1. Trivial by-ident greedy.
-    let programs: Vec<trivial::TrivialGreedy<MaximalIndependentSet>> = g
-        .nodes()
-        .map(|_| trivial::TrivialGreedy::new(p, ()))
-        .collect();
-    let run = Engine::new(&g, Config::default()).run(programs).unwrap();
-    p.validate(&g, &vec![(); g.n()], &run.outputs).unwrap();
+    let report = Runner::serial()
+        .run("energy-audit", &scenarios, 7)
+        .expect("audit runs");
+    let row = &report.scenarios[0];
     println!(
-        "{:<28} {:>12} {:>12.1} {:>14}",
-        "trivial (awake O(Δ))",
-        run.metrics.max_awake(),
-        run.metrics.avg_awake(),
-        run.metrics.rounds
+        "sensor mesh: n = {}, m = {} (seed {})\n",
+        row.n, row.m, row.seed
     );
+    print!("{}", report.text_table());
 
-    // 2. BM21.
-    let r = bm21::solve(&g, &p, &vec![(); g.n()], None).unwrap();
-    p.validate(&g, &vec![(); g.n()], &r.outputs).unwrap();
-    println!(
-        "{:<28} {:>12} {:>12.1} {:>14}",
-        "BM21 (awake O(log Δ))",
-        r.composition.max_awake(),
-        r.composition.avg_awake(),
-        r.composition.rounds()
+    assert!(
+        report.scenarios.iter().all(|s| s.valid),
+        "every generation must produce a valid MIS"
     );
-
-    // 3. Theorem 1.
-    let r = theorem1::solve(&g, &p, Default::default()).unwrap();
-    p.validate(&g, &vec![(); g.n()], &r.outputs).unwrap();
-    println!(
-        "{:<28} {:>12} {:>12.1} {:>14}",
-        "Theorem 1 (awake O(√log n))",
-        r.composition.max_awake(),
-        r.composition.avg_awake(),
-        r.composition.rounds()
-    );
-
     println!(
         "\nNote: Theorem 1's constants dominate at laptop scale — its value \
          is the *shape*: its awake complexity is independent of Δ and grows \
