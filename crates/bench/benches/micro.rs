@@ -16,7 +16,7 @@
 use awake_core::lemma10::PaletteTree;
 use awake_core::linial;
 use awake_graphs::{generators, ops, traversal, Graph, NodeId};
-use awake_lab::report::{BenchReport, PerfStats};
+use awake_lab::report::{BenchReport, PerfStats, ScalingRow, ThreadedScaling};
 use awake_sleeping::{threaded, Action, Config, Engine, Envelope, Outbox, Outgoing, Program, View};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -270,6 +270,77 @@ fn bench_threaded_flood(g: &Graph) -> PerfStats {
     }
 }
 
+/// Delivery-pipeline scale for the worker sweep: a sparse `G(n, p)` at the
+/// size regime the owner-sharded pipeline exists for.
+const SCALE_N: usize = 65_536;
+const SCALE_DEG: usize = 8;
+const SCALE_ROUNDS: u64 = 25;
+const SCALE_ITERS: usize = 3;
+
+/// The dense flood workload at n = 65 536 on the serial engine and the
+/// worker-pool executor at 1/2/4/8 workers — the `threaded_scaling`
+/// section of `BENCH_engine.json`.
+fn bench_threaded_scaling() -> ThreadedScaling {
+    let p = SCALE_DEG as f64 / (SCALE_N - 1) as f64;
+    let g = generators::gnp_sparse(SCALE_N, p, 7);
+    let mk = || {
+        (0..SCALE_N)
+            .map(|_| Flood {
+                best: 0,
+                t: SCALE_ROUNDS,
+            })
+            .collect::<Vec<Flood>>()
+    };
+    let measure = |runner: &dyn Fn(Vec<Flood>) -> awake_sleeping::Run<u64>| -> PerfStats {
+        let mut best_ns = f64::INFINITY;
+        let mut allocs = 0u64;
+        let mut totals = (0u64, 0u64);
+        for _ in 0..SCALE_ITERS {
+            let progs = mk();
+            let a0 = alloc_count();
+            let t0 = Instant::now();
+            let run = runner(progs);
+            let ns = t0.elapsed().as_nanos() as f64;
+            allocs = alloc_count() - a0;
+            totals = (run.metrics.total_awake(), run.metrics.messages_sent);
+            black_box(&run.outputs);
+            best_ns = best_ns.min(ns);
+        }
+        PerfStats {
+            node_rounds: totals.0,
+            messages: totals.1,
+            allocations: allocs,
+            wall_ns: best_ns,
+        }
+    };
+
+    let serial = measure(&|progs| Engine::new(&g, Config::default()).run(progs).unwrap());
+    let rows: Vec<ScalingRow> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|workers| ScalingRow {
+            workers,
+            stats: measure(&|progs| {
+                threaded::run_threaded(&g, progs, Config::default(), workers).unwrap()
+            }),
+        })
+        .collect();
+
+    // The sweep is only meaningful if the pipeline computes the serial
+    // answer — assert full bit-for-bit agreement once at this scale.
+    let s = Engine::new(&g, Config::default()).run(mk()).unwrap();
+    let t = threaded::run_threaded(&g, mk(), Config::default(), 4).unwrap();
+    assert_eq!(s.outputs, t.outputs, "scaling bench executors must agree");
+    assert_eq!(s.metrics, t.metrics, "scaling bench metrics must agree");
+
+    ThreadedScaling {
+        n: SCALE_N,
+        degree: SCALE_DEG,
+        rounds: SCALE_ROUNDS,
+        serial,
+        rows,
+    }
+}
+
 fn bench_lemma10() {
     let t = PaletteTree::new(1 << 12);
     let t0 = Instant::now();
@@ -336,6 +407,7 @@ fn main() {
 
     let (engine, legacy) = bench_engine_flood(&g);
     let thr = bench_threaded_flood(&g);
+    let scaling = bench_threaded_scaling();
     let report = BenchReport {
         bench: "engine/flood".into(),
         n: N,
@@ -344,6 +416,7 @@ fn main() {
         engine,
         threaded_4_workers: thr,
         legacy_baseline: legacy,
+        threaded_scaling: scaling,
     };
     println!(
         "engine  (serial)   {:>9.1} ns/node-round  {:>12.0} node-rounds/s  {:>7} allocs ({:.4}/node-round)",
@@ -369,6 +442,29 @@ fn main() {
         "speedup (serial vs legacy baseline): {:.2}x\n",
         report.speedup_vs_legacy()
     );
+
+    let sc = &report.threaded_scaling;
+    println!(
+        "threaded_scaling: n = {}, degree ≈ {}, {} rounds, best of {SCALE_ITERS}",
+        sc.n, sc.degree, sc.rounds
+    );
+    println!(
+        "  serial           {:>9.1} ns/node-round  {:>12.0} node-rounds/s",
+        sc.serial.ns_per_node_round(),
+        sc.serial.node_rounds_per_sec()
+    );
+    for row in &sc.rows {
+        println!(
+            "  {} workers        {:>9.1} ns/node-round  {:>12.0} node-rounds/s  ({:.4} allocs/node-round)",
+            row.workers,
+            row.stats.ns_per_node_round(),
+            row.stats.node_rounds_per_sec(),
+            row.stats.allocations_per_node_round()
+        );
+    }
+    if let Some(r) = sc.w4_vs_serial() {
+        println!("  4-worker pipeline vs serial: {r:.2}x\n");
+    }
 
     // cargo runs benches with CWD = the package dir; anchor the report at
     // the workspace root so its path is stable across invocation styles.

@@ -218,8 +218,11 @@ struct RunState<VP: VirtualProgram> {
     collected: Vec<(u64, u16, VP::Msg)>,
     /// Dedup keys of `collected`.
     collected_keys: BTreeSet<(u64, u16)>,
-    /// Full merged inbox kept for the downward re-broadcast.
-    bc_copy: Vec<(u64, u16, VP::Msg)>,
+    /// Full merged inbox, kept behind one shared `Arc` so the downward
+    /// re-broadcast and the local replica advance reuse the same buffer —
+    /// a phase moves the item vector once (`mem::take`) instead of
+    /// re-cloning it at every hand-off.
+    bc_copy: Arc<Vec<(u64, u16, VP::Msg)>>,
     /// Set once the inner program halts.
     vp_done: bool,
 }
@@ -308,12 +311,29 @@ fn process<VP: VirtualProgram>(
     db: u32,
     run: &mut RunState<VP>,
 ) -> Action {
-    let mut items = run.bc_copy.clone();
-    items.sort_by_key(|a| (a.0, a.1));
-    items.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
-    let inbox: Vec<VEnvelope<VP::Msg>> = items
+    // Sort/dedup through an index vector so only the surviving payloads are
+    // cloned (into the inbox the replica reads) — the merged bag itself is
+    // never copied. The stable sort keeps the first-inserted item among
+    // equal `(from, seq)` keys, matching the old clone-sort-dedup exactly.
+    let bag: &[(u64, u16, VP::Msg)] = &run.bc_copy;
+    let mut order: Vec<u32> = (0..bag.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let it = &bag[i as usize];
+        (it.0, it.1)
+    });
+    order.dedup_by(|a, b| {
+        let (x, y) = (&bag[*a as usize], &bag[*b as usize]);
+        x.0 == y.0 && x.1 == y.1
+    });
+    let inbox: Vec<VEnvelope<VP::Msg>> = order
         .into_iter()
-        .map(|(from, _, msg)| VEnvelope { from, msg })
+        .map(|i| {
+            let (from, _, msg) = &bag[i as usize];
+            VEnvelope {
+                from: *from,
+                msg: msg.clone(),
+            }
+        })
         .collect();
     let x = run.cur;
     match run.vp.receive(x, &inbox) {
@@ -407,16 +427,20 @@ where
                         }
                     }
                 } else if round == cc_send(db, run.cur, run.depth) && run.depth > 0 {
+                    // The up-leg bag is dead locally after this broadcast
+                    // (bc_recv clears and refills `collected`): move it
+                    // into the Arc instead of cloning the item vector.
                     out.broadcast(VirtMsg::Bag {
                         label: run.label,
                         up: true,
-                        items: Arc::new(run.collected.clone()),
+                        items: Arc::new(std::mem::take(&mut run.collected)),
                     });
                 } else if round == bc_send(db, run.cur, run.depth) && run.has_children {
+                    // O(1): the merged inbox is already behind an Arc.
                     out.broadcast(VirtMsg::Bag {
                         label: run.label,
                         up: false,
-                        items: Arc::new(run.bc_copy.clone()),
+                        items: Arc::clone(&run.bc_copy),
                     });
                 }
             }
@@ -463,7 +487,7 @@ where
                             outgoing: vec![],
                             collected: vec![],
                             collected_keys: BTreeSet::new(),
-                            bc_copy: vec![],
+                            bc_copy: Arc::new(vec![]),
                             vp_done: false,
                         });
                         // All vertices are awake at virtual round 1.
@@ -489,7 +513,7 @@ where
                         }
                     }
                     if run.depth == 0 && !run.has_children {
-                        run.bc_copy = run.collected.clone();
+                        run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
                         process(&mut self.out, db, run)
                     } else if run.has_children {
                         Action::SleepUntil(cc_recv(db, x, run.depth))
@@ -499,7 +523,7 @@ where
                 } else if round == cc_recv(db, run.cur, run.depth) && run.has_children {
                     merge_items(run, inbox, true);
                     if run.depth == 0 {
-                        run.bc_copy = run.collected.clone();
+                        run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
                         process(&mut self.out, db, run)
                     } else {
                         Action::SleepUntil(cc_send(db, run.cur, run.depth))
@@ -510,7 +534,7 @@ where
                     run.collected.clear();
                     run.collected_keys.clear();
                     merge_items(run, inbox, false);
-                    run.bc_copy = run.collected.clone();
+                    run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
                     process(&mut self.out, db, run)
                 } else if round == bc_send(db, run.cur, run.depth) {
                     if run.vp_done {

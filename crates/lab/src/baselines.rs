@@ -150,6 +150,36 @@ pub fn diff_bench(
             tol,
         )?);
     }
+    // Delivery-pipeline health: the threaded-scaling sweep. The 4-worker
+    // vs serial ratio is measured in one process, so it gates in both
+    // modes; absolute per-worker-count throughput only gates same-machine.
+    rows.push(row(
+        baseline,
+        current,
+        &["threaded_scaling", "w4_vs_serial"],
+        Rule::Throughput,
+        tol,
+    )?);
+    rows.push(row(
+        baseline,
+        current,
+        &["threaded_scaling", "w4", "allocations_per_node_round"],
+        Rule::Allocations,
+        tol,
+    )?);
+    for section in ["serial", "w1", "w2", "w4", "w8"] {
+        rows.push(row(
+            baseline,
+            current,
+            &["threaded_scaling", section, "node_rounds_per_sec"],
+            if section == "serial" || section == "w4" {
+                absolute_rule
+            } else {
+                Rule::Info
+            },
+            tol,
+        )?);
+    }
     rows.push(row(
         baseline,
         current,
@@ -274,9 +304,33 @@ pub fn failures(rows: &[MetricDiff]) -> Vec<&MetricDiff> {
 mod tests {
     use super::*;
     use crate::json;
-    use crate::report::{BenchReport, PerfStats};
+    use crate::report::{BenchReport, PerfStats, ScalingRow, ThreadedScaling};
 
-    fn report(engine_ns: f64, allocs: u64) -> Value {
+    /// A scaling sweep derived multiplicatively from `base_ns`, so a
+    /// uniform hardware slowdown keeps every within-document ratio fixed.
+    fn scaling(base_ns: f64, allocs: u64, w4_factor: f64) -> ThreadedScaling {
+        let mk = |wall_ns: f64| PerfStats {
+            node_rounds: 2_000_000,
+            messages: 16_000_000,
+            allocations: allocs,
+            wall_ns,
+        };
+        ThreadedScaling {
+            n: 65_536,
+            degree: 8,
+            rounds: 30,
+            serial: mk(base_ns),
+            rows: [(1, 1.3), (2, 0.8), (4, w4_factor), (8, 0.6)]
+                .into_iter()
+                .map(|(workers, f)| ScalingRow {
+                    workers,
+                    stats: mk(base_ns * f),
+                })
+                .collect(),
+        }
+    }
+
+    fn report_with_scaling(engine_ns: f64, allocs: u64, w4_factor: f64) -> Value {
         let mk = |wall_ns: f64, allocations: u64| PerfStats {
             node_rounds: 1_000_000,
             messages: 8_000_000,
@@ -291,8 +345,13 @@ mod tests {
             engine: mk(engine_ns, allocs),
             threaded_4_workers: mk(engine_ns * 1.8, allocs),
             legacy_baseline: mk(engine_ns * 2.2, 1_000_000),
+            threaded_scaling: scaling(engine_ns, allocs, w4_factor),
         };
         json::parse(&b.to_json()).unwrap()
+    }
+
+    fn report(engine_ns: f64, allocs: u64) -> Value {
+        report_with_scaling(engine_ns, allocs, 0.55)
     }
 
     #[test]
@@ -362,6 +421,26 @@ mod tests {
     }
 
     #[test]
+    fn portable_mode_catches_delivery_pipeline_regression() {
+        // Only the scaling sweep's 4-worker leg slows (the serial rows are
+        // untouched): the within-document w4_vs_serial ratio must fail.
+        let base = report_with_scaling(6.0e7, 13_000, 0.55);
+        let cur = report_with_scaling(6.0e7, 13_000, 0.55 / 0.7);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        let failed = failures(&rows);
+        assert!(
+            failed
+                .iter()
+                .any(|r| r.metric == "threaded_scaling.w4_vs_serial"),
+            "{}",
+            render_table(&rows)
+        );
+        assert!(failed
+            .iter()
+            .all(|r| r.metric.starts_with("threaded_scaling.w4")));
+    }
+
+    #[test]
     fn portable_mode_catches_engine_only_regression() {
         let mk = |wall_ns: f64| PerfStats {
             node_rounds: 1_000_000,
@@ -379,6 +458,7 @@ mod tests {
                     engine: mk(engine_ns),
                     threaded_4_workers: mk(threaded_ns),
                     legacy_baseline: mk(1.3e8),
+                    threaded_scaling: scaling(6.0e7, 13_000, 0.55),
                 }
                 .to_json(),
             )

@@ -46,16 +46,18 @@ struct Args {
     shards: usize,
     out: String,
     list: bool,
+    filter: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--list]\n\
-         \n  --preset NAME  suite preset to run (default: quick)\
-         \n  --seed N       suite seed; scenario seeds derive from it (default: 1)\
-         \n  --shards K     run up to K scenarios concurrently (default: 1)\
-         \n  --out PATH     where to write the JSON report (default: suite_report.json)\
-         \n  --list         list presets and exit"
+        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--filter SUBSTR] [--list]\n\
+         \n  --preset NAME    suite preset to run (default: quick)\
+         \n  --seed N         suite seed; scenario seeds derive from it (default: 1)\
+         \n  --shards K       run up to K scenarios concurrently (default: 1)\
+         \n  --out PATH       where to write the JSON report (default: suite_report.json)\
+         \n  --filter SUBSTR  run only scenarios whose name contains SUBSTR\
+         \n  --list           list presets and exit"
     );
     std::process::exit(2);
 }
@@ -67,6 +69,7 @@ fn parse_args() -> Args {
         shards: 1,
         out: "suite_report.json".into(),
         list: false,
+        filter: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,6 +79,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = value("--out"),
+            "--filter" => args.filter = Some(value("--filter")),
             "--list" => args.list = true,
             _ => usage(),
         }
@@ -98,13 +102,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(scenarios) = presets::by_name(&args.preset) else {
+    let Some(mut scenarios) = presets::by_name(&args.preset) else {
         eprintln!(
             "unknown preset `{}` — try --list for the registry",
             args.preset
         );
         return ExitCode::from(2);
     };
+    if let Some(filter) = &args.filter {
+        scenarios.retain(|s| s.name.contains(filter.as_str()));
+        if scenarios.is_empty() {
+            eprintln!(
+                "filter `{filter}` matches no scenario of preset `{}`",
+                args.preset
+            );
+            return ExitCode::from(2);
+        }
+    }
 
     println!(
         "suite `{}`: {} scenarios, seed {}, {} shard(s)\n",

@@ -344,11 +344,27 @@ mod tests {
             engine: p,
             threaded_4_workers: p,
             legacy_baseline: p,
+            threaded_scaling: crate::report::ThreadedScaling {
+                n: 20,
+                degree: 3,
+                rounds: 5,
+                serial: p,
+                rows: vec![crate::report::ScalingRow {
+                    workers: 4,
+                    stats: p,
+                }],
+            },
         };
         let v = parse(&b.to_json()).unwrap();
         assert_eq!(
             v.path(&["engine", "allocations"]).unwrap().as_f64(),
             Some(2.0)
+        );
+        assert_eq!(
+            v.path(&["threaded_scaling", "w4_vs_serial"])
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
         );
     }
 

@@ -262,9 +262,73 @@ impl PerfStats {
     }
 }
 
+/// One worker-count row of the [`ThreadedScaling`] section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Measured stats at that worker count.
+    pub stats: PerfStats,
+}
+
+/// The `threaded_scaling` section of `BENCH_engine.json`: one dense
+/// workload at delivery-pipeline scale, run on the serial engine and on
+/// the worker-pool executor at several worker counts. The
+/// [`w4_vs_serial`](Self::w4_vs_serial) ratio is measured within one
+/// process on one machine, so it is portable across hardware — the CI
+/// gate tracks it to catch delivery-pipeline regressions that the serial
+/// rows are blind to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedScaling {
+    /// Nodes.
+    pub n: usize,
+    /// Approximate degree.
+    pub degree: usize,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// The serial engine on the same workload (the ratio denominator).
+    pub serial: PerfStats,
+    /// Worker-pool rows, ascending by worker count.
+    pub rows: Vec<ScalingRow>,
+}
+
+impl ThreadedScaling {
+    /// 4-worker throughput over serial — the portable pipeline-health
+    /// ratio. `None` if no 4-worker row was measured.
+    pub fn w4_vs_serial(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.workers == 4)
+            .map(|r| r.stats.node_rounds_per_sec() / self.serial.node_rounds_per_sec())
+    }
+
+    fn section_json(&self) -> String {
+        let mut out = format!(
+            "{{\n    \"n\": {}, \"degree\": {}, \"rounds\": {},\n    \"serial\": {}",
+            self.n,
+            self.degree,
+            self.rounds,
+            self.serial.section_json()
+        );
+        for row in &self.rows {
+            let _ = write!(
+                out,
+                ",\n    \"w{}\": {}",
+                row.workers,
+                row.stats.section_json()
+            );
+        }
+        if let Some(r) = self.w4_vs_serial() {
+            let _ = write!(out, ",\n    \"w4_vs_serial\": {r:.3}");
+        }
+        out.push_str("\n  }");
+        out
+    }
+}
+
 /// The micro-bench report (`BENCH_engine.json`): current serial engine,
-/// worker-pool executor, and the in-bench legacy reconstruction — every
-/// report carries its own baseline.
+/// worker-pool executor, the in-bench legacy reconstruction — every
+/// report carries its own baseline — and the threaded-scaling sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Workload label (e.g. `"engine/flood"`).
@@ -281,6 +345,8 @@ pub struct BenchReport {
     pub threaded_4_workers: PerfStats,
     /// The pre-optimization hot-path reconstruction.
     pub legacy_baseline: PerfStats,
+    /// Worker-count sweep of the delivery pipeline at a larger n.
+    pub threaded_scaling: ThreadedScaling,
 }
 
 impl BenchReport {
@@ -296,6 +362,7 @@ impl BenchReport {
             "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"bench\": {},\n  \"n\": {},\n  \
              \"degree\": {},\n  \"rounds\": {},\n  \"engine\": {},\n  \
              \"threaded_4_workers\": {},\n  \"legacy_baseline\": {},\n  \
+             \"threaded_scaling\": {},\n  \
              \"speedup_vs_legacy\": {:.3}\n}}\n",
             json_str(&self.bench),
             self.n,
@@ -304,6 +371,7 @@ impl BenchReport {
             self.engine.section_json(),
             self.threaded_4_workers.section_json(),
             self.legacy_baseline.section_json(),
+            self.threaded_scaling.section_json(),
             self.speedup_vs_legacy()
         )
     }
@@ -413,6 +481,23 @@ mod tests {
             allocations: 0,
             wall_ns: 1e6,
         };
+        let scaling = ThreadedScaling {
+            n: 64,
+            degree: 4,
+            rounds: 5,
+            serial: p,
+            rows: vec![
+                ScalingRow {
+                    workers: 1,
+                    stats: p,
+                },
+                ScalingRow {
+                    workers: 4,
+                    stats: PerfStats { wall_ns: 5e5, ..p },
+                },
+            ],
+        };
+        assert!((scaling.w4_vs_serial().unwrap() - 2.0).abs() < 1e-9);
         let b = BenchReport {
             bench: "engine/flood".into(),
             n: 8,
@@ -421,6 +506,7 @@ mod tests {
             engine: p,
             threaded_4_workers: p,
             legacy_baseline: PerfStats { wall_ns: 2e6, ..p },
+            threaded_scaling: scaling,
         };
         assert!((b.speedup_vs_legacy() - 2.0).abs() < 1e-9);
         let j = b.to_json();
@@ -429,10 +515,36 @@ mod tests {
             "\"engine\"",
             "\"threaded_4_workers\"",
             "\"legacy_baseline\"",
+            "\"threaded_scaling\"",
+            "\"w1\"",
+            "\"w4\"",
+            "\"w4_vs_serial\": 2.000",
             "\"speedup_vs_legacy\": 2.000",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn scaling_without_w4_row_omits_the_ratio() {
+        let p = PerfStats {
+            node_rounds: 100,
+            messages: 100,
+            allocations: 0,
+            wall_ns: 1e6,
+        };
+        let scaling = ThreadedScaling {
+            n: 64,
+            degree: 4,
+            rounds: 5,
+            serial: p,
+            rows: vec![ScalingRow {
+                workers: 2,
+                stats: p,
+            }],
+        };
+        assert_eq!(scaling.w4_vs_serial(), None);
+        assert!(!scaling.section_json().contains("w4_vs_serial"));
     }
 
     #[test]

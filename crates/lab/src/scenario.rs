@@ -42,6 +42,16 @@ pub enum GraphFamily {
         /// Edge probability.
         p: f64,
     },
+    /// Sparse Erdős–Rényi `G(n, p)` with `p = avg_deg / (n-1)`, sampled by
+    /// geometric edge skipping (`O(n + m)`) — the million-node family.
+    /// A distinct family from [`GraphFamily::Gnp`]: same distribution,
+    /// different RNG stream.
+    SparseGnp {
+        /// Number of nodes.
+        n: usize,
+        /// Target average degree (sets `p = avg_deg / (n-1)`).
+        avg_deg: f64,
+    },
     /// Random `d`-regular graph — the bounded-degree expander family.
     RandomRegular {
         /// Number of nodes.
@@ -70,6 +80,7 @@ impl GraphFamily {
             // so distinct probabilities never collide on key (or, since the
             // key salts it, on derived seed)
             GraphFamily::Gnp { n, p } => format!("gnp-{n}-p{p}"),
+            GraphFamily::SparseGnp { n, avg_deg } => format!("sgnp-{n}-d{avg_deg}"),
             GraphFamily::RandomRegular { n, d } => format!("regular-{n}-d{d}"),
             GraphFamily::BoundedDegree { n, delta } => format!("bdeg-{n}-Δ{delta}"),
         }
@@ -83,6 +94,15 @@ impl GraphFamily {
             GraphFamily::Grid { rows, cols } => generators::grid(rows, cols),
             GraphFamily::RandomTree { n } => generators::random_tree(n, seed),
             GraphFamily::Gnp { n, p } => generators::gnp(n, p, seed),
+            GraphFamily::SparseGnp { n, avg_deg } => {
+                // Clamp: avg_deg >= n-1 means the complete graph.
+                let p = if n > 1 {
+                    (avg_deg / (n - 1) as f64).min(1.0)
+                } else {
+                    0.0
+                };
+                generators::gnp_sparse(n, p, seed)
+            }
             GraphFamily::RandomRegular { n, d } => generators::random_regular(n, d, seed),
             GraphFamily::BoundedDegree { n, delta } => {
                 generators::random_with_max_degree(n, delta, seed)
@@ -317,6 +337,38 @@ pub mod presets {
             .collect()
     }
 
+    /// Million-node sparse workloads on the owner-sharded worker-pool
+    /// executor — the scale regime the delivery pipeline exists for.
+    ///
+    /// The final row re-runs the headline scenario on the serial engine:
+    /// same family spec ⇒ same derived seed ⇒ same graph instance, so the
+    /// report pair is a like-for-like executor cross-check at n = 10⁶.
+    pub fn huge() -> Vec<Scenario> {
+        let million = GraphFamily::SparseGnp {
+            n: 1_000_000,
+            avg_deg: 6.0,
+        };
+        vec![
+            Scenario::of(million.clone(), ProblemKind::Mis, Algo::TrivialThreaded(4)).build(),
+            Scenario::of(
+                GraphFamily::RandomTree { n: 1_000_000 },
+                ProblemKind::Mis,
+                Algo::TrivialThreaded(4),
+            )
+            .build(),
+            Scenario::of(
+                GraphFamily::SparseGnp {
+                    n: 250_000,
+                    avg_deg: 8.0,
+                },
+                ProblemKind::Coloring,
+                Algo::TrivialThreaded(4),
+            )
+            .build(),
+            Scenario::of(million, ProblemKind::Mis, Algo::Trivial).build(),
+        ]
+    }
+
     /// Every preset as `(name, description, scenarios)`.
     pub fn registry() -> Vec<(&'static str, &'static str, Vec<Scenario>)> {
         vec![
@@ -339,6 +391,11 @@ pub mod presets {
                 "executors",
                 "serial vs. worker-pool executor on G(n,p), all problems (8 scenarios)",
                 executors(),
+            ),
+            (
+                "huge",
+                "million-node sparse graphs on the worker-pool executor (4 scenarios)",
+                huge(),
             ),
         ]
     }
@@ -413,6 +470,26 @@ mod tests {
         let families: std::collections::BTreeSet<String> =
             quick.iter().map(|s| s.family.key()).collect();
         assert!(families.len() >= 5);
+    }
+
+    #[test]
+    fn huge_preset_is_registered_and_million_scale() {
+        let huge = presets::by_name("huge").expect("huge preset registered");
+        assert!(huge
+            .iter()
+            .any(|s| matches!(s.family, GraphFamily::SparseGnp { n: 1_000_000, .. })));
+        // the serial cross-check row shares the headline family, hence the
+        // same derived seed and graph instance
+        let threaded = huge
+            .iter()
+            .find(|s| s.algo == Algo::TrivialThreaded(4))
+            .expect("threaded row");
+        let serial = huge
+            .iter()
+            .find(|s| s.algo == Algo::Trivial)
+            .expect("serial cross-check row");
+        assert_eq!(threaded.family, serial.family);
+        assert_eq!(threaded.seed(1), serial.seed(1));
     }
 
     #[test]

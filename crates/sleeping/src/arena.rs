@@ -12,16 +12,24 @@
 //! segment pool by ~2.5× per message at experiment scale (n = 4096,
 //! Δ = 16) because grouping-by-recipient touches each message ~3 extra
 //! times (stage, permute, place) with cache-hostile access patterns, while
-//! direct segment delivery touches it once. The threaded executor, which
-//! genuinely needs *contiguous* per-chunk inboxes to ship one buffer per
-//! worker, flattens segments in awake order via
-//! [`take_inbox_into`](InboxArena::take_inbox_into) — a sequential append
-//! that only runs on the executor that profits from it.
+//! direct segment delivery touches it once.
+//!
+//! Two views of the same idea live here:
+//!
+//! * [`InboxArena`] — the serial engine's node-indexed segment pool over
+//!   all `n` recipients.
+//! * [`ChunkInboxes`] — a *per-worker* segment view indexed by position
+//!   within one chunk of the awake set. Each worker of the threaded
+//!   executor owns one and builds its chunk's inboxes locally by draining
+//!   the incoming owner shards in source-chunk order (chunks are
+//!   contiguous in node order and senders within a chunk ascend, so the
+//!   concatenation is a full sort by sender — same born-sorted invariant,
+//!   no coordinator copies).
 
 use crate::program::Envelope;
 use awake_graphs::NodeId;
 
-/// Round-scratch inbox storage shared by the serial and threaded executors.
+/// Round-scratch inbox storage for the serial executor.
 #[derive(Debug)]
 pub(crate) struct InboxArena<M> {
     /// Per-recipient segments; only awake nodes' segments are touched.
@@ -62,29 +70,66 @@ impl<M> InboxArena<M> {
     /// Segments are *self-clearing*: rather than a separate
     /// cold-cache pass over the awake set at round start, the serial
     /// executor clears each inbox right after its `receive` (while the
-    /// segment header is hot) and the threaded executor drains segments
-    /// via [`take_inbox_into`](Self::take_inbox_into) — so every round
-    /// starts with all segments empty by construction.
+    /// segment header is hot) — so every round starts with all segments
+    /// empty by construction.
     #[inline]
     pub(crate) fn clear_inbox(&mut self, v: u32) {
         self.lists[v as usize].clear();
     }
+}
 
-    /// Move node `v`'s inbox to the end of `dst`, returning its
-    /// `[start, end)` range there (the segment is left empty). The
-    /// threaded executor flattens each chunk's segments into one
-    /// contiguous buffer this way (a sequential memcpy per segment;
-    /// capacity of both sides is retained).
-    pub(crate) fn take_inbox_into(&mut self, v: u32, dst: &mut Vec<Envelope<M>>) -> (u32, u32) {
+/// A worker-owned segment pool over one chunk of the awake set, indexed by
+/// the recipient's *position within the chunk* (dense, not node-indexed:
+/// a worker never pays memory for nodes it doesn't own this round).
+///
+/// The threaded executor's receive phase drains each incoming owner shard
+/// — one per source chunk, visited in chunk index order — through
+/// [`push`](Self::push), then hands [`inbox`](Self::inbox) straight to
+/// `Program::receive` and [`clear`](Self::clear)s the segment while its
+/// header is hot, exactly like the serial engine's arena discipline.
+/// Capacity is retained across rounds and chunk shapes, so the steady
+/// state allocates nothing.
+#[derive(Debug)]
+pub(crate) struct ChunkInboxes<M> {
+    segs: Vec<Vec<Envelope<M>>>,
+}
+
+impl<M> ChunkInboxes<M> {
+    pub(crate) fn new() -> Self {
+        ChunkInboxes { segs: Vec::new() }
+    }
+
+    /// Make at least `len` segments addressable (pool only ever grows).
+    pub(crate) fn ensure(&mut self, len: usize) {
+        if self.segs.len() < len {
+            self.segs.resize_with(len, Vec::new);
+        }
+    }
+
+    /// Deliver one envelope to the recipient at chunk position `local`.
+    /// Callers guarantee envelopes for a fixed recipient arrive in
+    /// ascending sender order (source chunks visited in chunk order).
+    #[inline]
+    pub(crate) fn push(&mut self, local: u32, env: Envelope<M>) {
+        self.segs[local as usize].push(env);
+    }
+
+    /// The inbox of the recipient at chunk position `local`, sorted by
+    /// sender (asserted in debug builds, same invariant as [`InboxArena`]).
+    #[inline]
+    pub(crate) fn inbox(&self, local: usize) -> &[Envelope<M>] {
+        let slice = &self.segs[local];
         debug_assert!(
-            self.lists[v as usize]
-                .windows(2)
-                .all(|w| w[0].from <= w[1].from),
-            "inbox of {v} must arrive sorted by sender"
+            slice.windows(2).all(|w| w[0].from <= w[1].from),
+            "chunk inbox {local} must arrive sorted by sender"
         );
-        let start = dst.len() as u32;
-        dst.append(&mut self.lists[v as usize]);
-        (start, dst.len() as u32)
+        slice
+    }
+
+    /// Clear the segment at chunk position `local` (capacity retained).
+    #[inline]
+    pub(crate) fn clear(&mut self, local: usize) {
+        self.segs[local].clear();
     }
 }
 
@@ -130,18 +175,51 @@ mod tests {
     }
 
     #[test]
-    fn take_inbox_into_flattens_in_order() {
-        let mut a: InboxArena<u64> = InboxArena::new(3);
-        a.stage(NodeId(0), NodeId(1), 10);
-        a.stage(NodeId(0), NodeId(2), 20);
-        a.stage(NodeId(1), NodeId(2), 21);
-        let mut flat = Vec::new();
-        assert_eq!(a.take_inbox_into(1, &mut flat), (0, 1));
-        assert_eq!(a.take_inbox_into(2, &mut flat), (1, 3));
-        assert_eq!(
-            flat.iter().map(|e| e.msg).collect::<Vec<_>>(),
-            vec![10, 20, 21]
+    fn chunk_inboxes_concatenate_source_runs_in_order() {
+        let mut c: ChunkInboxes<u64> = ChunkInboxes::new();
+        c.ensure(2);
+        // source chunk 0 (senders 0, 1), then source chunk 1 (sender 5):
+        // concatenation per recipient stays sorted by sender.
+        c.push(
+            0,
+            Envelope {
+                from: NodeId(0),
+                msg: 10,
+            },
         );
-        assert!(a.inbox(1).is_empty(), "moved out");
+        c.push(
+            1,
+            Envelope {
+                from: NodeId(1),
+                msg: 11,
+            },
+        );
+        c.push(
+            0,
+            Envelope {
+                from: NodeId(1),
+                msg: 12,
+            },
+        );
+        c.push(
+            0,
+            Envelope {
+                from: NodeId(5),
+                msg: 50,
+            },
+        );
+        assert_eq!(
+            c.inbox(0)
+                .iter()
+                .map(|e| (e.from.0, e.msg))
+                .collect::<Vec<_>>(),
+            vec![(0, 10), (1, 12), (5, 50)]
+        );
+        assert_eq!(c.inbox(1).len(), 1);
+        c.clear(0);
+        assert!(c.inbox(0).is_empty(), "cleared, capacity retained");
+        // growing the pool keeps existing segments intact
+        c.ensure(5);
+        assert_eq!(c.inbox(1).len(), 1);
     }
 }

@@ -374,11 +374,46 @@ impl<'g> Engine<'g> {
     }
 }
 
-/// Route one node's outbox entries: validate addressing, expand
-/// broadcasts, and stage every transmitted message into the arena (or
-/// count it lost). Shared with the threaded executor, which replays worker
-/// outboxes through this same path so the two executors count and order
-/// identically.
+/// Validate and expand one node's outbox entries: the shared addressing
+/// checker of both executors. Each directed addressing is checked against
+/// the graph ([`SimError::NotANeighbor`] on the first violation, in entry
+/// order), broadcasts are expanded over the sender's neighbor list in
+/// adjacency order, `messages_sent` is counted, and every transmission is
+/// handed to `transmit(to, msg)` — the caller decides delivery (arena
+/// staging on the serial engine, owner-shard staging inside the threaded
+/// executor's workers). Because expansion order and error precedence live
+/// here, the two executors count and order identically by construction.
+pub(crate) fn route_entries<M: Clone>(
+    graph: &Graph,
+    entries: impl Iterator<Item = crate::program::OutEntry<M>>,
+    from: NodeId,
+    messages_sent: &mut u64,
+    mut transmit: impl FnMut(NodeId, M),
+) -> Result<(), SimError> {
+    for entry in entries {
+        match entry.to {
+            Some(w) => {
+                if !graph.has_edge(from, w) {
+                    return Err(SimError::NotANeighbor { from, to: w });
+                }
+                *messages_sent += 1;
+                transmit(w, entry.msg);
+            }
+            None => {
+                let neighbors = graph.neighbors(from);
+                *messages_sent += neighbors.len() as u64;
+                for &w in neighbors {
+                    transmit(w, entry.msg.clone());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Route one node's outbox entries on the serial engine: validate through
+/// [`route_entries`], then stage every transmitted message into the arena
+/// (or count it lost).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn route_messages<M: Clone>(
     graph: &Graph,
@@ -390,57 +425,24 @@ pub(crate) fn route_messages<M: Clone>(
     metrics: &mut Metrics,
     tracer: &mut Tracer,
 ) -> Result<(), SimError> {
-    for entry in entries {
-        match entry.to {
-            Some(w) => {
-                if !graph.has_edge(from, w) {
-                    return Err(SimError::NotANeighbor { from, to: w });
-                }
-                metrics.messages_sent += 1;
-                deliver(arena, next_wake, round, from, w, entry.msg, metrics, tracer);
-            }
-            None => {
-                let neighbors = graph.neighbors(from);
-                metrics.messages_sent += neighbors.len() as u64;
-                for &w in neighbors {
-                    deliver(
-                        arena,
-                        next_wake,
-                        round,
-                        from,
-                        w,
-                        entry.msg.clone(),
-                        metrics,
-                        tracer,
-                    );
-                }
-            }
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut lost = 0u64;
+    let result = route_entries(graph, entries, from, &mut sent, |to, msg| {
+        // A recipient is listening iff it is awake at exactly this round.
+        if next_wake[to.index()] == round {
+            delivered += 1;
+            tracer.push(|| TraceEvent::Delivered { round, from, to });
+            arena.stage(from, to, msg);
+        } else {
+            lost += 1;
+            tracer.push(|| TraceEvent::Lost { round, from, to });
         }
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn deliver<M>(
-    arena: &mut InboxArena<M>,
-    next_wake: &[Round],
-    round: Round,
-    from: NodeId,
-    to: NodeId,
-    msg: M,
-    metrics: &mut Metrics,
-    tracer: &mut Tracer,
-) {
-    // A recipient is listening iff it is awake at exactly this round.
-    if next_wake[to.index()] == round {
-        metrics.messages_delivered += 1;
-        tracer.push(|| TraceEvent::Delivered { round, from, to });
-        arena.stage(from, to, msg);
-    } else {
-        metrics.messages_lost += 1;
-        tracer.push(|| TraceEvent::Lost { round, from, to });
-    }
+    });
+    metrics.messages_sent += sent;
+    metrics.messages_delivered += delivered;
+    metrics.messages_lost += lost;
+    result
 }
 
 #[cfg(test)]

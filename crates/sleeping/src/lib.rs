@@ -88,9 +88,11 @@
 //!
 //! Two executors share these mechanics: the serial [`Engine`] (the
 //! reference semantics) and [`threaded::run_threaded`] (a persistent worker
-//! pool over contiguous chunks of the awake set). They are required to
-//! agree **bit for bit**, outputs and [`Metrics`] alike, for deterministic
-//! programs.
+//! pool over degree-weighted contiguous chunks of the awake set, with
+//! message routing and inbox construction running *inside* the workers
+//! through owner-sharded delivery buffers — see the [`threaded`] module
+//! docs for the pipeline). They are required to agree **bit for bit**,
+//! outputs and [`Metrics`] alike, for deterministic programs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

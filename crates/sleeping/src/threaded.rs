@@ -1,68 +1,190 @@
-//! A multi-threaded executor built on a persistent worker pool.
+//! A multi-threaded executor with an owner-sharded parallel delivery
+//! pipeline over a persistent worker pool.
 //!
 //! The serial [`Engine`](crate::Engine) is the reference implementation;
 //! this executor demonstrates that the [`Program`] abstraction maps onto
 //! real parallel hardware without giving up determinism: the two executors
 //! agree **bit for bit** — equal outputs *and* equal [`Metrics`] — which
-//! the integration tests assert.
+//! the integration tests assert at every worker count.
 //!
 //! # Design
 //!
-//! `workers` threads are spawned once per run and live across all rounds
-//! (no per-node-round thread or channel traffic). Each round is two
-//! barrier-synchronized phases over the sorted awake set, which is split
-//! into at most `workers` **contiguous chunks**; each chunk travels to its
-//! worker as one reusable `Batch` carrying the chunk's programs, and
-//! comes back with the chunk's results — two channel messages per worker
-//! per phase, independent of how many nodes are awake:
+//! `workers` threads are spawned once per run and live across all rounds.
+//! Each round the sorted awake set is split into at most `workers`
+//! contiguous chunks at **equal degree-mass boundaries** (prefix sum over
+//! `degree + 1` of the awake set), so a handful of hubs cannot serialize a
+//! round the way count-based chunking would. Message routing and inbox
+//! construction happen **inside the workers**; the coordinator is reduced
+//! to synchronization and a deterministic merge:
 //!
 //! ```text
-//!   main thread                         worker w (persistent)
-//!   ───────────                         ─────────────────────
-//!   pop awake set for round r
-//!   batch[w] ← programs of chunk w  ──▶ send() into the batch outbox
-//!   replay outboxes in node order  ◀──  (batch returns, programs inside)
-//!   flatten chunk inbox segments
-//!   batch[w] ← contiguous inboxes   ──▶ receive() per node
-//!   apply actions in node order    ◀──  (batch returns)
+//!  main thread                      worker w (persistent)
+//!  ───────────                      ─────────────────────
+//!  pop awake set for round r
+//!  partition by degree mass,
+//!  publish {next_wake, chunk map}
+//!  batch[w] ← chunk w programs ──▶  SEND: run send(), validate/expand
+//!                                   via the shared checker, stage each
+//!                                   delivered message into the outbound
+//!                                   shard of its owner chunk
+//!  merge tallies/spans/errors ◀──   (batch returns: shards + partials)
+//!  EXCHANGE: transpose the k×k
+//!  shard matrix (Vec swaps only)
+//!  batch[w] ← shards 0..k→w    ──▶  DELIVER: drain incoming shards in
+//!                                   chunk order into local per-recipient
+//!                                   segments (born sorted by sender);
+//!                                   RECEIVE: run receive() per node
+//!  apply stays/sleeps/halts    ◀──  (batch returns: action partials)
+//!  in node order, schedule_all
 //! ```
 //!
-//! Merging strictly in node order makes scheduling, message routing,
-//! metrics (including span attribution order) and outputs identical to the
-//! serial engine's; the workers only compute, they never decide order.
+//! Determinism falls out of three invariants:
+//!
+//! * **Chunks are contiguous in node order** and senders within a chunk
+//!   transmit in ascending order, so draining a recipient's incoming
+//!   shards in source-chunk index order concatenates already-sorted runs
+//!   — every inbox is born sorted by sender, exactly like the serial
+//!   arena's.
+//! * **All merges happen in chunk index order** (= node order): awake/span
+//!   attribution, message tallies, stay-lane extension, batched wheel
+//!   `schedule_all` and halt outputs — identical to the serial engine's
+//!   per-node order.
+//! * **Error precedence is by lowest node id**: a worker stops at its
+//!   chunk's first error and the coordinator takes the first error of the
+//!   lowest-indexed chunk, which is the error the serial engine would hit.
+//!
+//! Two channel messages per worker per phase, batches and shard buffers
+//! recycled, worker-local segment pools retained across rounds: the steady
+//! state allocates nothing per node-round. Rounds whose total degree mass
+//! is tiny (see `INLINE_MASS`) run **inline** on the coordinator through
+//! the very same phase functions — skip-ahead schedules spend most rounds
+//! waking a handful of nodes, where two channel round-trips per worker
+//! would dwarf the work; the inline path is a single-chunk instance of the
+//! same pipeline, so results are identical by construction. Tracing is not
+//! supported here (the serial engine is the observability surface);
+//! [`Config::trace`] is ignored and [`Run::trace`] comes back empty.
 
-use crate::arena::InboxArena;
-use crate::engine::{next_awake_set, route_messages, seed_schedule, NEVER};
+use crate::arena::ChunkInboxes;
+use crate::engine::{next_awake_set, route_entries, seed_schedule, NEVER};
 use crate::metrics::Metrics;
 use crate::program::{Action, Envelope, OutEntry, Outbox, Program, View};
-use crate::trace::Tracer;
 use crate::wheel::WakeWheel;
 use crate::{Config, Round, Run, SimError};
 use awake_graphs::{Graph, NodeId};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
 
 enum Phase {
     Send,
     Receive,
 }
 
-/// One worker's reusable unit of work: a contiguous chunk of the awake set.
+/// One delivered message in an outbound owner shard: the recipient's dense
+/// position within its owner chunk, plus the envelope to deliver.
+struct ShardEntry<M> {
+    to_local: u32,
+    env: Envelope<M>,
+}
+
+/// Read-mostly per-round context shared with the workers.
+///
+/// The coordinator write-locks it between phases (when every worker is
+/// idle at a barrier) to publish the new wake stamps and chunk map; each
+/// worker read-locks it for the duration of one send batch. The lock is
+/// therefore never contended — it exists to let the borrow checker accept
+/// the sharing.
+struct RoundCtx {
+    /// `next_wake[v] = r`: `v` wakes at round `r`; [`NEVER`]: halted.
+    next_wake: Vec<Round>,
+    /// Position of `v` in this round's awake set; only meaningful when
+    /// `next_wake[v]` equals the current round (the stamp that guards it).
+    awake_pos: Vec<u32>,
+    /// Chunk boundaries as positions into the awake set: chunk `c` owns
+    /// positions `bounds[c]..bounds[c+1]`. Strictly increasing,
+    /// `bounds[0] = 0`, last entry = awake length.
+    bounds: Vec<u32>,
+}
+
+impl RoundCtx {
+    /// The owner chunk of awake position `pos`.
+    #[inline]
+    fn chunk_of(&self, pos: u32) -> usize {
+        self.bounds.partition_point(|&b| b <= pos) - 1
+    }
+}
+
+/// Rounds whose total degree mass is at or below this run inline on the
+/// coordinator (a single chunk through the same phase functions) instead
+/// of being dispatched: sequential-greedy schedules wake a handful of
+/// nodes per round for most rounds, and two channel round-trips per worker
+/// dwarf a few hundred nanoseconds of node work.
+const INLINE_MASS: u64 = 256;
+
+/// Fill `prefix` with the cumulative **degree mass** (`degree + 1` per
+/// node, so isolated nodes still weigh in) of the awake set; returns the
+/// total. Caller scratch, capacity reused across rounds.
+fn degree_mass_prefix(graph: &Graph, awake: &[u32], prefix: &mut Vec<u64>) -> u64 {
+    prefix.clear();
+    let mut acc = 0u64;
+    for &v in awake {
+        acc += graph.degree(NodeId(v)) as u64 + 1;
+        prefix.push(acc);
+    }
+    acc
+}
+
+/// Split the awake set into `k` non-empty contiguous chunks of roughly
+/// equal degree mass, given its mass prefix sum. Boundary `j` lands at the
+/// prefix position where cumulative mass crosses `j/k` of the total,
+/// clamped so every chunk keeps at least one node — a single hub holding
+/// most of the degree mass gets a chunk of its own instead of dragging
+/// half the round's work into one worker.
+///
+/// Requires `1 <= k <= prefix.len()`.
+fn partition_by_mass(prefix: &[u64], k: usize, bounds: &mut Vec<u32>) {
+    debug_assert!(k >= 1 && k <= prefix.len());
+    let total = *prefix.last().expect("non-empty awake set");
+    bounds.clear();
+    bounds.push(0);
+    for j in 1..k {
+        let target = total * j as u64 / k as u64;
+        let cut = prefix.partition_point(|&p| p <= target);
+        let lo = bounds[j - 1] as usize + 1;
+        let hi = prefix.len() - (k - j);
+        bounds.push(cut.clamp(lo, hi) as u32);
+    }
+    bounds.push(prefix.len() as u32);
+}
+
+/// One worker's reusable unit of work: a contiguous chunk of the awake set
+/// plus the buffers that carry its phase results back to the coordinator.
 struct Batch<P: Program> {
     round: Round,
     phase: Phase,
     /// The chunk's `(node, program)` pairs, ascending by node.
     jobs: Vec<(u32, P)>,
-    /// Send phase: concatenated outbox entries of all jobs…
+    /// Recycled backing buffer of the worker-side outbox.
     out_items: Vec<OutEntry<P::Msg>>,
-    /// …with per-job `(end offset, span)` (spans are captured before
-    /// `send`, exactly as the serial engine attributes them).
-    out_index: Vec<(u32, &'static str)>,
-    /// Receive phase: the chunk's slice of the inbox arena…
-    inbox: Vec<Envelope<P::Msg>>,
-    /// …with per-job `[start, end)` offsets into it.
-    inbox_ranges: Vec<(u32, u32)>,
-    /// Receive phase: per-job chosen action.
-    actions: Vec<Action>,
+    /// Send result: per-job span, captured before `send` exactly as the
+    /// serial engine attributes it.
+    spans: Vec<&'static str>,
+    /// Send phase: outbound messages sharded by the recipient's owner
+    /// chunk. After the coordinator's exchange (a transpose of the k×k
+    /// shard matrix) the same field carries the receive phase's *incoming*
+    /// shards, indexed by source chunk.
+    shards: Vec<Vec<ShardEntry<P::Msg>>>,
+    /// Send result: message tallies of this chunk.
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    /// Receive result: nodes that chose [`Action::Stay`], ascending.
+    stays: Vec<u32>,
+    /// Receive result: `(wake round, node)` sleeps, ascending by node.
+    sleeps: Vec<(Round, u32)>,
+    /// Receive result: halted nodes with their outputs, ascending.
+    halts: Vec<(u32, P::Output)>,
+    /// First error of this chunk, in node order (the worker stops there).
+    error: Option<SimError>,
 }
 
 impl<P: Program> Batch<P> {
@@ -72,59 +194,210 @@ impl<P: Program> Batch<P> {
             phase: Phase::Send,
             jobs: Vec::new(),
             out_items: Vec::new(),
-            out_index: Vec::new(),
-            inbox: Vec::new(),
-            inbox_ranges: Vec::new(),
-            actions: Vec::new(),
+            spans: Vec::new(),
+            shards: Vec::new(),
+            sent: 0,
+            delivered: 0,
+            lost: 0,
+            stays: Vec::new(),
+            sleeps: Vec::new(),
+            halts: Vec::new(),
+            error: None,
         }
     }
 }
 
-fn worker_loop<P: Program>(graph: &Graph, rx: Receiver<Batch<P>>, tx: Sender<Batch<P>>) {
+/// The send-phase body: run each job's `send`, validate and expand its
+/// entries through the shared checker, and stage every delivered message
+/// into the outbound shard of the recipient's owner chunk. Fills the
+/// batch's span/tally/error partials. Called by the workers and — for
+/// rounds too small to be worth dispatching — inline by the coordinator,
+/// so both paths are the same code by construction.
+fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
     let n = graph.n();
+    let round = b.round;
+    let k = ctx.bounds.len() - 1;
+    let Batch {
+        jobs,
+        out_items,
+        spans,
+        shards,
+        sent,
+        delivered,
+        lost,
+        error,
+        ..
+    } = b;
+    if shards.len() < k {
+        shards.resize_with(k, Vec::new);
+    }
+    spans.clear();
+    (*sent, *delivered, *lost) = (0, 0, 0);
+    *error = None;
+    let mut outbox = Outbox::from_vec(std::mem::take(out_items));
+    for (v, p) in jobs.iter_mut() {
+        let vid = NodeId(*v);
+        let view = View {
+            round,
+            me: vid,
+            ident: graph.ident(vid),
+            n,
+            neighbors: graph.neighbors(vid),
+        };
+        spans.push(p.span());
+        outbox.clear();
+        p.send(&view, &mut outbox);
+        let res = route_entries(graph, outbox.items.drain(..), vid, sent, |to, msg| {
+            // A recipient is listening iff awake exactly now; if so, its
+            // awake position stamp is valid and names its owner chunk.
+            if ctx.next_wake[to.index()] == round {
+                *delivered += 1;
+                let pos = ctx.awake_pos[to.index()];
+                let c = ctx.chunk_of(pos);
+                shards[c].push(ShardEntry {
+                    to_local: pos - ctx.bounds[c],
+                    env: Envelope { from: vid, msg },
+                });
+            } else {
+                *lost += 1;
+            }
+        });
+        if let Err(e) = res {
+            *error = Some(e);
+            break;
+        }
+    }
+    b.out_items = outbox.into_vec();
+}
+
+/// The receive-phase body: drain the incoming shards into the local
+/// per-recipient segments, then run each job's `receive` and collect its
+/// action into the stay/sleep/halt partials. Shared by workers and the
+/// coordinator's inline path, like [`run_send_phase`].
+fn run_receive_phase<P: Program>(
+    graph: &Graph,
+    b: &mut Batch<P>,
+    inboxes: &mut ChunkInboxes<P::Msg>,
+) {
+    let n = graph.n();
+    let round = b.round;
+    let Batch {
+        jobs,
+        shards,
+        stays,
+        sleeps,
+        halts,
+        error,
+        ..
+    } = b;
+    // Local delivery: drain the incoming shards in source-chunk order.
+    // Senders ascend within a chunk and chunks are contiguous in node
+    // order, so each recipient's segment is a concatenation of sorted
+    // runs in sender order — born sorted, same invariant as the serial
+    // arena.
+    inboxes.ensure(jobs.len());
+    for shard in shards.iter_mut() {
+        for e in shard.drain(..) {
+            inboxes.push(e.to_local, e.env);
+        }
+    }
+    stays.clear();
+    sleeps.clear();
+    halts.clear();
+    *error = None;
+    for (i, (v, p)) in jobs.iter_mut().enumerate() {
+        let vid = NodeId(*v);
+        let view = View {
+            round,
+            me: vid,
+            ident: graph.ident(vid),
+            n,
+            neighbors: graph.neighbors(vid),
+        };
+        let action = p.receive(&view, inboxes.inbox(i));
+        // Clear while the segment header is hot (see `arena`).
+        inboxes.clear(i);
+        match action {
+            Action::Stay => stays.push(*v),
+            Action::SleepUntil(until) => {
+                if until <= round {
+                    *error = Some(SimError::InvalidSleep {
+                        node: vid,
+                        round,
+                        until,
+                    });
+                    break;
+                }
+                sleeps.push((until, *v));
+            }
+            Action::Halt => match p.output() {
+                Some(o) => halts.push((*v, o)),
+                None => {
+                    *error = Some(SimError::MissingOutput(vid));
+                    break;
+                }
+            },
+        }
+    }
+}
+
+/// Merge one chunk's send partials into the run metrics: awake/span
+/// attribution per node in chunk order (= node order, preserving the
+/// serial engine's span interning order), then the message tallies.
+fn merge_send_partials<P: Program>(b: &Batch<P>, metrics: &mut Metrics) {
+    for (&(v, _), &span) in b.jobs.iter().zip(b.spans.iter()) {
+        metrics.note_awake(NodeId(v), span);
+    }
+    metrics.messages_sent += b.sent;
+    metrics.messages_delivered += b.delivered;
+    metrics.messages_lost += b.lost;
+}
+
+/// Apply one chunk's receive partials in node order: stay lane extension
+/// (chunks ascend, so the lane stays globally sorted), batched wheel
+/// scheduling, halt outputs, wake stamps, and program restoration.
+fn apply_receive_partials<P: Program>(
+    b: &mut Batch<P>,
+    round: Round,
+    ctx: &mut RoundCtx,
+    wheel: &mut WakeWheel,
+    stay: &mut Vec<u32>,
+    outputs: &mut [Option<P::Output>],
+    slots: &mut [Option<P>],
+) {
+    for &v in &b.stays {
+        ctx.next_wake[v as usize] = round + 1;
+    }
+    stay.extend_from_slice(&b.stays);
+    b.stays.clear();
+    for &(until, v) in &b.sleeps {
+        ctx.next_wake[v as usize] = until;
+    }
+    wheel.schedule_all(b.sleeps.drain(..));
+    for (v, o) in b.halts.drain(..) {
+        ctx.next_wake[v as usize] = NEVER;
+        outputs[v as usize] = Some(o);
+    }
+    for (v, p) in b.jobs.drain(..) {
+        slots[v as usize] = Some(p);
+    }
+}
+
+fn worker_loop<P: Program>(
+    graph: &Graph,
+    shared: &RwLock<RoundCtx>,
+    rx: Receiver<Batch<P>>,
+    tx: Sender<Batch<P>>,
+) {
+    // Worker-local per-recipient segments; capacity persists across rounds.
+    let mut inboxes: ChunkInboxes<P::Msg> = ChunkInboxes::new();
     while let Ok(mut b) = rx.recv() {
         match b.phase {
             Phase::Send => {
-                let mut outbox = Outbox::from_vec(std::mem::take(&mut b.out_items));
-                outbox.clear();
-                b.out_index.clear();
-                for (v, p) in &mut b.jobs {
-                    let vid = NodeId(*v);
-                    let view = View {
-                        round: b.round,
-                        me: vid,
-                        ident: graph.ident(vid),
-                        n,
-                        neighbors: graph.neighbors(vid),
-                    };
-                    let span = p.span();
-                    p.send(&view, &mut outbox);
-                    b.out_index.push((outbox.len() as u32, span));
-                }
-                b.out_items = outbox.into_vec();
+                let ctx = shared.read().expect("round context lock");
+                run_send_phase(graph, &ctx, &mut b);
             }
-            Phase::Receive => {
-                b.actions.clear();
-                let Batch {
-                    round,
-                    jobs,
-                    inbox,
-                    inbox_ranges,
-                    actions,
-                    ..
-                } = &mut b;
-                for ((v, p), &(start, end)) in jobs.iter_mut().zip(inbox_ranges.iter()) {
-                    let vid = NodeId(*v);
-                    let view = View {
-                        round: *round,
-                        me: vid,
-                        ident: graph.ident(vid),
-                        n,
-                        neighbors: graph.neighbors(vid),
-                    };
-                    actions.push(p.receive(&view, &inbox[start as usize..end as usize]));
-                }
-            }
+            Phase::Receive => run_receive_phase(graph, &mut b, &mut inboxes),
         }
         if tx.send(b).is_err() {
             break;
@@ -140,7 +413,8 @@ fn worker_loop<P: Program>(graph: &Graph, rx: Receiver<Batch<P>>, tx: Sender<Bat
 /// chunked.
 ///
 /// # Errors
-/// Same contract as the serial engine ([`SimError`]).
+/// Same contract as the serial engine ([`SimError`]), with the serial
+/// engine's error precedence (lowest node id first).
 pub fn run_threaded<P>(
     graph: &Graph,
     programs: Vec<P>,
@@ -173,6 +447,12 @@ where
     seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
     let mut slots: Vec<Option<P>> = programs.into_iter().map(Some).collect();
 
+    let shared = RwLock::new(RoundCtx {
+        next_wake,
+        awake_pos: vec![0u32; n],
+        bounds: Vec::new(),
+    });
+
     // Per-worker channels, both directions; batches are recycled through
     // `pool`, so programs never travel through unbounded queues and the
     // per-round channel traffic is O(workers), not O(awake nodes).
@@ -193,14 +473,19 @@ where
     let result: Result<(), SimError> = std::thread::scope(|scope| {
         for (job_rx, done_tx) in job_rxs.drain(..).zip(done_txs.drain(..)) {
             let graph_ref = &*graph;
-            scope.spawn(move || worker_loop(graph_ref, job_rx, done_tx));
+            let shared_ref = &shared;
+            scope.spawn(move || worker_loop(graph_ref, shared_ref, job_rx, done_tx));
         }
 
         let mut awake: Vec<u32> = Vec::new();
         let mut scratch: Vec<u32> = Vec::new();
         let mut stay: Vec<u32> = Vec::new();
-        let mut arena: InboxArena<P::Msg> = InboxArena::new(n);
-        let mut tracer = Tracer::new(crate::TraceMode::Off);
+        let mut prefix: Vec<u64> = Vec::new();
+        let mut bounds: Vec<u32> = Vec::new();
+        // Batches of the round in flight, in chunk index order.
+        let mut inflight: Vec<Batch<P>> = Vec::with_capacity(workers);
+        // Segment pool of the coordinator's inline path.
+        let mut main_inboxes: ChunkInboxes<P::Msg> = ChunkInboxes::new();
         let mut prev_round: Round = 0;
 
         while let Some(round) =
@@ -213,92 +498,126 @@ where
             }
             metrics.rounds = round;
             prev_round = round;
-            let chunk_size = awake.len().div_ceil(workers);
-            let num_chunks = awake.len().div_ceil(chunk_size);
+            let total_mass = degree_mass_prefix(graph, &awake, &mut prefix);
+            let inline = workers == 1 || total_mass <= INLINE_MASS;
+            let k = if inline { 1 } else { workers.min(awake.len()) };
+            partition_by_mass(&prefix, k, &mut bounds);
+            {
+                let mut ctx = shared.write().expect("round context lock");
+                ctx.bounds.clone_from(&bounds);
+                for (i, &v) in awake.iter().enumerate() {
+                    ctx.awake_pos[v as usize] = i as u32;
+                }
+            }
 
-            // ---- send phase ----
-            for (w, chunk) in awake.chunks(chunk_size).enumerate() {
+            if inline {
+                // ---- inline path: one chunk, no dispatch. The same phase
+                // functions the workers run, so results are identical by
+                // construction; only the channel round-trips are skipped.
+                let mut b = pool[0].take().expect("batch parked");
+                b.round = round;
+                b.phase = Phase::Send;
+                b.jobs.clear();
+                for &v in &awake {
+                    b.jobs
+                        .push((v, slots[v as usize].take().expect("program present")));
+                }
+                {
+                    let ctx = shared.read().expect("round context lock");
+                    run_send_phase(graph, &ctx, &mut b);
+                }
+                if let Some(e) = b.error.take() {
+                    return Err(e);
+                }
+                merge_send_partials(&b, &mut metrics);
+                b.phase = Phase::Receive;
+                run_receive_phase(graph, &mut b, &mut main_inboxes);
+                if let Some(e) = b.error.take() {
+                    return Err(e);
+                }
+                let mut ctx = shared.write().expect("round context lock");
+                apply_receive_partials(
+                    &mut b,
+                    round,
+                    &mut ctx,
+                    &mut wheel,
+                    &mut stay,
+                    &mut outputs,
+                    &mut slots,
+                );
+                pool[0] = Some(b);
+                continue;
+            }
+
+            // ---- send phase: workers route their own chunks ----
+            for w in 0..k {
                 let mut b = pool[w].take().expect("batch parked");
                 b.round = round;
                 b.phase = Phase::Send;
                 b.jobs.clear();
-                for &v in chunk {
+                for &v in &awake[bounds[w] as usize..bounds[w + 1] as usize] {
                     b.jobs
                         .push((v, slots[v as usize].take().expect("program present")));
                 }
                 job_txs[w].send(b).expect("worker alive");
             }
-            for w in 0..num_chunks {
-                let mut b = done_rxs[w].recv().expect("worker reply");
-                // Replay this chunk's outboxes in node order through the
-                // same routing path as the serial engine.
-                let mut entries = b.out_items.drain(..);
-                let mut start = 0u32;
-                for (&(v, _), &(end, span)) in b.jobs.iter().zip(b.out_index.iter()) {
-                    let vid = NodeId(v);
-                    metrics.note_awake(vid, span);
-                    route_messages(
-                        graph,
-                        entries.by_ref().take((end - start) as usize),
-                        &next_wake,
-                        round,
-                        vid,
-                        &mut arena,
-                        &mut metrics,
-                        &mut tracer,
-                    )?;
-                    start = end;
+            inflight.clear();
+            for rx in done_rxs.iter().take(k) {
+                inflight.push(rx.recv().expect("worker reply"));
+            }
+            // Error precedence: chunks ascend in node order and a worker
+            // stops at its chunk's first routing error, so the first error
+            // of the lowest-indexed chunk is the serial engine's error.
+            for b in &mut inflight {
+                if let Some(e) = b.error.take() {
+                    return Err(e);
                 }
-                drop(entries);
-                pool[w] = Some(b);
+            }
+            // Deterministic metrics merge, chunk by chunk in node order.
+            for b in &inflight {
+                merge_send_partials(b, &mut metrics);
+            }
+            // ---- exchange: transpose the k×k owner-shard matrix so
+            // batch w's shards become the messages *addressed to* chunk w,
+            // indexed by source chunk. Vec header swaps only — the message
+            // payloads never move, and buffer capacity stays in the pool.
+            for w in 0..k {
+                let (left, right) = inflight.split_at_mut(w + 1);
+                for c in (w + 1)..k {
+                    std::mem::swap(&mut left[w].shards[c], &mut right[c - w - 1].shards[w]);
+                }
             }
 
-            // ---- receive phase ----
-            // Flatten each chunk's segments into the batch's contiguous
-            // inbox buffer (a sequential move per segment), so one buffer
-            // per worker travels regardless of how many nodes are awake.
-            for (w, chunk) in awake.chunks(chunk_size).enumerate() {
-                let mut b = pool[w].take().expect("batch parked");
+            // ---- receive phase: workers deliver and receive locally ----
+            for (w, mut b) in inflight.drain(..).enumerate() {
                 b.phase = Phase::Receive;
-                b.inbox.clear();
-                b.inbox_ranges.clear();
-                for &v in chunk {
-                    let range = arena.take_inbox_into(v, &mut b.inbox);
-                    b.inbox_ranges.push(range);
-                }
                 job_txs[w].send(b).expect("worker alive");
             }
-            for w in 0..num_chunks {
-                let mut b = done_rxs[w].recv().expect("worker reply");
-                for ((v, p), &action) in b.jobs.drain(..).zip(b.actions.iter()) {
-                    let vid = NodeId(v);
-                    match action {
-                        Action::Stay => {
-                            next_wake[v as usize] = round + 1;
-                            stay.push(v);
-                        }
-                        Action::SleepUntil(until) => {
-                            if until <= round {
-                                return Err(SimError::InvalidSleep {
-                                    node: vid,
-                                    round,
-                                    until,
-                                });
-                            }
-                            next_wake[v as usize] = until;
-                            wheel.schedule(until, v);
-                        }
-                        Action::Halt => {
-                            next_wake[v as usize] = NEVER;
-                            match p.output() {
-                                Some(o) => outputs[v as usize] = Some(o),
-                                None => return Err(SimError::MissingOutput(vid)),
-                            }
-                        }
-                    }
-                    slots[v as usize] = Some(p);
+            for rx in done_rxs.iter().take(k) {
+                inflight.push(rx.recv().expect("worker reply"));
+            }
+            for b in &mut inflight {
+                if let Some(e) = b.error.take() {
+                    return Err(e);
                 }
-                pool[w] = Some(b);
+            }
+            // Apply action partials in chunk order (= node order): stay
+            // lane stays globally sorted, wake-ups enter the wheel in the
+            // serial engine's schedule order, halt outputs land in place.
+            {
+                let mut ctx = shared.write().expect("round context lock");
+                for (w, mut b) in inflight.drain(..).enumerate() {
+                    apply_receive_partials(
+                        &mut b,
+                        round,
+                        &mut ctx,
+                        &mut wheel,
+                        &mut stay,
+                        &mut outputs,
+                        &mut slots,
+                    );
+                    pool[w] = Some(b);
+                }
             }
         }
         drop(job_txs);
@@ -353,23 +672,36 @@ mod tests {
         }
     }
 
+    fn assert_bitwise_equal<P>(g: &Graph, mk: impl Fn() -> Vec<P>, workers: &[usize])
+    where
+        P: Program + Send,
+        P::Output: PartialEq,
+    {
+        let serial = crate::Engine::new(g, Config::default()).run(mk()).unwrap();
+        for &w in workers {
+            let par = run_threaded(g, mk(), Config::default(), w).unwrap();
+            assert!(serial.outputs == par.outputs, "outputs, workers = {w}");
+            assert_eq!(serial.metrics, par.metrics, "metrics, workers = {w}");
+        }
+    }
+
     #[test]
     fn threaded_matches_serial_flood() {
-        let g = generators::random_tree(40, 9);
+        // 160 nodes: total degree mass (2m + n = 478) exceeds INLINE_MASS,
+        // so dense rounds genuinely run the multi-chunk parallel pipeline.
+        let g = generators::random_tree(160, 9);
         let mk = || {
-            (0..40)
+            (0..160)
                 .map(|_| FloodMax {
                     best: 0,
-                    rounds: 40,
+                    rounds: 170,
                 })
                 .collect::<Vec<_>>()
         };
-        let serial = crate::Engine::new(&g, Config::default()).run(mk()).unwrap();
-        let threaded = run_threaded(&g, mk(), Config::default(), 4).unwrap();
-        assert_eq!(serial.outputs, threaded.outputs);
-        assert_eq!(serial.metrics, threaded.metrics, "bit-for-bit metrics");
-        // everyone learned the max ident (tree has diameter < 40 rounds)
-        assert!(serial.outputs.iter().all(|&b| b == 40));
+        assert_bitwise_equal(&g, mk, &[1, 2, 4, 8]);
+        let run = run_threaded(&g, mk(), Config::default(), 4).unwrap();
+        // everyone learned the max ident (tree has diameter < 170 rounds)
+        assert!(run.outputs.iter().all(|&b| b == 160));
     }
 
     #[test]
@@ -384,12 +716,29 @@ mod tests {
 
     #[test]
     fn more_workers_than_awake_nodes() {
+        // Tiny awake set, tiny mass: the inline path absorbs the round.
         let g = generators::path(3);
         let progs = (0..3)
             .map(|_| FloodMax { best: 0, rounds: 3 })
             .collect::<Vec<_>>();
         let run = run_threaded(&g, progs, Config::default(), 16).unwrap();
         assert_eq!(run.outputs, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn more_workers_than_awake_nodes_in_the_dispatched_path() {
+        // K_20: only 20 awake nodes but degree mass 400 > INLINE_MASS, so
+        // the round dispatches with k = 20 chunks under 32 workers — the
+        // chunker must cap k at the awake count, one node per chunk.
+        let g = generators::complete(20);
+        let mk = || {
+            (0..20)
+                .map(|_| FloodMax { best: 0, rounds: 3 })
+                .collect::<Vec<_>>()
+        };
+        assert_bitwise_equal(&g, mk, &[32]);
+        let run = run_threaded(&g, mk(), Config::default(), 32).unwrap();
+        assert!(run.outputs.iter().all(|&b| b == 20));
     }
 
     #[test]
@@ -403,5 +752,252 @@ mod tests {
             .collect::<Vec<_>>();
         let err = run_threaded(&g, progs, Config::with_max_rounds(5), 2).unwrap_err();
         assert_eq!(err, SimError::RoundBudgetExceeded { limit: 5 });
+    }
+
+    // ---- degree-weighted partitioning ----
+
+    fn split(g: &Graph, awake: &[u32], k: usize) -> Vec<u32> {
+        let (mut prefix, mut bounds) = (Vec::new(), Vec::new());
+        degree_mass_prefix(g, awake, &mut prefix);
+        partition_by_mass(&prefix, k, &mut bounds);
+        bounds
+    }
+
+    #[test]
+    fn partition_balances_uniform_degree_mass() {
+        let g = generators::cycle(12); // every node mass 3
+        let awake: Vec<u32> = (0..12).collect();
+        assert_eq!(split(&g, &awake, 4), vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn partition_isolates_a_dominant_hub() {
+        // Star: the hub (node 0) holds half the endpoint degree mass; the
+        // splitter must give it a narrow chunk instead of dragging half
+        // the leaves into worker 0.
+        let g = generators::star(33); // hub degree 32, leaves degree 1
+        let awake: Vec<u32> = (0..33).collect();
+        let bounds = split(&g, &awake, 4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!((bounds[0], bounds[4]), (0, 33));
+        assert!(
+            bounds[1] == 1,
+            "hub chunk must be the hub alone, got bounds {bounds:?}"
+        );
+        // every chunk non-empty and monotone
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn partition_survives_single_node_and_k_equals_len() {
+        let g = generators::path(4);
+        assert_eq!(split(&g, &[2], 1), vec![0, 1]);
+        let awake: Vec<u32> = (0..4).collect();
+        assert_eq!(split(&g, &awake, 4), vec![0, 1, 2, 3, 4]);
+    }
+
+    // ---- degenerate shapes the chunker must survive ----
+
+    /// Node 0 stays awake through `rounds`; everyone else halts at round 1:
+    /// every later round has a single awake node under many workers.
+    struct LoneStayer {
+        rounds: u64,
+        heard: u64,
+    }
+
+    impl Program for LoneStayer {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+            out.broadcast(view.ident);
+        }
+        fn receive(&mut self, view: &View, inbox: &[Envelope<u64>]) -> Action {
+            self.heard += inbox.len() as u64;
+            if view.round >= self.rounds {
+                Action::Halt
+            } else {
+                Action::Stay
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.heard)
+        }
+    }
+
+    #[test]
+    fn single_awake_node_rounds_under_many_workers() {
+        let g = generators::star(6);
+        let mk = || {
+            (0..6)
+                .map(|v| LoneStayer {
+                    rounds: if v == 0 { 5 } else { 1 },
+                    heard: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_bitwise_equal(&g, mk, &[1, 2, 4, 8]);
+        let run = run_threaded(&g, mk(), Config::default(), 8).unwrap();
+        // round 1: hub hears all 5 leaves; rounds 2..=5: hub is alone and
+        // its broadcasts are lost to the halted leaves.
+        assert_eq!(run.outputs[0], 5);
+        assert_eq!(run.metrics.messages_lost, 4 * 5);
+        assert_eq!(run.metrics.rounds, 5);
+    }
+
+    /// Wakes at `wake`, broadcasts once, halts — wheel wakes separated by
+    /// long fully-asleep gaps the skip-ahead must jump over.
+    struct GappedWake {
+        wake: Round,
+        heard: u64,
+    }
+
+    impl Program for GappedWake {
+        type Msg = u64;
+        type Output = u64;
+        fn initial_wake(&self) -> Option<Round> {
+            Some(self.wake)
+        }
+        fn send(&mut self, view: &View, out: &mut Outbox<u64>) {
+            out.broadcast(view.ident);
+        }
+        fn receive(&mut self, _view: &View, inbox: &[Envelope<u64>]) -> Action {
+            self.heard = inbox.len() as u64;
+            Action::Halt
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.heard)
+        }
+    }
+
+    #[test]
+    fn empty_awake_gaps_between_wheel_wakes() {
+        // Pairs meet at rounds 10, 1_000 and 10^9; every round in between
+        // has no awake node and must be skipped, not chunked.
+        let g = generators::path(6);
+        let wakes = [10u64, 10, 1_000, 1_000, 1_000_000_000, 1_000_000_000];
+        let mk = || {
+            wakes
+                .iter()
+                .map(|&wake| GappedWake { wake, heard: 0 })
+                .collect::<Vec<_>>()
+        };
+        assert_bitwise_equal(&g, mk, &[1, 2, 4, 8]);
+        let run = run_threaded(&g, mk(), Config::default(), 4).unwrap();
+        assert_eq!(run.metrics.rounds, 1_000_000_000);
+        assert_eq!(run.metrics.awake, vec![1; 6]);
+        // each pair only hears its partner (outer neighbors sleep)
+        assert_eq!(run.outputs, vec![1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn hub_holding_most_degree_agrees_across_worker_counts() {
+        // A star plus a leaf-path tail, big enough to stay above the
+        // inline cutoff: the hub dominates the degree mass, exercising the
+        // splitter's boundary clamps at every worker count.
+        let mut b = awake_graphs::GraphBuilder::new(240);
+        for v in 1..200u32 {
+            b.edge(0, v);
+        }
+        for v in 200..240u32 {
+            b.edge(v - 1, v);
+        }
+        let g = b.build().unwrap();
+        let mk = || {
+            (0..240)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 12,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_bitwise_equal(&g, mk, &[1, 2, 3, 4, 8, 16]);
+    }
+
+    // ---- error precedence matches the serial engine ----
+
+    struct BadSendAt {
+        bad: bool,
+    }
+    impl Program for BadSendAt {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, view: &View, out: &mut Outbox<()>) {
+            if self.bad {
+                // address a non-neighbor: 2 hops away on a path
+                let target = NodeId((view.me.0 + 2) % view.n as u32);
+                out.to(target, ());
+            }
+        }
+        fn receive(&mut self, _: &View, _: &[Envelope<()>]) -> Action {
+            Action::Halt
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn routing_error_reports_lowest_offending_node() {
+        // Round 1 on P_200 has degree mass 598 > INLINE_MASS: the error
+        // surfaces from the parallel path, where higher chunks' offenders
+        // run concurrently and must lose to node 3's error.
+        let g = generators::path(200);
+        for workers in [1, 2, 4, 8] {
+            let progs: Vec<BadSendAt> = (0..200).map(|v| BadSendAt { bad: v >= 3 }).collect();
+            let err = run_threaded(&g, progs, Config::default(), workers).unwrap_err();
+            let serial_err = crate::Engine::new(&g, Config::default())
+                .run((0..200).map(|v| BadSendAt { bad: v >= 3 }).collect())
+                .unwrap_err();
+            assert_eq!(err, serial_err, "workers = {workers}");
+            assert_eq!(
+                err,
+                SimError::NotANeighbor {
+                    from: NodeId(3),
+                    to: NodeId(5)
+                }
+            );
+        }
+    }
+
+    struct SleepsBackward {
+        offender: bool,
+    }
+    impl Program for SleepsBackward {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &View, _: &mut Outbox<()>) {}
+        fn receive(&mut self, view: &View, _: &[Envelope<()>]) -> Action {
+            if view.round >= 2 && self.offender {
+                Action::SleepUntil(view.round) // invalid: not in the future
+            } else if view.round >= 3 {
+                Action::Halt
+            } else {
+                Action::Stay
+            }
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn invalid_sleep_reports_lowest_offending_node() {
+        // C_150 (mass 450): the offending round runs the parallel path.
+        let g = generators::cycle(150);
+        for workers in [1, 2, 4, 8] {
+            let progs: Vec<SleepsBackward> = (0..150)
+                .map(|v| SleepsBackward { offender: v >= 4 })
+                .collect();
+            let err = run_threaded(&g, progs, Config::default(), workers).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::InvalidSleep {
+                    node: NodeId(4),
+                    round: 2,
+                    until: 2
+                },
+                "workers = {workers}"
+            );
+        }
     }
 }

@@ -106,6 +106,20 @@ impl WakeWheel {
         // (peek_min) may re-arm the memo.
     }
 
+    /// Queue a batch of `(wake round, node)` events.
+    ///
+    /// The batched form of [`schedule`](Self::schedule): the threaded
+    /// executor applies each worker's sleep partial in one call, chunk by
+    /// chunk in node order, so merged wake-ups enter the wheel in exactly
+    /// the order the serial engine schedules them. Every event must be
+    /// strictly in the future, like `schedule`.
+    #[inline]
+    pub(crate) fn schedule_all(&mut self, events: impl IntoIterator<Item = (Round, u32)>) {
+        for (round, node) in events {
+            self.schedule(round, node);
+        }
+    }
+
     /// The earliest pending round, without advancing the wheel.
     ///
     /// No cascade: the executors use this to decide whether the wheel
@@ -306,6 +320,19 @@ mod tests {
         assert_eq!(w.pop_next(&mut batch), Some(70));
         assert_eq!(batch, vec![1]);
         assert_eq!(w.peek_min(), Some(100));
+    }
+
+    #[test]
+    fn schedule_all_equals_repeated_schedule() {
+        let events = [(5u64, 0u32), (1, 1), (70, 2), (5, 3), (1 << 30, 4)];
+        let mut batched = WakeWheel::new();
+        batched.schedule_all(events);
+        let mut single = WakeWheel::new();
+        for (r, v) in events {
+            single.schedule(r, v);
+        }
+        assert_eq!(batched.peek_min(), single.peek_min());
+        assert_eq!(drain_all(&mut batched), drain_all(&mut single));
     }
 
     #[test]

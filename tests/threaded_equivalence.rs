@@ -11,7 +11,7 @@ use awake::sleeping::{
     threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, Run, View,
 };
 
-/// Run serially and under 1, 2 and 8 workers; assert full equivalence.
+/// Run serially and under 1, 2, 4 and 8 workers; assert full equivalence.
 fn assert_equivalent<P, F>(g: &Graph, mk: F)
 where
     P: Program + Send,
@@ -19,7 +19,7 @@ where
     F: Fn() -> Vec<P>,
 {
     let serial: Run<P::Output> = Engine::new(g, Config::default()).run(mk()).unwrap();
-    for workers in [1usize, 2, 8] {
+    for workers in [1usize, 2, 4, 8] {
         let par = threaded::run_threaded(g, mk(), Config::default(), workers).unwrap();
         assert!(
             serial.outputs == par.outputs,
@@ -165,6 +165,32 @@ fn stay_lane_meets_wheel_wake_across_block_boundary() {
         assert_eq!(run.metrics.rounds, 70);
         assert_eq!(run.metrics.awake, vec![6, 1]);
     }
+}
+
+#[test]
+fn trivial_greedy_agrees_on_hub_heavy_star() {
+    // One hub owning half the endpoint degree mass: the degree-weighted
+    // splitter isolates it in a chunk of its own, and the owner-sharded
+    // delivery must still reassemble every leaf inbox in sender order.
+    let g = generators::star(120);
+    assert_equivalent(&g, || -> Vec<TrivialGreedy<MaximalIndependentSet>> {
+        g.nodes()
+            .map(|_| TrivialGreedy::new(MaximalIndependentSet, ()))
+            .collect()
+    });
+}
+
+#[test]
+fn linial_agrees_on_hub_heavy_caterpillar() {
+    // Heavy hubs on a spine: degree mass concentrates in a few nodes while
+    // the awake set stays wide — chunk boundaries land mid-leaf-run.
+    let g = generators::caterpillar(8, 14);
+    let delta = g.max_degree() as u64;
+    assert_equivalent(&g, || -> Vec<ColorReduction> {
+        g.nodes()
+            .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
+            .collect()
+    });
 }
 
 #[test]
