@@ -16,6 +16,7 @@
 //! | [`clustering`] | BFS-clusterings (Definitions 2–5), validators, virtual graphs |
 //! | [`gather`] | depth-synchronized intra-cluster convergecast+broadcast |
 //! | [`virt`] | Lemma 7: simulating an algorithm on the virtual graph `H` over `G` |
+//! | [`linegraph`] | edge problems via line-graph virtualization (Lemma 7 replicas on 2-member edge clusters) |
 //! | [`lemma15`] | one decomposition phase (Figure 4) |
 //! | [`lemma14`] | flattening a two-level clustering (Figure 2) |
 //! | [`theorem13`] | the full colored-BFS-clustering pipeline (Figure 3) |
@@ -50,6 +51,7 @@ pub mod lemma11;
 pub mod lemma14;
 pub mod lemma15;
 pub mod lemma6;
+pub mod linegraph;
 pub mod linial;
 pub mod params;
 pub mod theorem1;

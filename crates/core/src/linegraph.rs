@@ -1,0 +1,641 @@
+//! Line-graph virtualization: running Sleeping-model programs for the
+//! **edges** of `G` on the nodes of `G`.
+//!
+//! Every edge `e = {u, v}` becomes one virtual node of the line graph
+//! `L(G)`. Both endpoints run an identical deterministic **replica** of
+//! `e`'s program — the Lemma 7 replica technique ([`crate::virt`]),
+//! specialized to the 2-member "cluster" `{u, v}` with depth bound 0: no
+//! convergecast/broadcast legs are needed, because any two edges adjacent
+//! in `L(G)` share a vertex, and that shared vertex hosts replicas of
+//! *both*. A virtual round of `L(G)` therefore costs exactly **one** real
+//! round of `G`:
+//!
+//! * a host delivers an awake replica's messages to its co-hosted
+//!   replicas locally, and ships one copy across each sibling edge so the
+//!   far replica sees the identical inbox;
+//! * inboxes are merged by sorting on `(sender label, seq)` and deduping,
+//!   so the two replicas of an edge advance in lock-step;
+//! * a host is awake at round `x` iff one of its incident edges is awake
+//!   at virtual round `x` — messages to fully sleeping hosts are lost,
+//!   which is precisely the Sleeping semantics on `L(G)`.
+//!
+//! The machinery is shared with Lemma 7: edge programs implement the same
+//! [`VirtualProgram`] trait, exchange [`VEnvelope`]s, emit [`VOutgoing`]s,
+//! and ride the physical network inside [`VirtMsg::Exchange`] frames. The
+//! [`EdgeGreedy`] inner program is the by-label sequential greedy for any
+//! [`EdgeProblem`] — the trivial `O(Δ_L)`-awake baseline on `L(G)` —
+//! executed unchanged by the serial engine or the worker-pool executor
+//! ([`solve_edges`] / [`solve_edges_threaded`]).
+
+use crate::virt::{VEnvelope, VOutgoing, VirtMsg, VirtualProgram};
+use awake_graphs::{Graph, NodeId};
+use awake_olocal::edge::{EdgeGreedyView, EdgeIndex, EdgeProblem};
+use awake_sleeping::{
+    threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, SimError, View,
+};
+
+/// Cluster-level input of one edge: what both replicas are constructed
+/// from (deliberately symmetric, like [`crate::virt::VertexInput`] —
+/// host-specific data never reaches the replica, so the two replicas of
+/// an edge are identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeCtx {
+    /// The edge's label (1-based rank by identifier pair, see
+    /// [`EdgeIndex`]).
+    pub label: u64,
+    /// Identifiers of the endpoints, `(smaller, larger)`.
+    pub endpoints: (u64, u64),
+    /// Degree in the line graph.
+    pub line_degree: usize,
+    /// Sorted labels of the adjacent edges.
+    pub adjacent: Vec<u64>,
+}
+
+/// One hosted replica of an edge program.
+struct Replica<VP: VirtualProgram> {
+    vp: VP,
+    label: u64,
+    /// Sorted adjacent labels (incoming-message filter: both replicas
+    /// must see identical inboxes, so each host keeps exactly the
+    /// messages from `L(G)`-neighbors).
+    adj: Vec<u64>,
+    /// This host owns the edge (it is the higher-ident endpoint) and
+    /// reports its output.
+    owned: bool,
+    /// Port to the edge's other endpoint (the far replica's host).
+    far_port: NodeId,
+    /// The replica's next awake virtual round.
+    next: Round,
+    /// Messages primed for virtual round `next`.
+    outgoing: Vec<(u16, Option<u64>, VP::Msg)>,
+    done: bool,
+    output: Option<VP::Output>,
+}
+
+impl<VP: VirtualProgram> Replica<VP> {
+    /// Prepare the outgoing messages for the replica's next awake round
+    /// (the [`crate::virt`] `prime` step).
+    fn prime(&mut self, next: Round) {
+        self.next = next;
+        self.outgoing = self
+            .vp
+            .send(next)
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| match o {
+                VOutgoing::ToCluster(j, m) => (i as u16, Some(j), m),
+                VOutgoing::Broadcast(m) => (i as u16, None, m),
+            })
+            .collect();
+    }
+}
+
+/// The line-graph host: a Sleeping-model [`Program`] for one node of `G`
+/// executing the replicas of all its incident edges' [`VirtualProgram`]s
+/// on `L(G)`.
+///
+/// Node output is the `(label, output)` list of the edges the node
+/// **owns** (is the higher-ident endpoint of), ascending by label;
+/// isolated nodes never wake and output an empty list.
+pub struct LineGraphHost<VP: VirtualProgram> {
+    /// Replicas ascending by label.
+    replicas: Vec<Replica<VP>>,
+    /// Local same-round deliveries `(replica idx, from label, seq, msg)`,
+    /// filled in `send`, drained in `receive`.
+    local: Vec<(u32, u64, u16, VP::Msg)>,
+    /// Scratch per-receive merge buffer (reused across rounds).
+    merge: Vec<(u64, u16, VP::Msg)>,
+}
+
+/// Build one [`LineGraphHost`] per node of `g`, constructing each edge's
+/// replica pair through `factory` (called once per (edge, endpoint) with
+/// the edge's symmetric [`EdgeCtx`] — implementations must be
+/// deterministic functions of it).
+pub fn hosts<VP, F>(g: &Graph, idx: &EdgeIndex, factory: F) -> Vec<LineGraphHost<VP>>
+where
+    VP: VirtualProgram,
+    F: Fn(&EdgeCtx) -> VP,
+{
+    let mut out: Vec<LineGraphHost<VP>> = g
+        .nodes()
+        .map(|_| LineGraphHost {
+            replicas: Vec::new(),
+            local: Vec::new(),
+            merge: Vec::new(),
+        })
+        .collect();
+    for i in 0..idx.m() {
+        let (u, v) = idx.edges()[i];
+        let ctx = EdgeCtx {
+            label: idx.label(i),
+            endpoints: idx.endpoint_idents(g, i),
+            line_degree: idx.line_degree(g, i),
+            adjacent: idx.adjacent_labels(i),
+        };
+        let owner = idx.owner(g, i);
+        for (host, far) in [(u, v), (v, u)] {
+            let mut rep = Replica {
+                vp: factory(&ctx),
+                label: ctx.label,
+                adj: ctx.adjacent.clone(),
+                owned: host == owner,
+                far_port: far,
+                next: 1,
+                outgoing: Vec::new(),
+                done: false,
+                output: None,
+            };
+            // All virtual nodes are awake at virtual round 1.
+            rep.prime(1);
+            out[host.index()].replicas.push(rep);
+        }
+    }
+    for h in &mut out {
+        h.replicas.sort_by_key(|r| r.label);
+    }
+    out
+}
+
+impl<VP: VirtualProgram> Program for LineGraphHost<VP> {
+    type Msg = VirtMsg<(), VP::Msg>;
+    type Output = Vec<(u64, VP::Output)>;
+
+    fn initial_wake(&self) -> Option<Round> {
+        if self.replicas.is_empty() {
+            None
+        } else {
+            Some(1)
+        }
+    }
+
+    fn send(&mut self, view: &View<'_>, out: &mut Outbox<Self::Msg>) {
+        let round = view.round;
+        self.local.clear();
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].done || self.replicas[i].next != round {
+                continue;
+            }
+            for k in 0..self.replicas[i].outgoing.len() {
+                let (seq, to, _) = self.replicas[i].outgoing[k];
+                // Any two edges at this host share this vertex, so every
+                // co-hosted replica is an L(G)-neighbor of the sender.
+                for j in 0..self.replicas.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let ship = match to {
+                        Some(l) => l == self.replicas[j].label,
+                        None => true,
+                    };
+                    if !ship {
+                        continue;
+                    }
+                    let msg = self.replicas[i].outgoing[k].2.clone();
+                    self.local
+                        .push((j as u32, self.replicas[i].label, seq, msg.clone()));
+                    // The far replica of edge j must see the identical
+                    // message; its host is one hop across edge j.
+                    out.to(
+                        self.replicas[j].far_port,
+                        VirtMsg::Exchange {
+                            from: self.replicas[i].label,
+                            to,
+                            seq,
+                            msg,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, view: &View<'_>, inbox: &[Envelope<Self::Msg>]) -> Action {
+        let round = view.round;
+        let mut min_next: Option<Round> = None;
+        let local = std::mem::take(&mut self.local);
+        for j in 0..self.replicas.len() {
+            if self.replicas[j].done {
+                continue;
+            }
+            if self.replicas[j].next != round {
+                let n = self.replicas[j].next;
+                min_next = Some(min_next.map_or(n, |m| m.min(n)));
+                continue;
+            }
+            // Merge local and cross-edge deliveries for replica j: keep
+            // exactly the messages from L(G)-neighbors addressed to this
+            // edge, sort by (sender, seq), dedup — both replicas of the
+            // edge construct this very sequence.
+            self.merge.clear();
+            for (tgt, from, seq, msg) in &local {
+                if *tgt == j as u32 {
+                    self.merge.push((*from, *seq, msg.clone()));
+                }
+            }
+            for e in inbox {
+                if let VirtMsg::Exchange { from, to, seq, msg } = &e.msg {
+                    let addressed = match to {
+                        Some(l) => *l == self.replicas[j].label,
+                        None => true,
+                    };
+                    if addressed && self.replicas[j].adj.binary_search(from).is_ok() {
+                        self.merge.push((*from, *seq, msg.clone()));
+                    }
+                }
+            }
+            self.merge.sort_by_key(|a| (a.0, a.1));
+            self.merge.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+            let venvelopes: Vec<VEnvelope<VP::Msg>> = self
+                .merge
+                .drain(..)
+                .map(|(from, _, msg)| VEnvelope { from, msg })
+                .collect();
+            let rep = &mut self.replicas[j];
+            match rep.vp.receive(round, &venvelopes) {
+                Action::Stay => rep.prime(round + 1),
+                // Deliberately unvalidated: a non-future wake round is
+                // propagated to the engine below, which reports
+                // `SimError::InvalidSleep` for this host — the same error
+                // surface every other program has.
+                Action::SleepUntil(x) => rep.prime(x),
+                Action::Halt => {
+                    rep.done = true;
+                    rep.output = rep.vp.output();
+                    assert!(
+                        rep.output.is_some(),
+                        "edge program halted without an output"
+                    );
+                }
+            }
+            if !rep.done {
+                let n = rep.next;
+                min_next = Some(min_next.map_or(n, |m| m.min(n)));
+            }
+        }
+        self.local = local;
+        self.local.clear();
+        match min_next {
+            None => Action::Halt,
+            Some(n) if n == round + 1 => Action::Stay,
+            Some(n) => Action::SleepUntil(n),
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        if self.replicas.iter().any(|r| !r.done) {
+            return None;
+        }
+        Some(
+            self.replicas
+                .iter()
+                .filter(|r| r.owned)
+                .map(|r| {
+                    (
+                        r.label,
+                        r.output.clone().expect("halted replicas have outputs"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn span(&self) -> &'static str {
+        "linegraph"
+    }
+}
+
+/// The by-label sequential greedy for an [`EdgeProblem`], as a
+/// [`VirtualProgram`] on `L(G)` — the line-graph counterpart of
+/// [`crate::trivial::TrivialGreedy`]. Edge `e` wakes at virtual round 1,
+/// at round `l` for every adjacent label `l < label(e)` (to hear those
+/// decisions), and decides + announces at virtual round `label(e)`.
+/// Awake `deg_L(e) + 2 = O(Δ_L)` virtual rounds; `m` rounds total.
+pub struct EdgeGreedy<EP: EdgeProblem> {
+    problem: EP,
+    input: EP::Input,
+    label: u64,
+    endpoints: (u64, u64),
+    line_degree: usize,
+    /// Ascending virtual wake rounds.
+    wakes: Vec<Round>,
+    cursor: usize,
+    collected: Vec<(u64, EP::Output)>,
+    decided: Option<EP::Output>,
+}
+
+impl<EP: EdgeProblem> EdgeGreedy<EP> {
+    /// The greedy program for one edge.
+    pub fn new(problem: EP, input: EP::Input, ctx: &EdgeCtx) -> Self {
+        let mut wakes: Vec<Round> = std::iter::once(1)
+            .chain(ctx.adjacent.iter().filter(|&&l| l < ctx.label).copied())
+            .chain(std::iter::once(ctx.label))
+            .collect();
+        wakes.sort_unstable();
+        wakes.dedup();
+        EdgeGreedy {
+            problem,
+            input,
+            label: ctx.label,
+            endpoints: ctx.endpoints,
+            line_degree: ctx.line_degree,
+            wakes,
+            cursor: 0,
+            collected: Vec::new(),
+            decided: None,
+        }
+    }
+}
+
+impl<EP> VirtualProgram for EdgeGreedy<EP>
+where
+    EP: EdgeProblem,
+{
+    /// An announcement: `(label, decided output)`.
+    type Msg = (u64, EP::Output);
+    type Output = EP::Output;
+    type Payload = ();
+
+    fn send(&mut self, vround: Round) -> Vec<VOutgoing<Self::Msg>> {
+        if vround != self.label {
+            return vec![];
+        }
+        // Decide now: every adjacent edge with a smaller label announced
+        // at its own (earlier) label round, and this edge was awake then.
+        let view = EdgeGreedyView {
+            label: self.label,
+            endpoints: self.endpoints,
+            line_degree: self.line_degree,
+            input: &self.input,
+            out_neighbors: &self.collected,
+        };
+        let out = self.problem.decide(&view);
+        self.decided = Some(out.clone());
+        vec![VOutgoing::Broadcast((self.label, out))]
+    }
+
+    fn receive(&mut self, vround: Round, inbox: &[VEnvelope<Self::Msg>]) -> Action {
+        for e in inbox {
+            let (l, out) = &e.msg;
+            if *l < self.label && !self.collected.iter().any(|(k, _)| k == l) {
+                self.collected.push((*l, out.clone()));
+            }
+        }
+        while self.cursor < self.wakes.len() && self.wakes[self.cursor] <= vround {
+            self.cursor += 1;
+        }
+        match self.wakes.get(self.cursor) {
+            Some(&r) => Action::SleepUntil(r),
+            None => Action::Halt,
+        }
+    }
+
+    fn output(&self) -> Option<EP::Output> {
+        self.decided.clone()
+    }
+}
+
+/// A completed edge-problem run: per-edge outputs in [`EdgeIndex`]
+/// canonical order, plus the engine's full resource accounting.
+#[derive(Debug)]
+pub struct EdgeRun<O> {
+    /// Output of each edge (canonical [`Graph::edges`] order).
+    pub outputs: Vec<O>,
+    /// The underlying engine run's metrics.
+    pub metrics: Metrics,
+}
+
+/// Solve an [`EdgeProblem`] on the serial engine via the line-graph
+/// adapter with the [`EdgeGreedy`] inner program.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if `inputs.len() != g.m()`.
+pub fn solve_edges<EP>(
+    g: &Graph,
+    problem: &EP,
+    inputs: &[EP::Input],
+    config: Config,
+) -> Result<EdgeRun<EP::Output>, SimError>
+where
+    EP: EdgeProblem + Clone,
+{
+    let idx = EdgeIndex::new(g);
+    let programs = greedy_hosts(g, &idx, problem, inputs);
+    let run = Engine::new(g, config).run(programs)?;
+    Ok(collect(&idx, run.outputs, run.metrics))
+}
+
+/// [`solve_edges`] on the worker-pool executor — bit-for-bit identical
+/// results, per the executor equivalence contract.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if `inputs.len() != g.m()`.
+pub fn solve_edges_threaded<EP>(
+    g: &Graph,
+    problem: &EP,
+    inputs: &[EP::Input],
+    config: Config,
+    workers: usize,
+) -> Result<EdgeRun<EP::Output>, SimError>
+where
+    EP: EdgeProblem + Clone + Send + Sync,
+{
+    let idx = EdgeIndex::new(g);
+    let programs = greedy_hosts(g, &idx, problem, inputs);
+    let run = threaded::run_threaded(g, programs, config, workers)?;
+    Ok(collect(&idx, run.outputs, run.metrics))
+}
+
+/// The [`EdgeGreedy`] host set for `problem` (exposed so benches and
+/// tests can drive the executors directly).
+pub fn greedy_hosts<EP>(
+    g: &Graph,
+    idx: &EdgeIndex,
+    problem: &EP,
+    inputs: &[EP::Input],
+) -> Vec<LineGraphHost<EdgeGreedy<EP>>>
+where
+    EP: EdgeProblem + Clone,
+{
+    assert_eq!(inputs.len(), idx.m(), "inputs length mismatch");
+    hosts(g, idx, |ctx| {
+        let i = idx.index_of_label(ctx.label);
+        EdgeGreedy::new(problem.clone(), inputs[i].clone(), ctx)
+    })
+}
+
+/// Flatten per-node owned outputs back to canonical edge order.
+fn collect<O: Clone + std::fmt::Debug>(
+    idx: &EdgeIndex,
+    node_outputs: Vec<Vec<(u64, O)>>,
+    metrics: Metrics,
+) -> EdgeRun<O> {
+    let mut outputs: Vec<Option<O>> = vec![None; idx.m()];
+    for owned in &node_outputs {
+        for (label, out) in owned {
+            let i = idx.index_of_label(*label);
+            debug_assert!(outputs[i].is_none(), "edge {i} reported twice");
+            outputs[i] = Some(out.clone());
+        }
+    }
+    EdgeRun {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every edge has exactly one owner"))
+            .collect(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awake_graphs::generators;
+    use awake_olocal::edge::{solve_edges_sequentially, EdgeColoring, MaximalMatching};
+
+    fn families() -> Vec<Graph> {
+        vec![
+            generators::path(9),
+            generators::cycle(8),
+            generators::star(12),
+            generators::complete(7),
+            generators::gnp(32, 0.15, 4),
+            generators::random_tree(24, 2),
+            generators::grid(4, 5),
+            generators::caterpillar(5, 2),
+            generators::lollipop(5, 4),
+            generators::path(1), // no edges: every host inactive
+            GraphBuilder_disconnected(),
+        ]
+    }
+
+    /// Two components + an isolated node: exercises bystander hosts.
+    #[allow(non_snake_case)]
+    fn GraphBuilder_disconnected() -> Graph {
+        let mut b = awake_graphs::GraphBuilder::new(7);
+        b.edge(0, 1).edge(1, 2).edge(4, 5).edge(5, 6);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adapter_matches_the_sequential_reference() {
+        for g in families() {
+            let idx = EdgeIndex::new(&g);
+            let inputs = vec![(); idx.m()];
+            let mat = solve_edges(&g, &MaximalMatching, &inputs, Config::default())
+                .unwrap()
+                .outputs;
+            let mat_seq = solve_edges_sequentially(&MaximalMatching, &g, &idx, &inputs);
+            assert_eq!(mat, mat_seq, "matching diverges on {g:?}");
+            MaximalMatching.validate(&g, &inputs, &mat).unwrap();
+
+            let col = solve_edges(&g, &EdgeColoring, &inputs, Config::default())
+                .unwrap()
+                .outputs;
+            let col_seq = solve_edges_sequentially(&EdgeColoring, &g, &idx, &inputs);
+            assert_eq!(col, col_seq, "coloring diverges on {g:?}");
+            EdgeColoring.validate(&g, &inputs, &col).unwrap();
+        }
+    }
+
+    #[test]
+    fn adapter_awake_cost_is_line_degree_bounded() {
+        // A host's awake rounds are at most the union of its incident
+        // edges' wake rounds: Σ_e∋v (deg_L(e) + 2).
+        let g = generators::gnp(40, 0.12, 9);
+        let idx = EdgeIndex::new(&g);
+        let run = solve_edges(&g, &MaximalMatching, &vec![(); idx.m()], Config::default()).unwrap();
+        for v in g.nodes() {
+            let bound: u64 = idx
+                .incident(v)
+                .iter()
+                .map(|&i| idx.line_degree(&g, i as usize) as u64 + 2)
+                .sum();
+            assert!(
+                run.metrics.awake[v.index()] <= bound.max(1),
+                "node {v}: awake {} > bound {bound}",
+                run.metrics.awake[v.index()]
+            );
+        }
+        // Round complexity ≤ m (the largest label's announce round).
+        assert!(run.metrics.rounds <= idx.m() as u64 + 1);
+    }
+
+    #[test]
+    fn custom_idents_change_the_processing_order_consistently() {
+        let g = generators::cycle(7).with_idents(vec![70, 10, 60, 20, 50, 30, 40]);
+        let idx = EdgeIndex::new(&g);
+        let run = solve_edges(&g, &MaximalMatching, &vec![(); idx.m()], Config::default()).unwrap();
+        let seq = solve_edges_sequentially(&MaximalMatching, &g, &idx, &vec![(); idx.m()]);
+        assert_eq!(run.outputs, seq);
+        MaximalMatching
+            .validate(&g, &vec![(); idx.m()], &run.outputs)
+            .unwrap();
+    }
+
+    #[test]
+    fn serial_and_threaded_adapters_agree() {
+        let g = generators::gnp(28, 0.18, 11);
+        let inputs = vec![(); g.m()];
+        let a = solve_edges(&g, &EdgeColoring, &inputs, Config::default()).unwrap();
+        for workers in [1, 2, 4] {
+            let b = solve_edges_threaded(&g, &EdgeColoring, &inputs, Config::default(), workers)
+                .unwrap();
+            assert_eq!(a.outputs, b.outputs, "workers = {workers}");
+            assert_eq!(a.metrics, b.metrics, "workers = {workers}");
+        }
+    }
+
+    /// An inner program that requests an invalid (non-future) wake round
+    /// at virtual round 1 when its edge is marked bad: the host must
+    /// surface it as the engine's `InvalidSleep`, like any other program.
+    struct BadSleeper {
+        bad: bool,
+    }
+
+    impl VirtualProgram for BadSleeper {
+        type Msg = ();
+        type Output = ();
+        type Payload = ();
+        fn send(&mut self, _vround: Round) -> Vec<VOutgoing<()>> {
+            vec![]
+        }
+        fn receive(&mut self, vround: Round, _inbox: &[VEnvelope<()>]) -> Action {
+            if self.bad {
+                Action::SleepUntil(vround) // not strictly future
+            } else {
+                Action::Halt
+            }
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn invalid_inner_sleep_surfaces_as_engine_error() {
+        let g = generators::path(6);
+        let idx = EdgeIndex::new(&g);
+        // Mark the middle edge bad: its lower endpoint is v2.
+        let bad_label = idx.label(2);
+        let programs = hosts(&g, &idx, |ctx| BadSleeper {
+            bad: ctx.label == bad_label,
+        });
+        let err = Engine::new(&g, Config::default())
+            .run(programs)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidSleep {
+                node: NodeId(2),
+                round: 1,
+                until: 1
+            }
+        );
+    }
+}

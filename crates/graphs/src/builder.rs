@@ -57,7 +57,16 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Start building a graph on `n` nodes and no edges.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` node-id space — edge endpoints are
+    /// `u32`s, so a larger `n` could only be reached by silently
+    /// truncating node ids (the failure mode this assert turns loud).
     pub fn new(n: usize) -> Self {
+        assert!(
+            n <= u32::MAX as usize,
+            "n = {n} exceeds the u32 node-id space"
+        );
         GraphBuilder {
             n,
             edges: BTreeSet::new(),

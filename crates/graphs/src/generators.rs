@@ -88,14 +88,22 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     must(b)
 }
 
-/// `rows × cols` 2-D torus (grid with wraparound; both dims should be ≥ 3).
+/// `rows × cols` 2-D torus (grid with wraparound; both dims should be ≥ 3
+/// for the full 4-regular shape — a dimension of 1 or 2 degrades to the
+/// grid edges in that direction, since the wrap edge would be a self-loop
+/// or a duplicate).
 pub fn torus(rows: usize, cols: usize) -> Graph {
     let idx = |r: usize, c: usize| ((r % rows) * cols + (c % cols)) as u32;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.edge(idx(r, c), idx(r + 1, c));
-            b.edge(idx(r, c), idx(r, c + 1));
+            let v = idx(r, c);
+            if idx(r + 1, c) != v {
+                b.edge(v, idx(r + 1, c));
+            }
+            if idx(r, c + 1) != v {
+                b.edge(v, idx(r, c + 1));
+            }
         }
     }
     must(b)
@@ -142,8 +150,12 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     must(b)
 }
 
-/// Barbell: two `K_k` cliques joined by a path of `bridge` extra nodes.
+/// Barbell: two `K_k` cliques joined by a path of `bridge` extra nodes
+/// (`k = 0` degrades to the bridge path alone).
 pub fn barbell(k: usize, bridge: usize) -> Graph {
+    if k == 0 {
+        return path(bridge);
+    }
     let n = 2 * k + bridge;
     let mut b = GraphBuilder::new(n);
     for u in 0..k as u32 {
@@ -163,8 +175,12 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     must(b)
 }
 
-/// Lollipop: a `K_k` clique with a tail path of `tail` nodes.
+/// Lollipop: a `K_k` clique with a tail path of `tail` nodes (`k = 0`
+/// degrades to the tail path alone).
 pub fn lollipop(k: usize, tail: usize) -> Graph {
+    if k == 0 {
+        return path(tail);
+    }
     let mut b = GraphBuilder::new(k + tail);
     for u in 0..k as u32 {
         for v in (u + 1)..k as u32 {
@@ -216,6 +232,13 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// `p = 1` yields the complete graph, like [`gnp`].
 pub fn gnp_sparse(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    // The skip walk casts endpoints to u32 when emitting edges; assert the
+    // id space up front (GraphBuilder::new re-checks) rather than letting
+    // `as u32` truncate silently.
+    assert!(
+        n <= u32::MAX as usize,
+        "n = {n} exceeds the u32 node-id space"
+    );
     if p >= 1.0 {
         return complete(n);
     }
@@ -248,7 +271,7 @@ pub fn gnp_sparse(n: usize, p: f64, seed: u64) -> Graph {
 /// loops/multi-edges; vertices may end up with degree slightly below `d`
 /// when rejections exhaust the stub pool. `n*d` should be even.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(d < n, "degree must be < n");
+    assert!(n == 0 || d < n, "degree must be < n");
     let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut seen = std::collections::HashSet::new();
@@ -500,6 +523,87 @@ mod tests {
         assert_eq!(traversal::connected_components(&g).count, 1);
         // every node participates in its clique
         assert!(g.nodes().all(|v| g.degree(v) >= 4));
+    }
+
+    /// Every generator at its degenerate corner: `n ∈ {0, 1, 2}` and, for
+    /// the random families, `p ∈ {0.0, 1e-12, 1.0}`. None may panic,
+    /// hang, or emit an invalid graph (`must` would catch self-loops /
+    /// out-of-range endpoints via the builder).
+    #[test]
+    fn degenerate_parameters_build_valid_graphs() {
+        for n in [0usize, 1, 2] {
+            assert_eq!(path(n).n(), n);
+            assert_eq!(cycle(n).n(), n);
+            assert_eq!(complete(n).n(), n);
+            assert_eq!(star(n).n(), n);
+            assert_eq!(balanced_tree(n, 1).n(), n);
+            assert_eq!(balanced_tree(n, 2).n(), n);
+            assert_eq!(random_tree(n, 1).n(), n);
+            assert_eq!(caterpillar(n, 0).n(), n);
+            assert_eq!(caterpillar(n, 2).n(), n * 3);
+            assert_eq!(random_with_max_degree(n, 2, 1).n(), n);
+            for m in [0usize, 1, 2] {
+                assert_eq!(grid(n, m).n(), n * m);
+                assert_eq!(torus(n, m).n(), n * m);
+                assert_eq!(complete_bipartite(n, m).n(), n + m);
+                assert_eq!(barbell(n, m).n(), if n == 0 { m } else { 2 * n + m });
+                assert_eq!(lollipop(n, m).n(), if n == 0 { m } else { n + m });
+            }
+            for p in [0.0f64, 1e-12, 1.0] {
+                let g = gnp(n, p, 1);
+                assert_eq!(g.n(), n);
+                let s = gnp_sparse(n, p, 1);
+                assert_eq!(s.n(), n);
+                if p == 1.0 && n == 2 {
+                    assert_eq!(g.m(), 1);
+                    assert_eq!(s.m(), 1);
+                }
+                if p == 0.0 {
+                    assert_eq!(g.m(), 0);
+                    assert_eq!(s.m(), 0);
+                }
+            }
+            if n > 0 {
+                assert_eq!(random_regular(n, 0, 1).m(), 0);
+            }
+            assert_eq!(power_law(n, 2.5, 1.0, 1).n(), n);
+        }
+        // n = 0 corners that used to panic (d < n underflow-style assert,
+        // k = 0 clique index underflow):
+        assert_eq!(random_regular(0, 0, 1).n(), 0);
+        assert_eq!(barbell(0, 0).n(), 0);
+        assert_eq!(lollipop(0, 0).n(), 0);
+        assert_eq!(random_regular(2, 1, 1).n(), 2);
+        // tiny tori no longer self-loop on the wrap edges
+        assert_eq!(torus(1, 3).m(), 3); // a 3-cycle
+        assert_eq!(torus(2, 2).m(), 4); // C_4, wrap edges collapse
+        assert_eq!(hypercube(0).n(), 1);
+        assert_eq!(hypercube(1).m(), 1);
+        assert_eq!(clique_cycle(1, 1).n(), 1);
+        assert_eq!(clique_cycle(2, 1).m(), 1);
+    }
+
+    #[test]
+    fn gnp_sparse_tiny_p_terminates_and_is_sparse() {
+        // p = 1e-12 once made the geometric skip enormous; the capped jump
+        // must terminate and produce an (almost surely) empty graph.
+        let g = gnp_sparse(4096, 1e-12, 3);
+        assert_eq!(g.n(), 4096);
+        assert!(g.m() <= 1, "m = {}", g.m());
+        let h = gnp(64, 1e-12, 3);
+        assert_eq!(h.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 node-id space")]
+    fn builder_rejects_n_beyond_u32() {
+        let _ = crate::GraphBuilder::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 node-id space")]
+    fn gnp_sparse_rejects_n_beyond_u32() {
+        let _ = gnp_sparse(u32::MAX as usize + 2, 1e-9, 1);
     }
 
     #[test]

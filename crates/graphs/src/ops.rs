@@ -133,10 +133,107 @@ pub fn quotient<F: Fn(NodeId) -> Option<u64>>(g: &Graph, label: F) -> Quotient {
     }
 }
 
+/// The line graph `L(G)` together with the mapping back to host edges.
+#[derive(Debug, Clone)]
+pub struct LineGraphOf {
+    /// `L(G)`: node `i` is the `i`-th edge of [`Graph::edges`]; its
+    /// identifier is the edge's 1-based rank under the lexicographic
+    /// order of its identifier pair `(min ident, max ident)` — the same
+    /// *label* `awake-olocal`'s `EdgeIndex` assigns.
+    pub graph: Graph,
+    /// For each line-graph node, the host edge's endpoints.
+    pub host_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl LineGraphOf {
+    /// The line-graph node of the `i`-th canonical host edge.
+    pub fn node_of(&self, i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+}
+
+/// The line graph `L(G)`: one node per edge of `G`, adjacent iff the
+/// edges share an endpoint. Vertex problems on `L(G)` are edge problems
+/// on `G` (maximal matching = MIS on `L(G)`); this is the centralized
+/// reference object the distributed line-graph adapter in `awake-core`
+/// is validated against.
+pub fn line_graph(g: &Graph) -> LineGraphOf {
+    let host_edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+    for (i, &(u, v)) in host_edges.iter().enumerate() {
+        incident[u.index()].push(i as u32);
+        incident[v.index()].push(i as u32);
+    }
+    let mut b = GraphBuilder::new(host_edges.len());
+    for inc in &incident {
+        for (a, &i) in inc.iter().enumerate() {
+            for &j in &inc[a + 1..] {
+                b.edge(i, j);
+            }
+        }
+    }
+    // Identifiers: rank of the endpoint-ident pair, 1-based.
+    let mut order: Vec<u32> = (0..host_edges.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let (u, v) = host_edges[i as usize];
+        let (a, b) = (g.ident(u), g.ident(v));
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    });
+    let mut idents = vec![0u64; host_edges.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        idents[i as usize] = rank as u64 + 1;
+    }
+    b.idents(idents);
+    LineGraphOf {
+        graph: b.build().expect("line graph is valid"),
+        host_edges,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators;
+
+    #[test]
+    fn line_graph_of_path_and_star() {
+        // L(P_4) = P_3
+        let lg = line_graph(&generators::path(4));
+        assert_eq!(lg.graph.n(), 3);
+        assert_eq!(lg.graph.m(), 2);
+        assert_eq!(lg.host_edges[0], (NodeId(0), NodeId(1)));
+        // L(K_{1,4}) = K_4: all star edges share the hub
+        let ls = line_graph(&generators::star(5));
+        assert_eq!(ls.graph.n(), 4);
+        assert_eq!(ls.graph.m(), 6);
+    }
+
+    #[test]
+    fn line_graph_degree_sum_identity() {
+        // |E(L(G))| = Σ_v C(deg v, 2)
+        let g = generators::gnp(30, 0.2, 9);
+        let lg = line_graph(&g);
+        let expect: usize = g
+            .nodes()
+            .map(|v| g.degree(v) * g.degree(v).saturating_sub(1) / 2)
+            .sum();
+        assert_eq!(lg.graph.m(), expect);
+        assert_eq!(lg.graph.n(), g.m());
+    }
+
+    #[test]
+    fn line_graph_idents_rank_ident_pairs() {
+        let g = generators::path(4).with_idents(vec![9, 2, 7, 4]);
+        let lg = line_graph(&g);
+        // pairs: (2,9), (2,7), (4,7) → sorted (2,7) < (2,9) < (4,7)
+        assert_eq!(lg.graph.ident(NodeId(0)), 2);
+        assert_eq!(lg.graph.ident(NodeId(1)), 1);
+        assert_eq!(lg.graph.ident(NodeId(2)), 3);
+    }
 
     #[test]
     fn induced_subgraph_keeps_idents() {

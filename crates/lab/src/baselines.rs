@@ -187,7 +187,62 @@ pub fn diff_bench(
         Rule::Info,
         tol,
     )?);
+    // Edge problems through the line-graph adapter. Sections newer than
+    // the committed baseline may be missing from it entirely — that is a
+    // baseline too old to have recorded them, not a regression, so such
+    // rows degrade to informational instead of failing the gate. (Missing
+    // from the *current* report still errors: dropping a gated section is
+    // a regression.)
+    for problem in ["matching", "edge_coloring"] {
+        rows.push(row_tolerating_missing_baseline(
+            baseline,
+            current,
+            &["edge_problems", problem, "node_rounds_per_sec"],
+            absolute_rule,
+            tol,
+        )?);
+        rows.push(row_tolerating_missing_baseline(
+            baseline,
+            current,
+            &["edge_problems", problem, "allocations_per_node_round"],
+            Rule::Allocations,
+            tol,
+        )?);
+    }
     Ok(rows)
+}
+
+/// Like [`row`], but a metric absent from the **baseline** document is
+/// reported as an informational row (baseline 0, ok) rather than an
+/// error — the tolerance that lets a gate with new sections run against
+/// an older committed baseline. Absence from the *current* document is
+/// still an error.
+fn row_tolerating_missing_baseline(
+    baseline: &Value,
+    current: &Value,
+    path: &[&str],
+    rule: Rule,
+    tol: &Tolerances,
+) -> Result<MetricDiff, String> {
+    let name = path.join(".");
+    let cur = current
+        .path(path)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("current report is missing numeric metric `{name}`"))?;
+    match baseline.path(path) {
+        // Present in the baseline: judge normally — including the error
+        // for a present-but-non-numeric value, which is a corrupted
+        // baseline, not a section newer than it.
+        Some(_) => row(baseline, current, path, rule, tol),
+        None => Ok(MetricDiff {
+            metric: format!("{name} (new)"),
+            baseline: 0.0,
+            current: cur,
+            change_pct: 0.0,
+            rule: Rule::Info,
+            ok: true,
+        }),
+    }
 }
 
 /// A derived row: `num / den` within each document, gated as throughput.
@@ -304,7 +359,7 @@ pub fn failures(rows: &[MetricDiff]) -> Vec<&MetricDiff> {
 mod tests {
     use super::*;
     use crate::json;
-    use crate::report::{BenchReport, PerfStats, ScalingRow, ThreadedScaling};
+    use crate::report::{BenchReport, EdgeProblemsBench, PerfStats, ScalingRow, ThreadedScaling};
 
     /// A scaling sweep derived multiplicatively from `base_ns`, so a
     /// uniform hardware slowdown keeps every within-document ratio fixed.
@@ -346,8 +401,24 @@ mod tests {
             threaded_4_workers: mk(engine_ns * 1.8, allocs),
             legacy_baseline: mk(engine_ns * 2.2, 1_000_000),
             threaded_scaling: scaling(engine_ns, allocs, w4_factor),
+            edge_problems: edge_problems(engine_ns, allocs),
         };
         json::parse(&b.to_json()).unwrap()
+    }
+
+    fn edge_problems(base_ns: f64, allocs: u64) -> EdgeProblemsBench {
+        let mk = |wall_ns: f64| PerfStats {
+            node_rounds: 250_000,
+            messages: 500_000,
+            allocations: allocs,
+            wall_ns,
+        };
+        EdgeProblemsBench {
+            n: 2048,
+            m: 8192,
+            matching: mk(base_ns * 0.4),
+            edge_coloring: mk(base_ns * 0.5),
+        }
     }
 
     fn report(engine_ns: f64, allocs: u64) -> Value {
@@ -459,6 +530,7 @@ mod tests {
                     threaded_4_workers: mk(threaded_ns),
                     legacy_baseline: mk(1.3e8),
                     threaded_scaling: scaling(6.0e7, 13_000, 0.55),
+                    edge_problems: edge_problems(6.0e7, 13_000),
                 }
                 .to_json(),
             )
@@ -496,6 +568,103 @@ mod tests {
         let err = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap_err();
         assert!(err.contains("node_rounds_per_sec"));
         assert!(err.contains("current"));
+    }
+
+    /// The committed document shape *before* the edge_problems section
+    /// existed: every other metric present, that section absent.
+    fn report_without_edge_section(engine_ns: f64, allocs: u64) -> Value {
+        let doc = report(engine_ns, allocs);
+        let Value::Obj(mut m) = doc else { panic!() };
+        m.remove("edge_problems").expect("section present");
+        Value::Obj(m)
+    }
+
+    #[test]
+    fn edge_section_missing_from_old_baseline_is_informational() {
+        // An older committed baseline predates the edge_problems section:
+        // the gate must pass (rows downgraded to info), in both modes.
+        let old_base = report_without_edge_section(6.0e7, 13_000);
+        let cur = report(6.0e7, 13_000);
+        for mode in [GateMode::Portable, GateMode::Absolute] {
+            let rows = diff_bench(&old_base, &cur, &Tolerances::default(), mode).unwrap();
+            assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+            let new_rows: Vec<&MetricDiff> = rows
+                .iter()
+                .filter(|r| r.metric.starts_with("edge_problems"))
+                .collect();
+            assert_eq!(new_rows.len(), 4);
+            assert!(new_rows
+                .iter()
+                .all(|r| r.rule == Rule::Info && r.ok && r.metric.ends_with("(new)")));
+        }
+    }
+
+    #[test]
+    fn corrupted_baseline_edge_metric_is_an_error_not_a_new_row() {
+        // Present-but-non-numeric is a corrupted baseline, not a section
+        // newer than it: the gate must error like any other section.
+        let mut base = report(6.0e7, 13_000);
+        if let Value::Obj(m) = &mut base {
+            let Some(Value::Obj(ep)) = m.get_mut("edge_problems") else {
+                panic!()
+            };
+            let Some(Value::Obj(mat)) = ep.get_mut("matching") else {
+                panic!()
+            };
+            mat.insert("node_rounds_per_sec".into(), Value::Str("oops".into()));
+        }
+        let cur = report(6.0e7, 13_000);
+        let err = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap_err();
+        assert!(err.contains("edge_problems.matching.node_rounds_per_sec"));
+        assert!(err.contains("baseline"));
+    }
+
+    #[test]
+    fn edge_section_missing_from_current_still_errors() {
+        let base = report(6.0e7, 13_000);
+        let cur = report_without_edge_section(6.0e7, 13_000);
+        let err = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap_err();
+        assert!(err.contains("edge_problems"), "{err}");
+        assert!(err.contains("current"), "{err}");
+    }
+
+    #[test]
+    fn edge_problem_regressions_gate_like_engine_rows() {
+        let base = report(6.0e7, 13_000);
+        // matching 25% slower in absolute mode fails…
+        let mut slow = report(6.0e7, 13_000);
+        if let Value::Obj(m) = &mut slow {
+            let Some(Value::Obj(ep)) = m.get_mut("edge_problems") else {
+                panic!()
+            };
+            let Some(Value::Obj(mat)) = ep.get_mut("matching") else {
+                panic!()
+            };
+            let v = mat.get("node_rounds_per_sec").unwrap().as_f64().unwrap();
+            mat.insert("node_rounds_per_sec".into(), Value::Num(v * 0.75));
+        }
+        let rows = diff_bench(&base, &slow, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "edge_problems.matching.node_rounds_per_sec"));
+        // …and is informational in portable mode (absolute throughput is
+        // machine-specific), where allocation rates still gate.
+        let rows = diff_bench(&base, &slow, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        let mut alloc = report(6.0e7, 13_000);
+        if let Value::Obj(m) = &mut alloc {
+            let Some(Value::Obj(ep)) = m.get_mut("edge_problems") else {
+                panic!()
+            };
+            let Some(Value::Obj(col)) = ep.get_mut("edge_coloring") else {
+                panic!()
+            };
+            col.insert("allocations_per_node_round".into(), Value::Num(1.5));
+        }
+        let rows = diff_bench(&base, &alloc, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "edge_problems.edge_coloring.allocations_per_node_round"));
     }
 
     #[test]

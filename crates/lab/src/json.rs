@@ -3,9 +3,10 @@
 //! The workspace builds without external crates, so this module stands in
 //! for `serde_json` where the harness must *read* JSON back (diffing a
 //! fresh `BENCH_engine.json` against the committed baseline). It parses
-//! the full JSON grammar minus exotic escapes (`\uXXXX` surrogate pairs
-//! decode to the replacement character), which is far more than the bench
-//! schema needs.
+//! the full JSON grammar, including `\uXXXX` escapes: surrogate *pairs*
+//! decode to the real supplementary-plane code point, and lone surrogates
+//! are a parse error — report strings round-trip exactly, never silently
+//! corrupting to U+FFFD.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -222,15 +223,37 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
+                            let cp = self.hex4()?;
+                            match cp {
+                                // High surrogate: must be followed by a
+                                // low surrogate; the pair decodes to one
+                                // supplementary-plane code point.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c).expect("surrogate pair is a scalar"),
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone low surrogate"));
+                                }
+                                // Every non-surrogate u16 is a scalar value.
+                                _ => {
+                                    out.push(char::from_u32(cp).expect("non-surrogate is a scalar"))
+                                }
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -251,6 +274,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\uXXXX` escape (cursor past the `u`).
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
@@ -354,6 +389,12 @@ mod tests {
                     stats: p,
                 }],
             },
+            edge_problems: crate::report::EdgeProblemsBench {
+                n: 10,
+                m: 15,
+                matching: p,
+                edge_coloring: p,
+            },
         };
         let v = parse(&b.to_json()).unwrap();
         assert_eq!(
@@ -366,11 +407,101 @@ mod tests {
                 .as_f64(),
             Some(1.0)
         );
+        assert_eq!(
+            v.path(&["edge_problems", "matching", "node_rounds_per_sec"])
+                .unwrap()
+                .as_f64(),
+            Some(2e5)
+        );
     }
 
     #[test]
     fn parses_unicode_strings() {
         let v = parse("\"Δ ≈ 8\"").unwrap();
         assert_eq!(v.as_str(), Some("Δ ≈ 8"));
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_to_the_real_code_point() {
+        // U+1F600 GRINNING FACE as an escaped surrogate pair
+        let v = parse("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // mixed: BMP escape, raw text, escaped pair (U+1F980 CRAB)
+        let v = parse("\"x\\u0394y\\uD83E\\uDD80z\"").unwrap();
+        assert_eq!(v.as_str(), Some("x\u{0394}y\u{1F980}z"));
+        // boundary pairs: U+10000 and U+10FFFF
+        assert_eq!(
+            parse("\"\\uD800\\uDC00\"").unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            parse("\"\\uDBFF\\uDFFF\"").unwrap().as_str(),
+            Some("\u{10FFFF}")
+        );
+        // raw (unescaped) non-BMP text is untouched
+        assert_eq!(parse("\"🦀\"").unwrap().as_str(), Some("🦀"));
+    }
+
+    #[test]
+    fn rejects_lone_and_malformed_surrogates() {
+        for doc in [
+            r#""\uD800""#,       // lone high at end of string
+            r#""\uD800x""#,      // high followed by a raw char
+            r#""\uD800\n""#,     // high followed by a non-\u escape
+            r#""\uD800\uD800""#, // high followed by another high
+            r#""\uDC00""#,       // lone low
+            r#""\uDE00\uD83D""#, // pair in the wrong order
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.message.contains("surrogate"),
+                "{doc}: unexpected error {err}"
+            );
+        }
+        // truncated pair tail
+        assert!(parse(r#""\uD83D\uDE"#).is_err());
+    }
+
+    #[test]
+    fn non_bmp_report_strings_round_trip_through_the_writer() {
+        // A suite report whose scenario name needs a supplementary-plane
+        // character: written by the report writer, read back by this
+        // parser, byte-for-byte equal strings.
+        let mut report = crate::report::Report {
+            suite: "emoji 🦀 suite".into(),
+            seed: 7,
+            scenarios: vec![],
+        };
+        report.scenarios.push(crate::report::ScenarioReport {
+            name: "mis/🦀-gnp-72/trivial \u{10FFFF}".into(),
+            problem: "mis",
+            family: "🦀-gnp-72".into(),
+            algo: "trivial".into(),
+            seed: 99,
+            n: 4,
+            m: 3,
+            valid: true,
+            metrics: crate::report::ScenarioMetrics {
+                rounds: 5,
+                max_awake: 3,
+                total_awake: 10,
+                avg_awake: 2.5,
+                messages_sent: 12,
+                messages_lost: 2,
+            },
+            timing: crate::report::Timing::default(),
+        });
+        for doc in [report.to_json(), report.canonical_json()] {
+            let v = parse(&doc).unwrap();
+            assert_eq!(v.get("suite").unwrap().as_str(), Some("emoji 🦀 suite"));
+            let Some(Value::Arr(rows)) = v.get("scenarios") else {
+                panic!("scenarios array")
+            };
+            assert_eq!(
+                rows[0].get("name").unwrap().as_str(),
+                Some("mis/🦀-gnp-72/trivial \u{10FFFF}")
+            );
+            assert_eq!(rows[0].get("family").unwrap().as_str(), Some("🦀-gnp-72"));
+        }
     }
 }

@@ -7,9 +7,12 @@
 //! run, batch, and diff:
 //!
 //! * [`scenario`] — a [`Scenario`](scenario::Scenario) names a
-//!   (graph family × problem × algorithm/executor) tuple. Build one with
+//!   (graph family × problem × algorithm/executor) tuple over the four
+//!   vertex problems and the two edge problems (maximal matching,
+//!   (2Δ−1)-edge coloring, via the line-graph adapter). Build one with
 //!   [`Scenario::of`](scenario::Scenario::of), or take a curated suite
-//!   from [`scenario::presets`] (`quick`, `full`, `algos`, `executors`).
+//!   from [`scenario::presets`] (`quick`, `full`, `algos`, `executors`,
+//!   `huge`, `edges`).
 //! * [`runner`] — a [`Runner`](runner::Runner) executes a suite serially
 //!   or sharded across worker threads. Every scenario derives its RNG
 //!   seed from the suite seed and its graph-family key, so results are

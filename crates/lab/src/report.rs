@@ -326,9 +326,38 @@ impl ThreadedScaling {
     }
 }
 
+/// The `edge_problems` section of `BENCH_engine.json`: the line-graph
+/// virtualization adapter solving maximal matching and (2Δ−1)-edge
+/// coloring on one seeded workload — the edge-workload throughput the CI
+/// gate tracks alongside the vertex-problem engine numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeProblemsBench {
+    /// Nodes of the host graph.
+    pub n: usize,
+    /// Edges of the host graph (= virtual nodes simulated).
+    pub m: usize,
+    /// Maximal matching through the adapter (serial engine).
+    pub matching: PerfStats,
+    /// (2Δ−1)-edge coloring through the adapter (serial engine).
+    pub edge_coloring: PerfStats,
+}
+
+impl EdgeProblemsBench {
+    fn section_json(&self) -> String {
+        format!(
+            "{{\n    \"n\": {}, \"m\": {},\n    \"matching\": {},\n    \"edge_coloring\": {}\n  }}",
+            self.n,
+            self.m,
+            self.matching.section_json(),
+            self.edge_coloring.section_json()
+        )
+    }
+}
+
 /// The micro-bench report (`BENCH_engine.json`): current serial engine,
 /// worker-pool executor, the in-bench legacy reconstruction — every
-/// report carries its own baseline — and the threaded-scaling sweep.
+/// report carries its own baseline — the threaded-scaling sweep, and the
+/// edge-problem adapter workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Workload label (e.g. `"engine/flood"`).
@@ -347,6 +376,8 @@ pub struct BenchReport {
     pub legacy_baseline: PerfStats,
     /// Worker-count sweep of the delivery pipeline at a larger n.
     pub threaded_scaling: ThreadedScaling,
+    /// Edge problems through the line-graph adapter.
+    pub edge_problems: EdgeProblemsBench,
 }
 
 impl BenchReport {
@@ -362,7 +393,7 @@ impl BenchReport {
             "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"bench\": {},\n  \"n\": {},\n  \
              \"degree\": {},\n  \"rounds\": {},\n  \"engine\": {},\n  \
              \"threaded_4_workers\": {},\n  \"legacy_baseline\": {},\n  \
-             \"threaded_scaling\": {},\n  \
+             \"threaded_scaling\": {},\n  \"edge_problems\": {},\n  \
              \"speedup_vs_legacy\": {:.3}\n}}\n",
             json_str(&self.bench),
             self.n,
@@ -372,6 +403,7 @@ impl BenchReport {
             self.threaded_4_workers.section_json(),
             self.legacy_baseline.section_json(),
             self.threaded_scaling.section_json(),
+            self.edge_problems.section_json(),
             self.speedup_vs_legacy()
         )
     }
@@ -507,6 +539,12 @@ mod tests {
             threaded_4_workers: p,
             legacy_baseline: PerfStats { wall_ns: 2e6, ..p },
             threaded_scaling: scaling,
+            edge_problems: EdgeProblemsBench {
+                n: 8,
+                m: 12,
+                matching: p,
+                edge_coloring: p,
+            },
         };
         assert!((b.speedup_vs_legacy() - 2.0).abs() < 1e-9);
         let j = b.to_json();
@@ -519,6 +557,9 @@ mod tests {
             "\"w1\"",
             "\"w4\"",
             "\"w4_vs_serial\": 2.000",
+            "\"edge_problems\"",
+            "\"matching\"",
+            "\"edge_coloring\"",
             "\"speedup_vs_legacy\": 2.000",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

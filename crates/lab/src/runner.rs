@@ -12,25 +12,59 @@
 use crate::report::{Report, ScenarioMetrics, ScenarioReport, Timing};
 use crate::scenario::{Algo, ProblemKind, Scenario};
 use awake_core::trivial::TrivialGreedy;
-use awake_core::{bm21, theorem1};
+use awake_core::{bm21, linegraph, theorem1};
 use awake_graphs::Graph;
+use awake_olocal::edge::{EdgeColoring, MaximalMatching};
 use awake_olocal::problems::{
     DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
 };
-use awake_olocal::OLocalProblem;
+use awake_olocal::{EdgeProblem, OLocalProblem};
 use awake_sleeping::{threaded, Config, Engine, SimError};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// A scenario run failure: which scenario, and what the simulator said.
+/// Why a scenario could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The simulator aborted.
+    Sim(SimError),
+    /// The scenario paired a problem with a solver that cannot run it
+    /// (edge problems ride the line-graph adapter, which exists for the
+    /// `trivial` / `trivial-t*` executors only).
+    UnsupportedAlgo {
+        /// The problem's label.
+        problem: &'static str,
+        /// The solver's label.
+        algo: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => e.fmt(f),
+            RunError::UnsupportedAlgo { problem, algo } => {
+                write!(f, "problem `{problem}` cannot run on solver `{algo}`")
+            }
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// A scenario run failure: which scenario, and what went wrong.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabError {
     /// The failing scenario's name.
     pub scenario: String,
-    /// The underlying simulator error.
-    pub error: SimError,
+    /// The underlying failure.
+    pub error: RunError,
 }
 
 impl fmt::Display for LabError {
@@ -140,6 +174,8 @@ pub fn run_scenario(
         ProblemKind::ListColoring => solve(&DegreePlusOneListColoring, sc, &g),
         ProblemKind::Mis => solve(&MaximalIndependentSet, sc, &g),
         ProblemKind::VertexCover => solve(&MinimalVertexCover, sc, &g),
+        ProblemKind::Matching => solve_edge(&MaximalMatching, sc, &g),
+        ProblemKind::EdgeColoring => solve_edge(&EdgeColoring, sc, &g),
     }
     .map_err(|error| LabError {
         scenario: sc.name.clone(),
@@ -166,7 +202,7 @@ pub fn run_scenario(
 
 /// Solve the scenario's problem on `g` with the scenario's algorithm and
 /// validate the outputs.
-fn solve<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), SimError>
+fn solve<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), RunError>
 where
     P: OLocalProblem + Clone + Send + Sync,
     P::Input: Clone,
@@ -202,6 +238,30 @@ where
             Ok((ScenarioMetrics::from_composition(&r.composition), valid))
         }
     }
+}
+
+/// Solve an edge-problem scenario through the line-graph virtualization
+/// adapter and validate the per-edge outputs.
+fn solve_edge<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), RunError>
+where
+    P: EdgeProblem + Clone + Send + Sync,
+    P::Input: Clone,
+{
+    let inputs = problem.trivial_inputs(g);
+    let run = match sc.algo {
+        Algo::Trivial => linegraph::solve_edges(g, problem, &inputs, Config::default())?,
+        Algo::TrivialThreaded(workers) => {
+            linegraph::solve_edges_threaded(g, problem, &inputs, Config::default(), workers)?
+        }
+        Algo::Bm21 | Algo::Theorem1 => {
+            return Err(RunError::UnsupportedAlgo {
+                problem: problem.name(),
+                algo: sc.algo.key(),
+            })
+        }
+    };
+    let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
+    Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
 }
 
 #[cfg(test)]
@@ -256,9 +316,36 @@ mod tests {
     fn errors_carry_the_scenario_name() {
         let e = LabError {
             scenario: "x".into(),
-            error: SimError::RoundBudgetExceeded { limit: 1 },
+            error: RunError::Sim(SimError::RoundBudgetExceeded { limit: 1 }),
         };
         assert!(e.to_string().contains("scenario x"));
         assert!(e.to_string().contains("budget 1"));
+    }
+
+    fn tiny_edge(problem: ProblemKind, algo: Algo) -> Scenario {
+        Scenario::of(GraphFamily::Gnp { n: 24, p: 0.15 }, problem, algo).build()
+    }
+
+    #[test]
+    fn edge_problems_run_and_validate_on_both_executors() {
+        for problem in ProblemKind::EDGE {
+            let a = run_scenario(&tiny_edge(problem, Algo::Trivial), 3, None).unwrap();
+            assert!(a.valid, "{} invalid", a.name);
+            assert!(a.metrics.max_awake > 0);
+            // serial/threaded share the graph instance and must agree
+            let b = run_scenario(&tiny_edge(problem, Algo::TrivialThreaded(4)), 3, None).unwrap();
+            assert_eq!(a.metrics, b.metrics, "executors must agree bit for bit");
+        }
+    }
+
+    #[test]
+    fn edge_problems_reject_staged_solvers() {
+        let e =
+            run_scenario(&tiny_edge(ProblemKind::Matching, Algo::Theorem1), 3, None).unwrap_err();
+        assert!(
+            matches!(e.error, RunError::UnsupportedAlgo { .. }),
+            "got {e}"
+        );
+        assert!(e.to_string().contains("theorem1"));
     }
 }

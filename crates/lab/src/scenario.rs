@@ -111,7 +111,9 @@ impl GraphFamily {
     }
 }
 
-/// One of the four bundled O-LOCAL problems — the second axis.
+/// One of the bundled O-LOCAL problems — the second axis. Four vertex
+/// problems, plus the two edge problems solved via the line-graph
+/// virtualization adapter (`awake_core::linegraph`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProblemKind {
     /// (Δ+1)-vertex coloring.
@@ -122,16 +124,23 @@ pub enum ProblemKind {
     Mis,
     /// Minimal vertex cover.
     VertexCover,
+    /// Maximal matching (edge problem, line-graph adapter).
+    Matching,
+    /// (2Δ−1)-edge coloring (edge problem, line-graph adapter).
+    EdgeColoring,
 }
 
 impl ProblemKind {
-    /// All four problems, in registry order.
+    /// The four vertex problems, in registry order.
     pub const ALL: [ProblemKind; 4] = [
         ProblemKind::Coloring,
         ProblemKind::ListColoring,
         ProblemKind::Mis,
         ProblemKind::VertexCover,
     ];
+
+    /// The two edge problems, in registry order.
+    pub const EDGE: [ProblemKind; 2] = [ProblemKind::Matching, ProblemKind::EdgeColoring];
 
     /// A short stable label.
     pub fn key(&self) -> &'static str {
@@ -140,7 +149,16 @@ impl ProblemKind {
             ProblemKind::ListColoring => "list-coloring",
             ProblemKind::Mis => "mis",
             ProblemKind::VertexCover => "vertex-cover",
+            ProblemKind::Matching => "matching",
+            ProblemKind::EdgeColoring => "edge-coloring",
         }
+    }
+
+    /// Whether this is an edge problem (solved on the line graph through
+    /// the virtualization adapter; only the `trivial` / `trivial-t*`
+    /// executors apply).
+    pub fn is_edge(&self) -> bool {
+        matches!(self, ProblemKind::Matching | ProblemKind::EdgeColoring)
     }
 }
 
@@ -369,6 +387,35 @@ pub mod presets {
         ]
     }
 
+    /// The edge-problem workload: maximal matching and (2Δ−1)-edge
+    /// coloring on **every** registered graph-family variant, each under
+    /// the serial engine and the 4-worker pool (the two executors the
+    /// line-graph adapter rides). 8 families × 2 problems × 2 executors
+    /// = 32 scenarios; serial/threaded pairs share a graph instance, so
+    /// their deterministic metrics must be identical row for row.
+    pub fn edges() -> Vec<Scenario> {
+        let mut families = families_at(Size::Small);
+        families.extend([
+            GraphFamily::Path { n: 96 },
+            GraphFamily::SparseGnp {
+                n: 128,
+                avg_deg: 5.0,
+            },
+            GraphFamily::BoundedDegree { n: 96, delta: 8 },
+        ]);
+        families
+            .into_iter()
+            .flat_map(|family| {
+                ProblemKind::EDGE.iter().flat_map(move |&problem| {
+                    let family = family.clone();
+                    [Algo::Trivial, Algo::TrivialThreaded(4)]
+                        .into_iter()
+                        .map(move |algo| Scenario::of(family.clone(), problem, algo).build())
+                })
+            })
+            .collect()
+    }
+
     /// Every preset as `(name, description, scenarios)`.
     pub fn registry() -> Vec<(&'static str, &'static str, Vec<Scenario>)> {
         vec![
@@ -396,6 +443,11 @@ pub mod presets {
                 "huge",
                 "million-node sparse graphs on the worker-pool executor (4 scenarios)",
                 huge(),
+            ),
+            (
+                "edges",
+                "matching + (2Δ-1)-edge coloring on every family, serial + threaded (32 scenarios)",
+                edges(),
             ),
         ]
     }
@@ -490,6 +542,35 @@ mod tests {
             .expect("serial cross-check row");
         assert_eq!(threaded.family, serial.family);
         assert_eq!(threaded.seed(1), serial.seed(1));
+    }
+
+    #[test]
+    fn edges_preset_covers_every_family_variant_and_both_executors() {
+        let edges = presets::by_name("edges").expect("edges preset registered");
+        assert_eq!(edges.len(), 32);
+        assert!(edges.iter().all(|s| s.problem.is_edge()));
+        // every GraphFamily variant is represented
+        let variants: std::collections::BTreeSet<&str> = edges
+            .iter()
+            .map(|s| match s.family {
+                GraphFamily::Path { .. } => "path",
+                GraphFamily::Cycle { .. } => "cycle",
+                GraphFamily::Grid { .. } => "grid",
+                GraphFamily::RandomTree { .. } => "tree",
+                GraphFamily::Gnp { .. } => "gnp",
+                GraphFamily::SparseGnp { .. } => "sgnp",
+                GraphFamily::RandomRegular { .. } => "regular",
+                GraphFamily::BoundedDegree { .. } => "bdeg",
+            })
+            .collect();
+        assert_eq!(variants.len(), 8, "families: {variants:?}");
+        // serial/threaded pairs share a family, hence a graph instance
+        let serial = edges.iter().filter(|s| s.algo == Algo::Trivial).count();
+        let threaded = edges
+            .iter()
+            .filter(|s| s.algo == Algo::TrivialThreaded(4))
+            .count();
+        assert_eq!((serial, threaded), (16, 16));
     }
 
     #[test]

@@ -40,6 +40,38 @@ fn quick_canonical_json_matches_golden_snapshot() {
 }
 
 #[test]
+fn edges_canonical_json_matches_golden_snapshot_at_any_shard_count() {
+    let suite = presets::by_name("edges").expect("edges preset exists");
+    let serial = Runner::serial()
+        .run("edges", &suite, GOLDEN_SEED)
+        .expect("edges suite runs");
+    assert!(
+        serial.scenarios.iter().all(|s| s.valid),
+        "edge validators must accept every scenario"
+    );
+    // Byte-identical reports at any shard count — the determinism
+    // contract of the runner extends to the line-graph adapter rows.
+    let canon = serial.canonical_json();
+    for shards in [2usize, 4, 7] {
+        let sharded = Runner::sharded(shards)
+            .run("edges", &suite, GOLDEN_SEED)
+            .expect("edges suite runs sharded");
+        assert_eq!(canon, sharded.canonical_json(), "shards = {shards}");
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_edges.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &canon).expect("write blessed snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("committed snapshot exists");
+    assert_eq!(
+        canon, expected,
+        "canonical edges-suite JSON drifted from tests/golden_edges.json — if \
+         the change is intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
 fn serial_and_sharded_runners_produce_identical_reports() {
     let serial = quick_report(Runner::serial());
     let sharded = quick_report(Runner::sharded(4));

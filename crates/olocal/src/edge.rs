@@ -1,0 +1,583 @@
+//! **Edge problems** of the O-LOCAL class, solved greedily on the line
+//! graph `L(G)`.
+//!
+//! The class definition (§2.2 of the paper) is stated for labeling
+//! problems and explicitly covers *edge* labelings: maximal matching and
+//! `(2Δ−1)`-edge coloring are sequential greedy problems over the edges of
+//! `G`, i.e. vertex problems on the line graph `L(G)` — maximal matching
+//! is MIS on `L(G)`, and `(2Δ−1)`-edge coloring is degree+1(-list)
+//! coloring on `L(G)` (an edge `e = {u, v}` has
+//! `deg_L(e) = deg(u) + deg(v) − 2 ≤ 2Δ − 2` line-graph neighbors, so the
+//! first-free color fits the `2Δ − 1` palette).
+//!
+//! This module provides:
+//!
+//! * [`EdgeProblem`] — the edge counterpart of
+//!   [`OLocalProblem`](crate::OLocalProblem), with [`EdgeGreedyView`] as
+//!   the greedy step's view;
+//! * [`EdgeIndex`] — the canonical edge enumeration shared by validators,
+//!   the sequential reference, and the distributed line-graph adapter in
+//!   `awake-core`: edges are indexed in [`Graph::edges`] order and carry
+//!   **labels** `1..=m` ranked by the identifier pair
+//!   `(min ident, max ident)`, so labels are a pure function of the
+//!   LOCAL-model identifiers (never of engine addresses);
+//! * [`MaximalMatching`] and [`EdgeColoring`] with full validators;
+//! * [`solve_edges_sequentially`] / [`solve_edges_in_order`] — the
+//!   class-defining sequential greedy over edges, the ground truth the
+//!   distributed adapter is validated against.
+
+use crate::problem::Violation;
+use awake_graphs::{Graph, NodeId};
+use std::fmt;
+
+/// What the greedy step sees when deciding edge `e`'s output.
+#[derive(Debug)]
+pub struct EdgeGreedyView<'a, I, O> {
+    /// The edge's label (its rank in the `(min ident, max ident)` order,
+    /// `1..=m` — the line-graph analogue of a node identifier).
+    pub label: u64,
+    /// Identifiers of the edge's endpoints, `(smaller, larger)`.
+    pub endpoints: (u64, u64),
+    /// The edge's degree in the line graph: `deg(u) + deg(v) − 2`.
+    pub line_degree: usize,
+    /// This edge's problem input.
+    pub input: &'a I,
+    /// `(label, output)` of every *adjacent* edge decided before this one,
+    /// ascending by label.
+    pub out_neighbors: &'a [(u64, O)],
+}
+
+/// An edge problem in the O-LOCAL class (over the line graph).
+///
+/// Implementations must guarantee: for **every** graph `G` and **every**
+/// processing order of the edges, deciding edges one by one via
+/// [`decide`](EdgeProblem::decide) — each edge seeing exactly the
+/// already-decided adjacent edges — yields outputs accepted by
+/// [`validate`](EdgeProblem::validate). This is O-LOCAL membership of the
+/// corresponding vertex problem on `L(G)` (processing orders are the
+/// acyclic orientations a distributed solver induces). Property tests in
+/// this module exercise the guarantee over random orders.
+pub trait EdgeProblem {
+    /// Per-edge input. Use `()` for input-free problems.
+    type Input: Clone + fmt::Debug + Send + Sync;
+    /// Per-edge output labeling.
+    type Output: Clone + fmt::Debug + PartialEq + Send + Sync;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The greedy step: compute `e`'s output from its decided neighbors.
+    fn decide(&self, view: &EdgeGreedyView<'_, Self::Input, Self::Output>) -> Self::Output;
+
+    /// Check a complete labeling (indexed in [`EdgeIndex`] canonical
+    /// order, i.e. [`Graph::edges`] order).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    fn validate(
+        &self,
+        graph: &Graph,
+        inputs: &[Self::Input],
+        outputs: &[Self::Output],
+    ) -> Result<(), Violation>;
+
+    /// Construct default inputs for a graph (for input-free problems).
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<Self::Input>;
+}
+
+/// The canonical edge enumeration of a graph, shared by everything that
+/// talks about edges: index `i` is the `i`-th edge of [`Graph::edges`]
+/// (ascending `(u, v)` with `u < v` by position), and label
+/// `self.label(i)` is the 1-based rank of the edge under the
+/// lexicographic order of its identifier pair `(min ident, max ident)`.
+///
+/// Labels — not indices — are what distributed edge algorithms schedule
+/// by, because they derive from the LOCAL model's identifiers alone.
+/// The **owner** of an edge is its higher-identifier endpoint: the node
+/// that reports the edge's output for the distributed adapter.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    edges: Vec<(NodeId, NodeId)>,
+    labels: Vec<u64>,
+    /// Canonical index by label (labels are 1-based): `by_label[l-1]`.
+    by_label: Vec<u32>,
+    /// Incident canonical edge indices per node, ascending.
+    incident: Vec<Vec<u32>>,
+}
+
+impl EdgeIndex {
+    /// Enumerate and label the edges of `g`.
+    pub fn new(g: &Graph) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            let (u, v) = edges[i as usize];
+            ident_pair(g, u, v)
+        });
+        let mut labels = vec![0u64; edges.len()];
+        let mut by_label = vec![0u32; edges.len()];
+        for (rank, &i) in order.iter().enumerate() {
+            labels[i as usize] = rank as u64 + 1;
+            by_label[rank] = i;
+        }
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            incident[u.index()].push(i as u32);
+            incident[v.index()].push(i as u32);
+        }
+        EdgeIndex {
+            edges,
+            labels,
+            by_label,
+            incident,
+        }
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list ([`Graph::edges`] order).
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// The label of canonical edge `i`.
+    pub fn label(&self, i: usize) -> u64 {
+        self.labels[i]
+    }
+
+    /// The canonical index of the edge labeled `l` (`1..=m`).
+    pub fn index_of_label(&self, l: u64) -> usize {
+        self.by_label[(l - 1) as usize] as usize
+    }
+
+    /// Canonical indices of the edges incident to `v`, ascending.
+    pub fn incident(&self, v: NodeId) -> &[u32] {
+        &self.incident[v.index()]
+    }
+
+    /// Identifiers of edge `i`'s endpoints, `(smaller, larger)`.
+    pub fn endpoint_idents(&self, g: &Graph, i: usize) -> (u64, u64) {
+        let (u, v) = self.edges[i];
+        ident_pair(g, u, v)
+    }
+
+    /// The owner of edge `i`: its higher-identifier endpoint.
+    pub fn owner(&self, g: &Graph, i: usize) -> NodeId {
+        let (u, v) = self.edges[i];
+        if g.ident(u) > g.ident(v) {
+            u
+        } else {
+            v
+        }
+    }
+
+    /// Degree of edge `i` in the line graph: `deg(u) + deg(v) − 2`.
+    pub fn line_degree(&self, g: &Graph, i: usize) -> usize {
+        let (u, v) = self.edges[i];
+        g.degree(u) + g.degree(v) - 2
+    }
+
+    /// Sorted labels of the edges adjacent to edge `i` in the line graph.
+    pub fn adjacent_labels(&self, i: usize) -> Vec<u64> {
+        let (u, v) = self.edges[i];
+        let mut out: Vec<u64> = self.incident[u.index()]
+            .iter()
+            .chain(&self.incident[v.index()])
+            .filter(|&&j| j as usize != i)
+            .map(|&j| self.labels[j as usize])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn ident_pair(g: &Graph, u: NodeId, v: NodeId) -> (u64, u64) {
+    let (a, b) = (g.ident(u), g.ident(v));
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Solve `problem` by the sequential greedy process over edges in
+/// ascending **label** order — the exact order the distributed line-graph
+/// adapter realizes, and the ground truth its outputs are compared to.
+/// Returns outputs in canonical edge order.
+///
+/// # Panics
+/// Panics if `inputs.len()` is not the number of edges.
+pub fn solve_edges_sequentially<P: EdgeProblem>(
+    problem: &P,
+    graph: &Graph,
+    idx: &EdgeIndex,
+    inputs: &[P::Input],
+) -> Vec<P::Output> {
+    let order: Vec<u32> = (1..=idx.m() as u64)
+        .map(|l| idx.index_of_label(l) as u32)
+        .collect();
+    solve_edges_in_order(problem, graph, idx, inputs, &order)
+}
+
+/// Solve `problem` greedily processing edges in the given canonical-index
+/// `order` (any permutation — O-LOCAL membership demands validity for all
+/// of them). Returns outputs in canonical edge order.
+///
+/// # Panics
+/// Panics if `inputs.len() != idx.m()` or `order` is not a permutation of
+/// `0..m`.
+pub fn solve_edges_in_order<P: EdgeProblem>(
+    problem: &P,
+    graph: &Graph,
+    idx: &EdgeIndex,
+    inputs: &[P::Input],
+    order: &[u32],
+) -> Vec<P::Output> {
+    assert_eq!(inputs.len(), idx.m(), "inputs length mismatch");
+    assert_eq!(order.len(), idx.m(), "order length mismatch");
+    let mut outputs: Vec<Option<P::Output>> = vec![None; idx.m()];
+    for &i in order {
+        let i = i as usize;
+        let mut out_neighbors: Vec<(u64, P::Output)> = Vec::new();
+        let (u, v) = idx.edges()[i];
+        for &j in idx.incident(u).iter().chain(idx.incident(v)) {
+            let j = j as usize;
+            if j != i {
+                if let Some(o) = &outputs[j] {
+                    out_neighbors.push((idx.label(j), o.clone()));
+                }
+            }
+        }
+        out_neighbors.sort_by_key(|&(l, _)| l);
+        out_neighbors.dedup_by_key(|&mut (l, _)| l);
+        let view = EdgeGreedyView {
+            label: idx.label(i),
+            endpoints: idx.endpoint_idents(graph, i),
+            line_degree: idx.line_degree(graph, i),
+            input: &inputs[i],
+            out_neighbors: &out_neighbors,
+        };
+        outputs[i] = Some(problem.decide(&view));
+    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("all edges decided"))
+        .collect()
+}
+
+/// Maximal (inclusion-wise) matching.
+///
+/// **Membership:** edge `e` joins iff no previously decided adjacent edge
+/// joined — MIS on the line graph. Independence: of two adjacent edges,
+/// the later-processed one sees the earlier and declines if it joined.
+/// Maximality: an edge that declines saw a joined adjacent edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaximalMatching;
+
+impl EdgeProblem for MaximalMatching {
+    type Input = ();
+    /// `true` = in the matching.
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "maximal matching"
+    }
+
+    fn decide(&self, view: &EdgeGreedyView<'_, (), bool>) -> bool {
+        view.out_neighbors.iter().all(|(_, joined)| !joined)
+    }
+
+    fn validate(&self, graph: &Graph, _inputs: &[()], outputs: &[bool]) -> Result<(), Violation> {
+        let idx = EdgeIndex::new(graph);
+        expect_len(&idx, outputs.len())?;
+        // Independence: at most one matched edge per vertex.
+        let mut matched_at: Vec<Option<u32>> = vec![None; graph.n()];
+        for (i, &(u, v)) in idx.edges().iter().enumerate() {
+            if !outputs[i] {
+                continue;
+            }
+            for w in [u, v] {
+                if let Some(j) = matched_at[w.index()] {
+                    let (a, b) = idx.edges()[j as usize];
+                    return Err(Violation::new(
+                        "two matched edges share an endpoint",
+                        vec![a, b, u, v],
+                    ));
+                }
+                matched_at[w.index()] = Some(i as u32);
+            }
+        }
+        // Maximality: every unmatched edge has a matched endpoint.
+        for (i, &(u, v)) in idx.edges().iter().enumerate() {
+            if !outputs[i] && matched_at[u.index()].is_none() && matched_at[v.index()].is_none() {
+                return Err(Violation::new(
+                    "unmatched edge with both endpoints free (not maximal)",
+                    vec![u, v],
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<()> {
+        vec![(); graph.m()]
+    }
+}
+
+/// `(2Δ−1)`-edge coloring, greedily as degree+1 list coloring on the line
+/// graph: edge `e` picks the first color in `{0, …, deg_L(e)}` unused by
+/// its decided neighbors.
+///
+/// **Membership:** `e` has `deg_L(e) = deg(u) + deg(v) − 2 ≤ 2Δ − 2`
+/// adjacent edges, so some color in `{0, …, deg_L(e)}` ⊆ `{0, …, 2Δ−2}` is
+/// free whenever `e` is decided, for every processing order. Every pair of
+/// adjacent edges is ordered, and the later one avoids the earlier one's
+/// color, so the coloring is proper with at most `2Δ − 1` colors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeColoring;
+
+impl EdgeProblem for EdgeColoring {
+    type Input = ();
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "(2Δ-1)-edge-coloring"
+    }
+
+    fn decide(&self, view: &EdgeGreedyView<'_, (), u64>) -> u64 {
+        let mut used: Vec<u64> = view.out_neighbors.iter().map(|(_, c)| *c).collect();
+        used.sort_unstable();
+        used.dedup();
+        first_free(&used)
+    }
+
+    fn validate(&self, graph: &Graph, _inputs: &[()], outputs: &[u64]) -> Result<(), Violation> {
+        let idx = EdgeIndex::new(graph);
+        expect_len(&idx, outputs.len())?;
+        // Properness: all edges at a vertex carry distinct colors.
+        for v in graph.nodes() {
+            let inc = idx.incident(v);
+            let mut colors: Vec<(u64, u32)> =
+                inc.iter().map(|&i| (outputs[i as usize], i)).collect();
+            colors.sort_unstable();
+            for w in colors.windows(2) {
+                if w[0].0 == w[1].0 {
+                    let (a, b) = idx.edges()[w[0].1 as usize];
+                    let (c, d) = idx.edges()[w[1].1 as usize];
+                    return Err(Violation::new(
+                        format!("adjacent edges share color {}", w[0].0),
+                        vec![a, b, c, d],
+                    ));
+                }
+            }
+        }
+        // Palette: colors fit {0, …, 2Δ−2}.
+        let delta = graph.max_degree() as u64;
+        let bound = (2 * delta).saturating_sub(2);
+        for (i, &c) in outputs.iter().enumerate() {
+            if c > bound {
+                let (u, v) = idx.edges()[i];
+                return Err(Violation::new(
+                    format!("color {c} exceeds 2Δ−2 = {bound}"),
+                    vec![u, v],
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn trivial_inputs(&self, graph: &Graph) -> Vec<()> {
+        vec![(); graph.m()]
+    }
+}
+
+fn first_free(used_sorted: &[u64]) -> u64 {
+    let mut pick = 0u64;
+    for &c in used_sorted {
+        if c == pick {
+            pick += 1;
+        } else if c > pick {
+            break;
+        }
+    }
+    pick
+}
+
+fn expect_len(idx: &EdgeIndex, got: usize) -> Result<(), Violation> {
+    if got != idx.m() {
+        return Err(Violation::new(
+            format!("output length {got} != m = {}", idx.m()),
+            vec![],
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awake_graphs::{generators, ops, AcyclicOrientation};
+
+    /// A deterministic shuffled processing order (xorshift; no rand dep).
+    fn shuffled_order(m: usize, mut seed: u64) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        for i in (1..m).rev() {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            order.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+        order
+    }
+
+    fn check_on<P: EdgeProblem>(p: &P, g: &Graph, seed: u64) {
+        let idx = EdgeIndex::new(g);
+        let inputs = p.trivial_inputs(g);
+        let order = shuffled_order(idx.m(), seed.wrapping_mul(2) + 1);
+        let outputs = solve_edges_in_order(p, g, &idx, &inputs, &order);
+        p.validate(g, &inputs, &outputs)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+    }
+
+    #[test]
+    fn edge_problems_hold_on_families_for_every_order() {
+        let graphs = vec![
+            generators::path(17),
+            generators::cycle(12),
+            generators::complete(9),
+            generators::star(10),
+            generators::gnp(40, 0.15, 3),
+            generators::grid(5, 6),
+            generators::random_tree(25, 8),
+            generators::caterpillar(6, 3),
+        ];
+        for g in &graphs {
+            for seed in 0..5 {
+                check_on(&MaximalMatching, g, seed);
+                check_on(&EdgeColoring, g, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_rank_by_ident_pair_and_round_trip() {
+        // Remap idents so canonical order and label order differ.
+        let g = generators::path(5).with_idents(vec![50, 10, 40, 20, 30]);
+        let idx = EdgeIndex::new(&g);
+        assert_eq!(idx.m(), 4);
+        // ident pairs: (10,50), (10,40), (20,40), (20,30) → sorted:
+        // (10,40) < (10,50) < (20,30) < (20,40)
+        assert_eq!(idx.label(0), 2); // edge (v0,v1) = (50,10)
+        assert_eq!(idx.label(1), 1); // edge (v1,v2) = (10,40)
+        assert_eq!(idx.label(2), 4); // edge (v2,v3) = (40,20)
+        assert_eq!(idx.label(3), 3); // edge (v3,v4) = (20,30)
+        for i in 0..idx.m() {
+            assert_eq!(idx.index_of_label(idx.label(i)), i);
+        }
+        // owner = higher-ident endpoint
+        assert_eq!(idx.owner(&g, 0), awake_graphs::NodeId(0)); // ident 50
+        assert_eq!(idx.owner(&g, 3), awake_graphs::NodeId(4)); // ident 30
+    }
+
+    #[test]
+    fn line_degrees_and_adjacency_agree_with_the_line_graph() {
+        let g = generators::gnp(24, 0.2, 7);
+        let idx = EdgeIndex::new(&g);
+        let lg = ops::line_graph(&g);
+        assert_eq!(lg.graph.n(), idx.m());
+        for i in 0..idx.m() {
+            assert_eq!(idx.line_degree(&g, i), lg.graph.degree(lg.node_of(i)));
+            let adj = idx.adjacent_labels(i);
+            assert_eq!(adj.len(), idx.line_degree(&g, i));
+            let mut expect: Vec<u64> = lg
+                .graph
+                .neighbors(lg.node_of(i))
+                .iter()
+                .map(|&w| lg.graph.ident(w))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(adj, expect, "edge {i}");
+        }
+    }
+
+    #[test]
+    fn matching_is_mis_on_the_line_graph() {
+        // The sequential edge greedy in label order must equal the vertex
+        // MIS greedy on L(G) along the by-ident orientation (line-graph
+        // idents are the labels).
+        let g = generators::gnp(30, 0.15, 5);
+        let idx = EdgeIndex::new(&g);
+        let edge_out = solve_edges_sequentially(&MaximalMatching, &g, &idx, &vec![(); idx.m()]);
+        let lg = ops::line_graph(&g);
+        let mis = crate::problems::MaximalIndependentSet;
+        let mu = AcyclicOrientation::by_ident(&lg.graph);
+        let vertex_out =
+            crate::greedy::solve_sequentially(&mis, &lg.graph, &mu, &vec![(); lg.graph.n()]);
+        for i in 0..idx.m() {
+            assert_eq!(edge_out[i], vertex_out[lg.node_of(i).index()], "edge {i}");
+        }
+    }
+
+    #[test]
+    fn edge_coloring_uses_at_most_two_delta_minus_one_colors() {
+        let g = generators::complete(8); // Δ = 7, palette 13
+        let idx = EdgeIndex::new(&g);
+        let out = solve_edges_sequentially(&EdgeColoring, &g, &idx, &vec![(); idx.m()]);
+        let bound = 2 * g.max_degree() as u64 - 2;
+        assert!(out.iter().all(|&c| c <= bound), "palette exceeded: {out:?}");
+    }
+
+    #[test]
+    fn matching_validator_rejects_conflicts_and_non_maximal() {
+        let g = generators::path(4); // edges (0,1),(1,2),(2,3)
+        let err = MaximalMatching
+            .validate(&g, &[(), (), ()], &[true, true, false])
+            .unwrap_err();
+        assert!(err.reason.contains("share an endpoint"));
+        let err2 = MaximalMatching
+            .validate(&g, &[(), (), ()], &[false, false, false])
+            .unwrap_err();
+        assert!(err2.reason.contains("not maximal"));
+        MaximalMatching
+            .validate(&g, &[(), (), ()], &[true, false, true])
+            .unwrap();
+    }
+
+    #[test]
+    fn edge_coloring_validator_rejects_conflicts_and_large_palette() {
+        let g = generators::path(3); // Δ = 2, palette {0, 1, 2}
+        let err = EdgeColoring.validate(&g, &[(), ()], &[1, 1]).unwrap_err();
+        assert!(err.reason.contains("share color"));
+        let err2 = EdgeColoring.validate(&g, &[(), ()], &[0, 9]).unwrap_err();
+        assert!(err2.reason.contains("exceeds"));
+        EdgeColoring.validate(&g, &[(), ()], &[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn validators_reject_wrong_length() {
+        let g = generators::path(3);
+        assert!(MaximalMatching.validate(&g, &[(), ()], &[true]).is_err());
+        assert!(EdgeColoring.validate(&g, &[(), ()], &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs() {
+        let g0 = generators::path(1);
+        let idx0 = EdgeIndex::new(&g0);
+        assert_eq!(idx0.m(), 0);
+        let out: Vec<bool> = solve_edges_sequentially(&MaximalMatching, &g0, &idx0, &[]);
+        assert!(out.is_empty());
+        MaximalMatching.validate(&g0, &[], &[]).unwrap();
+
+        let g1 = generators::path(2);
+        let idx1 = EdgeIndex::new(&g1);
+        let out = solve_edges_sequentially(&MaximalMatching, &g1, &idx1, &[()]);
+        assert_eq!(out, vec![true]);
+        let col = solve_edges_sequentially(&EdgeColoring, &g1, &idx1, &[()]);
+        assert_eq!(col, vec![0]);
+    }
+}

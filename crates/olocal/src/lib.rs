@@ -11,7 +11,9 @@
 //!
 //! O-LOCAL contains (Δ+1)-vertex-coloring, maximal independent set,
 //! degree+1-list-coloring, and minimal vertex cover — all implemented here —
-//! but **not** distance-2 coloring (see [`not_olocal`] for the executable
+//! plus the **edge problems** maximal matching and (2Δ−1)-edge-coloring
+//! (vertex problems on the line graph; see [`edge`]), but **not**
+//! distance-2 coloring (see [`not_olocal`] for the executable
 //! counterexample from the paper).
 //!
 //! ```
@@ -29,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edge;
 pub mod greedy;
 pub mod not_olocal;
 mod problem;
 pub mod problems;
 
+pub use edge::{EdgeGreedyView, EdgeIndex, EdgeProblem};
 pub use problem::{GreedyView, OLocalProblem, Violation};
