@@ -122,6 +122,135 @@ pub fn gather_rounds(depth_bound: u32) -> u64 {
     gather::gather_rounds(depth_bound)
 }
 
+// ---- round bounds ----
+
+/// Trivial baseline round bound: every node announces at round
+/// `1 + ident`, so the schedule ends by `ident_bound + 1`.
+pub fn trivial_rounds(g: &Graph) -> u64 {
+    g.ident_bound() + 1
+}
+
+/// BM21 round bound: the always-awake Linial stage (≥ 1 for the mandatory
+/// first round) plus the Lemma 11 horizon on the `O(Δ²)` palette.
+pub fn bm21_rounds(g: &Graph) -> u64 {
+    let delta = g.max_degree().max(1) as u64;
+    linial_rounds(g.ident_bound(), delta).max(1) + lemma11_rounds(linial::final_palette(delta))
+}
+
+/// Round bound of the whole Theorem 13 pipeline (`Σ` iteration budgets).
+pub fn theorem13_rounds(p: &Params) -> u64 {
+    (1..=p.iterations)
+        .map(|i| theorem13_iteration_rounds(p, i))
+        .sum()
+}
+
+/// Theorem 9 round bound including its stage-1 root-overlay gather (the
+/// [`theorem9_rounds`] figure covers only the Lemma-11-on-`H` stage).
+pub fn theorem9_rounds_total(p: &Params, c: u64) -> u64 {
+    gather_rounds(p.depth_bound) + theorem9_rounds(p, c)
+}
+
+/// Theorem 1 round bound: Theorem 13 followed by Theorem 9 on the
+/// `k·a·b²` color budget.
+pub fn theorem1_rounds(p: &Params) -> u64 {
+    theorem13_rounds(p) + theorem9_rounds_total(p, p.color_bound())
+}
+
+// ---- line-graph adapter bounds (edge problems) ----
+
+/// Awake bound of the line-graph virtualization adapter running the
+/// by-label [`EdgeGreedy`](crate::linegraph::EdgeGreedy) on `L(G)`.
+///
+/// A host is awake exactly when one of its incident edges' replicas is
+/// awake (one virtual round of `L(G)` costs one real round of `G`), and
+/// edge `e` is awake at most `deg_L(e) + 2` virtual rounds, so node `v`
+/// pays at most `Σ_{e ∋ v} (deg_L(e) + 2)` awake rounds. With
+/// `deg_L({u, w}) = deg(u) + deg(w) − 2` this collapses to the closed form
+/// `deg(v)² + Σ_{u ∼ v} deg(u)`, maximized over hosts.
+pub fn linegraph_awake(g: &Graph) -> u64 {
+    g.nodes()
+        .map(|v| {
+            let dv = g.degree(v) as u64;
+            let nbr_deg: u64 = g.neighbors(v).iter().map(|&u| g.degree(u) as u64).sum();
+            dv * dv + nbr_deg
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Round bound of the line-graph adapter: labels are `1..=m` and the
+/// largest label announces (and every replica halts) at virtual round
+/// `m` = real round `m`.
+pub fn linegraph_rounds(g: &Graph) -> u64 {
+    g.m() as u64
+}
+
+// ---- the audit entry point ----
+
+/// A closed-form resource budget: the paper's bound with this
+/// implementation's exact constants. The harness asserts
+/// `measured max_awake ≤ awake` and `measured rounds ≤ rounds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Awake-complexity budget (max over nodes of awake rounds).
+    pub awake: u64,
+    /// Round-complexity budget (last round any node is awake).
+    pub rounds: u64,
+}
+
+/// The solver generations the budgets cover. The threaded executor is
+/// bit-for-bit identical to the serial one, so it shares
+/// [`BoundAlgo::Trivial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundAlgo {
+    /// The folklore by-identifier greedy (`O(Δ)` awake).
+    Trivial,
+    /// Barenboim–Maimon (`O(log Δ + log* n)` awake).
+    Bm21,
+    /// The paper's Theorem 1 (`O(√log n · log* n)` awake).
+    Theorem1,
+}
+
+/// Which class of problem the scenario solves: budgets depend on the
+/// pipeline, not the concrete O-LOCAL problem, except that edge problems
+/// ride the line-graph adapter (and only on the trivial executors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemClass {
+    /// A vertex problem (MIS, coloring, …) solved directly on `G`.
+    Vertex,
+    /// An edge problem (matching, edge coloring) solved on `L(G)` via the
+    /// virtualization adapter.
+    Edge,
+}
+
+/// The single audit entry point: the exact awake/round budget of running
+/// `algo` on a `class` problem over `g` with parameters `p`.
+///
+/// Returns `None` for the unsupported pairings (edge problems exist for
+/// the trivial adapter only — the same combinations the harness rejects
+/// with a typed error).
+pub fn budget_for(algo: BoundAlgo, class: ProblemClass, g: &Graph, p: &Params) -> Option<Budget> {
+    match (class, algo) {
+        (ProblemClass::Vertex, BoundAlgo::Trivial) => Some(Budget {
+            awake: trivial_awake(g),
+            rounds: trivial_rounds(g),
+        }),
+        (ProblemClass::Vertex, BoundAlgo::Bm21) => Some(Budget {
+            awake: bm21_awake(g),
+            rounds: bm21_rounds(g),
+        }),
+        (ProblemClass::Vertex, BoundAlgo::Theorem1) => Some(Budget {
+            awake: theorem1_awake(p),
+            rounds: theorem1_rounds(p),
+        }),
+        (ProblemClass::Edge, BoundAlgo::Trivial) => Some(Budget {
+            awake: linegraph_awake(g),
+            rounds: linegraph_rounds(g),
+        }),
+        (ProblemClass::Edge, _) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +283,75 @@ mod tests {
         let p = Params::new(4096, 4096);
         assert!(lemma15_vrounds(&p, 2) >= lemma15_vrounds(&p, 1));
         assert!(theorem13_iteration_rounds(&p, 1) > 0);
+    }
+
+    /// The closed-form `lemma15_vrounds` must dominate the virtual-round
+    /// budget the Theorem 13 engine actually allots (`cfg.vrounds() + 2`),
+    /// or the round bounds would undercut the execution they audit.
+    #[test]
+    fn lemma15_vrounds_covers_the_engine_budget() {
+        for n in [16usize, 256, 4096, 1 << 16] {
+            let p = Params::new(n, n as u64);
+            for i in 1..=p.iterations {
+                let cfg = crate::lemma15::Lemma15Config {
+                    b: p.b,
+                    label_bound: p.label_bound(i),
+                    ab2: p.ab2,
+                };
+                assert!(
+                    lemma15_vrounds(&p, i) >= cfg.vrounds() + 2,
+                    "n={n} iter={i}: bound {} < engine budget {}",
+                    lemma15_vrounds(&p, i),
+                    cfg.vrounds() + 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linegraph_bounds_closed_form() {
+        use awake_graphs::generators;
+        // Star S_4: hub degree 4. Hub bound = 16 + 4·1 = 20; a leaf pays
+        // 1 + deg(hub) = 5. Rounds = m = 4.
+        let g = generators::star(5);
+        assert_eq!(linegraph_awake(&g), 20);
+        assert_eq!(linegraph_rounds(&g), 4);
+        // Edgeless graph: nothing wakes.
+        let empty = awake_graphs::GraphBuilder::new(3).build().unwrap();
+        assert_eq!(linegraph_awake(&empty), 0);
+        assert_eq!(linegraph_rounds(&empty), 0);
+    }
+
+    #[test]
+    fn budget_for_covers_every_supported_pairing() {
+        use awake_graphs::generators;
+        let g = generators::gnp(48, 0.1, 3);
+        let p = Params::for_graph(&g);
+        for algo in [BoundAlgo::Trivial, BoundAlgo::Bm21, BoundAlgo::Theorem1] {
+            let b = budget_for(algo, ProblemClass::Vertex, &g, &p).unwrap();
+            assert!(b.awake > 0 && b.rounds > 0, "{algo:?}: {b:?}");
+        }
+        let b = budget_for(BoundAlgo::Trivial, ProblemClass::Edge, &g, &p).unwrap();
+        assert!(b.awake > 0 && b.rounds == g.m() as u64);
+        assert_eq!(
+            budget_for(BoundAlgo::Bm21, ProblemClass::Edge, &g, &p),
+            None
+        );
+        assert_eq!(
+            budget_for(BoundAlgo::Theorem1, ProblemClass::Edge, &g, &p),
+            None
+        );
+    }
+
+    #[test]
+    fn round_bounds_dominate_awake_bounds() {
+        // A node can be awake at most once per round, so every pipeline's
+        // round budget must be at least its awake budget.
+        use awake_graphs::generators;
+        let g = generators::gnp(64, 0.1, 5);
+        let p = Params::for_graph(&g);
+        assert!(trivial_rounds(&g) >= trivial_awake(&g));
+        assert!(bm21_rounds(&g) >= bm21_awake(&g));
+        assert!(theorem1_rounds(&p) >= theorem1_awake(&p));
     }
 }

@@ -266,19 +266,53 @@ fn ratio_row(
     };
     let base = get(baseline, num, "baseline")? / get(baseline, den, "baseline")?;
     let cur = get(current, num, "current")? / get(current, den, "current")?;
+    Ok(judge(name.to_string(), base, cur, Rule::Throughput, tol))
+}
+
+/// Judge one `(baseline, current)` pair under `rule` — the shared core of
+/// [`row`] and [`ratio_row`].
+///
+/// A zero baseline makes the relative change undefined: such rows used to
+/// print `+0.0%`, so a metric regressing *from* zero (e.g. allocations per
+/// node-round leaving the zero-allocation steady state) read as "no
+/// change". They are now labeled `(from zero)` explicitly, and a gating
+/// rule fails the row whenever the current value exceeds the small
+/// absolute epsilon (for throughput — higher is better — a from-zero rise
+/// can only be an improvement, so only a *drop to* zero fails there, which
+/// the ordinary relative check already handles).
+fn judge(name: String, base: f64, cur: f64, rule: Rule, tol: &Tolerances) -> MetricDiff {
+    if base == 0.0 && cur != 0.0 {
+        let ok = match rule {
+            Rule::Throughput | Rule::Info => true,
+            Rule::Allocations => cur <= tol.alloc_epsilon,
+        };
+        return MetricDiff {
+            metric: format!("{name} (from zero)"),
+            baseline: base,
+            current: cur,
+            change_pct: f64::INFINITY,
+            rule,
+            ok,
+        };
+    }
     let change_pct = if base != 0.0 {
         (cur - base) / base * 100.0
     } else {
         0.0
     };
-    Ok(MetricDiff {
-        metric: name.to_string(),
+    let ok = match rule {
+        Rule::Throughput => cur >= base * (1.0 - tol.throughput_drop),
+        Rule::Allocations => cur <= base + tol.alloc_epsilon,
+        Rule::Info => true,
+    };
+    MetricDiff {
+        metric: name,
         baseline: base,
         current: cur,
         change_pct,
-        rule: Rule::Throughput,
-        ok: cur >= base * (1.0 - tol.throughput_drop),
-    })
+        rule,
+        ok,
+    }
 }
 
 fn row(
@@ -296,24 +330,7 @@ fn row(
     };
     let base = get(baseline, "baseline")?;
     let cur = get(current, "current")?;
-    let change_pct = if base != 0.0 {
-        (cur - base) / base * 100.0
-    } else {
-        0.0
-    };
-    let ok = match rule {
-        Rule::Throughput => cur >= base * (1.0 - tol.throughput_drop),
-        Rule::Allocations => cur <= base + tol.alloc_epsilon,
-        Rule::Info => true,
-    };
-    Ok(MetricDiff {
-        metric: name,
-        baseline: base,
-        current: cur,
-        change_pct,
-        rule,
-        ok,
-    })
+    Ok(judge(name, base, cur, rule, tol))
 }
 
 /// Render the diff as an aligned table (the form CI prints into the log).
@@ -469,6 +486,46 @@ mod tests {
             .any(|r| r.metric == "engine.allocations_per_node_round"));
         // throughput unchanged ⇒ only allocation rows fail
         assert!(failed.iter().all(|r| r.rule == Rule::Allocations));
+    }
+
+    #[test]
+    fn regression_from_zero_is_labeled_and_fails() {
+        // The zero-allocation steady state is the baseline (0.0 allocations
+        // per node-round); the current report allocates once per
+        // node-round. The relative change is undefined — this used to
+        // print "+0.0%" and read as no change — so the row must carry an
+        // explicit "(from zero)" label and fail the allocation rule.
+        let base = report(6.0e7, 0);
+        let cur = report(6.0e7, 1_000_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        let failed = failures(&rows);
+        assert!(
+            failed.iter().any(
+                |r| r.metric == "engine.allocations_per_node_round (from zero)"
+                    && r.rule == Rule::Allocations
+                    && r.change_pct.is_infinite()
+            ),
+            "{}",
+            render_table(&rows)
+        );
+        // …and a current value still at (or within epsilon of) zero passes,
+        // unlabeled.
+        let rows = diff_bench(&base, &base, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        assert!(rows.iter().all(|r| !r.metric.contains("(from zero)")));
+    }
+
+    #[test]
+    fn throughput_rise_from_zero_baseline_is_labeled_but_passes() {
+        let d = judge(
+            "x.node_rounds_per_sec".into(),
+            0.0,
+            5.0e6,
+            Rule::Throughput,
+            &Tolerances::default(),
+        );
+        assert!(d.ok, "a from-zero throughput rise is an improvement");
+        assert_eq!(d.metric, "x.node_rounds_per_sec (from zero)");
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! Run a named scenario suite and write its JSON report.
 //!
 //! ```sh
-//! cargo run --release -p awake-lab --bin suite -- --preset quick
-//! suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--list]
+//! cargo run --release -p awake-lab --bin suite -- --preset quick --audit
+//! suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--audit]
+//!       [--energy-out PATH] [--filter SUBSTR] [--list]
 //! ```
 //!
-//! Exits non-zero if any scenario fails to run or fails validation.
+//! Exits non-zero if any scenario fails to run or fails validation; with
+//! `--audit`, also if any scenario's measured awake/round complexity
+//! exceeds its closed-form budget (`bound_ok = false` in the report).
+//! The `scaling` preset additionally writes `BENCH_energy.json` — the
+//! measured-vs-bound-vs-log₂ n trajectory (`--energy-out` overrides the
+//! path, or forces the document for any preset).
 
+use awake_lab::report::energy_json;
 use awake_lab::runner::Runner;
 use awake_lab::scenario::presets;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -47,17 +54,21 @@ struct Args {
     out: String,
     list: bool,
     filter: Option<String>,
+    audit: bool,
+    energy_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--filter SUBSTR] [--list]\n\
-         \n  --preset NAME    suite preset to run (default: quick)\
-         \n  --seed N         suite seed; scenario seeds derive from it (default: 1)\
-         \n  --shards K       run up to K scenarios concurrently (default: 1)\
-         \n  --out PATH       where to write the JSON report (default: suite_report.json)\
-         \n  --filter SUBSTR  run only scenarios whose name contains SUBSTR\
-         \n  --list           list presets and exit"
+        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--audit] [--energy-out PATH] [--filter SUBSTR] [--list]\n\
+         \n  --preset NAME     suite preset to run (default: quick)\
+         \n  --seed N          suite seed; scenario seeds derive from it (default: 1)\
+         \n  --shards K        run up to K scenarios concurrently (default: 1)\
+         \n  --out PATH        where to write the JSON report (default: suite_report.json)\
+         \n  --audit           fail if any measured awake/round complexity exceeds its closed-form budget\
+         \n  --energy-out PATH where to write the energy trajectory (default: BENCH_energy.json, written automatically for the scaling preset)\
+         \n  --filter SUBSTR   run only scenarios whose name contains SUBSTR\
+         \n  --list            list presets and exit"
     );
     std::process::exit(2);
 }
@@ -70,6 +81,8 @@ fn parse_args() -> Args {
         out: "suite_report.json".into(),
         list: false,
         filter: None,
+        audit: false,
+        energy_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +93,8 @@ fn parse_args() -> Args {
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = value("--out"),
             "--filter" => args.filter = Some(value("--filter")),
+            "--audit" => args.audit = true,
+            "--energy-out" => args.energy_out = Some(value("--energy-out")),
             "--list" => args.list = true,
             _ => usage(),
         }
@@ -151,6 +166,17 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
 
+    // The scaling preset's whole point is the energy trajectory, so it
+    // always writes the document; --energy-out forces it for any preset.
+    if args.energy_out.is_some() || args.preset == "scaling" {
+        let path = args.energy_out.as_deref().unwrap_or("BENCH_energy.json");
+        if let Err(e) = std::fs::write(path, energy_json(&report)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
     let invalid: Vec<&str> = report
         .scenarios
         .iter()
@@ -160,6 +186,31 @@ fn main() -> ExitCode {
     if !invalid.is_empty() {
         eprintln!("validation FAILED for: {}", invalid.join(", "));
         return ExitCode::FAILURE;
+    }
+
+    if args.audit {
+        let violations: Vec<String> = report
+            .scenarios
+            .iter()
+            .filter(|s| !s.bound_ok)
+            .map(|s| {
+                format!(
+                    "{}: awake {}/{}, rounds {}/{}",
+                    s.name, s.metrics.max_awake, s.awake_bound, s.metrics.rounds, s.round_bound
+                )
+            })
+            .collect();
+        if !violations.is_empty() {
+            eprintln!("budget audit FAILED (measured > bound) for:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "budget audit passed: {} scenario(s) within their closed-form bounds",
+            report.scenarios.len()
+        );
     }
     ExitCode::SUCCESS
 }

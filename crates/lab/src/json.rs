@@ -481,9 +481,14 @@ mod tests {
             n: 4,
             m: 3,
             valid: true,
+            awake_bound: 5,
+            round_bound: 5,
+            bound_ok: true,
             metrics: crate::report::ScenarioMetrics {
                 rounds: 5,
                 max_awake: 3,
+                awake_p50: 2,
+                awake_p99: 3,
                 total_awake: 10,
                 avg_awake: 2.5,
                 messages_sent: 12,

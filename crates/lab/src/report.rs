@@ -3,7 +3,7 @@
 //! Two layers:
 //!
 //! * [`Report`] / [`ScenarioReport`] / [`ScenarioMetrics`] — the output of
-//!   a suite run (`awake-lab/report/v1`). The *canonical* JSON form
+//!   a suite run (`awake-lab/report/v2`). The *canonical* JSON form
 //!   ([`Report::canonical_json`]) contains only deterministic fields and is
 //!   byte-stable across runs at a fixed seed; [`Report::to_json`] adds the
 //!   per-scenario wall time and allocation counts.
@@ -13,7 +13,7 @@
 //!   suite runner read one format.
 
 use awake_core::compose::Composition;
-use awake_sleeping::Metrics;
+use awake_sleeping::{percentile_of_sorted, Metrics};
 use std::fmt::Write as _;
 
 /// Deterministic per-scenario measurements.
@@ -26,6 +26,12 @@ pub struct ScenarioMetrics {
     pub rounds: u64,
     /// Awake complexity (max over nodes of awake rounds).
     pub max_awake: u64,
+    /// Median of the per-node awake distribution (nearest rank).
+    pub awake_p50: u64,
+    /// 99th percentile of the per-node awake distribution (nearest rank) —
+    /// together with `awake_p50` this catches hot *nodes*, not just the
+    /// maximum.
+    pub awake_p99: u64,
     /// Total awake node-rounds (≈ simulation work).
     pub total_awake: u64,
     /// Node-averaged awake rounds.
@@ -37,11 +43,16 @@ pub struct ScenarioMetrics {
 }
 
 impl ScenarioMetrics {
-    /// Collect from a single engine run.
+    /// Collect from a single engine run (one sort serves both percentile
+    /// columns).
     pub fn from_metrics(m: &Metrics) -> Self {
+        let mut sorted = m.awake.clone();
+        sorted.sort_unstable();
         ScenarioMetrics {
             rounds: m.rounds,
             max_awake: m.max_awake(),
+            awake_p50: percentile_of_sorted(&sorted, 50),
+            awake_p99: percentile_of_sorted(&sorted, 99),
             total_awake: m.total_awake(),
             avg_awake: m.avg_awake(),
             messages_sent: m.messages_sent,
@@ -49,12 +60,18 @@ impl ScenarioMetrics {
         }
     }
 
-    /// Collect from a staged pipeline (Lemma 8 additive accounting).
+    /// Collect from a staged pipeline (Lemma 8 additive accounting: the
+    /// percentiles are taken over the per-node sums across stages).
     pub fn from_composition(c: &Composition) -> Self {
+        let mut per_node = c.awake_per_node();
+        let (total_awake, max_awake) = (per_node.iter().sum(), c.max_awake());
+        per_node.sort_unstable();
         ScenarioMetrics {
             rounds: c.rounds(),
-            max_awake: c.max_awake(),
-            total_awake: c.awake_per_node().iter().sum(),
+            max_awake,
+            awake_p50: percentile_of_sorted(&per_node, 50),
+            awake_p99: percentile_of_sorted(&per_node, 99),
+            total_awake,
             avg_awake: c.avg_awake(),
             messages_sent: c.messages_sent(),
             messages_lost: c.messages_lost(),
@@ -93,6 +110,14 @@ pub struct ScenarioReport {
     pub m: usize,
     /// Whether the problem validator accepted the outputs.
     pub valid: bool,
+    /// The closed-form awake budget of (algo × problem class × graph) —
+    /// [`awake_core::bounds::budget_for`] with this scenario's parameters.
+    pub awake_bound: u64,
+    /// The closed-form round budget, same source.
+    pub round_bound: u64,
+    /// The audit verdict: `max_awake ≤ awake_bound && rounds ≤
+    /// round_bound`. `suite --audit` fails on any `false`.
+    pub bound_ok: bool,
     /// Deterministic measurements.
     pub metrics: ScenarioMetrics,
     /// Wall time / allocations (non-deterministic).
@@ -110,8 +135,11 @@ pub struct Report {
     pub scenarios: Vec<ScenarioReport>,
 }
 
-/// Schema tag of [`Report`] JSON documents.
-pub const REPORT_SCHEMA: &str = "awake-lab/report/v1";
+/// Schema tag of [`Report`] JSON documents. `v2` added the budget-audit
+/// columns (`awake_bound`, `round_bound`, `bound_ok`) and the per-node
+/// awake percentiles (`awake_p50`, `awake_p99`) to every scenario row —
+/// see the migration note in `CHANGES.md`.
+pub const REPORT_SCHEMA: &str = "awake-lab/report/v2";
 /// Schema tag of [`BenchReport`] JSON documents (`BENCH_engine.json`).
 pub const BENCH_SCHEMA: &str = "awake-lab/bench/v1";
 
@@ -144,8 +172,10 @@ impl Report {
                 out,
                 "\n    {{\"name\": {}, \"problem\": {}, \"family\": {}, \"algo\": {}, \
                  \"seed\": {}, \"n\": {}, \"m\": {}, \"valid\": {}, \
-                 \"rounds\": {}, \"max_awake\": {}, \"total_awake\": {}, \"avg_awake\": {:.3}, \
-                 \"messages_sent\": {}, \"messages_lost\": {}",
+                 \"rounds\": {}, \"max_awake\": {}, \"awake_p50\": {}, \"awake_p99\": {}, \
+                 \"total_awake\": {}, \"avg_awake\": {:.3}, \
+                 \"messages_sent\": {}, \"messages_lost\": {}, \
+                 \"awake_bound\": {}, \"round_bound\": {}, \"bound_ok\": {}",
                 json_str(&s.name),
                 json_str(s.problem),
                 json_str(&s.family),
@@ -156,10 +186,15 @@ impl Report {
                 s.valid,
                 s.metrics.rounds,
                 s.metrics.max_awake,
+                s.metrics.awake_p50,
+                s.metrics.awake_p99,
                 s.metrics.total_awake,
                 s.metrics.avg_awake,
                 s.metrics.messages_sent,
                 s.metrics.messages_lost,
+                s.awake_bound,
+                s.round_bound,
+                s.bound_ok,
             );
             if timings {
                 let _ = write!(
@@ -187,27 +222,86 @@ impl Report {
             .max(8);
         let _ = writeln!(
             out,
-            "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>6}",
-            "scenario", "n", "m", "rounds", "awake", "avg", "msgs", "wall ms", "valid"
+            "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>7} {:>7} {:>9} {:>10} {:>9} {:>6} {:>6}",
+            "scenario",
+            "n",
+            "m",
+            "rounds",
+            "awake",
+            "p50",
+            "p99",
+            "bound",
+            "msgs",
+            "wall ms",
+            "valid",
+            "≤bound"
         );
-        let _ = writeln!(out, "{}", "-".repeat(name_w + 73));
+        let _ = writeln!(out, "{}", "-".repeat(name_w + 96));
         for s in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>9.2} {:>10} {:>9.2} {:>6}",
+                "{:<name_w$} {:>6} {:>7} {:>9} {:>9} {:>7} {:>7} {:>9} {:>10} {:>9.2} {:>6} {:>6}",
                 s.name,
                 s.n,
                 s.m,
                 s.metrics.rounds,
                 s.metrics.max_awake,
-                s.metrics.avg_awake,
+                s.metrics.awake_p50,
+                s.metrics.awake_p99,
+                s.awake_bound,
                 s.metrics.messages_sent,
                 s.timing.wall_ns / 1e6,
                 if s.valid { "yes" } else { "NO" },
+                if s.bound_ok { "yes" } else { "NO" },
             );
         }
         out
     }
+}
+
+/// Schema tag of the energy-trajectory document (`BENCH_energy.json`).
+pub const ENERGY_SCHEMA: &str = "awake-lab/energy/v1";
+
+/// Render a suite report as the `BENCH_energy.json` document: one point
+/// per scenario, relating the **measured** awake complexity to the
+/// closed-form bound and to `log₂ n`. For the `scaling` preset (Theorem 1
+/// and BM21 swept over `n ∈ {2^10 .. 2^18}`) the `awake_per_log2n` series
+/// is the paper's headline claim made empirical — `O(√log n · log* n)` is
+/// `o(log n)`, so the ratio must trend *down* as `n` grows.
+pub fn energy_json(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"{ENERGY_SCHEMA}\",\n  \"suite\": {},\n  \"seed\": {},\n  \"points\": [",
+        json_str(&report.suite),
+        report.seed
+    );
+    for (i, s) in report.scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let log2n = (s.n.max(2) as f64).log2();
+        let _ = write!(
+            out,
+            "\n    {{\"algo\": {}, \"family\": {}, \"n\": {}, \"log2_n\": {:.3}, \
+             \"max_awake\": {}, \"awake_bound\": {}, \
+             \"awake_per_log2n\": {:.3}, \"bound_per_log2n\": {:.3}, \
+             \"rounds\": {}, \"round_bound\": {}, \"bound_ok\": {}}}",
+            json_str(&s.algo),
+            json_str(&s.family),
+            s.n,
+            log2n,
+            s.metrics.max_awake,
+            s.awake_bound,
+            s.metrics.max_awake as f64 / log2n,
+            s.awake_bound as f64 / log2n,
+            s.metrics.rounds,
+            s.round_bound,
+            s.bound_ok,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// Raw counters of one timed benchmark workload; the derived rates are the
@@ -447,9 +541,14 @@ mod tests {
                 n: 4,
                 m: 3,
                 valid: true,
+                awake_bound: 5,
+                round_bound: 5,
+                bound_ok: true,
                 metrics: ScenarioMetrics {
                     rounds: 5,
                     max_awake: 3,
+                    awake_p50: 2,
+                    awake_p99: 3,
                     total_awake: 10,
                     avg_awake: 2.5,
                     messages_sent: 12,
@@ -472,7 +571,37 @@ mod tests {
         assert!(full.contains("allocations"));
         assert!(!canon.contains("wall_ms"));
         assert!(!canon.contains("allocations"));
-        assert!(canon.contains("\"schema\": \"awake-lab/report/v1\""));
+        assert!(canon.contains("\"schema\": \"awake-lab/report/v2\""));
+        // the audit and percentile columns are deterministic, hence canonical
+        for key in [
+            "\"awake_p50\": 2",
+            "\"awake_p99\": 3",
+            "\"awake_bound\": 5",
+            "\"round_bound\": 5",
+            "\"bound_ok\": true",
+        ] {
+            assert!(canon.contains(key), "missing {key} in {canon}");
+        }
+    }
+
+    #[test]
+    fn energy_json_relates_measured_to_bound_and_log_n() {
+        let mut r = sample();
+        r.scenarios[0].n = 1024;
+        let j = energy_json(&r);
+        for key in [
+            "\"schema\": \"awake-lab/energy/v1\"",
+            "\"n\": 1024",
+            "\"log2_n\": 10.000",
+            "\"max_awake\": 3",
+            "\"awake_bound\": 5",
+            "\"awake_per_log2n\": 0.300",
+            "\"bound_per_log2n\": 0.500",
+            "\"round_bound\": 5",
+            "\"bound_ok\": true",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 
     #[test]

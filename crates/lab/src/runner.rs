@@ -11,6 +11,8 @@
 
 use crate::report::{Report, ScenarioMetrics, ScenarioReport, Timing};
 use crate::scenario::{Algo, ProblemKind, Scenario};
+use awake_core::bounds::{self, BoundAlgo, ProblemClass};
+use awake_core::params::Params;
 use awake_core::trivial::TrivialGreedy;
 use awake_core::{bm21, linegraph, theorem1};
 use awake_graphs::Graph;
@@ -183,6 +185,8 @@ pub fn run_scenario(
     })?;
     let wall_ns = t0.elapsed().as_nanos() as f64;
     let allocations = probe.map(|p| p() - a0).unwrap_or(0);
+    let budget = budget_of(sc, &g);
+    let bound_ok = metrics.max_awake <= budget.awake && metrics.rounds <= budget.rounds;
     Ok(ScenarioReport {
         name: sc.name.clone(),
         problem: sc.problem.key(),
@@ -192,12 +196,42 @@ pub fn run_scenario(
         n: g.n(),
         m: g.m(),
         valid,
+        awake_bound: budget.awake,
+        round_bound: budget.rounds,
+        bound_ok,
         metrics,
         timing: Timing {
             wall_ns,
             allocations,
         },
     })
+}
+
+/// The closed-form budget of a scenario on its built graph — the
+/// [`bounds::budget_for`] entry point with the harness's axis mapping.
+/// The worker-pool executor is bit-for-bit identical to the serial one,
+/// so both trivial executors share [`BoundAlgo::Trivial`]; the staged
+/// pipelines use the same [`Params`] derivation the solvers themselves
+/// apply ([`Params::for_graph`]).
+///
+/// # Panics
+/// Panics on an unsupported (algo × problem) pairing — those fail the
+/// scenario with [`RunError::UnsupportedAlgo`] before budgets are
+/// consulted, so reaching this with one is a harness bug.
+pub fn budget_of(sc: &Scenario, g: &Graph) -> bounds::Budget {
+    let algo = match sc.algo {
+        Algo::Trivial | Algo::TrivialThreaded(_) => BoundAlgo::Trivial,
+        Algo::Bm21 => BoundAlgo::Bm21,
+        Algo::Theorem1 => BoundAlgo::Theorem1,
+    };
+    let class = if sc.problem.is_edge() {
+        ProblemClass::Edge
+    } else {
+        ProblemClass::Vertex
+    };
+    let params = Params::for_graph(g);
+    bounds::budget_for(algo, class, g, &params)
+        .expect("supported (algo × problem) pairings have budgets")
 }
 
 /// Solve the scenario's problem on `g` with the scenario's algorithm and
@@ -274,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn all_algorithms_run_and_validate() {
+    fn all_algorithms_run_and_validate_within_budget() {
         for algo in [
             Algo::Trivial,
             Algo::TrivialThreaded(2),
@@ -285,6 +319,14 @@ mod tests {
             assert!(r.valid, "{} invalid", r.name);
             assert!(r.metrics.max_awake > 0);
             assert_eq!(r.n, 24);
+            // the measured-vs-stated audit `bounds.rs` promises
+            assert!(
+                r.bound_ok,
+                "{}: awake {}/{} rounds {}/{}",
+                r.name, r.metrics.max_awake, r.awake_bound, r.metrics.rounds, r.round_bound
+            );
+            assert!(r.metrics.awake_p50 <= r.metrics.awake_p99);
+            assert!(r.metrics.awake_p99 <= r.metrics.max_awake);
         }
     }
 
@@ -332,6 +374,11 @@ mod tests {
             let a = run_scenario(&tiny_edge(problem, Algo::Trivial), 3, None).unwrap();
             assert!(a.valid, "{} invalid", a.name);
             assert!(a.metrics.max_awake > 0);
+            assert!(
+                a.bound_ok,
+                "{}: awake {}/{} rounds {}/{}",
+                a.name, a.metrics.max_awake, a.awake_bound, a.metrics.rounds, a.round_bound
+            );
             // serial/threaded share the graph instance and must agree
             let b = run_scenario(&tiny_edge(problem, Algo::TrivialThreaded(4)), 3, None).unwrap();
             assert_eq!(a.metrics, b.metrics, "executors must agree bit for bit");

@@ -52,6 +52,20 @@ pub enum GraphFamily {
         /// Target average degree (sets `p = avg_deg / (n-1)`).
         avg_deg: f64,
     },
+    /// Star `S_{n−1}` (one hub, `n − 1` leaves) — the maximally hub-heavy
+    /// family, where awake cost concentrates on a single node.
+    Star {
+        /// Number of nodes (hub included).
+        n: usize,
+    },
+    /// Caterpillar: a path of `spine` nodes with `legs` pendant leaves on
+    /// each — many medium hubs in a row.
+    Caterpillar {
+        /// Spine length.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
     /// Random `d`-regular graph — the bounded-degree expander family.
     RandomRegular {
         /// Number of nodes.
@@ -81,6 +95,8 @@ impl GraphFamily {
             // key salts it, on derived seed)
             GraphFamily::Gnp { n, p } => format!("gnp-{n}-p{p}"),
             GraphFamily::SparseGnp { n, avg_deg } => format!("sgnp-{n}-d{avg_deg}"),
+            GraphFamily::Star { n } => format!("star-{n}"),
+            GraphFamily::Caterpillar { spine, legs } => format!("cat-{spine}x{legs}"),
             GraphFamily::RandomRegular { n, d } => format!("regular-{n}-d{d}"),
             GraphFamily::BoundedDegree { n, delta } => format!("bdeg-{n}-Δ{delta}"),
         }
@@ -103,6 +119,8 @@ impl GraphFamily {
                 };
                 generators::gnp_sparse(n, p, seed)
             }
+            GraphFamily::Star { n } => generators::star(n),
+            GraphFamily::Caterpillar { spine, legs } => generators::caterpillar(spine, legs),
             GraphFamily::RandomRegular { n, d } => generators::random_regular(n, d, seed),
             GraphFamily::BoundedDegree { n, delta } => {
                 generators::random_with_max_degree(n, delta, seed)
@@ -390,8 +408,8 @@ pub mod presets {
     /// The edge-problem workload: maximal matching and (2Δ−1)-edge
     /// coloring on **every** registered graph-family variant, each under
     /// the serial engine and the 4-worker pool (the two executors the
-    /// line-graph adapter rides). 8 families × 2 problems × 2 executors
-    /// = 32 scenarios; serial/threaded pairs share a graph instance, so
+    /// line-graph adapter rides). 10 families × 2 problems × 2 executors
+    /// = 40 scenarios; serial/threaded pairs share a graph instance, so
     /// their deterministic metrics must be identical row for row.
     pub fn edges() -> Vec<Scenario> {
         let mut families = families_at(Size::Small);
@@ -402,6 +420,8 @@ pub mod presets {
                 avg_deg: 5.0,
             },
             GraphFamily::BoundedDegree { n: 96, delta: 8 },
+            GraphFamily::Star { n: 48 },
+            GraphFamily::Caterpillar { spine: 10, legs: 4 },
         ]);
         families
             .into_iter()
@@ -412,6 +432,27 @@ pub mod presets {
                         .into_iter()
                         .map(move |algo| Scenario::of(family.clone(), problem, algo).build())
                 })
+            })
+            .collect()
+    }
+
+    /// The energy-scaling sweep: Theorem 1 and BM21 on sparse Erdős–Rényi
+    /// graphs with `n ∈ {2^10 .. 2^18}` (average degree 4, so `Δ` stays
+    /// small while `n` spans two and a half orders of magnitude). One run
+    /// per (algo × size); the per-point `max_awake / log₂ n` series in
+    /// `BENCH_energy.json` is the paper's sub-logarithmic claim made
+    /// empirical, and `--audit` gates every point against the closed-form
+    /// budgets.
+    pub fn scaling() -> Vec<Scenario> {
+        (10..=18u32)
+            .flat_map(|exp| {
+                let family = GraphFamily::SparseGnp {
+                    n: 1usize << exp,
+                    avg_deg: 4.0,
+                };
+                [Algo::Theorem1, Algo::Bm21]
+                    .into_iter()
+                    .map(move |algo| Scenario::of(family.clone(), ProblemKind::Mis, algo).build())
             })
             .collect()
     }
@@ -446,8 +487,13 @@ pub mod presets {
             ),
             (
                 "edges",
-                "matching + (2Δ-1)-edge coloring on every family, serial + threaded (32 scenarios)",
+                "matching + (2Δ-1)-edge coloring on every family, serial + threaded (40 scenarios)",
                 edges(),
+            ),
+            (
+                "scaling",
+                "Theorem 1 + BM21 energy sweep, n = 2^10..2^18 on sparse G(n,p) (18 scenarios)",
+                scaling(),
             ),
         ]
     }
@@ -547,7 +593,7 @@ mod tests {
     #[test]
     fn edges_preset_covers_every_family_variant_and_both_executors() {
         let edges = presets::by_name("edges").expect("edges preset registered");
-        assert_eq!(edges.len(), 32);
+        assert_eq!(edges.len(), 40);
         assert!(edges.iter().all(|s| s.problem.is_edge()));
         // every GraphFamily variant is represented
         let variants: std::collections::BTreeSet<&str> = edges
@@ -559,18 +605,42 @@ mod tests {
                 GraphFamily::RandomTree { .. } => "tree",
                 GraphFamily::Gnp { .. } => "gnp",
                 GraphFamily::SparseGnp { .. } => "sgnp",
+                GraphFamily::Star { .. } => "star",
+                GraphFamily::Caterpillar { .. } => "cat",
                 GraphFamily::RandomRegular { .. } => "regular",
                 GraphFamily::BoundedDegree { .. } => "bdeg",
             })
             .collect();
-        assert_eq!(variants.len(), 8, "families: {variants:?}");
+        assert_eq!(variants.len(), 10, "families: {variants:?}");
         // serial/threaded pairs share a family, hence a graph instance
         let serial = edges.iter().filter(|s| s.algo == Algo::Trivial).count();
         let threaded = edges
             .iter()
             .filter(|s| s.algo == Algo::TrivialThreaded(4))
             .count();
-        assert_eq!((serial, threaded), (16, 16));
+        assert_eq!((serial, threaded), (20, 20));
+    }
+
+    #[test]
+    fn scaling_preset_sweeps_both_staged_algos_over_powers_of_two() {
+        let scaling = presets::by_name("scaling").expect("scaling preset registered");
+        assert_eq!(scaling.len(), 18);
+        for exp in 10..=18usize {
+            let at_n: Vec<&Scenario> = scaling
+                .iter()
+                .filter(|s| matches!(s.family, GraphFamily::SparseGnp { n, .. } if n == 1 << exp))
+                .collect();
+            let algos: std::collections::BTreeSet<String> =
+                at_n.iter().map(|s| s.algo.key()).collect();
+            assert_eq!(
+                algos,
+                ["bm21".to_string(), "theorem1".to_string()].into(),
+                "n = 2^{exp}"
+            );
+            // same family spec ⇒ same derived seed ⇒ same graph instance,
+            // so the two algos compare like for like at every point
+            assert_eq!(at_n[0].seed(1), at_n[1].seed(1));
+        }
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub struct Run<O> {
     pub metrics: Metrics,
     /// Recorded events (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Events discarded past a [`TraceMode::Capped`] cap — non-zero means
+    /// [`trace`](Run::trace) is a truncated prefix, not the full record.
+    pub trace_dropped: u64,
 }
 
 /// `next_wake` sentinel for "halted / never wakes" (rounds are 1-based, so
@@ -370,6 +373,7 @@ impl<'g> Engine<'g> {
             outputs,
             metrics,
             trace: tracer.events,
+            trace_dropped: tracer.dropped,
         })
     }
 }
@@ -690,6 +694,35 @@ mod tests {
             .trace
             .iter()
             .any(|e| matches!(e, TraceEvent::Halt { .. })));
+        assert_eq!(run.trace_dropped, 0, "uncapped trace is complete");
+    }
+
+    #[test]
+    fn capped_trace_reports_dropped_events() {
+        let g = generators::path(2);
+        let full = Engine::new(
+            &g,
+            Config {
+                trace: TraceMode::Capped(1000),
+                ..Config::default()
+            },
+        )
+        .run(vec![OneShot::default(), OneShot::default()])
+        .unwrap();
+        assert!(full.trace.len() > 2);
+        let capped = Engine::new(
+            &g,
+            Config {
+                trace: TraceMode::Capped(2),
+                ..Config::default()
+            },
+        )
+        .run(vec![OneShot::default(), OneShot::default()])
+        .unwrap();
+        // The capped trace is the exact prefix of the full one, and the
+        // drop counter accounts for everything past it.
+        assert_eq!(capped.trace.as_slice(), &full.trace[..2]);
+        assert_eq!(capped.trace_dropped, full.trace.len() as u64 - 2);
     }
 
     struct WakesAtZero;

@@ -106,7 +106,7 @@ mod trace;
 mod wheel;
 
 pub use engine::{Config, Engine, Run, SimError};
-pub use metrics::Metrics;
+pub use metrics::{percentile, percentile_of_sorted, Metrics};
 pub use program::{Action, Envelope, Outbox, Outgoing, Program, View};
 pub use trace::{TraceEvent, TraceMode};
 

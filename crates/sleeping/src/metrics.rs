@@ -83,6 +83,24 @@ impl Metrics {
         self.awake.iter().copied().max().unwrap_or(0)
     }
 
+    /// The `q`-th percentile of the per-node awake distribution
+    /// (see [`percentile`]): how many rounds the typical (p50) or the
+    /// near-worst (p99) node was awake — the audit columns that catch hot
+    /// *nodes*, not just the maximum.
+    pub fn awake_percentile(&self, q: u8) -> u64 {
+        percentile(&self.awake, q)
+    }
+
+    /// Median per-node awake rounds (`awake_percentile(50)`).
+    pub fn awake_p50(&self) -> u64 {
+        self.awake_percentile(50)
+    }
+
+    /// 99th-percentile per-node awake rounds (`awake_percentile(99)`).
+    pub fn awake_p99(&self) -> u64 {
+        self.awake_percentile(99)
+    }
+
     /// Average awake rounds per node (the *node-averaged* awake complexity).
     pub fn avg_awake(&self) -> f64 {
         if self.awake.is_empty() {
@@ -126,6 +144,30 @@ impl Metrics {
     }
 }
 
+/// Nearest-rank percentile of `values` (`q` in `0..=100`): the smallest
+/// element with at least `⌈q·n/100⌉` elements `≤` it. `q = 0` is the
+/// minimum, `q = 100` the maximum; an empty slice yields `0`. Exact and
+/// deterministic — no interpolation — so report columns derived from it
+/// stay byte-stable.
+pub fn percentile(values: &[u64], q: u8) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    percentile_of_sorted(&sorted, q)
+}
+
+/// [`percentile`] over an already **ascending-sorted** slice — the form
+/// for callers reading several ranks out of one sort (e.g. a report row's
+/// p50 and p99 columns).
+pub fn percentile_of_sorted(sorted: &[u64], q: u8) -> u64 {
+    debug_assert!(q <= 100, "percentile out of range: {q}");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * q as usize).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +193,41 @@ mod tests {
         let m = Metrics::new(0);
         assert_eq!(m.max_awake(), 0);
         assert_eq!(m.avg_awake(), 0.0);
+        assert_eq!(m.awake_p50(), 0);
+        assert_eq!(m.awake_p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 0), 7);
+        assert_eq!(percentile(&[7], 100), 7);
+        // 1..=100: pQ is exactly Q.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&v, 1), 1);
+        // Unsorted input, even length: nearest-rank takes the lower of the
+        // two middle elements.
+        assert_eq!(percentile(&[9, 1, 3, 7], 50), 3);
+        assert_eq!(percentile(&[9, 1, 3, 7], 75), 7);
+    }
+
+    #[test]
+    fn awake_percentiles_summarize_the_distribution() {
+        let mut m = Metrics::new(10);
+        // one hot node, nine cold ones
+        for _ in 0..100 {
+            m.note_awake(NodeId(0), "hot");
+        }
+        for v in 1..10u32 {
+            m.note_awake(NodeId(v), "cold");
+        }
+        assert_eq!(m.max_awake(), 100);
+        assert_eq!(m.awake_p50(), 1);
+        assert_eq!(m.awake_p99(), 100);
+        assert_eq!(m.awake_percentile(90), 1);
     }
 
     #[test]

@@ -60,14 +60,22 @@
 //! the very same phase functions — skip-ahead schedules spend most rounds
 //! waking a handful of nodes, where two channel round-trips per worker
 //! would dwarf the work; the inline path is a single-chunk instance of the
-//! same pipeline, so results are identical by construction. Tracing is not
-//! supported here (the serial engine is the observability surface);
-//! [`Config::trace`] is ignored and [`Run::trace`] comes back empty.
+//! same pipeline, so results are identical by construction.
+//!
+//! Tracing rides the same merge discipline: when [`Config::trace`] is on,
+//! each worker stages its chunk's [`TraceEvent`]s in node order (awake →
+//! per-message delivered/lost in the send phase; sleep/halt in the receive
+//! phase) and the coordinator absorbs the staged buffers **in chunk
+//! order** through the shared capped tracer — so [`Run::trace`] (and
+//! [`Run::trace_dropped`]) is bit-identical to the serial engine's at any
+//! worker count, which the integration tests assert alongside the
+//! `Metrics` equivalence.
 
 use crate::arena::ChunkInboxes;
 use crate::engine::{next_awake_set, route_entries, seed_schedule, NEVER};
 use crate::metrics::Metrics;
 use crate::program::{Action, Envelope, OutEntry, Outbox, Program, View};
+use crate::trace::{TraceEvent, Tracer};
 use crate::wheel::WakeWheel;
 use crate::{Config, Round, Run, SimError};
 use awake_graphs::{Graph, NodeId};
@@ -185,6 +193,11 @@ struct Batch<P: Program> {
     halts: Vec<(u32, P::Output)>,
     /// First error of this chunk, in node order (the worker stops there).
     error: Option<SimError>,
+    /// Whether to stage trace events (set from the run's [`Config::trace`]).
+    trace_on: bool,
+    /// Events staged by this chunk during the current phase, in the serial
+    /// engine's per-node order; absorbed by the coordinator in chunk order.
+    trace: Vec<TraceEvent>,
 }
 
 impl<P: Program> Batch<P> {
@@ -203,6 +216,8 @@ impl<P: Program> Batch<P> {
             sleeps: Vec::new(),
             halts: Vec::new(),
             error: None,
+            trace_on: false,
+            trace: Vec::new(),
         }
     }
 }
@@ -226,12 +241,16 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
         delivered,
         lost,
         error,
+        trace_on,
+        trace,
         ..
     } = b;
     if shards.len() < k {
         shards.resize_with(k, Vec::new);
     }
     spans.clear();
+    trace.clear();
+    let trace_on = *trace_on;
     (*sent, *delivered, *lost) = (0, 0, 0);
     *error = None;
     let mut outbox = Outbox::from_vec(std::mem::take(out_items));
@@ -245,6 +264,9 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
             neighbors: graph.neighbors(vid),
         };
         spans.push(p.span());
+        if trace_on {
+            trace.push(TraceEvent::Awake { round, node: vid });
+        }
         outbox.clear();
         p.send(&view, &mut outbox);
         let res = route_entries(graph, outbox.items.drain(..), vid, sent, |to, msg| {
@@ -252,6 +274,13 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
             // awake position stamp is valid and names its owner chunk.
             if ctx.next_wake[to.index()] == round {
                 *delivered += 1;
+                if trace_on {
+                    trace.push(TraceEvent::Delivered {
+                        round,
+                        from: vid,
+                        to,
+                    });
+                }
                 let pos = ctx.awake_pos[to.index()];
                 let c = ctx.chunk_of(pos);
                 shards[c].push(ShardEntry {
@@ -260,6 +289,13 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
                 });
             } else {
                 *lost += 1;
+                if trace_on {
+                    trace.push(TraceEvent::Lost {
+                        round,
+                        from: vid,
+                        to,
+                    });
+                }
             }
         });
         if let Err(e) = res {
@@ -288,8 +324,12 @@ fn run_receive_phase<P: Program>(
         sleeps,
         halts,
         error,
+        trace_on,
+        trace,
         ..
     } = b;
+    let trace_on = *trace_on;
+    trace.clear();
     // Local delivery: drain the incoming shards in source-chunk order.
     // Senders ascend within a chunk and chunks are contiguous in node
     // order, so each recipient's segment is a concatenation of sorted
@@ -328,34 +368,51 @@ fn run_receive_phase<P: Program>(
                     });
                     break;
                 }
+                if trace_on {
+                    trace.push(TraceEvent::Sleep {
+                        round,
+                        node: vid,
+                        until,
+                    });
+                }
                 sleeps.push((until, *v));
             }
-            Action::Halt => match p.output() {
-                Some(o) => halts.push((*v, o)),
-                None => {
-                    *error = Some(SimError::MissingOutput(vid));
-                    break;
+            Action::Halt => {
+                if trace_on {
+                    trace.push(TraceEvent::Halt { round, node: vid });
                 }
-            },
+                match p.output() {
+                    Some(o) => halts.push((*v, o)),
+                    None => {
+                        *error = Some(SimError::MissingOutput(vid));
+                        break;
+                    }
+                }
+            }
         }
     }
 }
 
 /// Merge one chunk's send partials into the run metrics: awake/span
 /// attribution per node in chunk order (= node order, preserving the
-/// serial engine's span interning order), then the message tallies.
-fn merge_send_partials<P: Program>(b: &Batch<P>, metrics: &mut Metrics) {
+/// serial engine's span interning order), then the message tallies, then
+/// the staged trace events (absorbed through the shared capped tracer, so
+/// the global event sequence and drop count match the serial engine's).
+fn merge_send_partials<P: Program>(b: &mut Batch<P>, metrics: &mut Metrics, tracer: &mut Tracer) {
     for (&(v, _), &span) in b.jobs.iter().zip(b.spans.iter()) {
         metrics.note_awake(NodeId(v), span);
     }
     metrics.messages_sent += b.sent;
     metrics.messages_delivered += b.delivered;
     metrics.messages_lost += b.lost;
+    tracer.absorb(&mut b.trace);
 }
 
 /// Apply one chunk's receive partials in node order: stay lane extension
 /// (chunks ascend, so the lane stays globally sorted), batched wheel
-/// scheduling, halt outputs, wake stamps, and program restoration.
+/// scheduling, halt outputs, wake stamps, staged trace events, and
+/// program restoration.
+#[allow(clippy::too_many_arguments)]
 fn apply_receive_partials<P: Program>(
     b: &mut Batch<P>,
     round: Round,
@@ -364,7 +421,9 @@ fn apply_receive_partials<P: Program>(
     stay: &mut Vec<u32>,
     outputs: &mut [Option<P::Output>],
     slots: &mut [Option<P>],
+    tracer: &mut Tracer,
 ) {
+    tracer.absorb(&mut b.trace);
     for &v in &b.stays {
         ctx.next_wake[v as usize] = round + 1;
     }
@@ -433,12 +492,15 @@ where
     }
     let workers = workers.max(1);
     let mut metrics = Metrics::new(n);
+    let mut tracer = Tracer::new(config.trace);
+    let trace_on = tracer.enabled();
     let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
     if n == 0 {
         return Ok(Run {
             outputs: vec![],
             metrics,
             trace: vec![],
+            trace_dropped: 0,
         });
     }
 
@@ -517,6 +579,7 @@ where
                 let mut b = pool[0].take().expect("batch parked");
                 b.round = round;
                 b.phase = Phase::Send;
+                b.trace_on = trace_on;
                 b.jobs.clear();
                 for &v in &awake {
                     b.jobs
@@ -529,7 +592,7 @@ where
                 if let Some(e) = b.error.take() {
                     return Err(e);
                 }
-                merge_send_partials(&b, &mut metrics);
+                merge_send_partials(&mut b, &mut metrics, &mut tracer);
                 b.phase = Phase::Receive;
                 run_receive_phase(graph, &mut b, &mut main_inboxes);
                 if let Some(e) = b.error.take() {
@@ -544,6 +607,7 @@ where
                     &mut stay,
                     &mut outputs,
                     &mut slots,
+                    &mut tracer,
                 );
                 pool[0] = Some(b);
                 continue;
@@ -554,6 +618,7 @@ where
                 let mut b = pool[w].take().expect("batch parked");
                 b.round = round;
                 b.phase = Phase::Send;
+                b.trace_on = trace_on;
                 b.jobs.clear();
                 for &v in &awake[bounds[w] as usize..bounds[w + 1] as usize] {
                     b.jobs
@@ -573,9 +638,10 @@ where
                     return Err(e);
                 }
             }
-            // Deterministic metrics merge, chunk by chunk in node order.
-            for b in &inflight {
-                merge_send_partials(b, &mut metrics);
+            // Deterministic metrics/trace merge, chunk by chunk in node
+            // order.
+            for b in &mut inflight {
+                merge_send_partials(b, &mut metrics, &mut tracer);
             }
             // ---- exchange: transpose the k×k owner-shard matrix so
             // batch w's shards become the messages *addressed to* chunk w,
@@ -615,6 +681,7 @@ where
                         &mut stay,
                         &mut outputs,
                         &mut slots,
+                        &mut tracer,
                     );
                     pool[w] = Some(b);
                 }
@@ -633,7 +700,8 @@ where
     Ok(Run {
         outputs,
         metrics,
-        trace: vec![],
+        trace: tracer.events,
+        trace_dropped: tracer.dropped,
     })
 }
 
@@ -682,6 +750,23 @@ mod tests {
             let par = run_threaded(g, mk(), Config::default(), w).unwrap();
             assert!(serial.outputs == par.outputs, "outputs, workers = {w}");
             assert_eq!(serial.metrics, par.metrics, "metrics, workers = {w}");
+        }
+        // Traced runs must agree event for event — including the drop
+        // counter when the cap truncates (cap 500 bites on the larger
+        // workloads, so both the kept prefix and the overflow accounting
+        // are exercised).
+        let cfg = Config {
+            trace: crate::TraceMode::Capped(500),
+            ..Config::default()
+        };
+        let serial = crate::Engine::new(g, cfg).run(mk()).unwrap();
+        for &w in workers {
+            let par = run_threaded(g, mk(), cfg, w).unwrap();
+            assert_eq!(serial.trace, par.trace, "trace, workers = {w}");
+            assert_eq!(
+                serial.trace_dropped, par.trace_dropped,
+                "trace_dropped, workers = {w}"
+            );
         }
     }
 

@@ -63,6 +63,10 @@ pub enum TraceEvent {
 pub(crate) struct Tracer {
     mode: TraceMode,
     pub(crate) events: Vec<TraceEvent>,
+    /// Events discarded past a [`TraceMode::Capped`] cap — surfaced on
+    /// [`Run::trace_dropped`](crate::Run::trace_dropped) so a truncated
+    /// trace cannot be mistaken for a complete one.
+    pub(crate) dropped: u64,
 }
 
 impl Tracer {
@@ -70,7 +74,15 @@ impl Tracer {
         Tracer {
             mode,
             events: Vec::new(),
+            dropped: 0,
         }
+    }
+
+    /// Whether events should be recorded at all (the threaded executor's
+    /// workers stage events only when this is true).
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.mode != TraceMode::Off
     }
 
     #[inline]
@@ -80,8 +92,18 @@ impl Tracer {
             TraceMode::Capped(cap) => {
                 if self.events.len() < cap {
                     self.events.push(ev());
+                } else {
+                    self.dropped += 1;
                 }
             }
+        }
+    }
+
+    /// Merge events staged elsewhere (the threaded executor's per-worker
+    /// buffers), applying the same cap/drop accounting as [`push`](Self::push).
+    pub(crate) fn absorb(&mut self, staged: &mut Vec<TraceEvent>) {
+        for ev in staged.drain(..) {
+            self.push(|| ev);
         }
     }
 }
@@ -91,7 +113,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn capped_tracer_stops() {
+    fn capped_tracer_stops_and_counts_drops() {
         let mut t = Tracer::new(TraceMode::Capped(2));
         for i in 0..5 {
             t.push(|| TraceEvent::Awake {
@@ -100,6 +122,7 @@ mod tests {
             });
         }
         assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 3);
     }
 
     #[test]
@@ -110,5 +133,22 @@ mod tests {
             node: NodeId(0),
         });
         assert!(t.events.is_empty());
+        assert_eq!(t.dropped, 0);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn absorb_applies_the_same_cap() {
+        let mut t = Tracer::new(TraceMode::Capped(3));
+        let mut staged: Vec<TraceEvent> = (0..5)
+            .map(|i| TraceEvent::Awake {
+                round: i,
+                node: NodeId(0),
+            })
+            .collect();
+        t.absorb(&mut staged);
+        assert!(staged.is_empty(), "staged buffer is drained");
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.dropped, 2);
     }
 }

@@ -45,6 +45,20 @@ fn main() {
         report.scenarios.iter().all(|s| s.valid),
         "every generation must produce a valid MIS"
     );
+    // The budget audit: every generation's measured awake/round complexity
+    // must respect its closed-form bound (`awake_core::bounds`) — the same
+    // check `suite --audit` gates in CI.
+    for s in &report.scenarios {
+        assert!(
+            s.bound_ok,
+            "{}: measured awake {} / bound {}, rounds {} / bound {}",
+            s.name, s.metrics.max_awake, s.awake_bound, s.metrics.rounds, s.round_bound
+        );
+    }
+    println!(
+        "\nbudget audit: all three generations within their closed-form \
+         bounds (max awake ≤ awake_bound, rounds ≤ round_bound)."
+    );
     println!(
         "\nNote: Theorem 1's constants dominate at laptop scale — its value \
          is the *shape*: its awake complexity is independent of Δ and grows \

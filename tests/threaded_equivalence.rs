@@ -8,10 +8,13 @@ use awake::core::trivial::TrivialGreedy;
 use awake::graphs::{generators, Graph};
 use awake::olocal::problems::{DeltaPlusOneColoring, MaximalIndependentSet};
 use awake::sleeping::{
-    threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, Run, View,
+    threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, Run, TraceMode,
+    View,
 };
 
-/// Run serially and under 1, 2, 4 and 8 workers; assert full equivalence.
+/// Run serially and under 1, 2, 4 and 8 workers; assert full equivalence —
+/// outputs, every `Metrics` component, and (in a second, traced pass) the
+/// recorded event sequence, bit for bit.
 fn assert_equivalent<P, F>(g: &Graph, mk: F)
 where
     P: Program + Send,
@@ -46,6 +49,43 @@ where
             "span summaries, workers = {workers}"
         );
         assert_eq!(s, p, "full Metrics equality, workers = {workers}");
+    }
+    assert_traces_equivalent(g, &mk);
+}
+
+/// The traced pass of [`assert_equivalent`]: the threaded executor used to
+/// ignore [`Config::trace`] and return an empty `Run::trace` — it now
+/// stages events per worker and merges them in chunk order, so serial and
+/// threaded traces must be bit-identical at any worker count. Run once
+/// uncapped (full sequences compare equal, nothing dropped) and once under
+/// a biting cap (the kept prefix *and* the drop counter must agree).
+fn assert_traces_equivalent<P, F>(g: &Graph, mk: &F)
+where
+    P: Program + Send,
+    P::Output: PartialEq,
+    F: Fn() -> Vec<P>,
+{
+    for cap in [usize::MAX, 100] {
+        let cfg = Config {
+            trace: TraceMode::Capped(cap),
+            ..Config::default()
+        };
+        let serial = Engine::new(g, cfg).run(mk()).unwrap();
+        assert!(
+            !serial.trace.is_empty(),
+            "traced workloads must record events"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let par = threaded::run_threaded(g, mk(), cfg, workers).unwrap();
+            assert_eq!(
+                serial.trace, par.trace,
+                "trace diverges at workers = {workers}, cap = {cap}"
+            );
+            assert_eq!(
+                serial.trace_dropped, par.trace_dropped,
+                "trace_dropped diverges at workers = {workers}, cap = {cap}"
+            );
+        }
     }
 }
 
