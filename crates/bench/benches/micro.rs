@@ -555,9 +555,12 @@ fn main() {
 
     // cargo runs benches with CWD = the package dir; anchor the report at
     // the workspace root so its path is stable across invocation styles.
+    // Atomic write: a killed bench must not leave a torn JSON document
+    // under the name baseline-diff reads.
     let out = std::env::var("BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
-    std::fs::write(&out, report.to_json()).expect("write bench report");
+    awake_lab::fsio::write_atomic(std::path::Path::new(&out), report.to_json().as_bytes())
+        .expect("write bench report");
     println!("wrote {out}");
 
     bench_lemma10();

@@ -18,7 +18,10 @@
 //! ([`crate::virt`]) share one implementation.
 
 use awake_graphs::NodeId;
-use awake_sleeping::{Action, Envelope, Outbox, Outgoing, Program, Round, View};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Program, Reader, Round, View,
+    Writer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -395,5 +398,55 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> Program for ClusterGather<P> {
 
     fn span(&self) -> &'static str {
         "gather"
+    }
+}
+
+impl<P: Codec> Codec for MemberRec<P> {
+    fn encode(&self, w: &mut Writer) {
+        self.ident.encode(w);
+        self.depth.encode(w);
+        self.payload.encode(w);
+        self.intra.encode(w);
+        self.border.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(MemberRec {
+            ident: r.get()?,
+            depth: r.get()?,
+            payload: r.get()?,
+            intra: r.get()?,
+            border: r.get()?,
+        })
+    }
+}
+
+impl<P: Codec> Codec for GatherMsg<P> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GatherMsg::Hello(label, depth, ident, payload) => {
+                0u8.encode(w);
+                label.encode(w);
+                depth.encode(w);
+                ident.encode(w);
+                payload.encode(w);
+            }
+            GatherMsg::Bag { label, up, recs } => {
+                1u8.encode(w);
+                label.encode(w);
+                up.encode(w);
+                recs.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(GatherMsg::Hello(r.get()?, r.get()?, r.get()?, r.get()?)),
+            1 => Ok(GatherMsg::Bag {
+                label: r.get()?,
+                up: r.get()?,
+                recs: r.get()?,
+            }),
+            _ => Err(CheckpointError::Corrupt("GatherMsg tag")),
+        }
     }
 }

@@ -31,7 +31,8 @@ use crate::virt::{VEnvelope, VOutgoing, VirtMsg, VirtualProgram};
 use awake_graphs::{Graph, NodeId};
 use awake_olocal::edge::{EdgeGreedyView, EdgeIndex, EdgeProblem};
 use awake_sleeping::{
-    threaded, Action, Config, Engine, Envelope, Metrics, Outbox, Program, Round, SimError, View,
+    threaded, Action, CheckpointError, Codec, Config, Engine, Envelope, FaultPlan, Metrics, Outbox,
+    Persist, Program, Reader, Round, SimError, View, Writer,
 };
 
 /// Cluster-level input of one edge: what both replicas are constructed
@@ -451,6 +452,67 @@ where
     Ok(collect(&idx, run.outputs, run.metrics))
 }
 
+/// [`solve_edges`] under a seeded fault plan: message faults (drop,
+/// duplicate, delay) hit the hosts' physical transmissions. Deterministic
+/// and bit-for-bit identical to [`solve_edges_threaded_faulty`] under the
+/// same plan at any worker count. Outputs may fail validation — faults
+/// are adversarial — but the run always completes.
+///
+/// **Crash faults are not supported through the adapter** (keep
+/// `crash_ppm` at 0): a crash-restart of a host would rewind *all* of its
+/// replicas at once, which has no counterpart on the line graph, and the
+/// prime-step control plane assumes its round state survives — a crashed
+/// host can request a stale wake round and abort the run with
+/// [`SimError::InvalidSleep`]. The suite harness rejects such scenarios
+/// up front.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if `inputs.len() != g.m()`.
+pub fn solve_edges_faulty<EP>(
+    g: &Graph,
+    problem: &EP,
+    inputs: &[EP::Input],
+    config: Config,
+    plan: &FaultPlan,
+) -> Result<EdgeRun<EP::Output>, SimError>
+where
+    EP: EdgeProblem + Clone,
+    EP::Output: Codec,
+{
+    let idx = EdgeIndex::new(g);
+    let programs = greedy_hosts(g, &idx, problem, inputs);
+    let run = Engine::new(g, config).run_faulty(programs, plan)?;
+    Ok(collect(&idx, run.outputs, run.metrics))
+}
+
+/// [`solve_edges_faulty`] on the worker-pool executor.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if `inputs.len() != g.m()`.
+pub fn solve_edges_threaded_faulty<EP>(
+    g: &Graph,
+    problem: &EP,
+    inputs: &[EP::Input],
+    config: Config,
+    workers: usize,
+    plan: &FaultPlan,
+) -> Result<EdgeRun<EP::Output>, SimError>
+where
+    EP: EdgeProblem + Clone + Send + Sync,
+    EP::Output: Codec,
+{
+    let idx = EdgeIndex::new(g);
+    let programs = greedy_hosts(g, &idx, problem, inputs);
+    let run = threaded::run_threaded_faulty(g, programs, config, workers, plan)?;
+    Ok(collect(&idx, run.outputs, run.metrics))
+}
+
 /// The [`EdgeGreedy`] host set for `problem` (exposed so benches and
 /// tests can drive the executors directly).
 pub fn greedy_hosts<EP>(
@@ -467,6 +529,67 @@ where
         let i = idx.index_of_label(ctx.label);
         EdgeGreedy::new(problem.clone(), inputs[i].clone(), ctx)
     })
+}
+
+/// Dynamic replica state: the hosted program's own state plus the
+/// prime-step bookkeeping (`next`, `outgoing`, `done`, `output`). The
+/// topology fields (`label`, `adj`, `owned`, `far_port`) are rebuilt by
+/// [`hosts`] and stay put. `local` and `merge` are intra-round scratch:
+/// empty at round boundaries, and explicitly cleared on restore so a
+/// crash restore applied mid-round (after `send` filled `local`) fully
+/// rewinds to the start-of-round image.
+impl<VP> Persist for LineGraphHost<VP>
+where
+    VP: VirtualProgram + Persist,
+    VP::Msg: Codec,
+    VP::Output: Codec,
+{
+    fn save(&self, w: &mut Writer) {
+        self.replicas.len().encode(w);
+        for rep in &self.replicas {
+            rep.vp.save(w);
+            rep.next.encode(w);
+            rep.outgoing.encode(w);
+            rep.done.encode(w);
+            rep.output.encode(w);
+        }
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let count: usize = r.get()?;
+        if count != self.replicas.len() {
+            return Err(CheckpointError::Corrupt("replica count mismatch"));
+        }
+        for rep in &mut self.replicas {
+            rep.vp.restore(r)?;
+            rep.next = r.get()?;
+            rep.outgoing = r.get()?;
+            rep.done = r.get()?;
+            rep.output = r.get()?;
+        }
+        self.local.clear();
+        self.merge.clear();
+        Ok(())
+    }
+}
+
+/// Dynamic state: the schedule cursor, collected lower decisions and the
+/// own decision. The schedule itself (`wakes`) is derived from the static
+/// [`EdgeCtx`] in [`EdgeGreedy::new`] and stays put.
+impl<EP: EdgeProblem> Persist for EdgeGreedy<EP>
+where
+    EP::Output: Codec,
+{
+    fn save(&self, w: &mut Writer) {
+        self.cursor.encode(w);
+        self.collected.encode(w);
+        self.decided.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.cursor = r.get()?;
+        self.collected = r.get()?;
+        self.decided = r.get()?;
+        Ok(())
+    }
 }
 
 /// Flatten per-node owned outputs back to canonical edge order.

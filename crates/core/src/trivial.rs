@@ -9,7 +9,9 @@
 //! `O(√log n · log* n)` (Theorem 1).
 
 use awake_olocal::{GreedyView, OLocalProblem};
-use awake_sleeping::{Action, Envelope, Outbox, Program, Round, View};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Envelope, Outbox, Persist, Program, Reader, Round, View, Writer,
+};
 use std::collections::BTreeMap;
 
 /// Message: `(ident, output)`.
@@ -49,8 +51,14 @@ impl<P: OLocalProblem> IdentScheduled<P> {
 impl<P: OLocalProblem> IdentScheduled<P> {
     /// Decide (at the scheduled round) and produce the announcement to
     /// broadcast — shared by the bare and [`TrivialGreedy`]-wrapped forms.
+    ///
+    /// Fires at the first awake round at or past `1 + ident` with no
+    /// decision yet. Fault-free that is exactly round `1 + ident`; under
+    /// crash-restart faults the decision round can be voided (the crash
+    /// discards the round's state changes), and the node then decides at
+    /// its next awake round instead of halting outputless.
     fn announcement(&mut self, view: &View<'_>) -> Option<Announce<P::Output>> {
-        if view.round != 1 + view.ident {
+        if view.round < 1 + view.ident || self.decided.is_some() {
             return None;
         }
         // Decide now: all lower neighbors announced at earlier rounds.
@@ -108,6 +116,13 @@ impl<P: OLocalProblem> Program for IdentScheduled<P> {
 pub struct TrivialGreedy<P: OLocalProblem> {
     inner: IdentScheduled<P>,
     started: bool,
+    /// Crash-recovery mode: a crash-restart wiped either the round-1
+    /// schedule or the scheduled decision. The ident-derived wake plan is
+    /// unrecoverable (the Hello exchange happens once), so the node stays
+    /// awake, collects whatever decisions still reach it, decides at its
+    /// own round, and halts — degraded awake complexity, but the run
+    /// always completes with an output.
+    degraded: bool,
 }
 
 impl<P: OLocalProblem> TrivialGreedy<P> {
@@ -116,6 +131,7 @@ impl<P: OLocalProblem> TrivialGreedy<P> {
         TrivialGreedy {
             inner: IdentScheduled::new(problem, input),
             started: false,
+            degraded: false,
         }
     }
 }
@@ -158,6 +174,14 @@ impl<P: OLocalProblem> Program for TrivialGreedy<P> {
             let first = self.inner.wakes[0];
             return Action::SleepUntil(first);
         }
+        if !self.started {
+            // A crash-restart at round 1 discarded the Hello inbox; the
+            // ident schedule cannot be rebuilt. Degrade: poll every round
+            // until our own decision round has produced an output.
+            self.started = true;
+            self.degraded = true;
+            self.inner.wakes = vec![1 + view.ident];
+        }
         let decisions: Vec<Envelope<Announce<P::Output>>> = inbox
             .iter()
             .filter_map(|e| match &e.msg {
@@ -168,7 +192,30 @@ impl<P: OLocalProblem> Program for TrivialGreedy<P> {
                 _ => None,
             })
             .collect();
-        self.inner.receive(view, &decisions)
+        if self.degraded {
+            for e in &decisions {
+                if e.msg.ident < view.ident
+                    && !self.inner.collected.iter().any(|(i, _)| *i == e.msg.ident)
+                {
+                    self.inner
+                        .collected
+                        .push((e.msg.ident, e.msg.output.clone()));
+                }
+            }
+            return if self.inner.decided.is_some() {
+                Action::Halt
+            } else {
+                Action::Stay
+            };
+        }
+        let action = self.inner.receive(view, &decisions);
+        if matches!(action, Action::Halt) && self.inner.decided.is_none() {
+            // The scheduled decision round was voided by a crash-restart:
+            // stay awake so `announcement` fires again next round.
+            self.degraded = true;
+            return Action::Stay;
+        }
+        action
     }
 
     fn output(&self) -> Option<P::Output> {
@@ -177,6 +224,68 @@ impl<P: OLocalProblem> Program for TrivialGreedy<P> {
 
     fn span(&self) -> &'static str {
         "trivial"
+    }
+}
+
+impl<O: Codec> Codec for Announce<O> {
+    fn encode(&self, w: &mut Writer) {
+        self.ident.encode(w);
+        self.output.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Announce {
+            ident: r.get()?,
+            output: r.get()?,
+        })
+    }
+}
+
+impl<O: Codec> Codec for TrivialMsg<O> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TrivialMsg::Hello(ident) => {
+                0u8.encode(w);
+                ident.encode(w);
+            }
+            TrivialMsg::Decision(a) => {
+                1u8.encode(w);
+                a.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(TrivialMsg::Hello(r.get()?)),
+            1 => Ok(TrivialMsg::Decision(r.get()?)),
+            _ => Err(CheckpointError::Corrupt("TrivialMsg tag")),
+        }
+    }
+}
+
+/// Dynamic state: the round-1 and crash-degradation flags, the
+/// ident-derived schedule (learned at round 1, hence dynamic), the
+/// schedule cursor, the collected lower decisions and the own decision.
+/// The problem and input are construction inputs and stay put.
+impl<P: OLocalProblem> Persist for TrivialGreedy<P>
+where
+    P::Output: Codec,
+{
+    fn save(&self, w: &mut Writer) {
+        self.started.encode(w);
+        self.degraded.encode(w);
+        self.inner.wakes.encode(w);
+        self.inner.cursor.encode(w);
+        self.inner.collected.encode(w);
+        self.inner.decided.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.started = r.get()?;
+        self.degraded = r.get()?;
+        self.inner.wakes = r.get()?;
+        self.inner.cursor = r.get()?;
+        self.inner.collected = r.get()?;
+        self.inner.decided = r.get()?;
+        Ok(())
     }
 }
 

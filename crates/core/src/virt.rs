@@ -21,7 +21,10 @@
 //! messages sent to them are lost, exactly the Sleeping semantics on `H`.
 
 use crate::gather::{gather_rounds, ClusterView, GatherCore, GatherMsg, GatherStep, MemberRec};
-use awake_sleeping::{Action, Envelope, Outbox, Outgoing, Program, Round, View};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Program, Reader, Round, View,
+    Writer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -565,6 +568,47 @@ where
         match self.st {
             St::Gather(_) => "virt/gather",
             _ => "virt/phase",
+        }
+    }
+}
+
+impl<P: Codec, M: Codec> Codec for VirtMsg<P, M> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            VirtMsg::Gather(g) => {
+                0u8.encode(w);
+                g.encode(w);
+            }
+            VirtMsg::Exchange { from, to, seq, msg } => {
+                1u8.encode(w);
+                from.encode(w);
+                to.encode(w);
+                seq.encode(w);
+                msg.encode(w);
+            }
+            VirtMsg::Bag { label, up, items } => {
+                2u8.encode(w);
+                label.encode(w);
+                up.encode(w);
+                items.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(VirtMsg::Gather(r.get()?)),
+            1 => Ok(VirtMsg::Exchange {
+                from: r.get()?,
+                to: r.get()?,
+                seq: r.get()?,
+                msg: r.get()?,
+            }),
+            2 => Ok(VirtMsg::Bag {
+                label: r.get()?,
+                up: r.get()?,
+                items: r.get()?,
+            }),
+            _ => Err(CheckpointError::Corrupt("VirtMsg tag")),
         }
     }
 }

@@ -9,10 +9,19 @@
 //! Prints the per-metric diff table and exits non-zero on a gated
 //! regression: a throughput drop beyond the tolerance, or any increase in
 //! allocations per node-round (see `awake_lab::baselines` for the rules).
+//!
+//! Exit codes: `0` gate passed, `1` gate failed (a metric regressed),
+//! `2` usage or malformed JSON, `3` an input file is missing or
+//! unreadable (the error names the file and how to produce it).
 
 use awake_lab::baselines::{self, GateMode, Tolerances};
 use awake_lab::json;
 use std::process::ExitCode;
+
+/// Exit code for a missing/unreadable input file, distinct from parse
+/// and usage errors (`2`) so CI can tell "you forgot to run the bench"
+/// from "the bench emitted garbage".
+const EXIT_NO_INPUT: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
@@ -24,9 +33,17 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Result<json::Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+/// Read and parse one input report. I/O failures (missing or unreadable
+/// file) come back as `(EXIT_NO_INPUT, message-with-production-hint)`;
+/// malformed JSON keeps the generic error code `2`.
+fn load(path: &str, role: &str, hint: &str) -> Result<json::Value, (u8, String)> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        (
+            EXIT_NO_INPUT,
+            format!("cannot read the {role} report `{path}`: {e}\n  produce it with: {hint}"),
+        )
+    })?;
+    json::parse(&text).map_err(|e| (2, format!("{path}: {e}")))
 }
 
 fn main() -> ExitCode {
@@ -55,15 +72,23 @@ fn main() -> ExitCode {
     };
 
     let result = (|| {
-        let baseline = load(baseline_path)?;
-        let current = load(current_path)?;
-        baselines::diff_bench(&baseline, &current, &tol, mode)
+        let baseline = load(
+            baseline_path,
+            "baseline",
+            "git restore the committed BENCH_baseline.json, or bless a fresh BENCH_engine.json as the new baseline",
+        )?;
+        let current = load(
+            current_path,
+            "current",
+            "cargo bench -p awake-bench --bench micro  (writes BENCH_engine.json; BENCH_OUT=PATH overrides)",
+        )?;
+        baselines::diff_bench(&baseline, &current, &tol, mode).map_err(|e| (2u8, e))
     })();
     let rows = match result {
         Ok(rows) => rows,
-        Err(e) => {
+        Err((code, e)) => {
             eprintln!("baseline-diff: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(code);
         }
     };
 

@@ -1,0 +1,71 @@
+//! Crash-safe file writes for reports and snapshots.
+//!
+//! Every JSON document and checkpoint the harness persists goes through
+//! [`write_atomic`]: the bytes land in a same-directory temp file first
+//! and reach their final name via `rename`, which POSIX guarantees to be
+//! atomic within a filesystem. A run killed mid-write therefore leaves
+//! either the previous complete file or a stray `*.tmp` sibling — never a
+//! truncated document under the real name. Readers look files up by their
+//! exact final name, so stray temp files are ignored on resume (and a
+//! later successful write replaces them).
+
+use std::io;
+use std::path::Path;
+
+/// Extension suffix of the in-flight sibling (`report.json` is staged as
+/// `report.json.tmp`).
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Write `contents` to `path` atomically: stage into `<path>.tmp` in the
+/// same directory, then rename over the final name.
+///
+/// # Errors
+/// Any I/O error from the staging write or the rename; on failure the
+/// final name is untouched (it either keeps its previous contents or
+/// still does not exist).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(TMP_SUFFIX);
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("awake-lab-fsio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_under_the_final_name_with_no_temp_residue() {
+        let dir = scratch_dir("basic");
+        let path = dir.join("report.json");
+        write_atomic(&path, b"{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\": 1}\n");
+        assert!(!dir.join("report.json.tmp").exists());
+        // overwrite is atomic too
+        write_atomic(&path, b"{\"a\": 2}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\": 2}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_stray_partial_temp_file_is_invisible_to_exact_name_readers() {
+        let dir = scratch_dir("stray");
+        let path = dir.join("ckpt.bin");
+        // simulate a kill mid-write: only the temp sibling exists, torn
+        std::fs::write(dir.join("ckpt.bin.tmp"), b"PARTIAL").unwrap();
+        assert!(!path.exists(), "readers see no file under the final name");
+        // the retried write replaces the stray temp and completes
+        write_atomic(&path, b"FULL").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"FULL");
+        assert!(!dir.join("ckpt.bin.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -76,14 +76,22 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth [`parse`] accepts. The recursive
+/// descent otherwise turns attacker-supplied (or simply corrupt) input
+/// like `[[[[…` into a stack overflow — an abort, not a catchable error.
+/// No legitimate report document nests past a handful of levels.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document.
 ///
 /// # Errors
-/// Returns the first syntax error, with its byte offset.
+/// Returns the first syntax error, with its byte offset; documents
+/// nesting containers deeper than [`MAX_DEPTH`] levels are rejected.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -97,6 +105,8 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -148,12 +158,23 @@ impl Parser<'_> {
         }
     }
 
+    /// Enter one container level, rejecting documents past [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(out));
         }
         loop {
@@ -164,6 +185,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(out));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -173,10 +195,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut out = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(out));
         }
         loop {
@@ -192,6 +216,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(out));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -416,6 +441,27 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // exactly MAX_DEPTH levels parse…
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // …one more is a typed error, not a stack overflow
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "got {e}");
+        // objects count toward the same limit, and a pathologically deep
+        // document (far past any plausible real stack budget) still fails
+        // cleanly
+        let obj = r#"{"a":"#.repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(parse(&obj).unwrap_err().message.contains("nesting"));
+        let huge = "[".repeat(1_000_000);
+        assert!(parse(&huge).unwrap_err().message.contains("nesting"));
+        // siblings do not accumulate: depth is nesting, not total containers
+        let wide = "[".to_string() + &"[],".repeat(500) + "[]]";
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
     fn parses_unicode_strings() {
         let v = parse("\"Δ ≈ 8\"").unwrap();
         assert_eq!(v.as_str(), Some("Δ ≈ 8"));
@@ -493,6 +539,10 @@ mod tests {
                 avg_awake: 2.5,
                 messages_sent: 12,
                 messages_lost: 2,
+                faults_dropped: 0,
+                faults_duplicated: 0,
+                faults_delayed: 0,
+                faults_crashed: 0,
             },
             timing: crate::report::Timing::default(),
         });

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod fsio;
 pub mod json;
 pub mod report;
 pub mod runner;

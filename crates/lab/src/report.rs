@@ -40,6 +40,16 @@ pub struct ScenarioMetrics {
     pub messages_sent: u64,
     /// Messages lost to sleeping/halted recipients.
     pub messages_lost: u64,
+    /// Messages dropped by an injected [`awake_sleeping::FaultPlan`]
+    /// (`0` on fault-free runs — distinct from `messages_lost`, which
+    /// counts the model's own asleep-recipient losses).
+    pub faults_dropped: u64,
+    /// Messages duplicated by fault injection.
+    pub faults_duplicated: u64,
+    /// Messages delayed by fault injection.
+    pub faults_delayed: u64,
+    /// Node crash-restarts injected.
+    pub faults_crashed: u64,
 }
 
 impl ScenarioMetrics {
@@ -57,6 +67,10 @@ impl ScenarioMetrics {
             avg_awake: m.avg_awake(),
             messages_sent: m.messages_sent,
             messages_lost: m.messages_lost,
+            faults_dropped: m.faults_dropped,
+            faults_duplicated: m.faults_duplicated,
+            faults_delayed: m.faults_delayed,
+            faults_crashed: m.faults_crashed,
         }
     }
 
@@ -75,6 +89,10 @@ impl ScenarioMetrics {
             avg_awake: c.avg_awake(),
             messages_sent: c.messages_sent(),
             messages_lost: c.messages_lost(),
+            faults_dropped: 0,
+            faults_duplicated: 0,
+            faults_delayed: 0,
+            faults_crashed: 0,
         }
     }
 }
@@ -137,9 +155,11 @@ pub struct Report {
 
 /// Schema tag of [`Report`] JSON documents. `v2` added the budget-audit
 /// columns (`awake_bound`, `round_bound`, `bound_ok`) and the per-node
-/// awake percentiles (`awake_p50`, `awake_p99`) to every scenario row —
-/// see the migration note in `CHANGES.md`.
-pub const REPORT_SCHEMA: &str = "awake-lab/report/v2";
+/// awake percentiles (`awake_p50`, `awake_p99`); `v3` added the four
+/// fault-injection counters (`faults_dropped`, `faults_duplicated`,
+/// `faults_delayed`, `faults_crashed`) to every scenario row — see the
+/// migration notes in `CHANGES.md`.
+pub const REPORT_SCHEMA: &str = "awake-lab/report/v3";
 /// Schema tag of [`BenchReport`] JSON documents (`BENCH_engine.json`).
 pub const BENCH_SCHEMA: &str = "awake-lab/bench/v1";
 
@@ -175,6 +195,8 @@ impl Report {
                  \"rounds\": {}, \"max_awake\": {}, \"awake_p50\": {}, \"awake_p99\": {}, \
                  \"total_awake\": {}, \"avg_awake\": {:.3}, \
                  \"messages_sent\": {}, \"messages_lost\": {}, \
+                 \"faults_dropped\": {}, \"faults_duplicated\": {}, \
+                 \"faults_delayed\": {}, \"faults_crashed\": {}, \
                  \"awake_bound\": {}, \"round_bound\": {}, \"bound_ok\": {}",
                 json_str(&s.name),
                 json_str(s.problem),
@@ -192,6 +214,10 @@ impl Report {
                 s.metrics.avg_awake,
                 s.metrics.messages_sent,
                 s.metrics.messages_lost,
+                s.metrics.faults_dropped,
+                s.metrics.faults_duplicated,
+                s.metrics.faults_delayed,
+                s.metrics.faults_crashed,
                 s.awake_bound,
                 s.round_bound,
                 s.bound_ok,
@@ -553,6 +579,10 @@ mod tests {
                     avg_awake: 2.5,
                     messages_sent: 12,
                     messages_lost: 2,
+                    faults_dropped: 1,
+                    faults_duplicated: 0,
+                    faults_delayed: 0,
+                    faults_crashed: 4,
                 },
                 timing: Timing {
                     wall_ns: 1.5e6,
@@ -571,11 +601,16 @@ mod tests {
         assert!(full.contains("allocations"));
         assert!(!canon.contains("wall_ms"));
         assert!(!canon.contains("allocations"));
-        assert!(canon.contains("\"schema\": \"awake-lab/report/v2\""));
-        // the audit and percentile columns are deterministic, hence canonical
+        assert!(canon.contains("\"schema\": \"awake-lab/report/v3\""));
+        // the audit, percentile and fault columns are deterministic, hence
+        // canonical
         for key in [
             "\"awake_p50\": 2",
             "\"awake_p99\": 3",
+            "\"faults_dropped\": 1",
+            "\"faults_duplicated\": 0",
+            "\"faults_delayed\": 0",
+            "\"faults_crashed\": 4",
             "\"awake_bound\": 5",
             "\"round_bound\": 5",
             "\"bound_ok\": true",

@@ -9,6 +9,7 @@
 //! are merged in suite order. The determinism test in `tests/golden.rs`
 //! asserts this.
 
+use crate::fsio::write_atomic;
 use crate::report::{Report, ScenarioMetrics, ScenarioReport, Timing};
 use crate::scenario::{Algo, ProblemKind, Scenario};
 use awake_core::bounds::{self, BoundAlgo, ProblemClass};
@@ -21,8 +22,9 @@ use awake_olocal::problems::{
     DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
 };
 use awake_olocal::{EdgeProblem, OLocalProblem};
-use awake_sleeping::{threaded, Config, Engine, SimError};
+use awake_sleeping::{threaded, Config, Engine, Round, SimError, Snapshot};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -34,13 +36,18 @@ pub enum RunError {
     Sim(SimError),
     /// The scenario paired a problem with a solver that cannot run it
     /// (edge problems ride the line-graph adapter, which exists for the
-    /// `trivial` / `trivial-t*` executors only).
+    /// `trivial` / `trivial-t*` executors only; fault injection likewise
+    /// applies to the trivial executors, not the staged pipelines).
     UnsupportedAlgo {
         /// The problem's label.
         problem: &'static str,
         /// The solver's label.
         algo: String,
     },
+    /// A recoverable run could not write or restore a snapshot file
+    /// (I/O failure, or a corrupt/foreign checkpoint under the expected
+    /// name).
+    Checkpoint(String),
 }
 
 impl fmt::Display for RunError {
@@ -50,6 +57,7 @@ impl fmt::Display for RunError {
             RunError::UnsupportedAlgo { problem, algo } => {
                 write!(f, "problem `{problem}` cannot run on solver `{algo}`")
             }
+            RunError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }
@@ -156,6 +164,241 @@ impl Runner {
             scenarios: out,
         })
     }
+
+    /// Run a suite **recoverably**: progress and in-flight engine state
+    /// persist under `dir`, so a killed run can be re-invoked on the same
+    /// directory and continue to the same canonical report, byte for byte.
+    ///
+    /// * After each completed scenario, `dir/progress.json` is atomically
+    ///   rewritten with the canonical partial report; on re-invocation,
+    ///   completed rows are reloaded instead of re-run (their
+    ///   deterministic fields are identical either way — wall time and
+    ///   allocations of reloaded rows read as zero, which only the
+    ///   non-canonical report form shows).
+    /// * With `every = Some(n)`, vertex scenarios on the `trivial` /
+    ///   `trivial-t*` executors additionally persist an engine
+    ///   [`Snapshot`] to `dir/<scenario>.ckpt` (atomically) every `n`
+    ///   rounds; a re-invocation restores the newest snapshot and runs
+    ///   only the remaining rounds. Scenarios without snapshot support
+    ///   (staged pipelines, edge adapters) are deterministic and simply
+    ///   re-run from scratch.
+    /// * `every = None` is resume-only mode: existing snapshots are
+    ///   consumed, no new ones are written.
+    ///
+    /// Scenarios execute serially, in suite order — recoverability needs
+    /// a well-defined "done so far" prefix, so the shard count is ignored
+    /// here.
+    ///
+    /// # Errors
+    /// The first failing scenario's [`LabError`]; snapshot and progress
+    /// I/O failures surface as [`RunError::Checkpoint`].
+    pub fn run_recoverable(
+        &self,
+        suite: &str,
+        scenarios: &[Scenario],
+        seed: u64,
+        dir: &Path,
+        every: Option<Round>,
+    ) -> Result<Report, LabError> {
+        let io_err = |scenario: &Scenario, msg: String| LabError {
+            scenario: scenario.name.clone(),
+            error: RunError::Checkpoint(msg),
+        };
+        if let Some(first) = scenarios.first() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| io_err(first, format!("creating {}: {e}", dir.display())))?;
+        }
+        let progress_path = dir.join("progress.json");
+        let done = match std::fs::read_to_string(&progress_path) {
+            Ok(text) => parse_progress(&text),
+            Err(_) => Vec::new(),
+        };
+        let mut out: Vec<ScenarioReport> = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let reloaded = done
+                .iter()
+                .find(|row| row.name == sc.name)
+                .and_then(|row| row.to_report(sc, seed));
+            let row = match reloaded {
+                Some(row) => row,
+                None => {
+                    let ck = CkptFile {
+                        path: dir.join(ckpt_file_name(&sc.name)),
+                        every,
+                    };
+                    run_scenario_inner(sc, seed, self.alloc_probe, Some(&ck))?
+                }
+            };
+            out.push(row);
+            let partial = Report {
+                suite: suite.to_string(),
+                seed,
+                scenarios: out.clone(),
+            };
+            write_atomic(&progress_path, partial.canonical_json().as_bytes())
+                .map_err(|e| io_err(sc, format!("writing {}: {e}", progress_path.display())))?;
+        }
+        Ok(Report {
+            suite: suite.to_string(),
+            seed,
+            scenarios: out,
+        })
+    }
+}
+
+/// One row reloaded from `progress.json` — only what the canonical form
+/// carries and [`Scenario`] cannot re-derive cheaply.
+struct ProgressRow {
+    name: String,
+    problem: String,
+    family: String,
+    algo: String,
+    n: u64,
+    m: u64,
+    valid: bool,
+    awake_bound: u64,
+    round_bound: u64,
+    bound_ok: bool,
+    metrics: ScenarioMetrics,
+}
+
+impl ProgressRow {
+    /// Rebuild the [`ScenarioReport`], cross-checking the row against the
+    /// scenario it claims to be (`None` on any mismatch ⇒ re-run). The
+    /// seed is recomputed from the scenario rather than re-parsed — JSON
+    /// numbers travel as `f64`, which cannot hold every `u64` seed.
+    fn to_report(&self, sc: &Scenario, suite_seed: u64) -> Option<ScenarioReport> {
+        if self.problem != sc.problem.key()
+            || self.family != sc.family.key()
+            || self.algo != sc.algo.key()
+        {
+            return None;
+        }
+        Some(ScenarioReport {
+            name: sc.name.clone(),
+            problem: sc.problem.key(),
+            family: sc.family.key(),
+            algo: sc.algo.key(),
+            seed: sc.seed(suite_seed),
+            n: usize::try_from(self.n).ok()?,
+            m: usize::try_from(self.m).ok()?,
+            valid: self.valid,
+            awake_bound: self.awake_bound,
+            round_bound: self.round_bound,
+            bound_ok: self.bound_ok,
+            metrics: self.metrics.clone(),
+            timing: Timing::default(),
+        })
+    }
+}
+
+/// Parse a `progress.json` written by
+/// [`Runner::run_recoverable`] back into rows. Tolerant by design:
+/// anything unreadable (missing file handled by the caller, wrong schema,
+/// torn fields, numbers outside exact-`f64` range) yields an empty or
+/// partial list, and the affected scenarios are simply re-run.
+fn parse_progress(text: &str) -> Vec<ProgressRow> {
+    use crate::json::{parse, Value};
+    let exact_u64 = |v: Option<&Value>| -> Option<u64> {
+        let f = v?.as_f64()?;
+        // beyond 2^53, f64 can no longer represent every integer
+        (f.fract() == 0.0 && (0.0..=9007199254740992.0).contains(&f)).then_some(f as u64)
+    };
+    let Ok(doc) = parse(text) else {
+        return Vec::new();
+    };
+    if doc.get("schema").and_then(Value::as_str) != Some(crate::report::REPORT_SCHEMA) {
+        return Vec::new();
+    }
+    let Some(Value::Arr(rows)) = doc.get("scenarios") else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            Some(ProgressRow {
+                name: row.get("name")?.as_str()?.to_string(),
+                problem: row.get("problem")?.as_str()?.to_string(),
+                family: row.get("family")?.as_str()?.to_string(),
+                algo: row.get("algo")?.as_str()?.to_string(),
+                n: exact_u64(row.get("n"))?,
+                m: exact_u64(row.get("m"))?,
+                valid: matches!(row.get("valid")?, Value::Bool(true)),
+                awake_bound: exact_u64(row.get("awake_bound"))?,
+                round_bound: exact_u64(row.get("round_bound"))?,
+                bound_ok: matches!(row.get("bound_ok")?, Value::Bool(true)),
+                metrics: ScenarioMetrics {
+                    rounds: exact_u64(row.get("rounds"))?,
+                    max_awake: exact_u64(row.get("max_awake"))?,
+                    awake_p50: exact_u64(row.get("awake_p50"))?,
+                    awake_p99: exact_u64(row.get("awake_p99"))?,
+                    total_awake: exact_u64(row.get("total_awake"))?,
+                    avg_awake: row.get("avg_awake")?.as_f64()?,
+                    messages_sent: exact_u64(row.get("messages_sent"))?,
+                    messages_lost: exact_u64(row.get("messages_lost"))?,
+                    faults_dropped: exact_u64(row.get("faults_dropped"))?,
+                    faults_duplicated: exact_u64(row.get("faults_duplicated"))?,
+                    faults_delayed: exact_u64(row.get("faults_delayed"))?,
+                    faults_crashed: exact_u64(row.get("faults_crashed"))?,
+                },
+            })
+        })
+        .collect()
+}
+
+/// One scenario's snapshot file in a recoverable run: where it lives and
+/// whether the run should keep refreshing it (`every = None` means
+/// resume-only — restore if the file exists, emit nothing new).
+struct CkptFile {
+    path: PathBuf,
+    every: Option<Round>,
+}
+
+impl CkptFile {
+    /// The existing snapshot under the final name, if any. A stray
+    /// `*.tmp` staging sibling is invisible here by construction — the
+    /// lookup is by exact name.
+    fn load(&self) -> Result<Option<Snapshot>, RunError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(RunError::Checkpoint(format!(
+                    "reading {}: {e}",
+                    self.path.display()
+                )))
+            }
+        };
+        Snapshot::from_bytes(bytes)
+            .map(Some)
+            .map_err(|e| RunError::Checkpoint(format!("decoding {}: {e:?}", self.path.display())))
+    }
+
+    /// Persist `snap` atomically, remembering the first I/O failure (the
+    /// engine sink is infallible, so errors are surfaced after the run).
+    fn store(&self, snap: &Snapshot, first_err: &mut Option<String>) {
+        if first_err.is_none() {
+            if let Err(e) = write_atomic(&self.path, snap.as_bytes()) {
+                *first_err = Some(format!("writing {}: {e}", self.path.display()));
+            }
+        }
+    }
+}
+
+/// The snapshot file name of a scenario: its name with every character
+/// outside `[A-Za-z0-9._-]` mapped to `-`, plus `.ckpt`.
+fn ckpt_file_name(scenario: &str) -> String {
+    let mut s: String = scenario
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    s.push_str(".ckpt");
+    s
 }
 
 /// Run one scenario with the given suite seed.
@@ -167,17 +410,26 @@ pub fn run_scenario(
     suite_seed: u64,
     probe: Option<AllocProbe>,
 ) -> Result<ScenarioReport, LabError> {
+    run_scenario_inner(sc, suite_seed, probe, None)
+}
+
+fn run_scenario_inner(
+    sc: &Scenario,
+    suite_seed: u64,
+    probe: Option<AllocProbe>,
+    ckpt: Option<&CkptFile>,
+) -> Result<ScenarioReport, LabError> {
     let seed = sc.seed(suite_seed);
     let a0 = probe.map(|p| p()).unwrap_or(0);
     let t0 = Instant::now();
     let g = sc.family.build(seed);
     let (metrics, valid) = match sc.problem {
-        ProblemKind::Coloring => solve(&DeltaPlusOneColoring, sc, &g),
-        ProblemKind::ListColoring => solve(&DegreePlusOneListColoring, sc, &g),
-        ProblemKind::Mis => solve(&MaximalIndependentSet, sc, &g),
-        ProblemKind::VertexCover => solve(&MinimalVertexCover, sc, &g),
-        ProblemKind::Matching => solve_edge(&MaximalMatching, sc, &g),
-        ProblemKind::EdgeColoring => solve_edge(&EdgeColoring, sc, &g),
+        ProblemKind::Coloring => solve(&DeltaPlusOneColoring, sc, &g, seed, ckpt),
+        ProblemKind::ListColoring => solve(&DegreePlusOneListColoring, sc, &g, seed, ckpt),
+        ProblemKind::Mis => solve(&MaximalIndependentSet, sc, &g, seed, ckpt),
+        ProblemKind::VertexCover => solve(&MinimalVertexCover, sc, &g, seed, ckpt),
+        ProblemKind::Matching => solve_edge(&MaximalMatching, sc, &g, seed),
+        ProblemKind::EdgeColoring => solve_edge(&EdgeColoring, sc, &g, seed),
     }
     .map_err(|error| LabError {
         scenario: sc.name.clone(),
@@ -235,31 +487,89 @@ pub fn budget_of(sc: &Scenario, g: &Graph) -> bounds::Budget {
 }
 
 /// Solve the scenario's problem on `g` with the scenario's algorithm and
-/// validate the outputs.
-fn solve<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), RunError>
+/// validate the outputs. `seed` is the scenario's derived seed (it also
+/// seeds the fault plan, if any); `ckpt` carries the snapshot file of a
+/// recoverable run.
+fn solve<P>(
+    problem: &P,
+    sc: &Scenario,
+    g: &Graph,
+    seed: u64,
+    ckpt: Option<&CkptFile>,
+) -> Result<(ScenarioMetrics, bool), RunError>
 where
     P: OLocalProblem + Clone + Send + Sync,
     P::Input: Clone,
+    P::Output: awake_sleeping::Codec,
 {
     let inputs = problem.trivial_inputs(g);
+    let plan = sc.faults.map(|f| f.plan(seed));
+    let programs = || -> Vec<TrivialGreedy<P>> {
+        g.nodes()
+            .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
+            .collect()
+    };
     match sc.algo {
-        Algo::Trivial => {
-            let programs: Vec<TrivialGreedy<P>> = g
-                .nodes()
-                .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
-                .collect();
-            let run = Engine::new(g, Config::default()).run(programs)?;
+        Algo::Trivial | Algo::TrivialThreaded(_) => {
+            let workers = match sc.algo {
+                Algo::TrivialThreaded(w) => Some(w),
+                _ => None,
+            };
+            let engine = Engine::new(g, Config::default());
+            let mut store_err: Option<String> = None;
+            let resumed = match ckpt {
+                Some(ck) => ck.load()?,
+                None => None,
+            };
+            let run = match (resumed, ckpt.and_then(|ck| ck.every)) {
+                // restore the persisted round boundary, finish the run
+                (Some(snap), _) => match workers {
+                    None => engine
+                        .resume(programs(), &snap)
+                        .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
+                    Some(w) => threaded::resume_threaded(g, programs(), &snap, w)
+                        .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
+                },
+                // fresh recoverable run: persist a snapshot every N rounds
+                (None, Some(every)) => {
+                    let ck = ckpt.expect("every implies a checkpoint file");
+                    match workers {
+                        None => engine.run_checkpointed(programs(), plan.as_ref(), every, |s| {
+                            ck.store(s, &mut store_err)
+                        })?,
+                        Some(w) => threaded::run_threaded_checkpointed(
+                            g,
+                            programs(),
+                            Config::default(),
+                            w,
+                            plan.as_ref(),
+                            every,
+                            |s| ck.store(s, &mut store_err),
+                        )?,
+                    }
+                }
+                // plain run (with or without fault injection)
+                (None, None) => match (workers, &plan) {
+                    (None, None) => engine.run(programs())?,
+                    (None, Some(p)) => engine.run_faulty(programs(), p)?,
+                    (Some(w), None) => threaded::run_threaded(g, programs(), Config::default(), w)?,
+                    (Some(w), Some(p)) => {
+                        threaded::run_threaded_faulty(g, programs(), Config::default(), w, p)?
+                    }
+                },
+            };
+            if let Some(msg) = store_err {
+                return Err(RunError::Checkpoint(msg));
+            }
             let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
             Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
         }
-        Algo::TrivialThreaded(workers) => {
-            let programs: Vec<TrivialGreedy<P>> = g
-                .nodes()
-                .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
-                .collect();
-            let run = threaded::run_threaded(g, programs, Config::default(), workers)?;
-            let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
-            Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
+        Algo::Bm21 | Algo::Theorem1 if plan.is_some() => {
+            // the staged pipelines assume the fault-free Sleeping model
+            Err(RunError::UnsupportedAlgo {
+                problem: problem.name(),
+                algo: format!("{}+faults", sc.algo.key()),
+            })
         }
         Algo::Bm21 => {
             let r = bm21::solve(g, problem, &inputs, None)?;
@@ -275,19 +585,48 @@ where
 }
 
 /// Solve an edge-problem scenario through the line-graph virtualization
-/// adapter and validate the per-edge outputs.
-fn solve_edge<P>(problem: &P, sc: &Scenario, g: &Graph) -> Result<(ScenarioMetrics, bool), RunError>
+/// adapter and validate the per-edge outputs. Recoverable runs re-execute
+/// edge scenarios deterministically rather than snapshotting them (the
+/// adapter's host state is [`awake_sleeping::Persist`]-capable, but the
+/// suite keeps snapshot files to the vertex executors).
+fn solve_edge<P>(
+    problem: &P,
+    sc: &Scenario,
+    g: &Graph,
+    seed: u64,
+) -> Result<(ScenarioMetrics, bool), RunError>
 where
     P: EdgeProblem + Clone + Send + Sync,
     P::Input: Clone,
+    P::Output: awake_sleeping::Codec,
 {
     let inputs = problem.trivial_inputs(g);
-    let run = match sc.algo {
-        Algo::Trivial => linegraph::solve_edges(g, problem, &inputs, Config::default())?,
-        Algo::TrivialThreaded(workers) => {
+    let plan = sc.faults.map(|f| f.plan(seed));
+    if plan.is_some_and(|p| p.crash_ppm > 0) {
+        // crash-restart has no line-graph counterpart (it would rewind
+        // every replica of the host at once) — see `solve_edges_faulty`
+        return Err(RunError::UnsupportedAlgo {
+            problem: problem.name(),
+            algo: format!("{}+crash-faults", sc.algo.key()),
+        });
+    }
+    let run = match (sc.algo, &plan) {
+        (Algo::Trivial, None) => linegraph::solve_edges(g, problem, &inputs, Config::default())?,
+        (Algo::Trivial, Some(p)) => {
+            linegraph::solve_edges_faulty(g, problem, &inputs, Config::default(), p)?
+        }
+        (Algo::TrivialThreaded(workers), None) => {
             linegraph::solve_edges_threaded(g, problem, &inputs, Config::default(), workers)?
         }
-        Algo::Bm21 | Algo::Theorem1 => {
+        (Algo::TrivialThreaded(workers), Some(p)) => linegraph::solve_edges_threaded_faulty(
+            g,
+            problem,
+            &inputs,
+            Config::default(),
+            workers,
+            p,
+        )?,
+        (Algo::Bm21 | Algo::Theorem1, _) => {
             return Err(RunError::UnsupportedAlgo {
                 problem: problem.name(),
                 algo: sc.algo.key(),
@@ -394,5 +733,167 @@ mod tests {
             "got {e}"
         );
         assert!(e.to_string().contains("theorem1"));
+    }
+
+    use crate::scenario::FaultSpec;
+
+    /// Rates high enough that every fault kind fires on a 80-node run,
+    /// including crash-restarts at round 1 and at decision rounds.
+    fn rough() -> FaultSpec {
+        FaultSpec {
+            drop_ppm: 50_000,
+            dup_ppm: 30_000,
+            delay_ppm: 30_000,
+            crash_ppm: 20_000,
+            delay_rounds: 2,
+        }
+    }
+
+    fn faulty(problem: ProblemKind, algo: Algo) -> Scenario {
+        Scenario::of(GraphFamily::Gnp { n: 80, p: 0.08 }, problem, algo)
+            .with_faults(rough())
+            .build()
+    }
+
+    #[test]
+    fn fault_injected_scenarios_complete_identically_on_both_executors() {
+        for problem in [ProblemKind::Mis, ProblemKind::Coloring] {
+            let a = run_scenario(&faulty(problem, Algo::Trivial), 5, None).unwrap();
+            let b = run_scenario(&faulty(problem, Algo::TrivialThreaded(4)), 5, None).unwrap();
+            assert_eq!(a.metrics, b.metrics, "{problem:?}: executors diverged");
+            // the plan must actually have injected something, crashes
+            // included — the run completes regardless
+            assert!(a.metrics.faults_dropped > 0, "{problem:?}: no drops");
+            assert!(a.metrics.faults_crashed > 0, "{problem:?}: no crashes");
+        }
+    }
+
+    #[test]
+    fn edge_scenarios_take_message_faults_but_reject_crash_faults() {
+        // message-only faults ride the line-graph adapter fine
+        let msg_only = FaultSpec {
+            crash_ppm: 0,
+            ..rough()
+        };
+        let sc = |algo| {
+            Scenario::of(
+                GraphFamily::Gnp { n: 80, p: 0.08 },
+                ProblemKind::Matching,
+                algo,
+            )
+            .with_faults(msg_only)
+            .build()
+        };
+        let a = run_scenario(&sc(Algo::Trivial), 5, None).unwrap();
+        let b = run_scenario(&sc(Algo::TrivialThreaded(4)), 5, None).unwrap();
+        assert_eq!(a.metrics, b.metrics, "executors diverged");
+        assert!(a.metrics.faults_dropped > 0, "no drops injected");
+        // crash-restart has no line-graph counterpart: rejected up front
+        let e = run_scenario(&faulty(ProblemKind::Matching, Algo::Trivial), 5, None).unwrap_err();
+        assert!(
+            matches!(e.error, RunError::UnsupportedAlgo { .. }),
+            "got {e}"
+        );
+        assert!(e.to_string().contains("crash-faults"), "got {e}");
+    }
+
+    #[test]
+    fn staged_solvers_reject_fault_injection() {
+        for algo in [Algo::Bm21, Algo::Theorem1] {
+            let e = run_scenario(&faulty(ProblemKind::Mis, algo), 5, None).unwrap_err();
+            assert!(
+                matches!(e.error, RunError::UnsupportedAlgo { .. }),
+                "got {e}"
+            );
+            assert!(e.to_string().contains("+faults"), "got {e}");
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("awake-lab-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A mixed suite covering every recoverable-run path: snapshot-capable
+    /// vertex executors (serial + threaded, one fault-injected), an edge
+    /// scenario (re-runs deterministically), and a staged pipeline.
+    fn mixed_suite() -> Vec<Scenario> {
+        vec![
+            tiny(Algo::Trivial),
+            tiny(Algo::TrivialThreaded(2)),
+            faulty(ProblemKind::Mis, Algo::Trivial),
+            tiny_edge(ProblemKind::Matching, Algo::Trivial),
+            tiny(Algo::Bm21),
+        ]
+    }
+
+    #[test]
+    fn recoverable_run_matches_the_plain_run_byte_for_byte() {
+        let dir = scratch_dir("fresh");
+        let suite = mixed_suite();
+        let plain = Runner::serial().run("t", &suite, 9).unwrap();
+        let recoverable = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, Some(2))
+            .unwrap();
+        assert_eq!(plain.canonical_json(), recoverable.canonical_json());
+        assert!(dir.join("progress.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_consumes_progress_rows_and_mid_run_snapshots() {
+        let dir = scratch_dir("resume");
+        let suite = mixed_suite();
+        let plain = Runner::serial().run("t", &suite, 9).unwrap();
+        // checkpointed first pass: leaves progress.json and .ckpt files
+        Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, Some(2))
+            .unwrap();
+        let ckpts: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+            .collect();
+        assert!(!ckpts.is_empty(), "no snapshot files were written");
+        // resume with complete progress: every row reloads, nothing re-runs
+        let resumed = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, None)
+            .unwrap();
+        assert_eq!(plain.canonical_json(), resumed.canonical_json());
+        // drop the progress ledger but keep the snapshots: scenarios
+        // restore from their mid-run state and finish to the same report
+        std::fs::remove_file(dir.join("progress.json")).unwrap();
+        // a torn temp file from a simulated kill must be invisible
+        std::fs::write(dir.join("progress.json.tmp"), b"{\"torn\":").unwrap();
+        let restored = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, None)
+            .unwrap();
+        assert_eq!(plain.canonical_json(), restored.canonical_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_progress_is_ignored_and_garbage_snapshots_are_reported() {
+        let dir = scratch_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let suite = vec![tiny(Algo::Trivial)];
+        // unparseable progress: treated as "nothing done yet"
+        std::fs::write(dir.join("progress.json"), b"not json at all").unwrap();
+        let plain = Runner::serial().run("t", &suite, 9).unwrap();
+        let r = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, None)
+            .unwrap();
+        assert_eq!(plain.canonical_json(), r.canonical_json());
+        // a corrupt snapshot file is a hard, named error — silently
+        // restarting would hide data loss
+        std::fs::remove_file(dir.join("progress.json")).unwrap();
+        std::fs::write(dir.join(ckpt_file_name(&suite[0].name)), b"BADSNAP!").unwrap();
+        let e = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, None)
+            .unwrap_err();
+        assert!(matches!(e.error, RunError::Checkpoint(_)), "got {e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -6,6 +6,7 @@
 //! assembles one-off scenarios for examples and tests.
 
 use awake_graphs::{generators, Graph};
+use awake_sleeping::FaultPlan;
 
 /// A seeded graph family — the first axis of a scenario.
 ///
@@ -211,6 +212,40 @@ impl Algo {
     }
 }
 
+/// Seeded fault-injection rates attached to a scenario (all
+/// parts-per-million; the concrete [`FaultPlan`] seed derives from the
+/// scenario's derived seed at run time, so the injected fault stream is as
+/// reproducible as the graph instance). Only the `trivial` / `trivial-t*`
+/// executors support fault injection — the staged pipelines assume the
+/// fault-free Sleeping model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probability (ppm) that a transmission is dropped in flight.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a transmission is duplicated.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a transmission is delayed.
+    pub delay_ppm: u32,
+    /// Probability (ppm) that an awake node crash-restarts in a round.
+    pub crash_ppm: u32,
+    /// Rounds a delayed message is held before redelivery is attempted.
+    pub delay_rounds: u64,
+}
+
+impl FaultSpec {
+    /// The concrete plan for a scenario run seeded with `seed`.
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_ppm: self.drop_ppm,
+            dup_ppm: self.dup_ppm,
+            delay_ppm: self.delay_ppm,
+            crash_ppm: self.crash_ppm,
+            delay_rounds: self.delay_rounds.max(1),
+        }
+    }
+}
+
 /// One runnable experiment: a named (family × problem × algo) tuple.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -223,6 +258,8 @@ pub struct Scenario {
     pub problem: ProblemKind,
     /// The solver/executor.
     pub algo: Algo,
+    /// Optional seeded fault injection.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Scenario {
@@ -234,6 +271,7 @@ impl Scenario {
             family,
             problem,
             algo,
+            faults: None,
         }
     }
 
@@ -257,6 +295,7 @@ pub struct ScenarioBuilder {
     family: GraphFamily,
     problem: ProblemKind,
     algo: Algo,
+    faults: Option<FaultSpec>,
 }
 
 impl ScenarioBuilder {
@@ -266,14 +305,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attach seeded fault injection (default names gain a `+faults`
+    /// suffix so faulted and fault-free rows stay distinct).
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Finish the scenario.
     pub fn build(self) -> Scenario {
         let name = self.name.unwrap_or_else(|| {
             format!(
-                "{}/{}/{}",
+                "{}/{}/{}{}",
                 self.problem.key(),
                 self.family.key(),
-                self.algo.key()
+                self.algo.key(),
+                if self.faults.is_some() { "+faults" } else { "" }
             )
         });
         Scenario {
@@ -281,6 +328,7 @@ impl ScenarioBuilder {
             family: self.family,
             problem: self.problem,
             algo: self.algo,
+            faults: self.faults,
         }
     }
 }
@@ -457,6 +505,36 @@ pub mod presets {
             .collect()
     }
 
+    /// Seeded fault injection on the by-identifier greedy: every vertex
+    /// problem on `G(n, p)` under drops, duplicates, delays and
+    /// crash-restarts, on the serial engine and the 4-worker pool
+    /// (8 scenarios). Serial/threaded pairs share a graph instance *and*
+    /// a fault stream, so their deterministic metrics — fault counters
+    /// included — must be identical row for row.
+    pub fn faults() -> Vec<Scenario> {
+        let family = GraphFamily::Gnp { n: 200, p: 0.06 };
+        let spec = FaultSpec {
+            drop_ppm: 40_000,
+            dup_ppm: 25_000,
+            delay_ppm: 25_000,
+            crash_ppm: 15_000,
+            delay_rounds: 2,
+        };
+        ProblemKind::ALL
+            .iter()
+            .flat_map(|&problem| {
+                let family = family.clone();
+                [Algo::Trivial, Algo::TrivialThreaded(4)]
+                    .into_iter()
+                    .map(move |algo| {
+                        Scenario::of(family.clone(), problem, algo)
+                            .with_faults(spec)
+                            .build()
+                    })
+            })
+            .collect()
+    }
+
     /// Every preset as `(name, description, scenarios)`.
     pub fn registry() -> Vec<(&'static str, &'static str, Vec<Scenario>)> {
         vec![
@@ -494,6 +572,11 @@ pub mod presets {
                 "scaling",
                 "Theorem 1 + BM21 energy sweep, n = 2^10..2^18 on sparse G(n,p) (18 scenarios)",
                 scaling(),
+            ),
+            (
+                "faults",
+                "seeded drop/dup/delay/crash injection on G(n,p), serial + threaded (8 scenarios)",
+                faults(),
             ),
         ]
     }
@@ -641,6 +724,28 @@ mod tests {
             // so the two algos compare like for like at every point
             assert_eq!(at_n[0].seed(1), at_n[1].seed(1));
         }
+    }
+
+    #[test]
+    fn faults_preset_pairs_executors_on_one_fault_stream() {
+        let faults = presets::by_name("faults").expect("faults preset registered");
+        assert_eq!(faults.len(), 8);
+        for s in &faults {
+            let spec = s.faults.expect("every row injects faults");
+            assert!(s.name.ends_with("+faults"), "name {}", s.name);
+            // the concrete plan derives from the scenario seed
+            let plan = spec.plan(s.seed(1));
+            assert_eq!(plan.seed, s.seed(1));
+            assert!(plan.is_active());
+            assert!(plan.delay_rounds >= 1);
+        }
+        // serial/threaded pairs share family ⇒ seed ⇒ graph and fault stream
+        let serial = faults.iter().filter(|s| s.algo == Algo::Trivial).count();
+        let threaded = faults
+            .iter()
+            .filter(|s| s.algo == Algo::TrivialThreaded(4))
+            .count();
+        assert_eq!((serial, threaded), (4, 4));
     }
 
     #[test]

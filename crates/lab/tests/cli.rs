@@ -1,0 +1,179 @@
+//! Exit-code and recoverability contracts of the `suite` and
+//! `baseline-diff` binaries — what CI scripts and operators key on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("awake-lab-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn baseline_diff(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_baseline-diff"))
+        .args(args)
+        .output()
+        .expect("spawn baseline-diff")
+}
+
+fn suite(args: &[&str], cwd: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_suite"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn suite")
+}
+
+#[test]
+fn baseline_diff_names_a_missing_input_and_how_to_produce_it() {
+    let dir = scratch_dir("bd-missing");
+    let baseline = dir.join("BENCH_baseline.json");
+    let current = dir.join("BENCH_engine.json");
+    std::fs::write(&baseline, b"{\"schema\": \"awake-bench/v1\"}").unwrap();
+
+    // current report missing: exit 3, names the file and the bench command
+    let out = baseline_diff(&[baseline.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "missing input gets exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("current report") && err.contains("BENCH_engine.json"),
+        "stderr must name the missing file: {err}"
+    );
+    assert!(
+        err.contains("produce it with") && err.contains("cargo bench"),
+        "stderr must say how to produce it: {err}"
+    );
+
+    // baseline missing: same code, baseline-flavored hint
+    std::fs::write(&current, b"{}").unwrap();
+    std::fs::remove_file(&baseline).unwrap();
+    let out = baseline_diff(&[baseline.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("baseline report") && err.contains("git restore"),
+        "stderr must explain how to restore the baseline: {err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn baseline_diff_keeps_exit_2_for_malformed_json() {
+    let dir = scratch_dir("bd-parse");
+    let baseline = dir.join("baseline.json");
+    let current = dir.join("current.json");
+    std::fs::write(&baseline, b"{ not json").unwrap();
+    std::fs::write(&current, b"{}").unwrap();
+    let out = baseline_diff(&[baseline.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed JSON is a usage-class error, not a missing-file error"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn suite_checkpoint_run_and_resume_produce_identical_reports() {
+    let dir = scratch_dir("suite-resume");
+    let filter = "mis/"; // a handful of quick-preset scenarios
+    let base = [
+        "--preset",
+        "quick",
+        "--filter",
+        filter,
+        "--seed",
+        "4",
+        "--canonical",
+    ];
+
+    // uninterrupted reference run
+    let out = suite(&[&base[..], &["--out", "full.json"]].concat(), &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let full = std::fs::read(dir.join("full.json")).unwrap();
+
+    // checkpointed run, then a resume over its artifacts (the ledger is
+    // complete, so the resume only reloads rows — the report must still
+    // come out byte-identical)
+    let out = suite(
+        &[
+            &base[..],
+            &[
+                "--out",
+                "resumed.json",
+                "--checkpoint-dir",
+                "ckpts",
+                "--checkpoint-every",
+                "2",
+            ],
+        ]
+        .concat(),
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(dir.join("resumed.json")).unwrap(), full);
+    std::fs::remove_file(dir.join("resumed.json")).unwrap();
+
+    // drop the ledger to force the scenarios through their snapshots
+    std::fs::remove_file(dir.join("ckpts/progress.json")).unwrap();
+    let out = suite(
+        &[&base[..], &["--out", "resumed.json", "--resume", "ckpts"]].concat(),
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("resumed.json")).unwrap(),
+        full,
+        "resumed report differs from the uninterrupted run"
+    );
+    // atomic writes leave no temp residue
+    assert!(!dir.join("resumed.json.tmp").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn suite_faults_preset_is_exempt_from_validation_and_audit_gates() {
+    // Injected faults legitimately break the problem predicate and the
+    // closed-form budgets; the preset must still exit 0, with the
+    // exemption stated.
+    let dir = scratch_dir("suite-faults");
+    let out = suite(
+        &["--preset", "faults", "--audit", "--out", "faults.json"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "faults preset must not fail the gates: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("exempt from the validation and audit gates"),
+        "exemption must be stated: {text}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn suite_rejects_contradictory_checkpoint_flags() {
+    let dir = scratch_dir("suite-flags");
+    let out = suite(&["--checkpoint-dir", "a", "--resume", "b"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    let out = suite(&["--checkpoint-every", "5"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -65,6 +65,17 @@ impl<M> InboxArena<M> {
         slice
     }
 
+    /// Restore node `v`'s sorted-by-sender invariant after an
+    /// out-of-order delivery (a fault-delayed message arriving after the
+    /// regular ascending-sender transmission pass). Stable, so envelopes
+    /// from the same sender keep their staging order — the serial and
+    /// threaded executors stage in the same order and therefore end with
+    /// identical inboxes.
+    #[inline]
+    pub(crate) fn resort_inbox(&mut self, v: u32) {
+        self.lists[v as usize].sort_by_key(|e| e.from);
+    }
+
     /// Clear node `v`'s inbox (capacity retained).
     ///
     /// Segments are *self-clearing*: rather than a separate
@@ -124,6 +135,14 @@ impl<M> ChunkInboxes<M> {
             "chunk inbox {local} must arrive sorted by sender"
         );
         slice
+    }
+
+    /// Restore the sorted-by-sender invariant of the segment at chunk
+    /// position `local` after late (fault-delayed) deliveries — the stable
+    /// counterpart of [`InboxArena::resort_inbox`].
+    #[inline]
+    pub(crate) fn resort(&mut self, local: usize) {
+        self.segs[local].sort_by_key(|e| e.from);
     }
 
     /// Clear the segment at chunk position `local` (capacity retained).

@@ -20,6 +20,11 @@
 //!   benchmarked alternative).
 
 use crate::arena::InboxArena;
+use crate::checkpoint::{
+    decode_snapshot, encode_snapshot, rebuild_wheel, Codec, CrashIo, EngineStateRef, Paused,
+    Persist, ProgramsRef, Reader, RestoredState, ResumeError, Snapshot,
+};
+use crate::faults::{DelayedMsg, FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::program::{Action, Outbox, Program, View};
 use crate::trace::{TraceEvent, TraceMode, Tracer};
@@ -236,6 +241,395 @@ pub(crate) fn next_awake_set(
     Some(round)
 }
 
+/// The mutable fault-injection context of one executor: the seeded state
+/// (plan + delayed-message buffer) plus the crash-restart machinery — the
+/// [`Persist`] entry points of the concrete program type (captured as
+/// function pointers so the executor core needs no `Persist` bound) and
+/// the current round's crash blobs, saved at start-of-round and consumed
+/// in phase B.
+pub(crate) struct FaultCtx<P: Program> {
+    pub(crate) state: FaultState<P::Msg>,
+    pub(crate) crash_io: CrashIo<P>,
+    /// `(node, start-of-round state)` of nodes that crash this round, in
+    /// node order (phase A order); emptied by phase B.
+    crashed: Vec<(u32, Vec<u8>)>,
+}
+
+impl<P: Program> FaultCtx<P> {
+    pub(crate) fn new(plan: FaultPlan, crash_io: CrashIo<P>) -> Self {
+        FaultCtx {
+            state: FaultState::new(plan),
+            crash_io,
+            crashed: Vec::new(),
+        }
+    }
+
+    pub(crate) fn from_state(state: FaultState<P::Msg>, crash_io: CrashIo<P>) -> Self {
+        FaultCtx {
+            state,
+            crash_io,
+            crashed: Vec::new(),
+        }
+    }
+}
+
+/// The serial executor's full mutable state, factored out of
+/// [`Engine::run`] so checkpointing can pause between rounds: `step`
+/// executes exactly one round, `peek_next` answers "what round would run
+/// next" without committing anything, and `state_ref` exposes the round
+/// boundary for snapshot encoding.
+struct SerialExec<'g, P: Program> {
+    graph: &'g Graph,
+    config: Config,
+    programs: Vec<P>,
+    metrics: Metrics,
+    tracer: Tracer,
+    outputs: Vec<Option<P::Output>>,
+    /// `next_wake[v] = r`: v will be awake at round r; NEVER: halted.
+    next_wake: Vec<Round>,
+    wheel: WakeWheel,
+    // Round-scratch state, all reused: zero allocations per node-round
+    // once capacities have grown to the workload's high-water mark.
+    awake: Vec<u32>,
+    scratch: Vec<u32>,
+    stay: Vec<u32>,
+    outbox: Outbox<P::Msg>,
+    arena: InboxArena<P::Msg>,
+    prev_round: Round,
+    faults: Option<FaultCtx<P>>,
+}
+
+impl<'g, P: Program> SerialExec<'g, P> {
+    fn new(
+        graph: &'g Graph,
+        config: Config,
+        programs: Vec<P>,
+        faults: Option<FaultCtx<P>>,
+    ) -> Result<Self, SimError> {
+        let n = graph.n();
+        if programs.len() != n {
+            return Err(SimError::ProgramCountMismatch {
+                got: programs.len(),
+                expected: n,
+            });
+        }
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut next_wake: Vec<Round> = Vec::with_capacity(n);
+        let mut wheel = WakeWheel::new();
+        seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
+        Ok(SerialExec {
+            graph,
+            config,
+            programs,
+            metrics: Metrics::new(n),
+            tracer: Tracer::new(config.trace),
+            outputs,
+            next_wake,
+            wheel,
+            awake: Vec::new(),
+            scratch: Vec::new(),
+            stay: Vec::new(),
+            outbox: Outbox::new(),
+            arena: InboxArena::new(n),
+            prev_round: 0,
+            faults,
+        })
+    }
+
+    /// Reassemble an executor at the round boundary a snapshot captured.
+    /// `programs` are the snapshot's restored programs; everything else
+    /// comes from the decoded state (including the config the snapshot was
+    /// taken under, which wins over the resuming engine's — a resumed run
+    /// must behave like the uninterrupted one).
+    fn from_restored(
+        graph: &'g Graph,
+        programs: Vec<P>,
+        rs: RestoredState<P::Msg, P::Output>,
+        crash_io: CrashIo<P>,
+    ) -> Self {
+        SerialExec {
+            graph,
+            config: rs.config,
+            programs,
+            metrics: rs.metrics,
+            tracer: rs.tracer,
+            outputs: rs.outputs,
+            next_wake: rs.next_wake,
+            wheel: rebuild_wheel(&rs.wheel_events),
+            awake: Vec::new(),
+            scratch: Vec::new(),
+            stay: rs.stay,
+            outbox: Outbox::new(),
+            arena: InboxArena::new(graph.n()),
+            prev_round: rs.prev_round,
+            faults: rs.faults.map(|s| FaultCtx::from_state(s, crash_io)),
+        }
+    }
+
+    /// The round the next `step` would execute, without committing the
+    /// scheduler (a non-empty stay lane wakes at `prev_round + 1`, which
+    /// is the earliest any pending event can be).
+    fn peek_next(&mut self) -> Option<Round> {
+        if !self.stay.is_empty() {
+            Some(self.prev_round + 1)
+        } else {
+            self.wheel.peek_min()
+        }
+    }
+
+    /// Execute one round; `Ok(false)` means nothing was pending.
+    fn step(&mut self) -> Result<bool, SimError> {
+        // Monomorphized on fault presence: compiled with `FAULTY = false`
+        // every crash/delay block in the body is dead code, so the
+        // fault-free round loop optimizes exactly as it did before fault
+        // injection existed (the bench gate holds the engine to that).
+        if self.faults.is_some() {
+            self.step_body::<true>()
+        } else {
+            self.step_body::<false>()
+        }
+    }
+
+    fn step_body<const FAULTY: bool>(&mut self) -> Result<bool, SimError> {
+        // Disjoint field borrows throughout the round body.
+        let SerialExec {
+            graph,
+            config,
+            programs,
+            metrics,
+            tracer,
+            outputs,
+            next_wake,
+            wheel,
+            awake,
+            scratch,
+            stay,
+            outbox,
+            arena,
+            prev_round,
+            faults,
+        } = self;
+        let n = graph.n();
+        let Some(round) = next_awake_set(wheel, stay, *prev_round, awake, scratch) else {
+            return Ok(false);
+        };
+        if round > config.max_rounds {
+            return Err(SimError::RoundBudgetExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        metrics.rounds = round;
+        *prev_round = round;
+
+        // Phase A: all awake nodes transmit.
+        for &v in awake.iter() {
+            let vid = NodeId(v);
+            let view = View {
+                round,
+                me: vid,
+                ident: graph.ident(vid),
+                n,
+                neighbors: graph.neighbors(vid),
+            };
+            metrics.note_awake(vid, programs[v as usize].span());
+            tracer.push(|| TraceEvent::Awake { round, node: vid });
+            if FAULTY {
+                if let Some(f) = faults.as_mut() {
+                    if f.state.plan.crashes(round, v) {
+                        // Save the start-of-round state *before* the node
+                        // acts: a crashed node loses this round's state
+                        // changes but its sends still go out (they left
+                        // before the crash).
+                        let mut w = crate::checkpoint::Writer::new();
+                        (f.crash_io.save)(&programs[v as usize], &mut w);
+                        f.crashed.push((v, w.into_bytes()));
+                    }
+                }
+            }
+            outbox.clear();
+            programs[v as usize].send(&view, outbox);
+            if FAULTY {
+                let f = faults.as_mut().expect("FAULTY step implies a plan");
+                route_messages_faulty(
+                    graph,
+                    outbox.items.drain(..),
+                    next_wake,
+                    round,
+                    vid,
+                    arena,
+                    metrics,
+                    tracer,
+                    &mut f.state,
+                )?;
+            } else {
+                route_messages(
+                    graph,
+                    outbox.items.drain(..),
+                    next_wake,
+                    round,
+                    vid,
+                    arena,
+                    metrics,
+                    tracer,
+                )?;
+            }
+        }
+
+        // Between phases: resolve fault-delayed messages that have come
+        // due. A delayed message is delivered only if its recipient is
+        // awake at exactly its due round; a due round nobody executed (or
+        // an asleep recipient) loses it — the model's rule, applied late.
+        if let Some(f) = faults.as_mut().filter(|_| FAULTY) {
+            if f.state.delayed.iter().any(|d| d.due <= round) {
+                let mut kept = Vec::with_capacity(f.state.delayed.len());
+                scratch.clear();
+                for d in f.state.delayed.drain(..) {
+                    if d.due > round {
+                        kept.push(d);
+                        continue;
+                    }
+                    let (due, from, to) = (d.due, d.from, d.to);
+                    if due == round && next_wake[to.index()] == round {
+                        metrics.messages_delivered += 1;
+                        tracer.push(|| TraceEvent::Delivered { round, from, to });
+                        arena.stage(from, to, d.msg);
+                        scratch.push(to.0);
+                    } else {
+                        metrics.messages_lost += 1;
+                        tracer.push(|| TraceEvent::Lost {
+                            round: due,
+                            from,
+                            to,
+                        });
+                    }
+                }
+                f.state.delayed = kept;
+                // Late deliveries land after the ascending-sender pass;
+                // restore each touched inbox's sorted-by-sender invariant.
+                scratch.sort_unstable();
+                scratch.dedup();
+                for &v in scratch.iter() {
+                    arena.resort_inbox(v);
+                }
+                scratch.clear();
+            }
+        }
+
+        // Phase B: all awake nodes receive and choose their next action
+        // (crashed nodes instead lose the round and restart).
+        let mut crash_i = 0usize;
+        for &v in awake.iter() {
+            let vid = NodeId(v);
+            if let Some(f) = faults.as_mut().filter(|_| FAULTY) {
+                if f.crashed.get(crash_i).is_some_and(|c| c.0 == v) {
+                    let blob = &f.crashed[crash_i].1;
+                    crash_i += 1;
+                    arena.clear_inbox(v);
+                    let mut r = Reader::new(blob);
+                    (f.crash_io.restore)(&mut programs[v as usize], &mut r)
+                        .expect("Persist round-trip: restore must accept its own save");
+                    tracer.push(|| TraceEvent::Crash { round, node: vid });
+                    metrics.faults_crashed += 1;
+                    next_wake[v as usize] = round + 1;
+                    stay.push(v);
+                    continue;
+                }
+            }
+            let view = View {
+                round,
+                me: vid,
+                ident: graph.ident(vid),
+                n,
+                neighbors: graph.neighbors(vid),
+            };
+            let action = programs[v as usize].receive(&view, arena.inbox(v));
+            // Clear while the segment header is hot (see `arena`).
+            arena.clear_inbox(v);
+            match action {
+                Action::Stay => {
+                    next_wake[v as usize] = round + 1;
+                    stay.push(v); // fast lane: never touches the wheel
+                }
+                Action::SleepUntil(until) => {
+                    if until <= round {
+                        return Err(SimError::InvalidSleep {
+                            node: vid,
+                            round,
+                            until,
+                        });
+                    }
+                    tracer.push(|| TraceEvent::Sleep {
+                        round,
+                        node: vid,
+                        until,
+                    });
+                    next_wake[v as usize] = until;
+                    wheel.schedule(until, v);
+                }
+                Action::Halt => {
+                    tracer.push(|| TraceEvent::Halt { round, node: vid });
+                    next_wake[v as usize] = NEVER;
+                    match programs[v as usize].output() {
+                        Some(o) => outputs[v as usize] = Some(o),
+                        None => return Err(SimError::MissingOutput(vid)),
+                    }
+                }
+            }
+        }
+        if let Some(f) = faults.as_mut().filter(|_| FAULTY) {
+            f.crashed.clear();
+        }
+        Ok(true)
+    }
+
+    /// Finalize: account still-buffered delayed messages as lost and
+    /// unwrap the outputs.
+    fn finish(mut self) -> Result<Run<P::Output>, SimError> {
+        if let Some(f) = self.faults.as_mut() {
+            for d in f.state.delayed.drain(..) {
+                self.metrics.messages_lost += 1;
+                self.tracer.push(|| TraceEvent::Lost {
+                    round: d.due,
+                    from: d.from,
+                    to: d.to,
+                });
+            }
+        }
+        let outputs = self
+            .outputs
+            .into_iter()
+            .enumerate()
+            .map(|(v, o)| o.ok_or(SimError::MissingOutput(NodeId(v as u32))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Run {
+            outputs,
+            metrics: self.metrics,
+            trace: self.tracer.events,
+            trace_dropped: self.tracer.dropped,
+        })
+    }
+
+    /// The round boundary as snapshot input.
+    fn state_ref(&self) -> EngineStateRef<'_, P> {
+        EngineStateRef {
+            prev_round: self.prev_round,
+            next_wake: &self.next_wake,
+            stay: &self.stay,
+            wheel_events: self.wheel.pending_events(),
+            outputs: &self.outputs,
+            programs: ProgramsRef::Flat(&self.programs),
+            metrics: &self.metrics,
+            tracer: &self.tracer,
+            faults: self.faults.as_ref().map(|f| &f.state),
+        }
+    }
+
+    fn run_out(mut self) -> Result<Run<P::Output>, SimError> {
+        while self.step()? {}
+        self.finish()
+    }
+}
+
 /// The serial deterministic executor.
 ///
 /// See the [crate docs](crate) for a worked example.
@@ -255,126 +649,131 @@ impl<'g> Engine<'g> {
     /// # Errors
     /// Any [`SimError`]; see the variants for the contract each program must
     /// uphold.
-    pub fn run<P: Program>(&self, mut programs: Vec<P>) -> Result<Run<P::Output>, SimError> {
-        let n = self.graph.n();
-        if programs.len() != n {
-            return Err(SimError::ProgramCountMismatch {
-                got: programs.len(),
-                expected: n,
-            });
-        }
-        let mut metrics = Metrics::new(n);
-        let mut tracer = Tracer::new(self.config.trace);
-        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+    pub fn run<P: Program>(&self, programs: Vec<P>) -> Result<Run<P::Output>, SimError> {
+        SerialExec::new(self.graph, self.config, programs, None)?.run_out()
+    }
 
-        // next_wake[v] = r: v will be awake at round r; NEVER: halted.
-        let mut next_wake: Vec<Round> = Vec::with_capacity(n);
-        let mut wheel = WakeWheel::new();
-        seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
+    /// Execute `programs` to completion under a seeded fault plan.
+    ///
+    /// Deterministic: the same plan yields the same outputs, `Metrics`,
+    /// and trace as the threaded executor under the same plan at any
+    /// worker count. Requires [`Persist`] because crash-restart saves and
+    /// restores per-node state through it.
+    ///
+    /// # Errors
+    /// Any [`SimError`], as [`run`](Engine::run).
+    pub fn run_faulty<P: Program + Persist>(
+        &self,
+        programs: Vec<P>,
+        plan: &FaultPlan,
+    ) -> Result<Run<P::Output>, SimError> {
+        let faults = FaultCtx::new(*plan, CrashIo::<P>::of());
+        SerialExec::new(self.graph, self.config, programs, Some(faults))?.run_out()
+    }
 
-        // Round-scratch state, all reused: zero allocations per node-round
-        // once capacities have grown to the workload's high-water mark.
-        let mut awake: Vec<u32> = Vec::new();
-        let mut scratch: Vec<u32> = Vec::new();
-        let mut stay: Vec<u32> = Vec::new();
-        let mut outbox: Outbox<P::Msg> = Outbox::new();
-        let mut arena: InboxArena<P::Msg> = InboxArena::new(n);
-        let mut prev_round: Round = 0;
-
-        while let Some(round) =
-            next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch)
-        {
-            if round > self.config.max_rounds {
-                return Err(SimError::RoundBudgetExceeded {
-                    limit: self.config.max_rounds,
-                });
-            }
-            metrics.rounds = round;
-            prev_round = round;
-
-            // Phase A: all awake nodes transmit.
-            for &v in &awake {
-                let vid = NodeId(v);
-                let view = View {
-                    round,
-                    me: vid,
-                    ident: self.graph.ident(vid),
-                    n,
-                    neighbors: self.graph.neighbors(vid),
-                };
-                metrics.note_awake(vid, programs[v as usize].span());
-                tracer.push(|| TraceEvent::Awake { round, node: vid });
-                outbox.clear();
-                programs[v as usize].send(&view, &mut outbox);
-                route_messages(
-                    self.graph,
-                    outbox.items.drain(..),
-                    &next_wake,
-                    round,
-                    vid,
-                    &mut arena,
-                    &mut metrics,
-                    &mut tracer,
-                )?;
-            }
-
-            // Phase B: all awake nodes receive and choose their next action.
-            for &v in &awake {
-                let vid = NodeId(v);
-                let view = View {
-                    round,
-                    me: vid,
-                    ident: self.graph.ident(vid),
-                    n,
-                    neighbors: self.graph.neighbors(vid),
-                };
-                let action = programs[v as usize].receive(&view, arena.inbox(v));
-                // Clear while the segment header is hot (see `arena`).
-                arena.clear_inbox(v);
-                match action {
-                    Action::Stay => {
-                        next_wake[v as usize] = round + 1;
-                        stay.push(v); // fast lane: never touches the wheel
-                    }
-                    Action::SleepUntil(until) => {
-                        if until <= round {
-                            return Err(SimError::InvalidSleep {
-                                node: vid,
-                                round,
-                                until,
-                            });
-                        }
-                        tracer.push(|| TraceEvent::Sleep {
-                            round,
-                            node: vid,
-                            until,
-                        });
-                        next_wake[v as usize] = until;
-                        wheel.schedule(until, v);
-                    }
-                    Action::Halt => {
-                        tracer.push(|| TraceEvent::Halt { round, node: vid });
-                        next_wake[v as usize] = NEVER;
-                        match programs[v as usize].output() {
-                            Some(o) => outputs[v as usize] = Some(o),
-                            None => return Err(SimError::MissingOutput(vid)),
-                        }
-                    }
+    /// Run until the next pending round would exceed `pause_after`, then
+    /// snapshot the paused state; completes normally if the run finishes
+    /// first. Pass a fault plan to snapshot a fault-injected run (the
+    /// plan and its delayed-message buffer are part of the snapshot).
+    ///
+    /// # Errors
+    /// Any [`SimError`] from the rounds executed before the pause.
+    pub fn snapshot_at<P: Program + Persist>(
+        &self,
+        programs: Vec<P>,
+        plan: Option<&FaultPlan>,
+        pause_after: Round,
+    ) -> Result<Paused<P::Output>, SimError>
+    where
+        P::Msg: Codec,
+        P::Output: Codec,
+    {
+        let faults = plan.map(|p| FaultCtx::new(*p, CrashIo::<P>::of()));
+        let mut exec = SerialExec::new(self.graph, self.config, programs, faults)?;
+        loop {
+            match exec.peek_next() {
+                None => return Ok(Paused::Done(exec.finish()?)),
+                Some(next) if next > pause_after => {
+                    return Ok(Paused::Snapshot(encode_snapshot(
+                        self.graph,
+                        self.config,
+                        exec.state_ref(),
+                    )));
+                }
+                Some(_) => {
+                    exec.step()?;
                 }
             }
         }
+    }
 
-        let outputs = outputs
-            .into_iter()
-            .enumerate()
-            .map(|(v, o)| o.ok_or(SimError::MissingOutput(NodeId(v as u32))))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Run {
-            outputs,
-            metrics,
-            trace: tracer.events,
-            trace_dropped: tracer.dropped,
-        })
+    /// Continue a snapshotted run to completion, bit-for-bit identical to
+    /// the uninterrupted run (outputs, `Metrics`, trace).
+    ///
+    /// `programs` must be the *freshly constructed initial* programs of
+    /// the original run (same inputs, same order) — [`Persist::restore`]
+    /// overwrites their dynamic state from the snapshot. The snapshot's
+    /// `Config` wins over this engine's, so a resumed run keeps the round
+    /// budget and trace mode it started under.
+    ///
+    /// # Errors
+    /// [`ResumeError::Checkpoint`] if the snapshot is corrupt, truncated,
+    /// or from a different graph; [`ResumeError::Sim`] if the continued
+    /// run fails.
+    pub fn resume<P: Program + Persist>(
+        &self,
+        mut programs: Vec<P>,
+        snapshot: &Snapshot,
+    ) -> Result<Run<P::Output>, ResumeError>
+    where
+        P::Msg: Codec,
+        P::Output: Codec,
+    {
+        let n = self.graph.n();
+        if programs.len() != n {
+            return Err(ResumeError::Sim(SimError::ProgramCountMismatch {
+                got: programs.len(),
+                expected: n,
+            }));
+        }
+        let rs = decode_snapshot::<P>(self.graph, snapshot, &mut programs)?;
+        let exec = SerialExec::from_restored(self.graph, programs, rs, CrashIo::<P>::of());
+        exec.run_out().map_err(ResumeError::Sim)
+    }
+
+    /// Run to completion, handing a snapshot to `sink` whenever at least
+    /// `every` rounds have elapsed since the last one (no snapshot is
+    /// taken once the run has finished — the final state is the returned
+    /// [`Run`]). Resuming from any emitted snapshot continues to the same
+    /// bit-for-bit result.
+    ///
+    /// # Panics
+    /// If `every` is zero.
+    ///
+    /// # Errors
+    /// Any [`SimError`], as [`run`](Engine::run).
+    pub fn run_checkpointed<P: Program + Persist>(
+        &self,
+        programs: Vec<P>,
+        plan: Option<&FaultPlan>,
+        every: Round,
+        mut sink: impl FnMut(&Snapshot),
+    ) -> Result<Run<P::Output>, SimError>
+    where
+        P::Msg: Codec,
+        P::Output: Codec,
+    {
+        assert!(every > 0, "checkpoint interval must be at least 1 round");
+        let faults = plan.map(|p| FaultCtx::new(*p, CrashIo::<P>::of()));
+        let mut exec = SerialExec::new(self.graph, self.config, programs, faults)?;
+        let mut last_emit: Round = 0;
+        while exec.step()? {
+            if exec.prev_round >= last_emit.saturating_add(every) && exec.peek_next().is_some() {
+                last_emit = exec.prev_round;
+                sink(&encode_snapshot(self.graph, self.config, exec.state_ref()));
+            }
+        }
+        exec.finish()
     }
 }
 
@@ -446,6 +845,87 @@ pub(crate) fn route_messages<M: Clone>(
     metrics.messages_sent += sent;
     metrics.messages_delivered += delivered;
     metrics.messages_lost += lost;
+    result
+}
+
+/// [`route_messages`] under a fault plan: every transmission first rolls
+/// its fate — keyed by `(seed, round, endpoints, k)` where `k` is the
+/// sender's per-round transmission index, so the threaded executor rolls
+/// identical fates regardless of chunking. Dropped messages vanish (traced
+/// and counted as `faults_dropped`, *not* `messages_lost`), duplicates
+/// deliver two copies (each then subject to the awake-recipient rule),
+/// delayed messages enter the buffer for later resolution.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_messages_faulty<M: Clone>(
+    graph: &Graph,
+    entries: impl Iterator<Item = crate::program::OutEntry<M>>,
+    next_wake: &[Round],
+    round: Round,
+    from: NodeId,
+    arena: &mut InboxArena<M>,
+    metrics: &mut Metrics,
+    tracer: &mut Tracer,
+    fstate: &mut FaultState<M>,
+) -> Result<(), SimError> {
+    let plan = fstate.plan;
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut lost = 0u64;
+    let mut fdropped = 0u64;
+    let mut fduplicated = 0u64;
+    let mut fdelayed = 0u64;
+    let mut k = 0u32;
+    let delayed = &mut fstate.delayed;
+    let result = route_entries(graph, entries, from, &mut sent, |to, msg| {
+        let fate = plan.message_fate(round, from.0, to.0, k);
+        k += 1;
+        let mut deliver_copy = |m: M| {
+            if next_wake[to.index()] == round {
+                delivered += 1;
+                tracer.push(|| TraceEvent::Delivered { round, from, to });
+                arena.stage(from, to, m);
+            } else {
+                lost += 1;
+                tracer.push(|| TraceEvent::Lost { round, from, to });
+            }
+        };
+        match fate {
+            crate::faults::FaultKind::Deliver => deliver_copy(msg),
+            crate::faults::FaultKind::Duplicate => {
+                fduplicated += 1;
+                deliver_copy(msg.clone());
+                deliver_copy(msg);
+            }
+            crate::faults::FaultKind::Drop => {
+                let _ = deliver_copy; // end the closure's borrows for the tracer below
+                fdropped += 1;
+                tracer.push(|| TraceEvent::FaultDrop { round, from, to });
+            }
+            crate::faults::FaultKind::Delay => {
+                let _ = deliver_copy; // end the closure's borrows for the tracer below
+                fdelayed += 1;
+                let until = round + plan.delay_rounds;
+                tracer.push(|| TraceEvent::FaultDelay {
+                    round,
+                    from,
+                    to,
+                    until,
+                });
+                delayed.push(DelayedMsg {
+                    due: until,
+                    from,
+                    to,
+                    msg,
+                });
+            }
+        }
+    });
+    metrics.messages_sent += sent;
+    metrics.messages_delivered += delivered;
+    metrics.messages_lost += lost;
+    metrics.faults_dropped += fdropped;
+    metrics.faults_duplicated += fduplicated;
+    metrics.faults_delayed += fdelayed;
     result
 }
 

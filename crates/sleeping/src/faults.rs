@@ -1,0 +1,240 @@
+//! Deterministic, seeded fault injection for both executors.
+//!
+//! The Sleeping model already loses messages "for free" — a message to an
+//! asleep node vanishes — so adversarial message loss and crash-restart are
+//! natural robustness surfaces for the executors. A [`FaultPlan`] makes
+//! them *deterministic*: every fault decision is a pure function of
+//! `(plan.seed, round, endpoints, per-sender transmission index)`, so a
+//! faulty run is exactly as reproducible as a clean one — same outputs,
+//! same [`Metrics`](crate::Metrics), same trace, on the serial engine and
+//! on the threaded executor at any worker count. That is what makes fault
+//! campaigns testable to equality rather than statistically.
+//!
+//! Four fault kinds, rolled per transmission (one hash per message) or per
+//! node-round (crashes):
+//!
+//! * **drop** — the message is silently discarded *in flight*. Distinct
+//!   from the model's own loss: it is counted in
+//!   [`Metrics::faults_dropped`](crate::Metrics::faults_dropped), not in
+//!   `messages_lost`, and traced as [`TraceEvent::FaultDrop`].
+//! * **duplicate** — the message is delivered twice (each copy then
+//!   subject to the normal awake-recipient rule).
+//! * **delay** — the message is buffered for
+//!   [`delay_rounds`](FaultPlan::delay_rounds) rounds; it is delivered
+//!   only if its recipient happens to be awake at exactly the due round,
+//!   and is otherwise lost (the model's rule, applied late).
+//! * **crash** — an awake node loses all state changes of the current
+//!   round: its start-of-round state is saved through
+//!   [`Persist`](crate::Persist), its sends still go out (they left the
+//!   node before the crash), its inbox is discarded, and it restarts from
+//!   the saved state at the next round.
+//!
+//! [`TraceEvent::FaultDrop`]: crate::TraceEvent::FaultDrop
+
+use crate::Round;
+use awake_graphs::NodeId;
+
+/// One full roll range: fault probabilities are in parts-per-million.
+pub const PPM_SCALE: u32 = 1_000_000;
+
+const MSG_SALT: u64 = 0x6d65_7373_6167_6573; // "messages"
+const CRASH_SALT: u64 = 0x6372_6173_6865_7321; // "crashes!"
+
+/// splitmix64 finalizer: the avalanche stage used to derive independent
+/// per-decision rolls from the plan seed.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fate of one transmission under a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Delivered normally (the overwhelmingly common roll).
+    Deliver,
+    /// Discarded in flight.
+    Drop,
+    /// Delivered twice.
+    Duplicate,
+    /// Buffered for [`FaultPlan::delay_rounds`] rounds.
+    Delay,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Probabilities are in parts per million and are checked in the fixed
+/// precedence drop → duplicate → delay against a single per-transmission
+/// roll, so `drop_ppm + dup_ppm + delay_ppm` must be at most [`PPM_SCALE`]
+/// for each probability to be honored exactly. Crashes are rolled
+/// independently, once per awake node-round.
+///
+/// The same plan produces the same faults on the serial engine and the
+/// threaded executor at any worker count: decisions depend only on the
+/// seed, the round, the endpoints, and the sender's per-round transmission
+/// index — never on scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed all fault decisions derive from.
+    pub seed: u64,
+    /// Probability (ppm) that a transmission is dropped in flight.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a transmission is duplicated.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a transmission is delayed.
+    pub delay_ppm: u32,
+    /// Probability (ppm) that an awake node crash-restarts this round.
+    pub crash_ppm: u32,
+    /// How many rounds a delayed message is held before its delivery is
+    /// attempted (must be ≥ 1; the message is lost unless its recipient is
+    /// awake at exactly `round + delay_rounds`).
+    pub delay_rounds: Round,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; set the ppm fields to taste.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            crash_ppm: 0,
+            delay_rounds: 1,
+        }
+    }
+
+    #[inline]
+    fn roll(&self, salt: u64, a: u64, b: u64, c: u64) -> u64 {
+        mix(self.seed ^ mix(salt ^ mix(a ^ mix(b ^ mix(c)))))
+    }
+
+    /// The fate of the `k`-th transmission of node `from` at `round`,
+    /// addressed to `to`. Pure: both executors call this with identical
+    /// arguments regardless of chunking, so they roll identical fates.
+    #[inline]
+    pub fn message_fate(&self, round: Round, from: u32, to: u32, k: u32) -> FaultKind {
+        if self.drop_ppm == 0 && self.dup_ppm == 0 && self.delay_ppm == 0 {
+            return FaultKind::Deliver;
+        }
+        let pair = ((from as u64) << 32) | to as u64;
+        let r = (self.roll(MSG_SALT, round, pair, k as u64) % PPM_SCALE as u64) as u32;
+        if r < self.drop_ppm {
+            FaultKind::Drop
+        } else if r < self.drop_ppm + self.dup_ppm {
+            FaultKind::Duplicate
+        } else if r < self.drop_ppm + self.dup_ppm + self.delay_ppm {
+            FaultKind::Delay
+        } else {
+            FaultKind::Deliver
+        }
+    }
+
+    /// Whether `node` crash-restarts at `round` (rolled once per awake
+    /// node-round, independent of the message rolls).
+    #[inline]
+    pub fn crashes(&self, round: Round, node: u32) -> bool {
+        self.crash_ppm > 0
+            && (self.roll(CRASH_SALT, round, node as u64, 0) % PPM_SCALE as u64)
+                < self.crash_ppm as u64
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_ppm > 0 || self.dup_ppm > 0 || self.delay_ppm > 0 || self.crash_ppm > 0
+    }
+}
+
+/// One delayed in-flight message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DelayedMsg<M> {
+    /// Round at which delivery is attempted.
+    pub(crate) due: Round,
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) msg: M,
+}
+
+/// The mutable fault-injection state of a run: the plan plus the buffer of
+/// delayed in-flight messages (part of a checkpoint, so a resumed faulty
+/// run replays the exact same deliveries).
+#[derive(Debug)]
+pub(crate) struct FaultState<M> {
+    pub(crate) plan: FaultPlan,
+    /// Delayed messages in decision order (= sender node order within each
+    /// round, rounds ascending) — both executors append identically.
+    pub(crate) delayed: Vec<DelayedMsg<M>>,
+}
+
+impl<M> FaultState<M> {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            delayed: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_always_delivers() {
+        let p = FaultPlan::new(7);
+        assert!(!p.is_active());
+        for k in 0..100 {
+            assert_eq!(p.message_fate(3, 0, 1, k), FaultKind::Deliver);
+            assert!(!p.crashes(3, k));
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_seed_sensitive() {
+        let mut a = FaultPlan::new(1);
+        a.drop_ppm = 250_000;
+        a.dup_ppm = 250_000;
+        a.delay_ppm = 250_000;
+        let b = FaultPlan { seed: 2, ..a };
+        let fates_a: Vec<_> = (0..64).map(|k| a.message_fate(5, 3, 4, k)).collect();
+        let fates_a2: Vec<_> = (0..64).map(|k| a.message_fate(5, 3, 4, k)).collect();
+        let fates_b: Vec<_> = (0..64).map(|k| b.message_fate(5, 3, 4, k)).collect();
+        assert_eq!(fates_a, fates_a2, "same plan, same fates");
+        assert_ne!(fates_a, fates_b, "different seeds diverge");
+        // with 75% fault mass, all four kinds should appear in 64 rolls
+        for kind in [
+            FaultKind::Deliver,
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Delay,
+        ] {
+            assert!(fates_a.contains(&kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut p = FaultPlan::new(42);
+        p.drop_ppm = 100_000; // 10%
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|&k| p.message_fate(1, 0, 1, k) == FaultKind::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((0.08..0.12).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn crash_rolls_are_independent_of_message_rolls() {
+        let mut p = FaultPlan::new(9);
+        p.crash_ppm = 500_000;
+        let crashes: Vec<bool> = (0..64).map(|v| p.crashes(2, v)).collect();
+        assert!(crashes.iter().any(|&c| c));
+        assert!(crashes.iter().any(|&c| !c));
+        assert_eq!(
+            crashes,
+            (0..64).map(|v| p.crashes(2, v)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -93,19 +93,37 @@
 //! through owner-sharded delivery buffers — see the [`threaded`] module
 //! docs for the pipeline). They are required to agree **bit for bit**,
 //! outputs and [`Metrics`] alike, for deterministic programs.
+//!
+//! # Checkpointing and fault injection
+//!
+//! Both executors can pause at any round boundary into a versioned binary
+//! [`Snapshot`] ([`Engine::snapshot_at`] / [`threaded::snapshot_at_threaded`])
+//! and resume it later — on either executor, at any worker count — to a run
+//! bit-for-bit identical to the uninterrupted one; per-node program state
+//! travels through the [`Persist`] trait. A seeded [`FaultPlan`]
+//! deterministically drops, duplicates, and delays messages and
+//! crash-restarts nodes from their start-of-round state, with per-fault
+//! counters in [`Metrics`]. See the [`checkpoint`] and [`faults`] module
+//! docs for the formats and contracts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;
+pub mod checkpoint;
 mod engine;
+pub mod faults;
 mod metrics;
 mod program;
 pub mod threaded;
 mod trace;
 mod wheel;
 
+pub use checkpoint::{
+    CheckpointError, Codec, Paused, Persist, Reader, ResumeError, Snapshot, Writer,
+};
 pub use engine::{Config, Engine, Run, SimError};
+pub use faults::{FaultKind, FaultPlan};
 pub use metrics::{percentile, percentile_of_sorted, Metrics};
 pub use program::{Action, Envelope, Outbox, Outgoing, Program, View};
 pub use trace::{TraceEvent, TraceMode};

@@ -30,6 +30,17 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages lost because the recipient was asleep or halted.
     pub messages_lost: u64,
+    /// Messages discarded in flight by an injected fault
+    /// ([`FaultPlan`](crate::FaultPlan) drops — distinct from the model's
+    /// own [`messages_lost`](Metrics::messages_lost)).
+    pub faults_dropped: u64,
+    /// Messages duplicated in flight by an injected fault (each copy then
+    /// delivered or lost normally).
+    pub faults_duplicated: u64,
+    /// Messages delayed in flight by an injected fault.
+    pub faults_delayed: u64,
+    /// Node crash-restarts injected by a fault plan.
+    pub faults_crashed: u64,
     /// Interned span labels, in first-seen order.
     span_names: Vec<&'static str>,
     /// One dense per-node counter column per interned span:
@@ -47,9 +58,27 @@ impl Metrics {
             messages_sent: 0,
             messages_delivered: 0,
             messages_lost: 0,
+            faults_dropped: 0,
+            faults_duplicated: 0,
+            faults_delayed: 0,
+            faults_crashed: 0,
             span_names: Vec::new(),
             span_counts: Vec::new(),
         }
+    }
+
+    /// The span table for checkpointing: `(labels, per-node counter columns)`.
+    pub(crate) fn span_data(&self) -> (&[&'static str], &[Vec<u64>]) {
+        (&self.span_names, &self.span_counts)
+    }
+
+    /// Overwrite the span table from a checkpoint. Content-based interning
+    /// in [`span_id`](Metrics::span_id) keeps restored labels equal to the
+    /// originals even though they are distinct allocations.
+    pub(crate) fn restore_span_data(&mut self, names: Vec<&'static str>, counts: Vec<Vec<u64>>) {
+        debug_assert_eq!(names.len(), counts.len());
+        self.span_names = names;
+        self.span_counts = counts;
     }
 
     /// The id of `span`, interning it on first use.

@@ -72,7 +72,12 @@
 //! `Metrics` equivalence.
 
 use crate::arena::ChunkInboxes;
-use crate::engine::{next_awake_set, route_entries, seed_schedule, NEVER};
+use crate::checkpoint::{
+    decode_snapshot, encode_snapshot, rebuild_wheel, Codec, CrashIo, EngineStateRef, Paused,
+    Persist, ProgramsRef, Reader, RestoredState, ResumeError, Snapshot, Writer,
+};
+use crate::engine::{next_awake_set, route_entries, seed_schedule, FaultCtx, NEVER};
+use crate::faults::{DelayedMsg, FaultKind, FaultPlan};
 use crate::metrics::Metrics;
 use crate::program::{Action, Envelope, OutEntry, Outbox, Program, View};
 use crate::trace::{TraceEvent, Tracer};
@@ -164,6 +169,23 @@ fn partition_by_mass(prefix: &[u64], k: usize, bounds: &mut Vec<u32>) {
     bounds.push(prefix.len() as u32);
 }
 
+/// The fault hooks a worker needs per round: the (immutable) seeded plan
+/// plus the [`Persist`] entry points of the concrete program type as
+/// function pointers (see [`CrashIo`]), so the phase bodies carry no
+/// `Persist` bound. Copied into each batch; the mutable fault state (the
+/// delayed-message buffer) stays with the coordinator.
+struct FaultHooks<P: Program> {
+    plan: FaultPlan,
+    crash_io: CrashIo<P>,
+}
+
+impl<P: Program> Clone for FaultHooks<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: Program> Copy for FaultHooks<P> {}
+
 /// One worker's reusable unit of work: a contiguous chunk of the awake set
 /// plus the buffers that carry its phase results back to the coordinator.
 struct Batch<P: Program> {
@@ -185,7 +207,31 @@ struct Batch<P: Program> {
     sent: u64,
     delivered: u64,
     lost: u64,
-    /// Receive result: nodes that chose [`Action::Stay`], ascending.
+    /// Fault plan + crash I/O of the run; `None` for fault-free runs.
+    faults: Option<FaultHooks<P>>,
+    /// Send result: injected-fault tallies of this chunk.
+    fdropped: u64,
+    fduplicated: u64,
+    fdelayed: u64,
+    /// Receive result: crash-restarts applied in this chunk.
+    fcrashed: u64,
+    /// Send result: messages fated to arrive in a later round, in the
+    /// chunk's transmission order; the coordinator appends them (chunk
+    /// order = node order) to the run's delayed buffer.
+    delayed_out: Vec<DelayedMsg<P::Msg>>,
+    /// `(node, start-of-round state)` of this chunk's nodes that crash
+    /// this round, ascending by node. Written by the send phase (the blob
+    /// is saved *before* the node acts), consumed by the receive phase.
+    crashes: Vec<(u32, Vec<u8>)>,
+    /// Fault-delayed messages coming due this round for recipients in this
+    /// chunk, staged by the coordinator between the phases; the receive
+    /// phase delivers them after the regular shards and restores each
+    /// touched inbox's sorted-by-sender invariant.
+    late: Vec<ShardEntry<P::Msg>>,
+    /// Scratch: chunk positions touched by late deliveries.
+    late_locals: Vec<u32>,
+    /// Receive result: nodes that chose [`Action::Stay`] — plus crashed
+    /// nodes, which restart awake next round — ascending.
     stays: Vec<u32>,
     /// Receive result: `(wake round, node)` sleeps, ascending by node.
     sleeps: Vec<(Round, u32)>,
@@ -212,12 +258,58 @@ impl<P: Program> Batch<P> {
             sent: 0,
             delivered: 0,
             lost: 0,
+            faults: None,
+            fdropped: 0,
+            fduplicated: 0,
+            fdelayed: 0,
+            fcrashed: 0,
+            delayed_out: Vec::new(),
+            crashes: Vec::new(),
+            late: Vec::new(),
+            late_locals: Vec::new(),
             stays: Vec::new(),
             sleeps: Vec::new(),
             halts: Vec::new(),
             error: None,
             trace_on: false,
             trace: Vec::new(),
+        }
+    }
+}
+
+/// Stage one fated-to-arrive message: deliver into the outbound shard of
+/// the recipient's owner chunk if the recipient is awake exactly now,
+/// otherwise count it lost — the model's rule, shared by the regular and
+/// duplicate delivery paths of the send phase.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn stage_delivery<M>(
+    ctx: &RoundCtx,
+    round: Round,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    shards: &mut [Vec<ShardEntry<M>>],
+    delivered: &mut u64,
+    lost: &mut u64,
+    trace_on: bool,
+    trace: &mut Vec<TraceEvent>,
+) {
+    if ctx.next_wake[to.index()] == round {
+        *delivered += 1;
+        if trace_on {
+            trace.push(TraceEvent::Delivered { round, from, to });
+        }
+        let pos = ctx.awake_pos[to.index()];
+        let c = ctx.chunk_of(pos);
+        shards[c].push(ShardEntry {
+            to_local: pos - ctx.bounds[c],
+            env: Envelope { from, msg },
+        });
+    } else {
+        *lost += 1;
+        if trace_on {
+            trace.push(TraceEvent::Lost { round, from, to });
         }
     }
 }
@@ -229,6 +321,21 @@ impl<P: Program> Batch<P> {
 /// rounds too small to be worth dispatching — inline by the coordinator,
 /// so both paths are the same code by construction.
 fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
+    // Monomorphized on fault presence, like the serial `step`: with
+    // `FAULTY = false` the fate-roll closure below is dead code and the
+    // fault-free send loop optimizes as if fault injection didn't exist.
+    if b.faults.is_some() {
+        run_send_phase_body::<P, true>(graph, ctx, b);
+    } else {
+        run_send_phase_body::<P, false>(graph, ctx, b);
+    }
+}
+
+fn run_send_phase_body<P: Program, const FAULTY: bool>(
+    graph: &Graph,
+    ctx: &RoundCtx,
+    b: &mut Batch<P>,
+) {
     let n = graph.n();
     let round = b.round;
     let k = ctx.bounds.len() - 1;
@@ -240,6 +347,12 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
         sent,
         delivered,
         lost,
+        faults,
+        fdropped,
+        fduplicated,
+        fdelayed,
+        delayed_out,
+        crashes,
         error,
         trace_on,
         trace,
@@ -252,7 +365,11 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
     trace.clear();
     let trace_on = *trace_on;
     (*sent, *delivered, *lost) = (0, 0, 0);
+    (*fdropped, *fduplicated, *fdelayed) = (0, 0, 0);
+    delayed_out.clear();
+    crashes.clear();
     *error = None;
+    let hooks = *faults;
     let mut outbox = Outbox::from_vec(std::mem::take(out_items));
     for (v, p) in jobs.iter_mut() {
         let vid = NodeId(*v);
@@ -267,37 +384,92 @@ fn run_send_phase<P: Program>(graph: &Graph, ctx: &RoundCtx, b: &mut Batch<P>) {
         if trace_on {
             trace.push(TraceEvent::Awake { round, node: vid });
         }
-        outbox.clear();
-        p.send(&view, &mut outbox);
-        let res = route_entries(graph, outbox.items.drain(..), vid, sent, |to, msg| {
-            // A recipient is listening iff awake exactly now; if so, its
-            // awake position stamp is valid and names its owner chunk.
-            if ctx.next_wake[to.index()] == round {
-                *delivered += 1;
-                if trace_on {
-                    trace.push(TraceEvent::Delivered {
-                        round,
-                        from: vid,
-                        to,
-                    });
-                }
-                let pos = ctx.awake_pos[to.index()];
-                let c = ctx.chunk_of(pos);
-                shards[c].push(ShardEntry {
-                    to_local: pos - ctx.bounds[c],
-                    env: Envelope { from: vid, msg },
-                });
-            } else {
-                *lost += 1;
-                if trace_on {
-                    trace.push(TraceEvent::Lost {
-                        round,
-                        from: vid,
-                        to,
-                    });
+        if FAULTY {
+            if let Some(fh) = hooks {
+                if fh.plan.crashes(round, *v) {
+                    // Save the start-of-round state *before* the node
+                    // acts: a crashed node loses this round's state
+                    // changes but its sends still go out (they left
+                    // before the crash).
+                    let mut w = Writer::new();
+                    (fh.crash_io.save)(p, &mut w);
+                    crashes.push((*v, w.into_bytes()));
                 }
             }
-        });
+        }
+        outbox.clear();
+        p.send(&view, &mut outbox);
+        let res = if !FAULTY {
+            // A recipient is listening iff awake exactly now; if so, its
+            // awake position stamp is valid and names its owner chunk.
+            route_entries(graph, outbox.items.drain(..), vid, sent, |to, msg| {
+                stage_delivery(
+                    ctx, round, vid, to, msg, shards, delivered, lost, trace_on, trace,
+                );
+            })
+        } else {
+            {
+                let fh = hooks.expect("FAULTY send phase implies hooks");
+                // One fate roll per transmission, counted per sender per
+                // round — the same sequence the serial engine rolls.
+                let mut k = 0u32;
+                route_entries(graph, outbox.items.drain(..), vid, sent, |to, msg| {
+                    let fate = fh.plan.message_fate(round, vid.0, to.0, k);
+                    k += 1;
+                    match fate {
+                        FaultKind::Deliver => stage_delivery(
+                            ctx, round, vid, to, msg, shards, delivered, lost, trace_on, trace,
+                        ),
+                        FaultKind::Duplicate => {
+                            *fduplicated += 1;
+                            stage_delivery(
+                                ctx,
+                                round,
+                                vid,
+                                to,
+                                msg.clone(),
+                                shards,
+                                delivered,
+                                lost,
+                                trace_on,
+                                trace,
+                            );
+                            stage_delivery(
+                                ctx, round, vid, to, msg, shards, delivered, lost, trace_on, trace,
+                            );
+                        }
+                        FaultKind::Drop => {
+                            *fdropped += 1;
+                            if trace_on {
+                                trace.push(TraceEvent::FaultDrop {
+                                    round,
+                                    from: vid,
+                                    to,
+                                });
+                            }
+                        }
+                        FaultKind::Delay => {
+                            *fdelayed += 1;
+                            let until = round + fh.plan.delay_rounds;
+                            if trace_on {
+                                trace.push(TraceEvent::FaultDelay {
+                                    round,
+                                    from: vid,
+                                    to,
+                                    until,
+                                });
+                            }
+                            delayed_out.push(DelayedMsg {
+                                due: until,
+                                from: vid,
+                                to,
+                                msg,
+                            });
+                        }
+                    }
+                })
+            }
+        };
         if let Err(e) = res {
             *error = Some(e);
             break;
@@ -315,11 +487,30 @@ fn run_receive_phase<P: Program>(
     b: &mut Batch<P>,
     inboxes: &mut ChunkInboxes<P::Msg>,
 ) {
+    // Same monomorphization as the send phase: fault-free runs never pay
+    // for the crash-restart or late-delivery checks below.
+    if b.faults.is_some() {
+        run_receive_phase_body::<P, true>(graph, b, inboxes);
+    } else {
+        run_receive_phase_body::<P, false>(graph, b, inboxes);
+    }
+}
+
+fn run_receive_phase_body<P: Program, const FAULTY: bool>(
+    graph: &Graph,
+    b: &mut Batch<P>,
+    inboxes: &mut ChunkInboxes<P::Msg>,
+) {
     let n = graph.n();
     let round = b.round;
     let Batch {
         jobs,
         shards,
+        faults,
+        fcrashed,
+        crashes,
+        late,
+        late_locals,
         stays,
         sleeps,
         halts,
@@ -330,6 +521,7 @@ fn run_receive_phase<P: Program>(
     } = b;
     let trace_on = *trace_on;
     trace.clear();
+    *fcrashed = 0;
     // Local delivery: drain the incoming shards in source-chunk order.
     // Senders ascend within a chunk and chunks are contiguous in node
     // order, so each recipient's segment is a concatenation of sorted
@@ -341,12 +533,47 @@ fn run_receive_phase<P: Program>(
             inboxes.push(e.to_local, e.env);
         }
     }
+    // Fault-delayed messages coming due land after the ascending-sender
+    // pass; deliver them, then restore each touched segment's
+    // sorted-by-sender invariant (stable, so same-sender envelopes keep
+    // their staging order — identical to the serial arena's resort).
+    if FAULTY && !late.is_empty() {
+        late_locals.clear();
+        for e in late.drain(..) {
+            late_locals.push(e.to_local);
+            inboxes.push(e.to_local, e.env);
+        }
+        late_locals.sort_unstable();
+        late_locals.dedup();
+        for &l in late_locals.iter() {
+            inboxes.resort(l as usize);
+        }
+        late_locals.clear();
+    }
     stays.clear();
     sleeps.clear();
     halts.clear();
     *error = None;
+    let mut crash_i = 0usize;
     for (i, (v, p)) in jobs.iter_mut().enumerate() {
         let vid = NodeId(*v);
+        // A crashed node loses the round — inbox discarded, state rolled
+        // back to start-of-round — and restarts awake next round.
+        if FAULTY && crashes.get(crash_i).is_some_and(|c| c.0 == *v) {
+            let blob = &crashes[crash_i].1;
+            crash_i += 1;
+            inboxes.clear(i);
+            let mut r = Reader::new(blob);
+            let io = faults.as_ref().expect("crash blobs imply fault hooks");
+            (io.crash_io.restore)(p, &mut r)
+                .expect("Persist round-trip: restore must accept its own save");
+            if trace_on {
+                trace.push(TraceEvent::Crash { round, node: vid });
+            }
+            *fcrashed += 1;
+            stays.push(*v);
+            continue;
+        }
         let view = View {
             round,
             me: vid,
@@ -391,6 +618,7 @@ fn run_receive_phase<P: Program>(
             }
         }
     }
+    crashes.clear();
 }
 
 /// Merge one chunk's send partials into the run metrics: awake/span
@@ -398,14 +626,73 @@ fn run_receive_phase<P: Program>(
 /// serial engine's span interning order), then the message tallies, then
 /// the staged trace events (absorbed through the shared capped tracer, so
 /// the global event sequence and drop count match the serial engine's).
-fn merge_send_partials<P: Program>(b: &mut Batch<P>, metrics: &mut Metrics, tracer: &mut Tracer) {
+fn merge_send_partials<P: Program>(
+    b: &mut Batch<P>,
+    metrics: &mut Metrics,
+    tracer: &mut Tracer,
+    faults: Option<&mut FaultCtx<P>>,
+) {
     for (&(v, _), &span) in b.jobs.iter().zip(b.spans.iter()) {
         metrics.note_awake(NodeId(v), span);
     }
     metrics.messages_sent += b.sent;
     metrics.messages_delivered += b.delivered;
     metrics.messages_lost += b.lost;
+    metrics.faults_dropped += b.fdropped;
+    metrics.faults_duplicated += b.fduplicated;
+    metrics.faults_delayed += b.fdelayed;
+    if let Some(f) = faults {
+        // Chunk order = node order, so the run-wide delayed buffer grows
+        // in the serial engine's transmission order.
+        f.state.delayed.append(&mut b.delayed_out);
+    }
     tracer.absorb(&mut b.trace);
+}
+
+/// Between the phases: resolve fault-delayed messages that have come due.
+/// A delayed message is delivered only if its recipient is awake at
+/// exactly its due round; a due round nobody executed (or an asleep
+/// recipient) loses it — the model's rule, applied late. Deliverable
+/// messages are staged into the `late` buffer of the recipient's owner
+/// batch (`batches` is this round's chunk-ordered batch slice), in the
+/// run-wide buffer order the serial engine drains.
+fn resolve_due_delays<P: Program>(
+    f: &mut FaultCtx<P>,
+    round: Round,
+    ctx: &RoundCtx,
+    batches: &mut [Batch<P>],
+    metrics: &mut Metrics,
+    tracer: &mut Tracer,
+) {
+    if !f.state.delayed.iter().any(|d| d.due <= round) {
+        return;
+    }
+    let mut kept = Vec::with_capacity(f.state.delayed.len());
+    for d in f.state.delayed.drain(..) {
+        if d.due > round {
+            kept.push(d);
+            continue;
+        }
+        let (due, from, to) = (d.due, d.from, d.to);
+        if due == round && ctx.next_wake[to.index()] == round {
+            metrics.messages_delivered += 1;
+            tracer.push(|| TraceEvent::Delivered { round, from, to });
+            let pos = ctx.awake_pos[to.index()];
+            let c = ctx.chunk_of(pos);
+            batches[c].late.push(ShardEntry {
+                to_local: pos - ctx.bounds[c],
+                env: Envelope { from, msg: d.msg },
+            });
+        } else {
+            metrics.messages_lost += 1;
+            tracer.push(|| TraceEvent::Lost {
+                round: due,
+                from,
+                to,
+            });
+        }
+    }
+    f.state.delayed = kept;
 }
 
 /// Apply one chunk's receive partials in node order: stay lane extension
@@ -422,8 +709,11 @@ fn apply_receive_partials<P: Program>(
     outputs: &mut [Option<P::Output>],
     slots: &mut [Option<P>],
     tracer: &mut Tracer,
+    metrics: &mut Metrics,
 ) {
     tracer.absorb(&mut b.trace);
+    metrics.faults_crashed += b.fcrashed;
+    b.fcrashed = 0;
     for &v in &b.stays {
         ctx.next_wake[v as usize] = round + 1;
     }
@@ -464,50 +754,116 @@ fn worker_loop<P: Program>(
     }
 }
 
-/// Run `programs` on `graph` using `workers` threads.
-///
-/// Semantics are identical to [`Engine::run`](crate::Engine::run); programs
-/// must be deterministic for the executors to agree. The worker count does
-/// not affect any observable result — it only changes how the awake set is
-/// chunked.
-///
-/// # Errors
-/// Same contract as the serial engine ([`SimError`]), with the serial
-/// engine's error precedence (lowest node id first).
-pub fn run_threaded<P>(
+/// How a threaded run starts: fresh programs at round 1, or programs plus
+/// the decoded round-boundary state of a [`Snapshot`].
+enum ThreadedInit<P: Program> {
+    Fresh(Vec<P>),
+    Restored {
+        programs: Vec<P>,
+        // boxed: RestoredState is a dozen Vecs wide, Fresh a single one
+        state: Box<RestoredState<P::Msg, P::Output>>,
+    },
+}
+
+/// What the core produced: a completed [`Run`], or the snapshot the run
+/// paused into at its `pause_after` bound.
+enum ThreadedOutcome<O> {
+    Done(Run<O>),
+    Paused(Snapshot),
+}
+
+/// Checkpoint control of one run: the pause bound and/or periodic emission
+/// interval, plus the monomorphized snapshot encoder as a function pointer
+/// — the executor core itself carries no [`Codec`] bounds (only the public
+/// wrappers do, where `encode_snapshot::<P>` is instantiated).
+struct CkptCtl<'a, P: Program> {
+    /// Pause (into a returned snapshot) instead of executing any round
+    /// beyond this bound.
+    pause_after: Option<Round>,
+    /// Hand a snapshot to `sink` whenever at least this many rounds have
+    /// elapsed since the last one and more work is pending.
+    every: Option<Round>,
+    encode: for<'b> fn(&Graph, Config, EngineStateRef<'b, P>) -> Snapshot,
+    sink: &'a mut dyn FnMut(&Snapshot),
+}
+
+/// The shared executor core behind [`run_threaded`] and its fault-aware /
+/// checkpoint-aware variants: a persistent worker pool driven round by
+/// round from a fresh or restored boundary, with optional seeded fault
+/// injection and optional snapshotting at round boundaries. All observable
+/// state lives coordinator-side between rounds, which is exactly what a
+/// [`Snapshot`] captures — byte-identical to the serial engine's at the
+/// same boundary.
+fn run_threaded_core<P>(
     graph: &Graph,
-    programs: Vec<P>,
+    init: ThreadedInit<P>,
     config: Config,
     workers: usize,
-) -> Result<Run<P::Output>, SimError>
+    mut faults: Option<FaultCtx<P>>,
+    mut ctl: Option<CkptCtl<'_, P>>,
+) -> Result<ThreadedOutcome<P::Output>, SimError>
 where
     P: Program + Send,
 {
     let n = graph.n();
+    let workers = workers.max(1);
+    let (programs, restored) = match init {
+        ThreadedInit::Fresh(p) => (p, None),
+        ThreadedInit::Restored { programs, state } => (programs, Some(*state)),
+    };
     if programs.len() != n {
         return Err(SimError::ProgramCountMismatch {
             got: programs.len(),
             expected: n,
         });
     }
-    let workers = workers.max(1);
-    let mut metrics = Metrics::new(n);
-    let mut tracer = Tracer::new(config.trace);
+    let mut metrics;
+    let mut tracer;
+    let mut outputs: Vec<Option<P::Output>>;
+    let next_wake: Vec<Round>;
+    let wheel_init: WakeWheel;
+    let stay_init: Vec<u32>;
+    let prev_round_init: Round;
+    match restored {
+        None => {
+            metrics = Metrics::new(n);
+            tracer = Tracer::new(config.trace);
+            outputs = (0..n).map(|_| None).collect();
+            let mut nw = Vec::with_capacity(n);
+            let mut wheel = WakeWheel::new();
+            seed_schedule(&programs, &mut wheel, &mut nw, &mut outputs)?;
+            next_wake = nw;
+            wheel_init = wheel;
+            stay_init = Vec::new();
+            prev_round_init = 0;
+        }
+        Some(rs) => {
+            metrics = rs.metrics;
+            tracer = rs.tracer;
+            outputs = rs.outputs;
+            next_wake = rs.next_wake;
+            wheel_init = rebuild_wheel(&rs.wheel_events);
+            stay_init = rs.stay;
+            prev_round_init = rs.prev_round;
+        }
+    }
     let trace_on = tracer.enabled();
-    let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
     if n == 0 {
-        return Ok(Run {
+        return Ok(ThreadedOutcome::Done(Run {
             outputs: vec![],
             metrics,
-            trace: vec![],
-            trace_dropped: 0,
-        });
+            trace: tracer.events,
+            trace_dropped: tracer.dropped,
+        }));
     }
-
-    let mut next_wake: Vec<Round> = Vec::with_capacity(n);
-    let mut wheel = WakeWheel::new();
-    seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
+    let mut wheel = wheel_init;
     let mut slots: Vec<Option<P>> = programs.into_iter().map(Some).collect();
+    // The immutable per-round fault hooks workers need; the mutable fault
+    // state (the delayed-message buffer) stays with the coordinator.
+    let hooks: Option<FaultHooks<P>> = faults.as_ref().map(|f| FaultHooks {
+        plan: f.state.plan,
+        crash_io: f.crash_io,
+    });
 
     let shared = RwLock::new(RoundCtx {
         next_wake,
@@ -532,7 +888,7 @@ where
     }
     let mut pool: Vec<Option<Batch<P>>> = (0..workers).map(|_| Some(Batch::new())).collect();
 
-    let result: Result<(), SimError> = std::thread::scope(|scope| {
+    let result: Result<Option<Snapshot>, SimError> = std::thread::scope(|scope| {
         for (job_rx, done_tx) in job_rxs.drain(..).zip(done_txs.drain(..)) {
             let graph_ref = &*graph;
             let shared_ref = &shared;
@@ -541,18 +897,46 @@ where
 
         let mut awake: Vec<u32> = Vec::new();
         let mut scratch: Vec<u32> = Vec::new();
-        let mut stay: Vec<u32> = Vec::new();
+        let mut stay: Vec<u32> = stay_init;
         let mut prefix: Vec<u64> = Vec::new();
         let mut bounds: Vec<u32> = Vec::new();
         // Batches of the round in flight, in chunk index order.
         let mut inflight: Vec<Batch<P>> = Vec::with_capacity(workers);
         // Segment pool of the coordinator's inline path.
         let mut main_inboxes: ChunkInboxes<P::Msg> = ChunkInboxes::new();
-        let mut prev_round: Round = 0;
+        let mut prev_round: Round = prev_round_init;
+        let mut last_emit: Round = prev_round_init;
 
-        while let Some(round) =
-            next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch)
-        {
+        loop {
+            // Peek the next pending round without committing anything, so
+            // a pause bound can snapshot this exact boundary (the stay
+            // lane, when occupied, always runs before any wheel wake-up).
+            let next = if !stay.is_empty() {
+                Some(prev_round + 1)
+            } else {
+                wheel.peek_min()
+            };
+            let Some(round) = next else { break };
+            if let Some(c) = ctl.as_mut() {
+                if c.pause_after.is_some_and(|bound| round > bound) {
+                    let ctx = shared.read().expect("round context lock");
+                    let st = EngineStateRef {
+                        prev_round,
+                        next_wake: &ctx.next_wake,
+                        stay: &stay,
+                        wheel_events: wheel.pending_events(),
+                        outputs: &outputs,
+                        programs: ProgramsRef::Slots(&slots),
+                        metrics: &metrics,
+                        tracer: &tracer,
+                        faults: faults.as_ref().map(|f| &f.state),
+                    };
+                    return Ok(Some((c.encode)(graph, config, st)));
+                }
+            }
+            let popped =
+                next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch);
+            debug_assert_eq!(popped, Some(round), "peek and pop must agree");
             if round > config.max_rounds {
                 return Err(SimError::RoundBudgetExceeded {
                     limit: config.max_rounds,
@@ -580,6 +964,7 @@ where
                 b.round = round;
                 b.phase = Phase::Send;
                 b.trace_on = trace_on;
+                b.faults = hooks;
                 b.jobs.clear();
                 for &v in &awake {
                     b.jobs
@@ -592,87 +977,25 @@ where
                 if let Some(e) = b.error.take() {
                     return Err(e);
                 }
-                merge_send_partials(&mut b, &mut metrics, &mut tracer);
+                merge_send_partials(&mut b, &mut metrics, &mut tracer, faults.as_mut());
+                if let Some(f) = faults.as_mut() {
+                    let ctx = shared.read().expect("round context lock");
+                    resolve_due_delays(
+                        f,
+                        round,
+                        &ctx,
+                        std::slice::from_mut(&mut b),
+                        &mut metrics,
+                        &mut tracer,
+                    );
+                }
                 b.phase = Phase::Receive;
                 run_receive_phase(graph, &mut b, &mut main_inboxes);
                 if let Some(e) = b.error.take() {
                     return Err(e);
                 }
-                let mut ctx = shared.write().expect("round context lock");
-                apply_receive_partials(
-                    &mut b,
-                    round,
-                    &mut ctx,
-                    &mut wheel,
-                    &mut stay,
-                    &mut outputs,
-                    &mut slots,
-                    &mut tracer,
-                );
-                pool[0] = Some(b);
-                continue;
-            }
-
-            // ---- send phase: workers route their own chunks ----
-            for w in 0..k {
-                let mut b = pool[w].take().expect("batch parked");
-                b.round = round;
-                b.phase = Phase::Send;
-                b.trace_on = trace_on;
-                b.jobs.clear();
-                for &v in &awake[bounds[w] as usize..bounds[w + 1] as usize] {
-                    b.jobs
-                        .push((v, slots[v as usize].take().expect("program present")));
-                }
-                job_txs[w].send(b).expect("worker alive");
-            }
-            inflight.clear();
-            for rx in done_rxs.iter().take(k) {
-                inflight.push(rx.recv().expect("worker reply"));
-            }
-            // Error precedence: chunks ascend in node order and a worker
-            // stops at its chunk's first routing error, so the first error
-            // of the lowest-indexed chunk is the serial engine's error.
-            for b in &mut inflight {
-                if let Some(e) = b.error.take() {
-                    return Err(e);
-                }
-            }
-            // Deterministic metrics/trace merge, chunk by chunk in node
-            // order.
-            for b in &mut inflight {
-                merge_send_partials(b, &mut metrics, &mut tracer);
-            }
-            // ---- exchange: transpose the k×k owner-shard matrix so
-            // batch w's shards become the messages *addressed to* chunk w,
-            // indexed by source chunk. Vec header swaps only — the message
-            // payloads never move, and buffer capacity stays in the pool.
-            for w in 0..k {
-                let (left, right) = inflight.split_at_mut(w + 1);
-                for c in (w + 1)..k {
-                    std::mem::swap(&mut left[w].shards[c], &mut right[c - w - 1].shards[w]);
-                }
-            }
-
-            // ---- receive phase: workers deliver and receive locally ----
-            for (w, mut b) in inflight.drain(..).enumerate() {
-                b.phase = Phase::Receive;
-                job_txs[w].send(b).expect("worker alive");
-            }
-            for rx in done_rxs.iter().take(k) {
-                inflight.push(rx.recv().expect("worker reply"));
-            }
-            for b in &mut inflight {
-                if let Some(e) = b.error.take() {
-                    return Err(e);
-                }
-            }
-            // Apply action partials in chunk order (= node order): stay
-            // lane stays globally sorted, wake-ups enter the wheel in the
-            // serial engine's schedule order, halt outputs land in place.
-            {
-                let mut ctx = shared.write().expect("round context lock");
-                for (w, mut b) in inflight.drain(..).enumerate() {
+                {
+                    let mut ctx = shared.write().expect("round context lock");
                     apply_receive_partials(
                         &mut b,
                         round,
@@ -682,27 +1005,359 @@ where
                         &mut outputs,
                         &mut slots,
                         &mut tracer,
+                        &mut metrics,
                     );
-                    pool[w] = Some(b);
+                }
+                pool[0] = Some(b);
+            } else {
+                // ---- send phase: workers route their own chunks ----
+                for w in 0..k {
+                    let mut b = pool[w].take().expect("batch parked");
+                    b.round = round;
+                    b.phase = Phase::Send;
+                    b.trace_on = trace_on;
+                    b.faults = hooks;
+                    b.jobs.clear();
+                    for &v in &awake[bounds[w] as usize..bounds[w + 1] as usize] {
+                        b.jobs
+                            .push((v, slots[v as usize].take().expect("program present")));
+                    }
+                    job_txs[w].send(b).expect("worker alive");
+                }
+                inflight.clear();
+                for rx in done_rxs.iter().take(k) {
+                    inflight.push(rx.recv().expect("worker reply"));
+                }
+                // Error precedence: chunks ascend in node order and a
+                // worker stops at its chunk's first routing error, so the
+                // first error of the lowest-indexed chunk is the serial
+                // engine's error.
+                for b in &mut inflight {
+                    if let Some(e) = b.error.take() {
+                        return Err(e);
+                    }
+                }
+                // Deterministic metrics/trace merge, chunk by chunk in
+                // node order.
+                for b in &mut inflight {
+                    merge_send_partials(b, &mut metrics, &mut tracer, faults.as_mut());
+                }
+                // Between the phases: route fault-delayed messages coming
+                // due into their recipients' owner batches, exactly where
+                // the serial engine resolves them.
+                if let Some(f) = faults.as_mut() {
+                    let ctx = shared.read().expect("round context lock");
+                    resolve_due_delays(f, round, &ctx, &mut inflight, &mut metrics, &mut tracer);
+                }
+                // ---- exchange: transpose the k×k owner-shard matrix so
+                // batch w's shards become the messages *addressed to*
+                // chunk w, indexed by source chunk. Vec header swaps only
+                // — the message payloads never move, and buffer capacity
+                // stays in the pool.
+                for w in 0..k {
+                    let (left, right) = inflight.split_at_mut(w + 1);
+                    for c in (w + 1)..k {
+                        std::mem::swap(&mut left[w].shards[c], &mut right[c - w - 1].shards[w]);
+                    }
+                }
+
+                // ---- receive phase: workers deliver and receive locally
+                for (w, mut b) in inflight.drain(..).enumerate() {
+                    b.phase = Phase::Receive;
+                    job_txs[w].send(b).expect("worker alive");
+                }
+                for rx in done_rxs.iter().take(k) {
+                    inflight.push(rx.recv().expect("worker reply"));
+                }
+                for b in &mut inflight {
+                    if let Some(e) = b.error.take() {
+                        return Err(e);
+                    }
+                }
+                // Apply action partials in chunk order (= node order):
+                // stay lane stays globally sorted, wake-ups enter the
+                // wheel in the serial engine's schedule order, halt
+                // outputs land in place.
+                {
+                    let mut ctx = shared.write().expect("round context lock");
+                    for (w, mut b) in inflight.drain(..).enumerate() {
+                        apply_receive_partials(
+                            &mut b,
+                            round,
+                            &mut ctx,
+                            &mut wheel,
+                            &mut stay,
+                            &mut outputs,
+                            &mut slots,
+                            &mut tracer,
+                            &mut metrics,
+                        );
+                        pool[w] = Some(b);
+                    }
+                }
+            }
+
+            // Periodic snapshots, at this round's boundary, only while
+            // more work is pending — the final state is the returned run.
+            if let Some(c) = ctl.as_mut() {
+                if let Some(every) = c.every {
+                    if prev_round >= last_emit.saturating_add(every)
+                        && (!stay.is_empty() || wheel.peek_min().is_some())
+                    {
+                        last_emit = prev_round;
+                        let ctx = shared.read().expect("round context lock");
+                        let st = EngineStateRef {
+                            prev_round,
+                            next_wake: &ctx.next_wake,
+                            stay: &stay,
+                            wheel_events: wheel.pending_events(),
+                            outputs: &outputs,
+                            programs: ProgramsRef::Slots(&slots),
+                            metrics: &metrics,
+                            tracer: &tracer,
+                            faults: faults.as_ref().map(|f| &f.state),
+                        };
+                        let snap = (c.encode)(graph, config, st);
+                        (c.sink)(&snap);
+                    }
                 }
             }
         }
         drop(job_txs);
-        Ok(())
+        Ok(None)
     });
-    result?;
+    if let Some(snapshot) = result? {
+        return Ok(ThreadedOutcome::Paused(snapshot));
+    }
 
+    // Still-buffered delayed messages never found an executed due round
+    // with an awake recipient: account them lost, like the serial engine.
+    if let Some(f) = faults.as_mut() {
+        for d in f.state.delayed.drain(..) {
+            metrics.messages_lost += 1;
+            tracer.push(|| TraceEvent::Lost {
+                round: d.due,
+                from: d.from,
+                to: d.to,
+            });
+        }
+    }
     let outputs = outputs
         .into_iter()
         .enumerate()
         .map(|(v, o)| o.ok_or(SimError::MissingOutput(NodeId(v as u32))))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Run {
+    Ok(ThreadedOutcome::Done(Run {
         outputs,
         metrics,
         trace: tracer.events,
         trace_dropped: tracer.dropped,
-    })
+    }))
+}
+
+/// Run `programs` on `graph` using `workers` threads.
+///
+/// Semantics are identical to [`Engine::run`](crate::Engine::run); programs
+/// must be deterministic for the executors to agree. The worker count does
+/// not affect any observable result — it only changes how the awake set is
+/// chunked.
+///
+/// # Errors
+/// Same contract as the serial engine ([`SimError`]), with the serial
+/// engine's error precedence (lowest node id first).
+pub fn run_threaded<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Send,
+{
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        None,
+        None,
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Run `programs` under a seeded fault plan using `workers` threads.
+///
+/// Bit-for-bit identical to
+/// [`Engine::run_faulty`](crate::Engine::run_faulty) under the same plan,
+/// at any worker count.
+///
+/// # Errors
+/// Same contract as [`run_threaded`].
+pub fn run_threaded_faulty<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    plan: &FaultPlan,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+{
+    let faults = FaultCtx::new(*plan, CrashIo::<P>::of());
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        Some(faults),
+        None,
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Run until the next pending round would exceed `pause_after`, then
+/// snapshot the paused state; completes normally if the run finishes
+/// first. The snapshot is **byte-identical** to the serial
+/// [`Engine::snapshot_at`](crate::Engine::snapshot_at) at the same bound —
+/// between rounds all observable state lives with the coordinator, so the
+/// worker count leaves no residue in the image.
+///
+/// # Errors
+/// Any [`SimError`] from the rounds executed before the pause.
+pub fn snapshot_at_threaded<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+    pause_after: Round,
+) -> Result<Paused<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+    P::Msg: Codec,
+    P::Output: Codec,
+{
+    let faults = plan.map(|p| FaultCtx::new(*p, CrashIo::<P>::of()));
+    let mut sink = |_: &Snapshot| {};
+    let ctl = CkptCtl {
+        pause_after: Some(pause_after),
+        every: None,
+        encode: encode_snapshot::<P>,
+        sink: &mut sink,
+    };
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        faults,
+        Some(ctl),
+    )? {
+        ThreadedOutcome::Done(run) => Ok(Paused::Done(run)),
+        ThreadedOutcome::Paused(snapshot) => Ok(Paused::Snapshot(snapshot)),
+    }
+}
+
+/// Continue a snapshotted run to completion on the threaded executor,
+/// bit-for-bit identical to the uninterrupted run (outputs, `Metrics`,
+/// trace) — regardless of which executor or worker count produced the
+/// snapshot. `programs` must be the same *initial* programs the original
+/// run started from; their dynamic state is overwritten from the snapshot.
+///
+/// # Errors
+/// [`ResumeError::Checkpoint`] if the snapshot is corrupt or does not
+/// match `graph`; [`ResumeError::Sim`] for simulation errors after the
+/// restore.
+pub fn resume_threaded<P>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    snapshot: &Snapshot,
+    workers: usize,
+) -> Result<Run<P::Output>, ResumeError>
+where
+    P: Program + Persist + Send,
+    P::Msg: Codec,
+    P::Output: Codec,
+{
+    let n = graph.n();
+    if programs.len() != n {
+        return Err(ResumeError::Sim(SimError::ProgramCountMismatch {
+            got: programs.len(),
+            expected: n,
+        }));
+    }
+    let mut state = decode_snapshot::<P>(graph, snapshot, &mut programs)?;
+    let config = state.config;
+    let faults = state
+        .faults
+        .take()
+        .map(|s| FaultCtx::from_state(s, CrashIo::<P>::of()));
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Restored {
+            programs,
+            state: Box::new(state),
+        },
+        config,
+        workers,
+        faults,
+        None,
+    )
+    .map_err(ResumeError::Sim)?
+    {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Run to completion on `workers` threads, handing a snapshot to `sink`
+/// whenever at least `every` rounds have elapsed since the last one (none
+/// once the run has finished — the final state is the returned [`Run`]).
+/// Resuming from any emitted snapshot — on either executor — continues to
+/// the same bit-for-bit result.
+///
+/// # Panics
+/// If `every` is zero.
+///
+/// # Errors
+/// Same contract as [`run_threaded`].
+pub fn run_threaded_checkpointed<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+    every: Round,
+    mut sink: impl FnMut(&Snapshot),
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+    P::Msg: Codec,
+    P::Output: Codec,
+{
+    assert!(every > 0, "checkpoint interval must be at least 1 round");
+    let faults = plan.map(|p| FaultCtx::new(*p, CrashIo::<P>::of()));
+    let ctl = CkptCtl {
+        pause_after: None,
+        every: Some(every),
+        encode: encode_snapshot::<P>,
+        sink: &mut sink,
+    };
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        faults,
+        Some(ctl),
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
 }
 
 #[cfg(test)]

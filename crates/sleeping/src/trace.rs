@@ -57,6 +57,36 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A message was dropped in flight by an injected fault (distinct from
+    /// [`Lost`](TraceEvent::Lost), the model's asleep-recipient loss).
+    FaultDrop {
+        /// Round number.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// A message was delayed in flight by an injected fault; its delivery
+    /// will be attempted at `until`.
+    FaultDelay {
+        /// Round the message was sent.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Round at which delivery is attempted.
+        until: Round,
+    },
+    /// A node crash-restarted: its state changes of this round were lost
+    /// and it resumes from its start-of-round state at the next round.
+    Crash {
+        /// Round number.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
 }
 
 #[derive(Debug, Default)]

@@ -65,6 +65,20 @@ impl WakeWheel {
         self.len == 0
     }
 
+    /// All pending `(round, node)` events, sorted by `(round, node)` — the
+    /// wheel's logical content for checkpointing. Bucket layout is relative
+    /// to the wheel's running position, so snapshots store this canonical
+    /// form and restore rebuilds a fresh wheel from it: pop order and peek
+    /// results (all the executors observe) are position-independent.
+    pub(crate) fn pending_events(&self) -> Vec<(Round, u32)> {
+        let mut events: Vec<(Round, u32)> = Vec::with_capacity(self.len);
+        for bucket in &self.buckets {
+            events.extend_from_slice(bucket);
+        }
+        events.sort_unstable();
+        events
+    }
+
     /// The level at which `round` is bucketed relative to `current`:
     /// the highest 6-bit group where they differ.
     #[inline]
@@ -320,6 +334,25 @@ mod tests {
         assert_eq!(w.pop_next(&mut batch), Some(70));
         assert_eq!(batch, vec![1]);
         assert_eq!(w.peek_min(), Some(100));
+    }
+
+    /// A wheel rebuilt from `pending_events` must be observationally equal
+    /// to the original — the checkpoint/restore contract for the scheduler.
+    #[test]
+    fn pending_events_rebuild_an_equivalent_wheel() {
+        let mut w = WakeWheel::new();
+        w.schedule(65, 0);
+        w.schedule(66, 1);
+        w.schedule(1 << 40, 2);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(65));
+        w.schedule(66, 3);
+        let events = w.pending_events();
+        assert_eq!(events, vec![(66, 1), (66, 3), (1 << 40, 2)]);
+        let mut rebuilt = WakeWheel::new();
+        rebuilt.schedule_all(events);
+        assert_eq!(rebuilt.peek_min(), w.peek_min());
+        assert_eq!(drain_all(&mut rebuilt), drain_all(&mut w));
     }
 
     #[test]
