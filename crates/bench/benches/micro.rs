@@ -481,6 +481,9 @@ fn main() {
         n: N,
         degree: DEG,
         rounds: ROUNDS,
+        cores: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(0),
         engine,
         threaded_4_workers: thr,
         legacy_baseline: legacy,

@@ -46,10 +46,13 @@ where
     let delta = delta.unwrap_or_else(|| g.max_degree()).max(1) as u64;
     let mut composition = Composition::new();
 
-    // Stage 1: Linial to k = O(Δ²) colors.
+    // Stage 1: Linial to k = O(Δ²) colors. Hoist the `O(n)` ident-bound
+    // scan out of the per-node loop — inline it was `O(n²)`, which
+    // dominated the whole sweep past n ≈ 2^14.
+    let ident_bound = g.ident_bound();
     let programs: Vec<ColorReduction> = g
         .nodes()
-        .map(|v| ColorReduction::from_ident(g.ident(v), g.ident_bound(), delta))
+        .map(|v| ColorReduction::from_ident(g.ident(v), ident_bound, delta))
         .collect();
     let run = Engine::new(g, Config::default()).run(programs)?;
     let k = linial::final_palette(delta);

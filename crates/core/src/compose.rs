@@ -87,6 +87,17 @@ impl Composition {
         self.stages.iter().map(|s| s.metrics.rounds).sum()
     }
 
+    /// Total awake node-round events across stages — the Sleeping model's
+    /// cost unit, summed additively like the other Lemma 8 quantities.
+    pub fn awake_events(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.awake_events).sum()
+    }
+
+    /// Virtual rounds the executors jumped (no awake node) across stages.
+    pub fn rounds_skipped(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.rounds_skipped).sum()
+    }
+
     /// Total messages sent across stages.
     pub fn messages_sent(&self) -> u64 {
         self.stages.iter().map(|s| s.metrics.messages_sent).sum()

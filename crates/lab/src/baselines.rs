@@ -64,6 +64,9 @@ pub enum Rule {
     Throughput,
     /// Lower is better; gate on any absolute increase.
     Allocations,
+    /// Lower is better; gate on relative increase (the energy sweep's
+    /// `wall_ms / awake_events` compression-cost ratio).
+    CostRatio,
     /// Shown for context, never gates.
     Info,
 }
@@ -101,6 +104,27 @@ pub fn diff_bench(
     let absolute_rule = match mode {
         GateMode::Absolute => Rule::Throughput,
         GateMode::Portable => Rule::Info,
+    };
+    // A single-core runner cannot exhibit parallel speedup, so the
+    // multi-worker ratio gates would fail for a hardware reason, not a
+    // code one. Portable mode (CI's) demotes those rows to labeled
+    // informational context when the *current* document — the runner that
+    // just produced the numbers — detected fewer than 2 cores. A recorded
+    // 0 means detection failed and keeps the gate armed rather than
+    // silently disarming it; so does a baseline old enough to predate the
+    // `cores` field.
+    let single_core = mode == GateMode::Portable
+        && current
+            .get("cores")
+            .and_then(Value::as_f64)
+            .is_some_and(|c| (1.0..2.0).contains(&c));
+    let demote_single_core = |mut d: MetricDiff| {
+        if single_core {
+            d.metric.push_str(" (1-core runner)");
+            d.rule = Rule::Info;
+            d.ok = true;
+        }
+        d
     };
     let mut rows = Vec::new();
     for section in ["engine", "threaded_4_workers"] {
@@ -141,25 +165,26 @@ pub fn diff_bench(
         tol,
     )?);
     if mode == GateMode::Portable {
-        rows.push(ratio_row(
+        rows.push(demote_single_core(ratio_row(
             baseline,
             current,
             &["threaded_4_workers", "node_rounds_per_sec"],
             &["legacy_baseline", "node_rounds_per_sec"],
             "threaded_4_workers_vs_legacy",
             tol,
-        )?);
+        )?));
     }
     // Delivery-pipeline health: the threaded-scaling sweep. The 4-worker
     // vs serial ratio is measured in one process, so it gates in both
-    // modes; absolute per-worker-count throughput only gates same-machine.
-    rows.push(row(
+    // modes; absolute per-worker-count throughput only gates same-machine,
+    // and a 1-core runner demotes the ratio to context in portable mode.
+    rows.push(demote_single_core(row(
         baseline,
         current,
         &["threaded_scaling", "w4_vs_serial"],
         Rule::Throughput,
         tol,
-    )?);
+    )?));
     rows.push(row(
         baseline,
         current,
@@ -210,6 +235,90 @@ pub fn diff_bench(
         )?);
     }
     Ok(rows)
+}
+
+/// Compare a fresh `BENCH_energy.json` against the committed baseline.
+///
+/// The compression-regression gate: each sweep point's cost ratio
+/// `wall_ms / awake_events` — wall time per awake event, the quantity the
+/// event-compressed executors keep flat no matter how many idle virtual
+/// rounds the wheel jumps — must not rise more than
+/// [`Tolerances::throughput_drop`] relative to the committed baseline.
+/// Points the baseline has never seen (a sweep extended to larger `n`)
+/// degrade to informational `(new)` rows; a point *dropped* from the
+/// current sweep is an error, since shrinking the sweep would silently
+/// un-gate it.
+///
+/// # Errors
+/// Returns a message naming the first malformed or missing point.
+pub fn diff_energy(
+    baseline: &Value,
+    current: &Value,
+    tol: &Tolerances,
+) -> Result<Vec<MetricDiff>, String> {
+    let base_pts = energy_points(baseline, "baseline")?;
+    let cur_pts = energy_points(current, "current")?;
+    let mut rows = Vec::new();
+    for (name, cost) in &cur_pts {
+        match base_pts.iter().find(|(b, _)| b == name) {
+            Some((_, base_cost)) => rows.push(judge(
+                format!("{name}.ms_per_awake_event"),
+                *base_cost,
+                *cost,
+                Rule::CostRatio,
+                tol,
+            )),
+            None => rows.push(MetricDiff {
+                metric: format!("{name}.ms_per_awake_event (new)"),
+                baseline: 0.0,
+                current: *cost,
+                change_pct: 0.0,
+                rule: Rule::Info,
+                ok: true,
+            }),
+        }
+    }
+    for (name, _) in &base_pts {
+        if !cur_pts.iter().any(|(c, _)| c == name) {
+            return Err(format!(
+                "current energy report dropped point `{name}` present in the baseline"
+            ));
+        }
+    }
+    Ok(rows)
+}
+
+/// Extract `(point-name, wall_ms / awake_events)` pairs from an
+/// `awake-lab/energy/v2` document, naming points `energy.<algo>.n<n>`.
+fn energy_points(doc: &Value, which: &str) -> Result<Vec<(String, f64)>, String> {
+    let Some(Value::Arr(pts)) = doc.get("points") else {
+        return Err(format!("{which} energy report has no `points` array"));
+    };
+    let mut out = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let algo = p
+            .get("algo")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which} energy point #{i} is missing string `algo`"))?;
+        let num = |key: &str| {
+            p.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                format!(
+                    "{which} energy point #{i} ({algo}) is missing numeric `{key}` — \
+                         is the document schema awake-lab/energy/v2?"
+                )
+            })
+        };
+        let n = num("n")?;
+        let events = num("awake_events")?;
+        let wall = num("wall_ms")?;
+        if events <= 0.0 {
+            return Err(format!(
+                "{which} energy point {algo}/n={n} has awake_events = 0"
+            ));
+        }
+        out.push((format!("energy.{algo}.n{}", n as u64), wall / events));
+    }
+    Ok(out)
 }
 
 /// Like [`row`], but a metric absent from the **baseline** document is
@@ -285,6 +394,10 @@ fn judge(name: String, base: f64, cur: f64, rule: Rule, tol: &Tolerances) -> Met
         let ok = match rule {
             Rule::Throughput | Rule::Info => true,
             Rule::Allocations => cur <= tol.alloc_epsilon,
+            // A zero baseline cost ratio only happens when the point ran
+            // faster than the wall-clock granularity; any current value is
+            // then noise, not a measurable regression.
+            Rule::CostRatio => true,
         };
         return MetricDiff {
             metric: format!("{name} (from zero)"),
@@ -303,6 +416,7 @@ fn judge(name: String, base: f64, cur: f64, rule: Rule, tol: &Tolerances) -> Met
     let ok = match rule {
         Rule::Throughput => cur >= base * (1.0 - tol.throughput_drop),
         Rule::Allocations => cur <= base + tol.alloc_epsilon,
+        Rule::CostRatio => cur <= base * (1.0 + tol.throughput_drop),
         Rule::Info => true,
     };
     MetricDiff {
@@ -359,6 +473,7 @@ pub fn render_table(rows: &[MetricDiff]) -> String {
             match r.rule {
                 Rule::Throughput => "throughput",
                 Rule::Allocations => "allocations",
+                Rule::CostRatio => "cost-ratio",
                 Rule::Info => "info",
             },
             if r.ok { "ok" } else { "FAIL" },
@@ -403,6 +518,10 @@ mod tests {
     }
 
     fn report_with_scaling(engine_ns: f64, allocs: u64, w4_factor: f64) -> Value {
+        report_with_cores(engine_ns, allocs, w4_factor, 4)
+    }
+
+    fn report_with_cores(engine_ns: f64, allocs: u64, w4_factor: f64, cores: usize) -> Value {
         let mk = |wall_ns: f64, allocations: u64| PerfStats {
             node_rounds: 1_000_000,
             messages: 8_000_000,
@@ -414,6 +533,7 @@ mod tests {
             n: 8192,
             degree: 8,
             rounds: 150,
+            cores,
             engine: mk(engine_ns, allocs),
             threaded_4_workers: mk(engine_ns * 1.8, allocs),
             legacy_baseline: mk(engine_ns * 2.2, 1_000_000),
@@ -583,6 +703,7 @@ mod tests {
                     n: 8192,
                     degree: 8,
                     rounds: 150,
+                    cores: 4,
                     engine: mk(engine_ns),
                     threaded_4_workers: mk(threaded_ns),
                     legacy_baseline: mk(1.3e8),
@@ -616,6 +737,124 @@ mod tests {
         assert!(failures(&thr)
             .iter()
             .any(|r| r.metric == "threaded_4_workers_vs_legacy"));
+    }
+
+    #[test]
+    fn single_core_runner_demotes_parallel_ratios_in_portable_mode() {
+        // The 4-worker leg "regresses" 30% — on a 1-core runner that is
+        // hardware, not code, so portable mode must demote both parallel
+        // ratio rows to labeled context and pass the gate.
+        let base = report_with_scaling(6.0e7, 13_000, 0.55);
+        let cur = report_with_cores(6.0e7, 13_000, 0.55 / 0.7, 1);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        for name in [
+            "threaded_scaling.w4_vs_serial (1-core runner)",
+            "threaded_4_workers_vs_legacy (1-core runner)",
+        ] {
+            assert!(
+                rows.iter()
+                    .any(|r| r.metric == name && r.rule == Rule::Info && r.ok),
+                "missing demoted row {name} in\n{}",
+                render_table(&rows)
+            );
+        }
+        // The same regression on a multi-core runner still gates…
+        let multi = report_with_cores(6.0e7, 13_000, 0.55 / 0.7, 4);
+        let rows = diff_bench(&base, &multi, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "threaded_scaling.w4_vs_serial"));
+        // …and so does a runner whose core detection failed (cores = 0):
+        // unknown hardware must not silently disarm the gate.
+        let unknown = report_with_cores(6.0e7, 13_000, 0.55 / 0.7, 0);
+        let rows = diff_bench(&base, &unknown, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "threaded_scaling.w4_vs_serial"));
+        // Absolute mode (same-machine diffs) never demotes.
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "threaded_scaling.w4_vs_serial"));
+    }
+
+    /// Handcraft an `awake-lab/energy/v2` document from
+    /// `(algo, n, awake_events, wall_ms)` points.
+    fn energy_doc(points: &[(&str, u64, u64, f64)]) -> Value {
+        let mut s = String::from("{\"schema\": \"awake-lab/energy/v2\", \"points\": [");
+        for (i, (algo, n, events, wall)) in points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"algo\": \"{algo}\", \"n\": {n}, \"awake_events\": {events}, \
+                 \"wall_ms\": {wall:.3}}}"
+            ));
+        }
+        s.push_str("]}");
+        json::parse(&s).unwrap()
+    }
+
+    #[test]
+    fn identical_energy_reports_pass() {
+        let doc = energy_doc(&[
+            ("theorem1", 1024, 5_000, 2.5),
+            ("bm21", 1024, 7_000, 3.0),
+            ("theorem1", 2048, 11_000, 5.5),
+        ]);
+        let rows = diff_energy(&doc, &doc, &Tolerances::default()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        assert!(rows.iter().all(|r| r.rule == Rule::CostRatio));
+        assert!(rows
+            .iter()
+            .any(|r| r.metric == "energy.bm21.n1024.ms_per_awake_event"));
+    }
+
+    #[test]
+    fn energy_cost_ratio_regression_fails_naming_the_point() {
+        let base = energy_doc(&[("theorem1", 1024, 5_000, 2.5), ("bm21", 1024, 7_000, 3.0)]);
+        // theorem1 does the same events 30% slower: compression regressed.
+        let cur = energy_doc(&[("theorem1", 1024, 5_000, 3.25), ("bm21", 1024, 7_000, 3.0)]);
+        let rows = diff_energy(&base, &cur, &Tolerances::default()).unwrap();
+        let failed = failures(&rows);
+        assert_eq!(failed.len(), 1, "{}", render_table(&rows));
+        assert_eq!(failed[0].metric, "energy.theorem1.n1024.ms_per_awake_event");
+        // A 10% rise stays inside the 15% tolerance.
+        let ok = energy_doc(&[("theorem1", 1024, 5_000, 2.75), ("bm21", 1024, 7_000, 3.0)]);
+        let rows = diff_energy(&base, &ok, &Tolerances::default()).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+    }
+
+    #[test]
+    fn energy_sweep_extension_is_informational_but_shrink_errors() {
+        let base = energy_doc(&[("theorem1", 1024, 5_000, 2.5)]);
+        let extended = energy_doc(&[
+            ("theorem1", 1024, 5_000, 2.5),
+            ("theorem1", 2048, 11_000, 5.5),
+        ]);
+        let rows = diff_energy(&base, &extended, &Tolerances::default()).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        assert!(rows.iter().any(|r| {
+            r.metric == "energy.theorem1.n2048.ms_per_awake_event (new)" && r.rule == Rule::Info
+        }));
+        // Dropping a gated point must error, not silently pass.
+        let err = diff_energy(&extended, &base, &Tolerances::default()).unwrap_err();
+        assert!(err.contains("energy.theorem1.n2048"), "{err}");
+    }
+
+    #[test]
+    fn energy_v1_document_without_compression_fields_errors() {
+        let v2 = energy_doc(&[("theorem1", 1024, 5_000, 2.5)]);
+        let v1 = json::parse(
+            "{\"schema\": \"awake-lab/energy/v1\", \
+             \"points\": [{\"algo\": \"theorem1\", \"n\": 1024}]}",
+        )
+        .unwrap();
+        let err = diff_energy(&v1, &v2, &Tolerances::default()).unwrap_err();
+        assert!(err.contains("awake_events"), "{err}");
+        assert!(err.contains("baseline"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! regression: a throughput drop beyond the tolerance, or any increase in
 //! allocations per node-round (see `awake_lab::baselines` for the rules).
 //!
+//! With `--energy` the inputs are `BENCH_energy.json` documents instead
+//! and the gate is the compression-cost ratio `wall_ms / awake_events`
+//! per sweep point (fails on a rise beyond the tolerance).
+//!
 //! Exit codes: `0` gate passed, `1` gate failed (a metric regressed),
 //! `2` usage or malformed JSON, `3` an input file is missing or
 //! unreadable (the error names the file and how to produce it).
@@ -25,10 +29,12 @@ const EXIT_NO_INPUT: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: baseline-diff <baseline.json> <current.json> [--tolerance FRACTION] [--portable]\n\
+        "usage: baseline-diff <baseline.json> <current.json> [--tolerance FRACTION] [--portable] [--energy]\n\
          \n  --portable  gate only machine-portable metrics (vs-legacy throughput\n\
          \x20             ratios and allocations per node-round); use when the\n\
-         \x20             baseline was recorded on different hardware, e.g. in CI"
+         \x20             baseline was recorded on different hardware, e.g. in CI\n\
+         \x20 --energy    inputs are BENCH_energy.json documents; gate the\n\
+         \x20             wall_ms / awake_events compression-cost ratio per point"
     );
     std::process::exit(2);
 }
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut tol = Tolerances::default();
     let mut mode = GateMode::Absolute;
+    let mut energy = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -62,6 +69,7 @@ fn main() -> ExitCode {
                 tol.throughput_drop = v;
             }
             "--portable" => mode = GateMode::Portable,
+            "--energy" => energy = true,
             p if !p.starts_with("--") => paths.push(p.to_string()),
             _ => usage(),
         }
@@ -72,6 +80,19 @@ fn main() -> ExitCode {
     };
 
     let result = (|| {
+        if energy {
+            let baseline = load(
+                baseline_path,
+                "baseline",
+                "git restore the committed BENCH_energy.json, or bless a fresh sweep as the new baseline",
+            )?;
+            let current = load(
+                current_path,
+                "current",
+                "cargo run --release -p awake-lab --bin suite -- --preset scaling  (writes BENCH_energy.json)",
+            )?;
+            return baselines::diff_energy(&baseline, &current, &tol).map_err(|e| (2u8, e));
+        }
         let baseline = load(
             baseline_path,
             "baseline",
@@ -93,7 +114,8 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "bench regression gate: {} vs {} (throughput tolerance {:.0}%, alloc epsilon {}{})\n",
+        "{} regression gate: {} vs {} (throughput tolerance {:.0}%, alloc epsilon {}{})\n",
+        if energy { "compression" } else { "bench" },
         baseline_path,
         current_path,
         tol.throughput_drop * 100.0,

@@ -4,15 +4,24 @@
 //! cargo run --release -p awake-lab --bin suite -- --preset quick --audit
 //! suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--audit]
 //!       [--canonical] [--energy-out PATH] [--filter SUBSTR] [--list]
+//!       [--budget-secs N]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume DIR]
 //! ```
 //!
 //! Exits non-zero if any scenario fails to run or fails validation; with
 //! `--audit`, also if any scenario's measured awake/round complexity
 //! exceeds its closed-form budget (`bound_ok = false` in the report).
-//! The `scaling` preset additionally writes `BENCH_energy.json` — the
-//! measured-vs-bound-vs-log₂ n trajectory (`--energy-out` overrides the
-//! path, or forces the document for any preset).
+//! The `scaling` and `deep` presets additionally write
+//! `BENCH_energy.json` — the measured-vs-bound-vs-log₂ n trajectory
+//! (`--energy-out` overrides the path, or forces the document for any
+//! preset). The energy document **streams**: it is atomically rewritten
+//! with the completed prefix each time a sweep point finishes, so a
+//! killed sweep still leaves every finished point behind.
+//!
+//! `--budget-secs N` is CI's hard wall-clock gate: if the whole suite
+//! takes longer than `N` seconds, the run fails *after completing*,
+//! naming the slowest scenario (the first candidate to shrink or move to
+//! the weekly deep sweep).
 //!
 //! All report files are written atomically (same-directory temp file +
 //! rename), so a killed run never leaves a torn document under a final
@@ -69,6 +78,7 @@ struct Args {
     audit: bool,
     energy_out: Option<String>,
     canonical: bool,
+    budget_secs: Option<u64>,
     checkpoint_dir: Option<String>,
     checkpoint_every: Option<u64>,
     resume: Option<String>,
@@ -76,16 +86,17 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--audit] [--canonical] [--energy-out PATH] [--filter SUBSTR] [--list] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume DIR]\n\
+        "usage: suite [--preset NAME] [--seed N] [--shards K] [--out PATH] [--audit] [--canonical] [--energy-out PATH] [--filter SUBSTR] [--list] [--budget-secs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume DIR]\n\
          \n  --preset NAME        suite preset to run (default: quick)\
          \n  --seed N             suite seed; scenario seeds derive from it (default: 1)\
          \n  --shards K           run up to K scenarios concurrently (default: 1)\
          \n  --out PATH           where to write the JSON report (default: suite_report.json)\
          \n  --audit              fail if any measured awake/round complexity exceeds its closed-form budget\
          \n  --canonical          write the byte-stable canonical JSON form (no timing/alloc noise)\
-         \n  --energy-out PATH    where to write the energy trajectory (default: BENCH_energy.json, written automatically for the scaling preset)\
+         \n  --energy-out PATH    where to write the energy trajectory (default: BENCH_energy.json, written automatically for the scaling/deep presets; streamed point by point)\
          \n  --filter SUBSTR      run only scenarios whose name contains SUBSTR\
-         \n  --list               list presets and exit\
+         \n  --list               list presets with scenario counts and gate flags, then exit\
+         \n  --budget-secs N      fail if the suite's wall time exceeds N seconds, naming the slowest scenario\
          \n  --checkpoint-dir DIR make the run recoverable: persist progress and engine snapshots under DIR\
          \n  --checkpoint-every N snapshot in-flight engine state every N rounds (default: 100000; needs --checkpoint-dir)\
          \n  --resume DIR         continue a killed recoverable run from DIR's progress and snapshots"
@@ -104,6 +115,7 @@ fn parse_args() -> Args {
         audit: false,
         energy_out: None,
         canonical: false,
+        budget_secs: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: None,
@@ -120,6 +132,9 @@ fn parse_args() -> Args {
             "--audit" => args.audit = true,
             "--canonical" => args.canonical = true,
             "--energy-out" => args.energy_out = Some(value("--energy-out")),
+            "--budget-secs" => {
+                args.budget_secs = Some(value("--budget-secs").parse().unwrap_or_else(|_| usage()))
+            }
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")),
             "--checkpoint-every" => {
                 args.checkpoint_every = Some(
@@ -145,8 +160,18 @@ fn main() -> ExitCode {
     let args = parse_args();
     if args.list {
         println!("available presets:");
-        for (name, desc, scenarios) in presets::registry() {
-            println!("  {name:<10} {desc} [{} scenarios]", scenarios.len());
+        for p in presets::registry() {
+            let flags = if p.flags.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", p.flags.join(", "))
+            };
+            println!(
+                "  {:<10} {} [{} scenarios]{flags}",
+                p.name,
+                p.desc,
+                p.scenarios.len()
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -202,12 +227,33 @@ fn main() -> ExitCode {
     }
     .with_alloc_probe(alloc_count);
 
+    // The scaling/deep presets' whole point is the energy trajectory, so
+    // they always write the document; --energy-out forces it for any
+    // preset. The document streams: each finished point atomically
+    // rewrites it with the completed prefix.
+    let energy_path: Option<String> =
+        if args.energy_out.is_some() || args.preset == "scaling" || args.preset == "deep" {
+            Some(
+                args.energy_out
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_energy.json".into()),
+            )
+        } else {
+            None
+        };
+
     let t0 = Instant::now();
     let run = match recovery {
         Some((dir, every)) => {
             runner.run_recoverable(&args.preset, &scenarios, args.seed, Path::new(dir), every)
         }
-        None => runner.run(&args.preset, &scenarios, args.seed),
+        None => runner.run_observed(&args.preset, &scenarios, args.seed, |partial| {
+            if let Some(path) = &energy_path {
+                // best-effort streaming — the final write after the run
+                // reports any persistent I/O failure
+                let _ = write_atomic(Path::new(path), energy_json(partial).as_bytes());
+            }
+        }),
     };
     let report = match run {
         Ok(r) => r,
@@ -217,7 +263,8 @@ fn main() -> ExitCode {
         }
     };
     print!("{}", report.text_table());
-    println!("\nsuite wall time: {:.2?}", t0.elapsed());
+    let elapsed = t0.elapsed();
+    println!("\nsuite wall time: {elapsed:.2?}");
 
     let body = if args.canonical {
         report.canonical_json()
@@ -230,15 +277,33 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
 
-    // The scaling preset's whole point is the energy trajectory, so it
-    // always writes the document; --energy-out forces it for any preset.
-    if args.energy_out.is_some() || args.preset == "scaling" {
-        let path = args.energy_out.as_deref().unwrap_or("BENCH_energy.json");
+    if let Some(path) = &energy_path {
         if let Err(e) = write_atomic(Path::new(path), energy_json(&report).as_bytes()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+
+    // The hard wall-clock budget gate (CI's per-PR sweep guard). Checked
+    // after the artifacts are written so a budget failure still leaves
+    // the full report and energy document behind for inspection.
+    if let Some(budget) = args.budget_secs {
+        if elapsed.as_secs_f64() > budget as f64 {
+            let slowest = report
+                .scenarios
+                .iter()
+                .max_by(|a, b| a.timing.wall_ns.total_cmp(&b.timing.wall_ns))
+                .expect("non-empty suite");
+            eprintln!(
+                "budget FAILED: suite took {:.1}s > {budget}s; slowest scenario: {} ({:.1}s)",
+                elapsed.as_secs_f64(),
+                slowest.name,
+                slowest.timing.wall_ns / 1e9
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("budget ok: {:.1}s of {budget}s", elapsed.as_secs_f64());
     }
 
     // Fault-injected scenarios are exempt from both exit gates: dropped

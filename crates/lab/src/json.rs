@@ -401,6 +401,7 @@ mod tests {
             n: 10,
             degree: 3,
             rounds: 5,
+            cores: 4,
             engine: p,
             threaded_4_workers: p,
             legacy_baseline: p,
@@ -543,6 +544,8 @@ mod tests {
                 faults_duplicated: 0,
                 faults_delayed: 0,
                 faults_crashed: 0,
+                awake_events: 10,
+                rounds_skipped: 0,
             },
             timing: crate::report::Timing::default(),
         });

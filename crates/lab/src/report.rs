@@ -50,6 +50,14 @@ pub struct ScenarioMetrics {
     pub faults_delayed: u64,
     /// Node crash-restarts injected.
     pub faults_crashed: u64,
+    /// Total awake node-round events executed — the Sleeping model's cost
+    /// unit, which the event-compressed executors' wall time is
+    /// proportional to (equals `total_awake`; kept as its own column so
+    /// the compression gate reads it without re-deriving).
+    pub awake_events: u64,
+    /// Virtual rounds jumped without per-round work (no node awake):
+    /// `rounds − rounds_skipped` is the number of rounds actually executed.
+    pub rounds_skipped: u64,
 }
 
 impl ScenarioMetrics {
@@ -71,6 +79,8 @@ impl ScenarioMetrics {
             faults_duplicated: m.faults_duplicated,
             faults_delayed: m.faults_delayed,
             faults_crashed: m.faults_crashed,
+            awake_events: m.awake_events,
+            rounds_skipped: m.rounds_skipped,
         }
     }
 
@@ -93,6 +103,8 @@ impl ScenarioMetrics {
             faults_duplicated: 0,
             faults_delayed: 0,
             faults_crashed: 0,
+            awake_events: c.awake_events(),
+            rounds_skipped: c.rounds_skipped(),
         }
     }
 }
@@ -157,9 +169,10 @@ pub struct Report {
 /// columns (`awake_bound`, `round_bound`, `bound_ok`) and the per-node
 /// awake percentiles (`awake_p50`, `awake_p99`); `v3` added the four
 /// fault-injection counters (`faults_dropped`, `faults_duplicated`,
-/// `faults_delayed`, `faults_crashed`) to every scenario row — see the
-/// migration notes in `CHANGES.md`.
-pub const REPORT_SCHEMA: &str = "awake-lab/report/v3";
+/// `faults_delayed`, `faults_crashed`) to every scenario row; `v4` added
+/// the event-compression counters (`awake_events`, `rounds_skipped`) — see
+/// the migration notes in `CHANGES.md`.
+pub const REPORT_SCHEMA: &str = "awake-lab/report/v4";
 /// Schema tag of [`BenchReport`] JSON documents (`BENCH_engine.json`).
 pub const BENCH_SCHEMA: &str = "awake-lab/bench/v1";
 
@@ -197,6 +210,7 @@ impl Report {
                  \"messages_sent\": {}, \"messages_lost\": {}, \
                  \"faults_dropped\": {}, \"faults_duplicated\": {}, \
                  \"faults_delayed\": {}, \"faults_crashed\": {}, \
+                 \"awake_events\": {}, \"rounds_skipped\": {}, \
                  \"awake_bound\": {}, \"round_bound\": {}, \"bound_ok\": {}",
                 json_str(&s.name),
                 json_str(s.problem),
@@ -218,6 +232,8 @@ impl Report {
                 s.metrics.faults_duplicated,
                 s.metrics.faults_delayed,
                 s.metrics.faults_crashed,
+                s.metrics.awake_events,
+                s.metrics.rounds_skipped,
                 s.awake_bound,
                 s.round_bound,
                 s.bound_ok,
@@ -286,12 +302,16 @@ impl Report {
 }
 
 /// Schema tag of the energy-trajectory document (`BENCH_energy.json`).
-pub const ENERGY_SCHEMA: &str = "awake-lab/energy/v1";
+/// `v2` added the per-point compression telemetry: `awake_events` (the
+/// Sleeping model's cost unit), `rounds_skipped` (virtual rounds jumped by
+/// the batch-cascade), and `wall_ms` — together they let CI budget the
+/// sweep and gate the `wall_ms / awake_events` compression ratio.
+pub const ENERGY_SCHEMA: &str = "awake-lab/energy/v2";
 
 /// Render a suite report as the `BENCH_energy.json` document: one point
 /// per scenario, relating the **measured** awake complexity to the
 /// closed-form bound and to `log₂ n`. For the `scaling` preset (Theorem 1
-/// and BM21 swept over `n ∈ {2^10 .. 2^18}`) the `awake_per_log2n` series
+/// and BM21 swept over `n ∈ {2^10 .. 2^21}`) the `awake_per_log2n` series
 /// is the paper's headline claim made empirical — `O(√log n · log* n)` is
 /// `o(log n)`, so the ratio must trend *down* as `n` grows.
 pub fn energy_json(report: &Report) -> String {
@@ -312,7 +332,8 @@ pub fn energy_json(report: &Report) -> String {
             "\n    {{\"algo\": {}, \"family\": {}, \"n\": {}, \"log2_n\": {:.3}, \
              \"max_awake\": {}, \"awake_bound\": {}, \
              \"awake_per_log2n\": {:.3}, \"bound_per_log2n\": {:.3}, \
-             \"rounds\": {}, \"round_bound\": {}, \"bound_ok\": {}}}",
+             \"rounds\": {}, \"round_bound\": {}, \"bound_ok\": {}, \
+             \"awake_events\": {}, \"rounds_skipped\": {}, \"wall_ms\": {:.3}}}",
             json_str(&s.algo),
             json_str(&s.family),
             s.n,
@@ -324,6 +345,9 @@ pub fn energy_json(report: &Report) -> String {
             s.metrics.rounds,
             s.round_bound,
             s.bound_ok,
+            s.metrics.awake_events,
+            s.metrics.rounds_skipped,
+            s.timing.wall_ns / 1e6,
         );
     }
     out.push_str("\n  ]\n}\n");
@@ -488,6 +512,12 @@ pub struct BenchReport {
     pub degree: usize,
     /// Rounds simulated.
     pub rounds: u64,
+    /// Detected core count of the machine that produced the report
+    /// (`std::thread::available_parallelism`, `0` = detection failed). CI
+    /// reads this to demote multi-worker throughput ratios to
+    /// informational rows on runners that cannot physically exhibit
+    /// parallel speedup (see `baselines::diff_bench`).
+    pub cores: usize,
     /// The current serial engine.
     pub engine: PerfStats,
     /// The worker-pool executor (4 workers).
@@ -511,7 +541,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"bench\": {},\n  \"n\": {},\n  \
-             \"degree\": {},\n  \"rounds\": {},\n  \"engine\": {},\n  \
+             \"degree\": {},\n  \"rounds\": {},\n  \"cores\": {},\n  \"engine\": {},\n  \
              \"threaded_4_workers\": {},\n  \"legacy_baseline\": {},\n  \
              \"threaded_scaling\": {},\n  \"edge_problems\": {},\n  \
              \"speedup_vs_legacy\": {:.3}\n}}\n",
@@ -519,6 +549,7 @@ impl BenchReport {
             self.n,
             self.degree,
             self.rounds,
+            self.cores,
             self.engine.section_json(),
             self.threaded_4_workers.section_json(),
             self.legacy_baseline.section_json(),
@@ -583,6 +614,8 @@ mod tests {
                     faults_duplicated: 0,
                     faults_delayed: 0,
                     faults_crashed: 4,
+                    awake_events: 10,
+                    rounds_skipped: 2,
                 },
                 timing: Timing {
                     wall_ns: 1.5e6,
@@ -601,9 +634,9 @@ mod tests {
         assert!(full.contains("allocations"));
         assert!(!canon.contains("wall_ms"));
         assert!(!canon.contains("allocations"));
-        assert!(canon.contains("\"schema\": \"awake-lab/report/v3\""));
-        // the audit, percentile and fault columns are deterministic, hence
-        // canonical
+        assert!(canon.contains("\"schema\": \"awake-lab/report/v4\""));
+        // the audit, percentile, fault and compression columns are
+        // deterministic, hence canonical
         for key in [
             "\"awake_p50\": 2",
             "\"awake_p99\": 3",
@@ -611,6 +644,8 @@ mod tests {
             "\"faults_duplicated\": 0",
             "\"faults_delayed\": 0",
             "\"faults_crashed\": 4",
+            "\"awake_events\": 10",
+            "\"rounds_skipped\": 2",
             "\"awake_bound\": 5",
             "\"round_bound\": 5",
             "\"bound_ok\": true",
@@ -625,7 +660,7 @@ mod tests {
         r.scenarios[0].n = 1024;
         let j = energy_json(&r);
         for key in [
-            "\"schema\": \"awake-lab/energy/v1\"",
+            "\"schema\": \"awake-lab/energy/v2\"",
             "\"n\": 1024",
             "\"log2_n\": 10.000",
             "\"max_awake\": 3",
@@ -634,6 +669,9 @@ mod tests {
             "\"bound_per_log2n\": 0.500",
             "\"round_bound\": 5",
             "\"bound_ok\": true",
+            "\"awake_events\": 10",
+            "\"rounds_skipped\": 2",
+            "\"wall_ms\": 1.500",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
@@ -699,6 +737,7 @@ mod tests {
             n: 8,
             degree: 2,
             rounds: 3,
+            cores: 4,
             engine: p,
             threaded_4_workers: p,
             legacy_baseline: PerfStats { wall_ns: 2e6, ..p },
@@ -721,6 +760,7 @@ mod tests {
             "\"w1\"",
             "\"w4\"",
             "\"w4_vs_serial\": 2.000",
+            "\"cores\": 4",
             "\"edge_problems\"",
             "\"matching\"",
             "\"edge_coloring\"",

@@ -130,15 +130,56 @@ impl Runner {
     /// # Errors
     /// Returns the first failing scenario's [`LabError`] (in suite order).
     pub fn run(&self, suite: &str, scenarios: &[Scenario], seed: u64) -> Result<Report, LabError> {
+        self.run_observed(suite, scenarios, seed, |_| {})
+    }
+
+    /// Like [`Runner::run`], but `observer` is invoked with the growing
+    /// partial report each time the completed **in-suite-order prefix**
+    /// extends — the hook the suite uses to stream energy points to disk
+    /// as long sweeps finish, so a killed 2²¹-node sweep still leaves
+    /// every completed point behind. On a sharded runner, scenarios
+    /// finishing out of order are buffered until their predecessors
+    /// complete, keeping each emitted partial a byte-prefix of the final
+    /// report's scenario list.
+    ///
+    /// # Errors
+    /// Returns the first failing scenario's [`LabError`] (in suite order).
+    pub fn run_observed(
+        &self,
+        suite: &str,
+        scenarios: &[Scenario],
+        seed: u64,
+        observer: impl Fn(&Report) + Sync,
+    ) -> Result<Report, LabError> {
+        let partial = |rows: &[ScenarioReport]| Report {
+            suite: suite.to_string(),
+            seed,
+            scenarios: rows.to_vec(),
+        };
         let results: Vec<Result<ScenarioReport, LabError>> = if self.shards == 1 {
-            scenarios
-                .iter()
-                .map(|sc| run_scenario(sc, seed, self.alloc_probe))
-                .collect()
+            let mut acc: Vec<Result<ScenarioReport, LabError>> =
+                Vec::with_capacity(scenarios.len());
+            let mut prefix: Vec<ScenarioReport> = Vec::with_capacity(scenarios.len());
+            for sc in scenarios {
+                let r = run_scenario(sc, seed, self.alloc_probe);
+                if let Ok(row) = &r {
+                    if prefix.len() == acc.len() {
+                        prefix.push(row.clone());
+                        observer(&partial(&prefix));
+                    }
+                }
+                acc.push(r);
+            }
+            acc
         } else {
             let slots: Vec<Mutex<Option<Result<ScenarioReport, LabError>>>> =
                 scenarios.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
+            // The contiguous completed-and-ok prefix emitted so far; a
+            // worker that fills a slot tries to extend it (lock order is
+            // always prefix → slot, and a slot lock is never held while
+            // waiting on the prefix, so the two cannot deadlock).
+            let emitted: Mutex<Vec<ScenarioReport>> = Mutex::new(Vec::new());
             std::thread::scope(|scope| {
                 for _ in 0..self.shards.min(scenarios.len()) {
                     scope.spawn(|| loop {
@@ -146,6 +187,18 @@ impl Runner {
                         let Some(sc) = scenarios.get(i) else { break };
                         let r = run_scenario(sc, seed, self.alloc_probe);
                         *slots[i].lock().unwrap() = Some(r);
+                        let mut prefix = emitted.lock().unwrap();
+                        let mut grew = false;
+                        while let Some(slot) = slots.get(prefix.len()) {
+                            let Some(Ok(row)) = slot.lock().unwrap().clone() else {
+                                break;
+                            };
+                            prefix.push(row);
+                            grew = true;
+                        }
+                        if grew {
+                            observer(&partial(&prefix));
+                        }
                     });
                 }
             });
@@ -339,6 +392,8 @@ fn parse_progress(text: &str) -> Vec<ProgressRow> {
                     faults_duplicated: exact_u64(row.get("faults_duplicated"))?,
                     faults_delayed: exact_u64(row.get("faults_delayed"))?,
                     faults_crashed: exact_u64(row.get("faults_crashed"))?,
+                    awake_events: exact_u64(row.get("awake_events"))?,
+                    rounds_skipped: exact_u64(row.get("rounds_skipped"))?,
                 },
             })
         })
@@ -691,6 +746,38 @@ mod tests {
         let serial = Runner::serial().run("t", &scenarios, 11).unwrap();
         let sharded = Runner::sharded(3).run("t", &scenarios, 11).unwrap();
         assert_eq!(serial.canonical_json(), sharded.canonical_json());
+    }
+
+    #[test]
+    fn observed_run_streams_growing_in_order_prefixes() {
+        let scenarios: Vec<Scenario> = [
+            ProblemKind::Coloring,
+            ProblemKind::ListColoring,
+            ProblemKind::Mis,
+            ProblemKind::VertexCover,
+        ]
+        .into_iter()
+        .map(|p| Scenario::of(GraphFamily::RandomTree { n: 32 }, p, Algo::Bm21).build())
+        .collect();
+        for runner in [Runner::serial(), Runner::sharded(3)] {
+            let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let r = runner
+                .run_observed("t", &scenarios, 11, |partial| {
+                    // every emission is an in-suite-order prefix
+                    for (i, row) in partial.scenarios.iter().enumerate() {
+                        assert_eq!(row.name, scenarios[i].name);
+                    }
+                    seen.lock().unwrap().push(partial.scenarios.len());
+                })
+                .unwrap();
+            let seen = seen.into_inner().unwrap();
+            assert!(seen.windows(2).all(|w| w[0] < w[1]), "prefixes must grow");
+            assert_eq!(
+                seen.last().copied(),
+                Some(r.scenarios.len()),
+                "the last emission must carry the whole suite"
+            );
+        }
     }
 
     #[test]

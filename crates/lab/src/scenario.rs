@@ -485,14 +485,27 @@ pub mod presets {
     }
 
     /// The energy-scaling sweep: Theorem 1 and BM21 on sparse Erdős–Rényi
-    /// graphs with `n ∈ {2^10 .. 2^18}` (average degree 4, so `Δ` stays
-    /// small while `n` spans two and a half orders of magnitude). One run
-    /// per (algo × size); the per-point `max_awake / log₂ n` series in
+    /// graphs with `n ∈ {2^10 .. 2^21}` (average degree 4, so `Δ` stays
+    /// small while `n` spans three orders of magnitude). One run per
+    /// (algo × size); the per-point `max_awake / log₂ n` series in
     /// `BENCH_energy.json` is the paper's sub-logarithmic claim made
     /// empirical, and `--audit` gates every point against the closed-form
-    /// budgets.
+    /// budgets. The top sizes are only tractable because the executors'
+    /// cost is proportional to awake *events*: the wheel batch-cascades
+    /// across the long all-asleep gaps these runs spend most of their
+    /// virtual time in.
     pub fn scaling() -> Vec<Scenario> {
-        (10..=18u32)
+        scaling_to(21)
+    }
+
+    /// The weekly deep sweep: [`scaling`] extended to `n = 2^22`. Too slow
+    /// for the per-PR budget, so CI runs it on a cron schedule only.
+    pub fn deep() -> Vec<Scenario> {
+        scaling_to(22)
+    }
+
+    fn scaling_to(max_exp: u32) -> Vec<Scenario> {
+        (10..=max_exp)
             .flat_map(|exp| {
                 let family = GraphFamily::SparseGnp {
                     n: 1usize << exp,
@@ -535,47 +548,84 @@ pub mod presets {
             .collect()
     }
 
-    /// Every preset as `(name, description, scenarios)`.
-    pub fn registry() -> Vec<(&'static str, &'static str, Vec<Scenario>)> {
+    /// One registry entry: a named preset plus the gate flags the suite
+    /// applies (and `suite --list` surfaces) when running it.
+    pub struct PresetInfo {
+        /// The CLI name (`--preset <name>`).
+        pub name: &'static str,
+        /// One-line description.
+        pub desc: &'static str,
+        /// How this preset interacts with the suite's gates:
+        /// `audit-exempt` (fault injection makes the closed-form budgets
+        /// inapplicable, so `--audit` skips it) or `budget-bounded` (CI
+        /// runs it under a hard wall-clock budget via `--budget-secs`).
+        pub flags: &'static [&'static str],
+        /// The scenarios, in suite order.
+        pub scenarios: Vec<Scenario>,
+    }
+
+    /// Every preset, in registry order.
+    pub fn registry() -> Vec<PresetInfo> {
+        let entry = |name, desc, flags, scenarios| PresetInfo {
+            name,
+            desc,
+            flags,
+            scenarios,
+        };
+        const NONE: &[&str] = &[];
         vec![
-            (
+            entry(
                 "quick",
-                "4 problems × 5 families, small sizes, Theorem 1 (20 scenarios)",
+                "4 problems × 5 families, small sizes, Theorem 1",
+                NONE,
                 quick(),
             ),
-            (
+            entry(
                 "full",
-                "4 problems × 5 families × 3 sizes, Theorem 1 (60 scenarios)",
+                "4 problems × 5 families × 3 sizes, Theorem 1",
+                NONE,
                 full(),
             ),
-            (
+            entry(
                 "algos",
-                "4 problems × 4 solvers on a bounded-degree mesh (16 scenarios)",
+                "4 problems × 4 solvers on a bounded-degree mesh",
+                NONE,
                 algos(),
             ),
-            (
+            entry(
                 "executors",
-                "serial vs. worker-pool executor on G(n,p), all problems (8 scenarios)",
+                "serial vs. worker-pool executor on G(n,p), all problems",
+                NONE,
                 executors(),
             ),
-            (
+            entry(
                 "huge",
-                "million-node sparse graphs on the worker-pool executor (4 scenarios)",
+                "million-node sparse graphs on the worker-pool executor",
+                NONE,
                 huge(),
             ),
-            (
+            entry(
                 "edges",
-                "matching + (2Δ-1)-edge coloring on every family, serial + threaded (40 scenarios)",
+                "matching + (2Δ-1)-edge coloring on every family, serial + threaded",
+                NONE,
                 edges(),
             ),
-            (
+            entry(
                 "scaling",
-                "Theorem 1 + BM21 energy sweep, n = 2^10..2^18 on sparse G(n,p) (18 scenarios)",
+                "Theorem 1 + BM21 energy sweep, n = 2^10..2^21 on sparse G(n,p)",
+                &["budget-bounded"],
                 scaling(),
             ),
-            (
+            entry(
+                "deep",
+                "the scaling sweep extended to n = 2^22 (weekly cron, not per-PR)",
+                &["budget-bounded"],
+                deep(),
+            ),
+            entry(
                 "faults",
-                "seeded drop/dup/delay/crash injection on G(n,p), serial + threaded (8 scenarios)",
+                "seeded drop/dup/delay/crash injection on G(n,p), serial + threaded",
+                &["audit-exempt"],
                 faults(),
             ),
         ]
@@ -585,8 +635,8 @@ pub mod presets {
     pub fn by_name(name: &str) -> Option<Vec<Scenario>> {
         registry()
             .into_iter()
-            .find(|(n, _, _)| *n == name)
-            .map(|(_, _, s)| s)
+            .find(|p| p.name == name)
+            .map(|p| p.scenarios)
     }
 
     #[derive(Clone, Copy)]
@@ -632,12 +682,12 @@ mod tests {
 
     #[test]
     fn default_names_are_unique_within_presets() {
-        for (preset, _, scenarios) in presets::registry() {
-            let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        for p in presets::registry() {
+            let mut names: Vec<&str> = p.scenarios.iter().map(|s| s.name.as_str()).collect();
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(before, names.len(), "duplicate names in preset {preset}");
+            assert_eq!(before, names.len(), "duplicate names in preset {}", p.name);
         }
     }
 
@@ -707,8 +757,8 @@ mod tests {
     #[test]
     fn scaling_preset_sweeps_both_staged_algos_over_powers_of_two() {
         let scaling = presets::by_name("scaling").expect("scaling preset registered");
-        assert_eq!(scaling.len(), 18);
-        for exp in 10..=18usize {
+        assert_eq!(scaling.len(), 24);
+        for exp in 10..=21usize {
             let at_n: Vec<&Scenario> = scaling
                 .iter()
                 .filter(|s| matches!(s.family, GraphFamily::SparseGnp { n, .. } if n == 1 << exp))
@@ -724,6 +774,31 @@ mod tests {
             // so the two algos compare like for like at every point
             assert_eq!(at_n[0].seed(1), at_n[1].seed(1));
         }
+    }
+
+    #[test]
+    fn deep_preset_extends_scaling_and_gate_flags_are_registered() {
+        let scaling = presets::by_name("scaling").expect("scaling registered");
+        let deep = presets::by_name("deep").expect("deep registered");
+        // deep = scaling plus the 2^22 pair, same order (so a weekly deep
+        // BENCH_energy.json is a superset of the per-PR one)
+        assert_eq!(deep.len(), scaling.len() + 2);
+        assert_eq!(&deep[..scaling.len()], &scaling[..]);
+        assert!(deep
+            .iter()
+            .any(|s| matches!(s.family, GraphFamily::SparseGnp { n, .. } if n == 1 << 22)));
+        // the gate flags `suite --list` surfaces
+        let flags_of = |name: &str| {
+            presets::registry()
+                .into_iter()
+                .find(|p| p.name == name)
+                .expect("registered")
+                .flags
+        };
+        assert_eq!(flags_of("scaling"), ["budget-bounded"]);
+        assert_eq!(flags_of("deep"), ["budget-bounded"]);
+        assert_eq!(flags_of("faults"), ["audit-exempt"]);
+        assert_eq!(flags_of("quick"), [] as [&str; 0]);
     }
 
     #[test]

@@ -169,6 +169,63 @@ fn suite_faults_preset_is_exempt_from_validation_and_audit_gates() {
 }
 
 #[test]
+fn suite_list_shows_scenario_counts_and_gate_flags() {
+    let dir = scratch_dir("suite-list");
+    let out = suite(&["--list"], &dir);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // every preset row carries its scenario count; the gated presets
+    // advertise which gate treats them specially
+    assert!(text.contains("scenarios]"), "counts missing: {text}");
+    assert!(
+        text.contains("(audit-exempt)"),
+        "faults preset must advertise its audit exemption: {text}"
+    );
+    assert!(
+        text.contains("(budget-bounded)"),
+        "scaling presets must advertise the wall-clock budget gate: {text}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn suite_budget_gate_fails_naming_the_slowest_scenario() {
+    let dir = scratch_dir("suite-budget");
+    let base = [
+        "--preset",
+        "quick",
+        "--filter",
+        "mis/",
+        "--canonical",
+        "--out",
+        "r.json",
+    ];
+
+    // a zero-second budget always trips; the artifacts must still land
+    let out = suite(&[&base[..], &["--budget-secs", "0"]].concat(), &dir);
+    assert_eq!(out.status.code(), Some(1), "blown budget is a gate failure");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("budget FAILED") && err.contains("slowest scenario"),
+        "failure must name the slowest scenario: {err}"
+    );
+    assert!(
+        dir.join("r.json").exists(),
+        "report must be written before the budget gate fires"
+    );
+
+    // a generous budget passes and reports the headroom
+    let out = suite(&[&base[..], &["--budget-secs", "86400"]].concat(), &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("budget ok"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn suite_rejects_contradictory_checkpoint_flags() {
     let dir = scratch_dir("suite-flags");
     let out = suite(&["--checkpoint-dir", "a", "--resume", "b"], &dir);

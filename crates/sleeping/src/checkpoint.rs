@@ -21,7 +21,8 @@
 //!
 //! ```text
 //! magic    8 bytes  b"AWAKECKP"
-//! version  u32      SNAPSHOT_VERSION (currently 1)
+//! version  u32      SNAPSHOT_VERSION (currently 2; v2 added the
+//!                   awake_events / rounds_skipped metrics counters)
 //! round    u64      last processed round
 //! graph    u64      fingerprint of (n, idents, adjacency)
 //! config   max_rounds + trace mode
@@ -58,8 +59,12 @@ use std::sync::Arc;
 
 /// Magic bytes every snapshot starts with.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"AWAKECKP";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 appended the
+/// `awake_events` and `rounds_skipped` counters to the metrics block;
+/// version-1 images are rejected with
+/// [`CheckpointError::UnsupportedVersion`] rather than silently restored
+/// with zeroed compression counters.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be decoded or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -736,6 +741,8 @@ where
     m.faults_duplicated.encode(&mut w);
     m.faults_delayed.encode(&mut w);
     m.faults_crashed.encode(&mut w);
+    m.awake_events.encode(&mut w);
+    m.rounds_skipped.encode(&mut w);
     let (names, counts) = m.span_data();
     names.len().encode(&mut w);
     for name in names {
@@ -832,6 +839,8 @@ where
     metrics.faults_duplicated = r.get()?;
     metrics.faults_delayed = r.get()?;
     metrics.faults_crashed = r.get()?;
+    metrics.awake_events = r.get()?;
+    metrics.rounds_skipped = r.get()?;
     let name_count = usize::decode(&mut r)?;
     if name_count > r.remaining() {
         return Err(CheckpointError::Truncated);

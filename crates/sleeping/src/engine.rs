@@ -418,6 +418,11 @@ impl<'g, P: Program> SerialExec<'g, P> {
                 limit: config.max_rounds,
             });
         }
+        // Rounds between the previous executed round and this one had no
+        // awake node: the wheel jumped them in one batch-cascade, and they
+        // are accounted here so `rounds = executed + skipped` stays exact
+        // under compression (identically in the threaded coordinator).
+        metrics.rounds_skipped += round - *prev_round - 1;
         metrics.rounds = round;
         *prev_round = round;
 

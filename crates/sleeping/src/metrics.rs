@@ -41,6 +41,17 @@ pub struct Metrics {
     pub faults_delayed: u64,
     /// Node crash-restarts injected by a fault plan.
     pub faults_crashed: u64,
+    /// Total awake node-round events executed — the Sleeping model's cost
+    /// unit, and what the event-compressed executors' work is proportional
+    /// to. Always equals [`total_awake`](Metrics::total_awake), but kept as
+    /// a running counter so reports read it in O(1).
+    pub awake_events: u64,
+    /// Virtual rounds jumped over without per-round work: rounds in which
+    /// no node was awake, skipped by the wheel's batch-cascade. Together
+    /// with [`rounds`](Metrics::rounds) this quantifies the compression
+    /// (`rounds = executed rounds + rounds_skipped` for a run that starts
+    /// at round 1).
+    pub rounds_skipped: u64,
     /// Interned span labels, in first-seen order.
     span_names: Vec<&'static str>,
     /// One dense per-node counter column per interned span:
@@ -62,6 +73,8 @@ impl Metrics {
             faults_duplicated: 0,
             faults_delayed: 0,
             faults_crashed: 0,
+            awake_events: 0,
+            rounds_skipped: 0,
             span_names: Vec::new(),
             span_counts: Vec::new(),
         }
@@ -103,6 +116,7 @@ impl Metrics {
     #[inline]
     pub fn note_awake(&mut self, v: NodeId, span: &'static str) {
         self.awake[v.index()] += 1;
+        self.awake_events += 1;
         let id = self.span_id(span);
         self.span_counts[id][v.index()] += 1;
     }
@@ -209,6 +223,7 @@ mod tests {
         m.note_awake(NodeId(1), "b");
         assert_eq!(m.max_awake(), 2);
         assert_eq!(m.total_awake(), 3);
+        assert_eq!(m.awake_events, m.total_awake(), "running counter agrees");
         assert!((m.avg_awake() - 1.0).abs() < 1e-9);
         assert_eq!(m.span_max_awake("a"), 2);
         assert_eq!(m.span_max_awake("missing"), 0);

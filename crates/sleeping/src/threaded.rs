@@ -942,6 +942,9 @@ where
                     limit: config.max_rounds,
                 });
             }
+            // Same skipped-round accounting as the serial `step_body`:
+            // rounds the batch-cascade jumped over had no awake node.
+            metrics.rounds_skipped += round - prev_round - 1;
             metrics.rounds = round;
             prev_round = round;
             let total_mass = degree_mass_prefix(graph, &awake, &mut prefix);

@@ -169,67 +169,82 @@ impl WakeWheel {
 
     /// Advance to the earliest pending round, append its nodes to `out`
     /// (in arbitrary order — callers sort), and return the round.
+    ///
+    /// A gap of any width — one round or 10¹² — costs a **single pass**
+    /// over one bucket: when the current 64-round block is empty, the
+    /// lowest occupied bucket of the lowest non-empty level is drained
+    /// once, virtual time is rebased directly to that bucket's minimum
+    /// round, and only the bucket's later events are re-inserted (each
+    /// lands at its final level relative to the new position, no
+    /// level-by-level trickle). Executor cost is therefore proportional to
+    /// awake *events*, not elapsed rounds — the event-compression the
+    /// Sleeping model's accounting assumes.
     pub(crate) fn pop_next(&mut self, out: &mut Vec<u32>) -> Option<Round> {
         if self.len == 0 {
             return None;
         }
-        loop {
-            // Level 0 buckets are exact rounds inside the current 64-round
-            // block; anything at a higher level is in a later block.
-            if self.occupied[0] != 0 {
-                let slot = self.occupied[0].trailing_zeros() as usize;
-                let round = (self.current & !((SLOTS as u64) - 1)) | slot as u64;
-                let bucket = &mut self.buckets[slot];
-                self.len -= bucket.len();
-                for &(r, node) in bucket.iter() {
-                    debug_assert_eq!(r, round, "level-0 buckets hold one exact round");
-                    out.push(node);
-                }
-                bucket.clear();
-                self.occupied[0] &= !(1 << slot);
-                self.current = round;
-                // Invalidate at the point of return, not at entry: the
-                // cascade below re-inserts events through `schedule`, which
-                // would otherwise re-memoize the very round being popped
-                // here — and peek_min would then report an already-popped
-                // round, making the executors skip coinciding wake-ups.
-                self.cached_min = None;
-                return Some(round);
-            }
-            // Cascade the lowest occupied bucket of the lowest non-empty
-            // level down one step.
-            let level = (1..LEVELS)
-                .find(|&l| self.occupied[l] != 0)
-                .expect("len > 0 implies some occupied level");
-            let slot = self.occupied[level].trailing_zeros() as usize;
-            // Rebase `current` to the start of that bucket's round range:
-            // groups above `level` unchanged, group `level` = slot, lower
-            // groups zeroed. Events in the bucket stay strictly ahead or
-            // land exactly at the new base, so re-inserting them is valid.
-            let shift = GROUP_BITS * level as u32;
-            let keep_mask = match 1u64.checked_shl(shift + GROUP_BITS) {
-                Some(b) => !(b - 1),
-                None => 0, // top level: no higher groups to keep
-            };
-            self.current = (self.current & keep_mask) | ((slot as u64) << shift);
-            let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
-            self.occupied[level] &= !(1 << slot);
+        // Level 0 buckets are exact rounds inside the current 64-round
+        // block; anything at a higher level is in a later block.
+        if self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as usize;
+            let round = (self.current & !((SLOTS as u64) - 1)) | slot as u64;
+            let bucket = &mut self.buckets[slot];
             self.len -= bucket.len();
             for &(r, node) in bucket.iter() {
-                debug_assert!(r >= self.current);
-                if r == self.current {
-                    // Exactly the new base round: belongs to level 0.
-                    self.buckets[(r as usize) & (SLOTS - 1)].push((r, node));
-                    self.occupied[0] |= 1 << ((r as usize) & (SLOTS - 1));
-                    self.len += 1;
-                } else {
-                    self.schedule(r, node);
-                }
+                debug_assert_eq!(r, round, "level-0 buckets hold one exact round");
+                out.push(node);
             }
             bucket.clear();
-            // Return the drained Vec so its capacity is reused.
-            self.buckets[level * SLOTS + slot] = bucket;
+            self.occupied[0] &= !(1 << slot);
+            self.current = round;
+            // Invalidate at the point of return, not at entry: cascades
+            // re-insert events through `schedule`, which would otherwise
+            // re-memoize the very round being popped here — and peek_min
+            // would then report an already-popped round, making the
+            // executors skip coinciding wake-ups.
+            self.cached_min = None;
+            return Some(round);
         }
+        // Batch-cascade across the idle gap in one pass. The lowest
+        // occupied bucket of the lowest non-empty level holds the global
+        // minimum: lower levels are empty, higher slots of this level hold
+        // strictly larger group values, and higher levels differ from
+        // `current` in a more significant group. Every event of that
+        // minimum round shares the bucket (equal rounds bucket together),
+        // so draining it once yields the full wake set.
+        let level = (1..LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .expect("len > 0 implies some occupied level");
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+        self.occupied[level] &= !(1 << slot);
+        self.len -= bucket.len();
+        let round = bucket
+            .iter()
+            .map(|&(r, _)| r)
+            .min()
+            .expect("occupied buckets are non-empty");
+        // Rebase virtual time directly to the jump target. Other buckets
+        // keep their (level, slot): their groups above `level` still match
+        // `current`'s (unchanged), and at `level` they still differ.
+        self.current = round;
+        for &(r, node) in bucket.iter() {
+            if r == round {
+                out.push(node);
+            } else {
+                // Strictly later: re-insert at its final level relative to
+                // the new position — one hop, not a per-level trickle.
+                self.schedule(r, node);
+            }
+        }
+        bucket.clear();
+        // Return the drained Vec so its capacity is reused.
+        self.buckets[level * SLOTS + slot] = bucket;
+        // Same point-of-return invalidation as the level-0 path: the
+        // re-inserting `schedule` calls above may have re-armed the memo
+        // with a round that is not the global minimum.
+        self.cached_min = None;
+        Some(round)
     }
 }
 
@@ -366,6 +381,32 @@ mod tests {
         }
         assert_eq!(batched.peek_min(), single.peek_min());
         assert_eq!(drain_all(&mut batched), drain_all(&mut single));
+    }
+
+    /// The batch-cascade drains one bucket per jump: events sharing the far
+    /// bucket but due at different rounds must separate correctly, and the
+    /// memo must be fresh after the jump (both historical failure modes).
+    #[test]
+    fn batch_cascade_separates_colocated_far_events() {
+        let mut w = WakeWheel::new();
+        let base = 1u64 << 40;
+        // all four share the level-6-ish bucket relative to current = 0
+        w.schedule(base + 5, 0);
+        w.schedule(base + 5, 1);
+        w.schedule(base + 70, 2);
+        w.schedule(base + (1 << 20), 3);
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_next(&mut batch), Some(base + 5));
+        batch.sort_unstable();
+        assert_eq!(batch, vec![0, 1]);
+        assert_eq!(w.peek_min(), Some(base + 70), "memo fresh after the jump");
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(base + 70));
+        assert_eq!(batch, vec![2]);
+        batch.clear();
+        assert_eq!(w.pop_next(&mut batch), Some(base + (1 << 20)));
+        assert_eq!(batch, vec![3]);
+        assert!(w.is_empty());
     }
 
     #[test]
