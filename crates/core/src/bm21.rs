@@ -6,12 +6,14 @@
 //! wake-schedule solver on that coloring (`O(log Δ)` awake rounds,
 //! `O(Δ²)` total rounds).
 
+use crate::bounds;
 use crate::compose::Composition;
 use crate::lemma11::ColorScheduled;
 use crate::linial::{self, ColorReduction};
+use crate::resilient::run_stage;
 use awake_graphs::Graph;
 use awake_olocal::OLocalProblem;
-use awake_sleeping::{Config, Engine, SimError};
+use awake_sleeping::{Codec, Config, Engine, FaultPlan, SimError};
 
 /// Result of a BM21 run.
 #[derive(Debug)]
@@ -81,10 +83,83 @@ where
     })
 }
 
+/// [`solve`] under the crate's [recovery contract](crate::resilient):
+/// both stages run wrapped in [`Redundant`](awake_sleeping::Redundant)
+/// time redundancy sized from `plan`, on the serial engine or (with
+/// `workers`) the worker-pool executor — bit-for-bit identical either
+/// way. With a quiet period after the last fault the outputs stay valid
+/// and the accounting stays within
+/// [`bounds::degraded_budget_for`] for
+/// [`BoundAlgo::Bm21`](bounds::BoundAlgo::Bm21). An inactive plan runs
+/// exactly like [`solve`].
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn solve_faulty<P>(
+    g: &Graph,
+    problem: &P,
+    inputs: &[P::Input],
+    delta: Option<usize>,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<Bm21Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone + Send + Sync,
+    P::Output: Codec,
+{
+    assert_eq!(inputs.len(), g.n(), "inputs length mismatch");
+    let delta = delta.unwrap_or_else(|| g.max_degree()).max(1) as u64;
+    let stage_budgets = bounds::bm21_stage_budgets(g, delta);
+    let mut composition = Composition::new();
+
+    let ident_bound = g.ident_bound();
+    let programs: Vec<ColorReduction> = g
+        .nodes()
+        .map(|v| ColorReduction::from_ident(g.ident(v), ident_bound, delta))
+        .collect();
+    let run = run_stage(
+        g,
+        programs,
+        Config::default(),
+        stage_budgets[0].rounds,
+        Some(plan),
+        workers,
+    )?;
+    let k = linial::final_palette(delta);
+    let colors: Vec<u64> = run.outputs.iter().map(|c| c + 1).collect();
+    composition.push("bm21/linial", run.metrics);
+
+    let programs: Vec<ColorScheduled<P>> = g
+        .nodes()
+        .map(|v| {
+            ColorScheduled::new(
+                problem.clone(),
+                inputs[v.index()].clone(),
+                colors[v.index()],
+                k,
+            )
+        })
+        .collect();
+    let run = run_stage(
+        g,
+        programs,
+        Config::default(),
+        stage_budgets[1].rounds,
+        Some(plan),
+        workers,
+    )?;
+    composition.push("bm21/lemma11", run.metrics);
+
+    Ok(Bm21Result {
+        outputs: run.outputs,
+        composition,
+        colors,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bounds;
     use awake_graphs::{coloring, generators};
     use awake_olocal::problems::{
         DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,

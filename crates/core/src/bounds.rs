@@ -8,6 +8,7 @@ use crate::lemma10::PaletteTree;
 use crate::params::Params;
 use crate::{gather, linial, virt};
 use awake_graphs::Graph;
+use awake_sleeping::{redundancy_for, FaultPlan};
 
 /// Lemma 6: broadcast/convergecast awake complexity (non-root nodes).
 pub const LEMMA6_AWAKE: u64 = 3;
@@ -251,6 +252,147 @@ pub fn budget_for(algo: BoundAlgo, class: ProblemClass, g: &Graph, p: &Params) -
     }
 }
 
+// ---- degraded budgets (the recovery contract) ----
+
+/// Per-stage budgets of the BM21 pipeline at degree bound `delta`:
+/// `[linial, lemma11]`. The rounds figures are the *same* closed forms the
+/// resilient solvers size their [`Redundant`](awake_sleeping::Redundant)
+/// windows from, so solver and auditor always agree on the stretch factor.
+pub fn bm21_stage_budgets(g: &Graph, delta: u64) -> [Budget; 2] {
+    let t = linial_rounds(g.ident_bound(), delta).max(1);
+    let k = linial::final_palette(delta);
+    [
+        // Linial keeps every node awake for the whole stage.
+        Budget {
+            awake: t,
+            rounds: t,
+        },
+        Budget {
+            awake: lemma11_awake(k),
+            rounds: lemma11_rounds(k),
+        },
+    ]
+}
+
+/// Per-stage budgets of the Theorem 13 pipeline, two per iteration
+/// (`lemma15`, `lemma14`), in execution order. Early-exhausted runs simply
+/// skip trailing stages, which only lowers the measured figures.
+pub fn theorem13_stage_budgets(p: &Params) -> Vec<Budget> {
+    let mut v = Vec::with_capacity(2 * p.iterations as usize);
+    for i in 1..=p.iterations {
+        v.push(Budget {
+            awake: GATHER_AWAKE + VIRT_AWAKE_PER_VROUND * lemma15_vertex_awake(p, i),
+            rounds: virt::virt_rounds(p.depth_bound, lemma15_vrounds(p, i)),
+        });
+        v.push(Budget {
+            awake: GATHER_AWAKE + VIRT_AWAKE_PER_VROUND * 5,
+            rounds: virt::virt_rounds(p.depth_bound, lemma14_vrounds(p)),
+        });
+    }
+    v
+}
+
+/// Per-stage budgets of Theorem 9 on a `c`-colored clustering with depth
+/// bound `db`: `[root-overlay gather, lemma11-on-H]`. Takes the depth
+/// bound directly (the solver passes `g.n()`, the auditor
+/// `Params::depth_bound` — equal by construction) so both sides derive
+/// identical stretch factors.
+pub fn theorem9_stage_budgets(db: u32, c: u64) -> [Budget; 2] {
+    [
+        Budget {
+            awake: GATHER_AWAKE,
+            rounds: gather_rounds(db),
+        },
+        Budget {
+            awake: VIRT_AWAKE_PER_VROUND * (1 + lemma11_awake(c)),
+            rounds: virt::virt_rounds(db, lemma11_rounds(c) + 1),
+        },
+    ]
+}
+
+/// Round budget of one stage degraded by `plan` at stretch factor `s`
+/// (from [`redundancy_for`]): the stretched fault-free budget, extended to
+/// the end of the fault window (crash-forced wake-ups can chain until the
+/// quiet period) plus the delay horizon and a constant tail for the
+/// crash-forced wake-up past the last faulty round. The resilient solvers
+/// use this very figure as the engine's round cap.
+pub fn degraded_stage_rounds(base_rounds: u64, s: u64, plan: &FaultPlan) -> u64 {
+    s.saturating_mul(base_rounds)
+        .max(plan.quiet_after)
+        .saturating_add(plan.delay_rounds)
+        .saturating_add(4)
+}
+
+/// Awake budget of one stage degraded by `plan`: the stretched fault-free
+/// budget plus one recovery wake-up per possible crash. Crashes are rolled
+/// only on awake node-rounds inside the fault window, so the extra term is
+/// bounded by the window length (`burst_len`, then `quiet_after`, then the
+/// whole degraded run), and a node is never awake more often than the run
+/// has rounds.
+pub fn degraded_stage_awake(base_awake: u64, s: u64, plan: &FaultPlan, rounds_d: u64) -> u64 {
+    let mut window = if plan.quiet_after > 0 {
+        plan.quiet_after.min(rounds_d)
+    } else {
+        rounds_d
+    };
+    if plan.burst_len > 0 {
+        window = window.min(plan.burst_len);
+    }
+    s.saturating_mul(base_awake)
+        .saturating_add(window)
+        .saturating_add(2)
+        .min(rounds_d)
+}
+
+/// The degraded audit entry point: the closed-form awake/round budget of
+/// running `algo` on a `class` problem over `g` under fault injection
+/// `plan`, with every stage wrapped in
+/// [`Redundant`](awake_sleeping::Redundant) time redundancy the way the
+/// resilient solvers do it.
+///
+/// The inflation is a pure function of the plan: per stage, the stretch
+/// factor comes from [`redundancy_for`] on the same closed-form stage
+/// round bound the solver uses, and the stage budget degrades by
+/// [`degraded_stage_rounds`] / [`degraded_stage_awake`]. Stage budgets are
+/// then summed per Lemma 8. An inactive plan degrades nothing — the result
+/// equals [`budget_for`].
+///
+/// Returns `None` exactly where [`budget_for`] does (edge problems exist
+/// for the trivial adapter only).
+pub fn degraded_budget_for(
+    algo: BoundAlgo,
+    class: ProblemClass,
+    g: &Graph,
+    p: &Params,
+    plan: &FaultPlan,
+) -> Option<Budget> {
+    let base = budget_for(algo, class, g, p)?;
+    if !plan.is_active() {
+        return Some(base);
+    }
+    let stages: Vec<Budget> = match (class, algo) {
+        (_, BoundAlgo::Trivial) => vec![base],
+        (ProblemClass::Vertex, BoundAlgo::Bm21) => {
+            bm21_stage_budgets(g, g.max_degree().max(1) as u64).to_vec()
+        }
+        (ProblemClass::Vertex, BoundAlgo::Theorem1) => {
+            let mut v = theorem13_stage_budgets(p);
+            v.extend(theorem9_stage_budgets(p.depth_bound, p.color_bound()));
+            v
+        }
+        (ProblemClass::Edge, _) => unreachable!("budget_for rejected these above"),
+    };
+    let mut awake = 0u64;
+    let mut rounds = 0u64;
+    for b in stages {
+        let s = redundancy_for(plan, g.n(), b.rounds);
+        let rd = degraded_stage_rounds(b.rounds, s, plan);
+        awake = awake.saturating_add(degraded_stage_awake(b.awake, s, plan, rd));
+        rounds = rounds.saturating_add(rd);
+    }
+    Some(Budget { awake, rounds })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +495,103 @@ mod tests {
         assert!(trivial_rounds(&g) >= trivial_awake(&g));
         assert!(bm21_rounds(&g) >= bm21_awake(&g));
         assert!(theorem1_rounds(&p) >= theorem1_awake(&p));
+    }
+
+    #[test]
+    fn stage_budgets_sum_to_at_most_the_pipeline_budget() {
+        // The degraded model decomposes each pipeline into stages whose
+        // fault-free bounds must never exceed the composed closed form —
+        // otherwise the inactive-plan degraded budget would be looser than
+        // the audited one.
+        use awake_graphs::generators;
+        let g = generators::gnp(48, 0.1, 3);
+        let p = Params::for_graph(&g);
+        let bm = bm21_stage_budgets(&g, g.max_degree().max(1) as u64);
+        assert!(bm.iter().map(|b| b.awake).sum::<u64>() <= bm21_awake(&g));
+        assert!(bm.iter().map(|b| b.rounds).sum::<u64>() <= bm21_rounds(&g));
+        let mut t1 = theorem13_stage_budgets(&p);
+        t1.extend(theorem9_stage_budgets(p.depth_bound, p.color_bound()));
+        assert!(t1.iter().map(|b| b.awake).sum::<u64>() <= theorem1_awake(&p));
+        assert!(t1.iter().map(|b| b.rounds).sum::<u64>() <= theorem1_rounds(&p));
+    }
+
+    #[test]
+    fn degraded_budget_is_identity_on_inactive_plans() {
+        use awake_graphs::generators;
+        let g = generators::gnp(40, 0.12, 1);
+        let p = Params::for_graph(&g);
+        let quiet = FaultPlan::new(5);
+        for (algo, class) in [
+            (BoundAlgo::Trivial, ProblemClass::Vertex),
+            (BoundAlgo::Trivial, ProblemClass::Edge),
+            (BoundAlgo::Bm21, ProblemClass::Vertex),
+            (BoundAlgo::Theorem1, ProblemClass::Vertex),
+        ] {
+            assert_eq!(
+                degraded_budget_for(algo, class, &g, &p, &quiet),
+                budget_for(algo, class, &g, &p),
+                "{algo:?}/{class:?}"
+            );
+        }
+        // Unsupported pairings stay unsupported.
+        let mut hot = FaultPlan::new(5);
+        hot.crash_ppm = 100_000;
+        assert_eq!(
+            degraded_budget_for(BoundAlgo::Bm21, ProblemClass::Edge, &g, &p, &hot),
+            None
+        );
+    }
+
+    #[test]
+    fn degraded_budget_dominates_the_fault_free_one() {
+        // An active plan can only inflate: the degraded budget must
+        // dominate the fault-free closed form for every supported pairing,
+        // and the inflation must grow with the redundancy the plan forces.
+        use awake_graphs::generators;
+        let g = generators::gnp(40, 0.12, 1);
+        let p = Params::for_graph(&g);
+        let mut mild = FaultPlan::new(11);
+        mild.drop_ppm = 40_000;
+        mild.quiet_after = 30;
+        let mut hot = FaultPlan { ..mild };
+        hot.crash_ppm = 800_000;
+        hot.burst_start = 1;
+        hot.burst_len = 8;
+        for (algo, class) in [
+            (BoundAlgo::Trivial, ProblemClass::Vertex),
+            (BoundAlgo::Trivial, ProblemClass::Edge),
+            (BoundAlgo::Bm21, ProblemClass::Vertex),
+            (BoundAlgo::Theorem1, ProblemClass::Vertex),
+        ] {
+            let base = budget_for(algo, class, &g, &p).unwrap();
+            let dm = degraded_budget_for(algo, class, &g, &p, &mild).unwrap();
+            let dh = degraded_budget_for(algo, class, &g, &p, &hot).unwrap();
+            assert!(
+                dm.awake >= base.awake && dm.rounds >= base.rounds,
+                "{algo:?}/{class:?}"
+            );
+            assert!(
+                dh.rounds >= dm.rounds,
+                "{algo:?}/{class:?}: crashes widen rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_stage_math_is_monotone_and_capped() {
+        let mut plan = FaultPlan::new(1);
+        plan.drop_ppm = 10_000;
+        plan.quiet_after = 20;
+        let r2 = degraded_stage_rounds(50, 2, &plan);
+        let r4 = degraded_stage_rounds(50, 4, &plan);
+        assert!(r2 >= 2 * 50 && r4 > r2, "stretch inflates rounds");
+        // Awake is never more than one event per degraded round.
+        assert!(degraded_stage_awake(10_000, 4, &plan, r4) <= r4);
+        // The quiet window bounds the crash-forced overhead term.
+        let open = FaultPlan {
+            quiet_after: 0,
+            ..plan
+        };
+        assert!(degraded_stage_awake(3, 2, &plan, 1000) <= degraded_stage_awake(3, 2, &open, 1000));
     }
 }

@@ -108,6 +108,41 @@ impl Composition {
         self.stages.iter().map(|s| s.metrics.messages_lost).sum()
     }
 
+    /// Messages dropped by fault injection, summed across stages.
+    pub fn faults_dropped(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.faults_dropped).sum()
+    }
+
+    /// Messages duplicated by fault injection, summed across stages.
+    pub fn faults_duplicated(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.metrics.faults_duplicated)
+            .sum()
+    }
+
+    /// Messages delayed by fault injection, summed across stages.
+    pub fn faults_delayed(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.faults_delayed).sum()
+    }
+
+    /// Node crash-restarts injected, summed across stages.
+    pub fn faults_crashed(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.faults_crashed).sum()
+    }
+
+    /// Rounds with at least one node recovering from a crash, summed
+    /// across stages (zero on fault-free runs).
+    pub fn recovery_rounds(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.recovery_rounds).sum()
+    }
+
+    /// Awake node-rounds spent recovering from crashes, summed across
+    /// stages — the energy overhead the degraded budgets bound.
+    pub fn recovery_awake(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.recovery_awake).sum()
+    }
+
     /// A compact multi-line accounting table.
     pub fn report(&self) -> String {
         use std::fmt::Write as _;

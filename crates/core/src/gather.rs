@@ -19,8 +19,8 @@
 
 use awake_graphs::NodeId;
 use awake_sleeping::{
-    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Program, Reader, Round, View,
-    Writer,
+    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Persist, Program, Reader, Round,
+    View, Writer,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -332,6 +332,33 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> GatherCore<P> {
     }
 }
 
+impl<P: Clone + std::fmt::Debug + Send + Sync + Codec> GatherCore<P> {
+    /// Write the core's dynamic state (everything `recv_at` mutates). The
+    /// ident index and the finished view are derivable from the bag and the
+    /// ports, so only a completion flag travels for the view.
+    pub fn save(&self, w: &mut Writer) {
+        self.has_children.encode(w);
+        self.bag.encode(w);
+        self.my_ports.encode(w);
+        self.view.is_some().encode(w);
+    }
+
+    /// Overwrite the dynamic state on a freshly constructed core.
+    pub fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.has_children = r.get()?;
+        self.bag = r.get()?;
+        self.my_ports = r.get()?;
+        self.bag_idents = self.bag.iter().map(|m| m.ident).collect();
+        let finished: bool = r.get()?;
+        if finished {
+            self.finish(self.ident);
+        } else {
+            self.view = None;
+        }
+        Ok(())
+    }
+}
+
 /// Standalone gather program: every participant outputs its
 /// [`ClusterView`]; non-participants output `None` and never wake.
 pub struct ClusterGather<P> {
@@ -398,6 +425,36 @@ impl<P: Clone + std::fmt::Debug + Send + Sync> Program for ClusterGather<P> {
 
     fn span(&self) -> &'static str {
         "gather"
+    }
+}
+
+/// Dynamic state: the core's gather progress plus a completion flag for
+/// the output view (rebuilt from the core, never serialized twice).
+/// Participation itself is a construction input: a crash-restart or resume
+/// rebuilds the same participant/bystander split from the scenario.
+impl<P: Clone + std::fmt::Debug + Send + Sync + Codec> Persist for ClusterGather<P> {
+    fn save(&self, w: &mut Writer) {
+        match &self.core {
+            None => false.encode(w),
+            Some(core) => {
+                true.encode(w);
+                core.save(w);
+                self.done_view.is_some().encode(w);
+            }
+        }
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let participating: bool = r.get()?;
+        match (&mut self.core, participating) {
+            (None, false) => Ok(()),
+            (Some(core), true) => {
+                core.restore(r)?;
+                let done: bool = r.get()?;
+                self.done_view = if done { core.view().cloned() } else { None };
+                Ok(())
+            }
+            _ => Err(CheckpointError::Corrupt("gather participation mismatch")),
+        }
     }
 }
 

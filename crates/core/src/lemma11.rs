@@ -19,7 +19,9 @@
 
 use crate::lemma10::PaletteTree;
 use awake_olocal::{GreedyView, OLocalProblem};
-use awake_sleeping::{Action, Envelope, Outbox, Program, Round, View};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Envelope, Outbox, Persist, Program, Reader, Round, View, Writer,
+};
 use std::collections::BTreeMap;
 
 /// The state a node shares once decided.
@@ -170,6 +172,45 @@ impl<P: OLocalProblem> Program for ColorScheduled<P> {
 
     fn span(&self) -> &'static str {
         "lemma11"
+    }
+}
+
+impl<O: Codec> Codec for NodeState<O> {
+    fn encode(&self, w: &mut Writer) {
+        self.ident.encode(w);
+        self.color.encode(w);
+        self.output.encode(w);
+        self.closure.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(NodeState {
+            ident: r.get()?,
+            color: r.get()?,
+            output: r.get()?,
+            closure: r.get()?,
+        })
+    }
+}
+
+/// Dynamic state: the schedule cursor, the collected out-neighbor states,
+/// the decision, and the closure. The palette tree and the wake schedule
+/// are pure functions of `(color, k)` and stay put.
+impl<P: OLocalProblem> Persist for ColorScheduled<P>
+where
+    P::Output: Codec,
+{
+    fn save(&self, w: &mut Writer) {
+        self.cursor.encode(w);
+        self.collected.encode(w);
+        self.decided.encode(w);
+        self.closure.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.cursor = r.get()?;
+        self.collected = r.get()?;
+        self.decided = r.get()?;
+        self.closure = r.get()?;
+        Ok(())
     }
 }
 

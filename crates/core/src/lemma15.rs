@@ -23,7 +23,7 @@
 
 use crate::linial::{self, Step};
 use crate::virt::{VEnvelope, VOutgoing, VertexInput, VirtualProgram};
-use awake_sleeping::{Action, Round};
+use awake_sleeping::{Action, CheckpointError, Codec, Persist, Reader, Round, Writer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -594,5 +594,175 @@ impl Lemma15Vertex {
     /// their (trivial) cluster adjacency is established there.
     fn maybe_schedule_linial_after_pass2_for_singleton(&mut self) {
         // Intentionally empty: handled in the Info4 duty.
+    }
+}
+
+impl Codec for TreeRec {
+    fn encode(&self, w: &mut Writer) {
+        self.label.encode(w);
+        self.c2.encode(w);
+        self.p2.encode(w);
+        self.deg_h.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(TreeRec {
+            label: r.get()?,
+            c2: r.get()?,
+            p2: r.get()?,
+            deg_h: r.get()?,
+        })
+    }
+}
+
+impl Codec for Lemma15Out {
+    fn encode(&self, w: &mut Writer) {
+        self.gamma.encode(w);
+        self.delta.encode(w);
+        self.l_aux.encode(w);
+        self.in_u.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Lemma15Out {
+            gamma: r.get()?,
+            delta: r.get()?,
+            l_aux: r.get()?,
+            in_u: r.get()?,
+        })
+    }
+}
+
+impl Codec for Duty {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Duty::CcRecv(p) => (0u8, *p).encode(w),
+            Duty::CcSend(p) => (1u8, *p).encode(w),
+            Duty::BcRecv(p) => (2u8, *p).encode(w),
+            Duty::BcSend(p) => (3u8, *p).encode(w),
+            Duty::Info4 => (4u8, 0u8).encode(w),
+            Duty::Lin(t) => {
+                (5u8, 0u8).encode(w);
+                t.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let (tag, p): (u8, u8) = r.get()?;
+        Ok(match tag {
+            0 => Duty::CcRecv(p),
+            1 => Duty::CcSend(p),
+            2 => Duty::BcRecv(p),
+            3 => Duty::BcSend(p),
+            4 => Duty::Info4,
+            5 => Duty::Lin(r.get()?),
+            _ => return Err(CheckpointError::Corrupt("Duty tag")),
+        })
+    }
+}
+
+impl Codec for L15Msg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            L15Msg::Info1(c) => {
+                0u8.encode(w);
+                c.encode(w);
+            }
+            L15Msg::Info2(t) => {
+                1u8.encode(w);
+                t.encode(w);
+            }
+            L15Msg::Info3(c, p) => {
+                2u8.encode(w);
+                c.encode(w);
+                p.encode(w);
+            }
+            L15Msg::TreeUp(v) => {
+                3u8.encode(w);
+                v.encode(w);
+            }
+            L15Msg::TreeDown(v) => {
+                4u8.encode(w);
+                v.encode(w);
+            }
+            L15Msg::Info4(l) => {
+                5u8.encode(w);
+                l.encode(w);
+            }
+            L15Msg::EdgeUp(v) => {
+                6u8.encode(w);
+                v.encode(w);
+            }
+            L15Msg::EdgeDown(v) => {
+                7u8.encode(w);
+                v.encode(w);
+            }
+            L15Msg::Lin(c) => {
+                8u8.encode(w);
+                c.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match u8::decode(r)? {
+            0 => L15Msg::Info1(r.get()?),
+            1 => L15Msg::Info2(r.get()?),
+            2 => L15Msg::Info3(r.get()?, r.get()?),
+            3 => L15Msg::TreeUp(r.get()?),
+            4 => L15Msg::TreeDown(r.get()?),
+            5 => L15Msg::Info4(r.get()?),
+            6 => L15Msg::EdgeUp(r.get()?),
+            7 => L15Msg::EdgeDown(r.get()?),
+            8 => L15Msg::Lin(r.get()?),
+            _ => return Err(CheckpointError::Corrupt("L15Msg tag")),
+        })
+    }
+}
+
+/// Dynamic state: everything the phase's receive handlers mutate. The
+/// config, the label, the `H`-neighborhood, `c₁`, and the Linial schedule
+/// are pure functions of the constructor inputs and are rebuilt by the
+/// simulator's factory before `restore` overlays the rest.
+impl Persist for Lemma15Vertex {
+    fn save(&self, w: &mut Writer) {
+        self.nbr_c1.encode(w);
+        self.nbr_tables.encode(w);
+        self.p1.encode(w);
+        self.shift.encode(w);
+        self.c2.encode(w);
+        self.p2.encode(w);
+        self.p2_c2.encode(w);
+        self.children.encode(w);
+        self.bag_tree.encode(w);
+        self.tree.encode(w);
+        self.l_aux.encode(w);
+        self.in_u.encode(w);
+        self.same_cluster_nbrs.encode(w);
+        self.bag_edges.encode(w);
+        self.edges.encode(w);
+        self.delta_aux.encode(w);
+        self.lin_color.encode(w);
+        self.agenda.encode(w);
+        self.out.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.nbr_c1 = r.get()?;
+        self.nbr_tables = r.get()?;
+        self.p1 = r.get()?;
+        self.shift = r.get()?;
+        self.c2 = r.get()?;
+        self.p2 = r.get()?;
+        self.p2_c2 = r.get()?;
+        self.children = r.get()?;
+        self.bag_tree = r.get()?;
+        self.tree = r.get()?;
+        self.l_aux = r.get()?;
+        self.in_u = r.get()?;
+        self.same_cluster_nbrs = r.get()?;
+        self.bag_edges = r.get()?;
+        self.edges = r.get()?;
+        self.delta_aux = r.get()?;
+        self.lin_color = r.get()?;
+        self.agenda = r.get()?;
+        self.out = r.get()?;
+        Ok(())
     }
 }

@@ -24,6 +24,7 @@
 //! | [`theorem1`] | the end-to-end result: awake `O(√log n · log* n)` |
 //! | [`bounds`] | closed-form awake/round budgets asserted by tests and benches |
 //! | [`compose`] | Lemma 8: sequential composition with additive accounting |
+//! | [`resilient`] | the crash-recovery contract: fault-tolerant stage execution |
 //!
 //! # Quick start
 //!
@@ -54,6 +55,7 @@ pub mod lemma6;
 pub mod linegraph;
 pub mod linial;
 pub mod params;
+pub mod resilient;
 pub mod theorem1;
 pub mod theorem13;
 pub mod theorem9;

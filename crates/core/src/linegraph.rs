@@ -27,6 +27,7 @@
 //! executed unchanged by the serial engine or the worker-pool executor
 //! ([`solve_edges`] / [`solve_edges_threaded`]).
 
+use crate::resilient::run_stage;
 use crate::virt::{VEnvelope, VOutgoing, VirtMsg, VirtualProgram};
 use awake_graphs::{Graph, NodeId};
 use awake_olocal::edge::{EdgeGreedyView, EdgeIndex, EdgeProblem};
@@ -452,19 +453,18 @@ where
     Ok(collect(&idx, run.outputs, run.metrics))
 }
 
-/// [`solve_edges`] under a seeded fault plan: message faults (drop,
-/// duplicate, delay) hit the hosts' physical transmissions. Deterministic
-/// and bit-for-bit identical to [`solve_edges_threaded_faulty`] under the
-/// same plan at any worker count. Outputs may fail validation — faults
-/// are adversarial — but the run always completes.
-///
-/// **Crash faults are not supported through the adapter** (keep
-/// `crash_ppm` at 0): a crash-restart of a host would rewind *all* of its
-/// replicas at once, which has no counterpart on the line graph, and the
-/// prime-step control plane assumes its round state survives — a crashed
-/// host can request a stale wake round and abort the run with
-/// [`SimError::InvalidSleep`]. The suite harness rejects such scenarios
-/// up front.
+/// [`solve_edges`] under a seeded fault plan, following the crate's
+/// [recovery contract](crate::resilient): the hosts run wrapped in
+/// [`Redundant`](awake_sleeping::Redundant) time redundancy sized from
+/// `plan`, so crash-restarts of a host (which rewind *all* of its
+/// replicas at once), dropped `VirtMsg` frames, duplicates, and delays
+/// are all masked by retransmission inside each stretched window.
+/// Deterministic and bit-for-bit identical to
+/// [`solve_edges_threaded_faulty`] under the same plan at any worker
+/// count. With a quiet period after the last fault the outputs stay
+/// valid and the accounting stays within
+/// [`crate::bounds::degraded_budget_for`]. An inactive plan runs exactly
+/// like [`solve_edges`].
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -479,13 +479,10 @@ pub fn solve_edges_faulty<EP>(
     plan: &FaultPlan,
 ) -> Result<EdgeRun<EP::Output>, SimError>
 where
-    EP: EdgeProblem + Clone,
+    EP: EdgeProblem + Clone + Send + Sync,
     EP::Output: Codec,
 {
-    let idx = EdgeIndex::new(g);
-    let programs = greedy_hosts(g, &idx, problem, inputs);
-    let run = Engine::new(g, config).run_faulty(programs, plan)?;
-    Ok(collect(&idx, run.outputs, run.metrics))
+    solve_edges_resilient(g, problem, inputs, config, plan, None)
 }
 
 /// [`solve_edges_faulty`] on the worker-pool executor.
@@ -507,9 +504,25 @@ where
     EP: EdgeProblem + Clone + Send + Sync,
     EP::Output: Codec,
 {
+    solve_edges_resilient(g, problem, inputs, config, plan, Some(workers))
+}
+
+fn solve_edges_resilient<EP>(
+    g: &Graph,
+    problem: &EP,
+    inputs: &[EP::Input],
+    config: Config,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<EdgeRun<EP::Output>, SimError>
+where
+    EP: EdgeProblem + Clone + Send + Sync,
+    EP::Output: Codec,
+{
     let idx = EdgeIndex::new(g);
     let programs = greedy_hosts(g, &idx, problem, inputs);
-    let run = threaded::run_threaded_faulty(g, programs, config, workers, plan)?;
+    let base_rounds = crate::bounds::linegraph_rounds(g).max(1);
+    let run = run_stage(g, programs, config, base_rounds, Some(plan), workers)?;
     Ok(collect(&idx, run.outputs, run.metrics))
 }
 

@@ -25,7 +25,9 @@
 //!   first step in the general-identifier regime);
 //! * plain function calls inside virtual programs (Lemma 15 on `H[U]`).
 
-use awake_sleeping::{Action, Envelope, Outbox, Program, View};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Envelope, Outbox, Persist, Program, Reader, View, Writer,
+};
 
 /// Parameters of one reduction step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,6 +261,20 @@ impl Program for ColorReduction {
 
     fn span(&self) -> &'static str {
         "linial"
+    }
+}
+
+/// Dynamic state: the current color and the schedule cursor. The step
+/// sequence is a pure function of the constructor arguments.
+impl Persist for ColorReduction {
+    fn save(&self, w: &mut Writer) {
+        self.color.encode(w);
+        self.t.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.color = r.get()?;
+        self.t = r.get()?;
+        Ok(())
     }
 }
 

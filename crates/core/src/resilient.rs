@@ -1,0 +1,70 @@
+//! The crash-recovery contract shared by every solver in the crate.
+//!
+//! A solver stage is made resilient by wrapping each node's program in
+//! [`Redundant`] time redundancy: the stretch factor `S` comes from
+//! [`redundancy_for`] applied to the stage's *closed-form* round bound
+//! (the same figure [`crate::bounds`] degrades, so the audit and the
+//! execution always agree), and the engine's round cap becomes the
+//! degraded stage budget. The contract is:
+//!
+//! * under any seeded [`FaultPlan`] with a quiet period after the last
+//!   fault, the run still produces a valid output;
+//! * its awake/round usage stays within
+//!   [`crate::bounds::degraded_budget_for`];
+//! * the run is bit-for-bit identical on the serial engine and the
+//!   worker-pool executor at any worker count.
+//!
+//! With an inactive plan nothing is wrapped and the stage executes
+//! exactly as its fault-free counterpart — same config, same engine path,
+//! same metrics.
+
+use awake_graphs::Graph;
+use awake_sleeping::{
+    redundancy_for, threaded, Codec, Config, Engine, FaultPlan, Persist, Program, Redundant, Run,
+    SimError,
+};
+
+/// Execute one solver stage under the recovery contract.
+///
+/// `config` is the stage's fault-free engine configuration, used verbatim
+/// when `plan` is absent or inactive. `base_rounds` is the stage's
+/// closed-form round bound — the input to [`redundancy_for`] and
+/// [`crate::bounds::degraded_stage_rounds`]. `workers` selects the
+/// worker-pool executor (`None`: the serial engine); both produce
+/// identical results.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run_stage<P>(
+    g: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    base_rounds: u64,
+    plan: Option<&FaultPlan>,
+    workers: Option<usize>,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+    P::Msg: Codec,
+{
+    match plan.filter(|p| p.is_active()) {
+        None => match workers {
+            None => Engine::new(g, config).run(programs),
+            Some(w) => threaded::run_threaded(g, programs, config, w),
+        },
+        Some(pl) => {
+            let s = redundancy_for(pl, g.n(), base_rounds);
+            let cap = crate::bounds::degraded_stage_rounds(base_rounds, s, pl);
+            let cfg = Config {
+                max_rounds: cap,
+                ..config
+            };
+            let wrapped: Vec<Redundant<P>> =
+                programs.into_iter().map(|p| Redundant::new(p, s)).collect();
+            match workers {
+                None => Engine::new(g, cfg).run_faulty(wrapped, pl),
+                Some(w) => threaded::run_threaded_faulty(g, wrapped, cfg, w, pl),
+            }
+        }
+    }
+}

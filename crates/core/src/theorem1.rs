@@ -13,7 +13,7 @@ use crate::theorem13::{self, IterationStats};
 use crate::theorem9;
 use awake_graphs::Graph;
 use awake_olocal::OLocalProblem;
-use awake_sleeping::SimError;
+use awake_sleeping::{Codec, FaultPlan, SimError};
 
 /// Options for [`solve`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -69,6 +69,72 @@ where
     let params = options.params.unwrap_or_else(|| Params::for_graph(g));
     let t13 = theorem13::compute(g, &params)?;
     let t9 = theorem9::solve(g, problem, inputs, &t13.clustering, params.color_bound())?;
+    let mut composition = Composition::new();
+    composition.extend_prefixed("theorem1", t13.composition);
+    composition.extend_prefixed("theorem1", t9.composition);
+    Ok(Theorem1Result {
+        outputs: t9.outputs,
+        composition,
+        clustering: t13.clustering,
+        iteration_stats: t13.iteration_stats,
+        params,
+    })
+}
+
+/// [`solve`] under the crate's [recovery contract](crate::resilient):
+/// every stage of both theorems runs wrapped in
+/// [`Redundant`](awake_sleeping::Redundant) time redundancy sized from
+/// `plan`, serially or (with `workers`) on the worker-pool executor —
+/// bit-for-bit identical either way. An inactive plan runs exactly like
+/// [`solve`].
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn solve_faulty<P>(
+    g: &Graph,
+    problem: &P,
+    options: Options,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<Theorem1Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone + Send + Sync,
+    P::Input: Codec,
+    P::Output: Codec,
+{
+    let inputs = problem.trivial_inputs(g);
+    solve_with_inputs_faulty(g, problem, &inputs, options, plan, workers)
+}
+
+/// [`solve_with_inputs`] under the recovery contract — see
+/// [`solve_faulty`].
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn solve_with_inputs_faulty<P>(
+    g: &Graph,
+    problem: &P,
+    inputs: &[P::Input],
+    options: Options,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<Theorem1Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone + Send + Sync,
+    P::Input: Codec,
+    P::Output: Codec,
+{
+    let params = options.params.unwrap_or_else(|| Params::for_graph(g));
+    let t13 = theorem13::compute_faulty(g, &params, plan, workers)?;
+    let t9 = theorem9::solve_faulty(
+        g,
+        problem,
+        inputs,
+        &t13.clustering,
+        params.color_bound(),
+        plan,
+        workers,
+    )?;
     let mut composition = Composition::new();
     composition.extend_prefixed("theorem1", t13.composition);
     composition.extend_prefixed("theorem1", t9.composition);

@@ -21,15 +21,17 @@
 //! distinct vertices of a properly-colored `H[U]`), so the result is a
 //! valid colored BFS-clustering — `validate_colored` checks it in tests.
 
+use crate::bounds;
 use crate::clustering::{Assign, Clustering};
 use crate::compose::Composition;
 use crate::lemma14::{lemma14_vrounds, L14Payload, TreeGatherVertex};
 use crate::lemma15::{Lemma15Config, Lemma15Out, Lemma15Vertex};
 use crate::linial;
 use crate::params::Params;
+use crate::resilient::run_stage;
 use crate::virt::{virt_rounds, VirtSim};
 use awake_graphs::Graph;
-use awake_sleeping::{Config, Engine, SimError};
+use awake_sleeping::{Config, FaultPlan, SimError};
 
 /// The pipeline's result.
 #[derive(Debug)]
@@ -66,6 +68,35 @@ pub struct IterationStats {
 /// Panics if the pipeline fails to exhaust the graph within `k`
 /// iterations — that would contradict Lemma 15's shrink guarantee.
 pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> {
+    compute_impl(g, params, None, None)
+}
+
+/// [`compute`] under the crate's [recovery contract](crate::resilient):
+/// every Lemma 15 / Lemma 14 stage runs wrapped in
+/// [`Redundant`](awake_sleeping::Redundant) time redundancy sized from
+/// `plan`, serially or (with `workers`) on the worker-pool executor —
+/// bit-for-bit identical either way.
+///
+/// # Errors
+/// Propagates simulator errors.
+///
+/// # Panics
+/// Like [`compute`].
+pub fn compute_faulty(
+    g: &Graph,
+    params: &Params,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<Theorem13Result, SimError> {
+    compute_impl(g, params, Some(plan), workers)
+}
+
+fn compute_impl(
+    g: &Graph,
+    params: &Params,
+    plan: Option<&FaultPlan>,
+    workers: Option<usize>,
+) -> Result<Theorem13Result, SimError> {
     let mut composition = Composition::new();
     let mut iteration_stats = Vec::new();
     let mut final_assign: Vec<Option<Assign>> = vec![None; g.n()];
@@ -100,7 +131,8 @@ pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> 
                 None => VirtSim::bystander(factory),
             })
             .collect();
-        let run = Engine::new(g, budget).run(programs)?;
+        let base_rounds = virt_rounds(db, bounds::lemma15_vrounds(params, iteration));
+        let run = run_stage(g, programs, budget, base_rounds, plan, workers)?;
         composition.push(format!("theorem13/iter{iteration}/lemma15"), run.metrics);
         let out15: Vec<Option<Lemma15Out>> = run.outputs;
 
@@ -137,7 +169,8 @@ pub fn compute(g: &Graph, params: &Params) -> Result<Theorem13Result, SimError> 
                     _ => VirtSim::bystander(factory),
                 })
                 .collect();
-            let run = Engine::new(g, budget).run(programs)?;
+            let base_rounds = virt_rounds(db, bounds::lemma14_vrounds(params));
+            let run = run_stage(g, programs, budget, base_rounds, plan, workers)?;
             composition.push(format!("theorem13/iter{iteration}/lemma14"), run.metrics);
             for v in g.nodes() {
                 if current[v.index()].is_some() {

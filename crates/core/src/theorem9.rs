@@ -20,10 +20,14 @@ use crate::clustering::Clustering;
 use crate::compose::Composition;
 use crate::gather::ClusterGather;
 use crate::lemma10::PaletteTree;
+use crate::resilient::run_stage;
 use crate::virt::{VEnvelope, VOutgoing, VertexInput, VirtSim};
 use awake_graphs::Graph;
 use awake_olocal::{GreedyView, OLocalProblem};
-use awake_sleeping::{Action, Config, Engine, Round, SimError};
+use awake_sleeping::{
+    Action, CheckpointError, Codec, Config, Engine, FaultPlan, Persist, Reader, Round, SimError,
+    Writer,
+};
 use std::collections::BTreeMap;
 
 /// Per-node payload of the stage-2 gather: `(γ, problem input)`.
@@ -212,6 +216,43 @@ impl<P: OLocalProblem> crate::virt::VirtualProgram for Lemma11Vertex<P> {
     }
 }
 
+impl<O: Codec> Codec for VertexState<O> {
+    fn encode(&self, w: &mut Writer) {
+        self.color.encode(w);
+        self.outputs.encode(w);
+        self.closure.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(VertexState {
+            color: r.get()?,
+            outputs: r.get()?,
+            closure: r.get()?,
+        })
+    }
+}
+
+/// Dynamic state: the wake cursor, the received neighbor-vertex states,
+/// the decision map, and the closure. The wake schedule and the decision
+/// round derive from `(γ, c)` and are rebuilt by the factory.
+impl<P: OLocalProblem> Persist for Lemma11Vertex<P>
+where
+    P::Output: Codec,
+{
+    fn save(&self, w: &mut Writer) {
+        self.cursor.encode(w);
+        self.states.encode(w);
+        self.decided.encode(w);
+        self.closure.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.cursor = r.get()?;
+        self.states = r.get()?;
+        self.decided = r.get()?;
+        self.closure = r.get()?;
+        Ok(())
+    }
+}
+
 /// Result of a Theorem 9 run.
 #[derive(Debug)]
 pub struct Theorem9Result<O> {
@@ -286,6 +327,105 @@ where
         })
         .collect();
     let run = Engine::new(g, Config::default()).run(programs)?;
+    composition.push("theorem9/lemma11-on-H", run.metrics);
+
+    let outputs: Vec<P::Output> = g
+        .nodes()
+        .map(|v| {
+            run.outputs[v.index()]
+                .as_ref()
+                .expect("participants finish")[&g.ident(v)]
+                .clone()
+        })
+        .collect();
+    Ok(Theorem9Result {
+        outputs,
+        composition,
+    })
+}
+
+/// [`solve`] under the crate's [recovery contract](crate::resilient):
+/// the root-overlay gather and the Lemma 11 simulation on `H` run
+/// wrapped in [`Redundant`](awake_sleeping::Redundant) time redundancy
+/// sized from `plan`, serially or (with `workers`) on the worker-pool
+/// executor — bit-for-bit identical either way. An inactive plan runs
+/// exactly like [`solve`].
+///
+/// # Errors
+/// Propagates simulator errors.
+///
+/// # Panics
+/// Like [`solve`].
+pub fn solve_faulty<P>(
+    g: &Graph,
+    problem: &P,
+    inputs: &[P::Input],
+    clustering: &Clustering,
+    c_bound: u64,
+    plan: &FaultPlan,
+    workers: Option<usize>,
+) -> Result<Theorem9Result<P::Output>, SimError>
+where
+    P: OLocalProblem + Clone + Send + Sync,
+    P::Input: Codec,
+    P::Output: Codec,
+{
+    assert_eq!(inputs.len(), g.n(), "inputs length mismatch");
+    assert_eq!(clustering.assigned(), g.n(), "Theorem 9 needs a full cover");
+    assert!(
+        clustering.max_label() <= c_bound,
+        "colors exceed the public bound"
+    );
+    let mut composition = Composition::new();
+    let db = g.n() as u32;
+    let stage_budgets = crate::bounds::theorem9_stage_budgets(db, c_bound);
+
+    let programs: Vec<ClusterGather<()>> = g
+        .nodes()
+        .map(|v| {
+            let a = clustering.assign[v.index()].expect("full cover");
+            ClusterGather::participant(a.label, a.depth, g.ident(v), (), db)
+        })
+        .collect();
+    let run = run_stage(
+        g,
+        programs,
+        Config::default(),
+        stage_budgets[0].rounds,
+        Some(plan),
+        workers,
+    )?;
+    let root_ident: Vec<u64> = run
+        .outputs
+        .iter()
+        .map(|o| o.as_ref().expect("participants finish").root_ident())
+        .collect();
+    composition.push("theorem9/root-overlay", run.metrics);
+
+    let programs: Vec<VirtSim<Lemma11Vertex<P>, _>> = g
+        .nodes()
+        .map(|v| {
+            let a = clustering.assign[v.index()].expect("full cover");
+            let payload: Payload<P::Input> = (a.label, inputs[v.index()].clone());
+            let problem = problem.clone();
+            VirtSim::participant(
+                root_ident[v.index()],
+                a.depth,
+                g.ident(v),
+                payload,
+                db,
+                move |vi| Lemma11Vertex::new(problem.clone(), vi, c_bound),
+            )
+        })
+        .collect();
+    let run = run_stage(
+        g,
+        programs,
+        Config::default(),
+        stage_budgets[1].rounds,
+        Some(plan),
+        workers,
+    )?;
     composition.push("theorem9/lemma11-on-H", run.metrics);
 
     let outputs: Vec<P::Output> = g

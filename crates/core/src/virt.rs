@@ -22,8 +22,8 @@
 
 use crate::gather::{gather_rounds, ClusterView, GatherCore, GatherMsg, GatherStep, MemberRec};
 use awake_sleeping::{
-    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Program, Reader, Round, View,
-    Writer,
+    Action, CheckpointError, Codec, Envelope, Outbox, Outgoing, Persist, Program, Reader, Round,
+    View, Writer,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -207,6 +207,10 @@ fn bc_send(db: u32, vround: Round, depth: u32) -> Round {
 
 struct RunState<VP: VirtualProgram> {
     vp: VP,
+    /// The cluster-level input the replica was built from — kept so a
+    /// snapshot/crash restore can re-run the factory and then overlay the
+    /// replica's dynamic state (see the `Persist` impl).
+    vinput: VertexInput<VP::Payload>,
     depth: u32,
     has_children: bool,
     ports: Vec<(awake_graphs::NodeId, u64, u64)>,
@@ -481,6 +485,7 @@ where
                         });
                         let mut run = Box::new(RunState {
                             vp,
+                            vinput,
                             depth: cview.my_depth,
                             has_children,
                             ports: cview.my_ports.clone(),
@@ -569,6 +574,107 @@ where
             St::Gather(_) => "virt/gather",
             _ => "virt/phase",
         }
+    }
+}
+
+impl<P: Codec> Codec for VertexInput<P> {
+    fn encode(&self, w: &mut Writer) {
+        self.label.encode(w);
+        self.members.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(VertexInput {
+            label: r.get()?,
+            members: r.get()?,
+        })
+    }
+}
+
+/// Dynamic state of the simulator: which stage it is in, the gather core's
+/// progress, or the full phase state of the running replica. The replica
+/// itself is restored by re-running the factory on the serialized
+/// [`VertexInput`] and then overlaying the inner program's dynamic state
+/// through its own [`Persist`] impl — so any persistable
+/// [`VirtualProgram`] rides through snapshots and crash-restarts without
+/// the simulator knowing its internals.
+impl<VP, F> Persist for VirtSim<VP, F>
+where
+    VP: VirtualProgram + Persist,
+    VP::Payload: Codec,
+    VP::Msg: Codec,
+    VP::Output: Codec,
+    F: Fn(&VertexInput<VP::Payload>) -> VP,
+{
+    fn save(&self, w: &mut Writer) {
+        match &self.st {
+            St::Inactive => 0u8.encode(w),
+            St::Gather(core) => {
+                1u8.encode(w);
+                core.save(w);
+            }
+            St::Run(run) => {
+                2u8.encode(w);
+                run.vinput.encode(w);
+                run.depth.encode(w);
+                run.has_children.encode(w);
+                run.ports.encode(w);
+                run.label.encode(w);
+                run.cur.encode(w);
+                run.next.encode(w);
+                run.outgoing.encode(w);
+                run.collected.encode(w);
+                run.bc_copy.encode(w);
+                run.vp_done.encode(w);
+                run.vp.save(w);
+            }
+            St::Done => 3u8.encode(w),
+        }
+        self.out.encode(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        match u8::decode(r)? {
+            0 => self.st = St::Inactive,
+            1 => match &mut self.st {
+                St::Gather(core) => core.restore(r)?,
+                _ => return Err(CheckpointError::Corrupt("VirtSim stage mismatch")),
+            },
+            2 => {
+                let vinput: VertexInput<VP::Payload> = r.get()?;
+                let mut vp = (self.factory)(&vinput);
+                let depth = r.get()?;
+                let has_children = r.get()?;
+                let ports = r.get()?;
+                let label = r.get()?;
+                let cur = r.get()?;
+                let next = r.get()?;
+                let outgoing = r.get()?;
+                let collected: Vec<(u64, u16, VP::Msg)> = r.get()?;
+                let bc_copy = r.get()?;
+                let vp_done = r.get()?;
+                vp.restore(r)?;
+                let collected_keys = collected.iter().map(|it| (it.0, it.1)).collect();
+                self.st = St::Run(Box::new(RunState {
+                    vp,
+                    vinput,
+                    depth,
+                    has_children,
+                    ports,
+                    label,
+                    cur,
+                    next,
+                    outgoing,
+                    collected,
+                    collected_keys,
+                    bc_copy,
+                    vp_done,
+                }));
+            }
+            3 => self.st = St::Done,
+            _ => return Err(CheckpointError::Corrupt("VirtSim state tag")),
+        }
+        self.out = r.get()?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,13 @@
 //! truncated document under the real name. Readers look files up by their
 //! exact final name, so stray temp files are ignored on resume (and a
 //! later successful write replaces them).
+//!
+//! Rename atomicity alone only covers process crashes. Against power
+//! loss, the temp file is fsynced before the rename (so the bytes are on
+//! disk before the name flips) and the parent directory is fsynced after
+//! (so the rename itself — a directory-entry update — is on disk too).
+//! Without the second sync a crashed machine can reboot into the *old*
+//! file under the final name even though the rename "succeeded".
 
 use std::io;
 use std::path::Path;
@@ -16,19 +23,34 @@ use std::path::Path;
 /// `report.json.tmp`).
 pub const TMP_SUFFIX: &str = ".tmp";
 
-/// Write `contents` to `path` atomically: stage into `<path>.tmp` in the
-/// same directory, then rename over the final name.
+/// Write `contents` to `path` atomically and durably: stage into
+/// `<path>.tmp` in the same directory, fsync it, rename over the final
+/// name, then fsync the parent directory so the rename survives power
+/// loss.
 ///
 /// # Errors
-/// Any I/O error from the staging write or the rename; on failure the
-/// final name is untouched (it either keeps its previous contents or
-/// still does not exist).
+/// Any I/O error from the staging write, the syncs, or the rename; on
+/// failure the final name is untouched (it either keeps its previous
+/// contents or still does not exist).
 pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(TMP_SUFFIX);
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    // Persist the directory entry. An unsyncable parent (some network or
+    // pseudo filesystems reject directory fsync) downgrades gracefully to
+    // the plain rename guarantee rather than failing the write.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

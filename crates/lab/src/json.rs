@@ -544,6 +544,8 @@ mod tests {
                 faults_duplicated: 0,
                 faults_delayed: 0,
                 faults_crashed: 0,
+                recovery_rounds: 0,
+                recovery_awake: 0,
                 awake_events: 10,
                 rounds_skipped: 0,
             },

@@ -50,6 +50,13 @@ pub struct ScenarioMetrics {
     pub faults_delayed: u64,
     /// Node crash-restarts injected.
     pub faults_crashed: u64,
+    /// Rounds in which at least one node was recovering from a crash
+    /// (zero on fault-free runs).
+    pub recovery_rounds: u64,
+    /// Awake node-rounds spent recovering from crashes — the energy
+    /// overhead of recovery, the quantity the degraded budgets bound
+    /// (zero on fault-free runs).
+    pub recovery_awake: u64,
     /// Total awake node-round events executed — the Sleeping model's cost
     /// unit, which the event-compressed executors' wall time is
     /// proportional to (equals `total_awake`; kept as its own column so
@@ -79,13 +86,16 @@ impl ScenarioMetrics {
             faults_duplicated: m.faults_duplicated,
             faults_delayed: m.faults_delayed,
             faults_crashed: m.faults_crashed,
+            recovery_rounds: m.recovery_rounds,
+            recovery_awake: m.recovery_awake,
             awake_events: m.awake_events,
             rounds_skipped: m.rounds_skipped,
         }
     }
 
     /// Collect from a staged pipeline (Lemma 8 additive accounting: the
-    /// percentiles are taken over the per-node sums across stages).
+    /// percentiles are taken over the per-node sums across stages, and the
+    /// fault/recovery counters sum like every other quantity).
     pub fn from_composition(c: &Composition) -> Self {
         let mut per_node = c.awake_per_node();
         let (total_awake, max_awake) = (per_node.iter().sum(), c.max_awake());
@@ -99,10 +109,12 @@ impl ScenarioMetrics {
             avg_awake: c.avg_awake(),
             messages_sent: c.messages_sent(),
             messages_lost: c.messages_lost(),
-            faults_dropped: 0,
-            faults_duplicated: 0,
-            faults_delayed: 0,
-            faults_crashed: 0,
+            faults_dropped: c.faults_dropped(),
+            faults_duplicated: c.faults_duplicated(),
+            faults_delayed: c.faults_delayed(),
+            faults_crashed: c.faults_crashed(),
+            recovery_rounds: c.recovery_rounds(),
+            recovery_awake: c.recovery_awake(),
             awake_events: c.awake_events(),
             rounds_skipped: c.rounds_skipped(),
         }
@@ -170,9 +182,13 @@ pub struct Report {
 /// awake percentiles (`awake_p50`, `awake_p99`); `v3` added the four
 /// fault-injection counters (`faults_dropped`, `faults_duplicated`,
 /// `faults_delayed`, `faults_crashed`) to every scenario row; `v4` added
-/// the event-compression counters (`awake_events`, `rounds_skipped`) — see
-/// the migration notes in `CHANGES.md`.
-pub const REPORT_SCHEMA: &str = "awake-lab/report/v4";
+/// the event-compression counters (`awake_events`, `rounds_skipped`);
+/// `v5` added the crash-recovery counters (`recovery_rounds`,
+/// `recovery_awake` — zero on fault-free rows) and made the budget columns
+/// of fault-injected rows carry the *degraded* budgets
+/// ([`awake_core::bounds::degraded_budget_for`]), so `bound_ok` is a real
+/// gate on every row — see the migration notes in `CHANGES.md`.
+pub const REPORT_SCHEMA: &str = "awake-lab/report/v5";
 /// Schema tag of [`BenchReport`] JSON documents (`BENCH_engine.json`).
 pub const BENCH_SCHEMA: &str = "awake-lab/bench/v1";
 
@@ -210,6 +226,7 @@ impl Report {
                  \"messages_sent\": {}, \"messages_lost\": {}, \
                  \"faults_dropped\": {}, \"faults_duplicated\": {}, \
                  \"faults_delayed\": {}, \"faults_crashed\": {}, \
+                 \"recovery_rounds\": {}, \"recovery_awake\": {}, \
                  \"awake_events\": {}, \"rounds_skipped\": {}, \
                  \"awake_bound\": {}, \"round_bound\": {}, \"bound_ok\": {}",
                 json_str(&s.name),
@@ -232,6 +249,8 @@ impl Report {
                 s.metrics.faults_duplicated,
                 s.metrics.faults_delayed,
                 s.metrics.faults_crashed,
+                s.metrics.recovery_rounds,
+                s.metrics.recovery_awake,
                 s.metrics.awake_events,
                 s.metrics.rounds_skipped,
                 s.awake_bound,
@@ -614,6 +633,8 @@ mod tests {
                     faults_duplicated: 0,
                     faults_delayed: 0,
                     faults_crashed: 4,
+                    recovery_rounds: 6,
+                    recovery_awake: 9,
                     awake_events: 10,
                     rounds_skipped: 2,
                 },
@@ -634,9 +655,9 @@ mod tests {
         assert!(full.contains("allocations"));
         assert!(!canon.contains("wall_ms"));
         assert!(!canon.contains("allocations"));
-        assert!(canon.contains("\"schema\": \"awake-lab/report/v4\""));
-        // the audit, percentile, fault and compression columns are
-        // deterministic, hence canonical
+        assert!(canon.contains("\"schema\": \"awake-lab/report/v5\""));
+        // the audit, percentile, fault, recovery and compression columns
+        // are deterministic, hence canonical
         for key in [
             "\"awake_p50\": 2",
             "\"awake_p99\": 3",
@@ -644,6 +665,8 @@ mod tests {
             "\"faults_duplicated\": 0",
             "\"faults_delayed\": 0",
             "\"faults_crashed\": 4",
+            "\"recovery_rounds\": 6",
+            "\"recovery_awake\": 9",
             "\"awake_events\": 10",
             "\"rounds_skipped\": 2",
             "\"awake_bound\": 5",

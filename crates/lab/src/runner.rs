@@ -22,7 +22,10 @@ use awake_olocal::problems::{
     DegreePlusOneListColoring, DeltaPlusOneColoring, MaximalIndependentSet, MinimalVertexCover,
 };
 use awake_olocal::{EdgeProblem, OLocalProblem};
-use awake_sleeping::{threaded, Config, Engine, Round, SimError, Snapshot};
+use awake_sleeping::{
+    redundancy_for, threaded, Codec, Config, Engine, FaultPlan, Persist, Program, Redundant, Round,
+    Run, SimError, Snapshot,
+};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,10 +37,14 @@ use std::time::Instant;
 pub enum RunError {
     /// The simulator aborted.
     Sim(SimError),
-    /// The scenario paired a problem with a solver that cannot run it
-    /// (edge problems ride the line-graph adapter, which exists for the
-    /// `trivial` / `trivial-t*` executors only; fault injection likewise
-    /// applies to the trivial executors, not the staged pipelines).
+    /// The scenario paired a problem with a solver that cannot run it —
+    /// edge problems ride the line-graph adapter, which exists for the
+    /// `trivial` / `trivial-t*` executors only. Fault injection is *not* a
+    /// reason anymore: every solver, the staged pipelines and the
+    /// line-graph adapter included, takes crash/drop/dup/delay injection
+    /// through the time-redundancy recovery contract
+    /// ([`awake_core::resilient`]) and is audited against the degraded
+    /// budgets.
     UnsupportedAlgo {
         /// The problem's label.
         problem: &'static str,
@@ -262,8 +269,10 @@ impl Runner {
                 .map_err(|e| io_err(first, format!("creating {}: {e}", dir.display())))?;
         }
         let progress_path = dir.join("progress.json");
+        // A torn or foreign ledger is never fatal: surviving rows reload,
+        // the rest (reported as typed `ProgressError`s) simply re-run.
         let done = match std::fs::read_to_string(&progress_path) {
-            Ok(text) => parse_progress(&text),
+            Ok(text) => parse_progress(&text).0,
             Err(_) => Vec::new(),
         };
         let mut out: Vec<ScenarioReport> = Vec::with_capacity(scenarios.len());
@@ -345,12 +354,29 @@ impl ProgressRow {
     }
 }
 
+/// Why (part of) a `progress.json` ledger could not be reloaded. The
+/// runner's response is always the same — drop the unreadable part and
+/// re-run the affected scenarios — but the typed cause distinguishes "the
+/// whole ledger is foreign" from "one row was torn mid-write", which the
+/// tests pin separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressError {
+    /// The document failed to parse, carried a different schema tag, or
+    /// had no scenario array: the whole ledger is ignored.
+    Document,
+    /// The row at this index (in ledger order) was truncated or corrupt —
+    /// a required field missing, mistyped, or outside the exact-`f64`
+    /// integer range. Only that row is dropped.
+    TornRow(usize),
+}
+
 /// Parse a `progress.json` written by
 /// [`Runner::run_recoverable`] back into rows. Tolerant by design:
 /// anything unreadable (missing file handled by the caller, wrong schema,
-/// torn fields, numbers outside exact-`f64` range) yields an empty or
-/// partial list, and the affected scenarios are simply re-run.
-fn parse_progress(text: &str) -> Vec<ProgressRow> {
+/// torn fields, numbers outside exact-`f64` range) is reported as a typed
+/// [`ProgressError`] next to the rows that *did* survive, and the affected
+/// scenarios are simply re-run.
+fn parse_progress(text: &str) -> (Vec<ProgressRow>, Vec<ProgressError>) {
     use crate::json::{parse, Value};
     let exact_u64 = |v: Option<&Value>| -> Option<u64> {
         let f = v?.as_f64()?;
@@ -358,16 +384,18 @@ fn parse_progress(text: &str) -> Vec<ProgressRow> {
         (f.fract() == 0.0 && (0.0..=9007199254740992.0).contains(&f)).then_some(f as u64)
     };
     let Ok(doc) = parse(text) else {
-        return Vec::new();
+        return (Vec::new(), vec![ProgressError::Document]);
     };
     if doc.get("schema").and_then(Value::as_str) != Some(crate::report::REPORT_SCHEMA) {
-        return Vec::new();
+        return (Vec::new(), vec![ProgressError::Document]);
     }
     let Some(Value::Arr(rows)) = doc.get("scenarios") else {
-        return Vec::new();
+        return (Vec::new(), vec![ProgressError::Document]);
     };
-    rows.iter()
-        .filter_map(|row| {
+    let mut out = Vec::with_capacity(rows.len());
+    let mut errors = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let parsed = (|| {
             Some(ProgressRow {
                 name: row.get("name")?.as_str()?.to_string(),
                 problem: row.get("problem")?.as_str()?.to_string(),
@@ -392,12 +420,19 @@ fn parse_progress(text: &str) -> Vec<ProgressRow> {
                     faults_duplicated: exact_u64(row.get("faults_duplicated"))?,
                     faults_delayed: exact_u64(row.get("faults_delayed"))?,
                     faults_crashed: exact_u64(row.get("faults_crashed"))?,
+                    recovery_rounds: exact_u64(row.get("recovery_rounds"))?,
+                    recovery_awake: exact_u64(row.get("recovery_awake"))?,
                     awake_events: exact_u64(row.get("awake_events"))?,
                     rounds_skipped: exact_u64(row.get("rounds_skipped"))?,
                 },
             })
-        })
-        .collect()
+        })();
+        match parsed {
+            Some(r) => out.push(r),
+            None => errors.push(ProgressError::TornRow(i)),
+        }
+    }
+    (out, errors)
 }
 
 /// One scenario's snapshot file in a recoverable run: where it lives and
@@ -492,7 +527,7 @@ fn run_scenario_inner(
     })?;
     let wall_ns = t0.elapsed().as_nanos() as f64;
     let allocations = probe.map(|p| p() - a0).unwrap_or(0);
-    let budget = budget_of(sc, &g);
+    let budget = audited_budget_of(sc, &g, seed);
     let bound_ok = metrics.max_awake <= budget.awake && metrics.rounds <= budget.rounds;
     Ok(ScenarioReport {
         name: sc.name.clone(),
@@ -526,6 +561,36 @@ fn run_scenario_inner(
 /// scenario with [`RunError::UnsupportedAlgo`] before budgets are
 /// consulted, so reaching this with one is a harness bug.
 pub fn budget_of(sc: &Scenario, g: &Graph) -> bounds::Budget {
+    let (algo, class) = bound_axes(sc);
+    let params = Params::for_graph(g);
+    bounds::budget_for(algo, class, g, &params)
+        .expect("supported (algo × problem) pairings have budgets")
+}
+
+/// The budget a scenario is *audited* against: [`budget_of`] on fault-free
+/// rows, the closed-form degraded budget
+/// ([`bounds::degraded_budget_for`]) on fault-injected ones — evaluated at
+/// the exact [`FaultPlan`] the run injects (`seed` is the scenario's
+/// derived seed, which also seeds the plan). There is no audit exemption
+/// for fault scenarios: the degraded budget is a hard gate like any other.
+///
+/// # Panics
+/// Like [`budget_of`], on an unsupported (algo × problem) pairing.
+pub fn audited_budget_of(sc: &Scenario, g: &Graph, seed: u64) -> bounds::Budget {
+    match sc.faults.map(|f| f.plan(seed)) {
+        Some(plan) if plan.is_active() => {
+            let (algo, class) = bound_axes(sc);
+            let params = Params::for_graph(g);
+            bounds::degraded_budget_for(algo, class, g, &params, &plan)
+                .expect("supported (algo × problem) pairings have degraded budgets")
+        }
+        _ => budget_of(sc, g),
+    }
+}
+
+/// The harness's axis mapping into [`bounds`]: both trivial executors are
+/// bit-for-bit identical and share [`BoundAlgo::Trivial`].
+fn bound_axes(sc: &Scenario) -> (BoundAlgo, ProblemClass) {
     let algo = match sc.algo {
         Algo::Trivial | Algo::TrivialThreaded(_) => BoundAlgo::Trivial,
         Algo::Bm21 => BoundAlgo::Bm21,
@@ -536,15 +601,78 @@ pub fn budget_of(sc: &Scenario, g: &Graph) -> bounds::Budget {
     } else {
         ProblemClass::Vertex
     };
-    let params = Params::for_graph(g);
-    bounds::budget_for(algo, class, g, &params)
-        .expect("supported (algo × problem) pairings have budgets")
+    (algo, class)
+}
+
+/// Run a family of vertex programs through every executor path a scenario
+/// can take — resume from a persisted snapshot, fresh checkpointed run, or
+/// plain run; serial or worker-pool; fault-injected or not. All paths are
+/// bit-for-bit equivalent on the deterministic metrics; snapshots carry
+/// the fault plan and its stream position, so a resumed faulty run
+/// continues the exact same injection schedule.
+fn run_vertex<Q>(
+    g: &Graph,
+    programs: impl Fn() -> Vec<Q>,
+    config: Config,
+    workers: Option<usize>,
+    plan: Option<&FaultPlan>,
+    ckpt: Option<&CkptFile>,
+    resumed: Option<Snapshot>,
+) -> Result<Run<Q::Output>, RunError>
+where
+    Q: Program + Persist + Send,
+    Q::Msg: Codec,
+    Q::Output: Codec,
+{
+    let engine = Engine::new(g, config);
+    let mut store_err: Option<String> = None;
+    let run = match (resumed, ckpt.and_then(|ck| ck.every)) {
+        // restore the persisted round boundary, finish the run
+        (Some(snap), _) => match workers {
+            None => engine
+                .resume(programs(), &snap)
+                .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
+            Some(w) => threaded::resume_threaded(g, programs(), &snap, w)
+                .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
+        },
+        // fresh recoverable run: persist a snapshot every N rounds
+        (None, Some(every)) => {
+            let ck = ckpt.expect("every implies a checkpoint file");
+            match workers {
+                None => engine
+                    .run_checkpointed(programs(), plan, every, |s| ck.store(s, &mut store_err))?,
+                Some(w) => threaded::run_threaded_checkpointed(
+                    g,
+                    programs(),
+                    config,
+                    w,
+                    plan,
+                    every,
+                    |s| ck.store(s, &mut store_err),
+                )?,
+            }
+        }
+        // plain run (with or without fault injection)
+        (None, None) => match (workers, plan) {
+            (None, None) => engine.run(programs())?,
+            (None, Some(p)) => engine.run_faulty(programs(), p)?,
+            (Some(w), None) => threaded::run_threaded(g, programs(), config, w)?,
+            (Some(w), Some(p)) => threaded::run_threaded_faulty(g, programs(), config, w, p)?,
+        },
+    };
+    if let Some(msg) = store_err {
+        return Err(RunError::Checkpoint(msg));
+    }
+    Ok(run)
 }
 
 /// Solve the scenario's problem on `g` with the scenario's algorithm and
 /// validate the outputs. `seed` is the scenario's derived seed (it also
 /// seeds the fault plan, if any); `ckpt` carries the snapshot file of a
-/// recoverable run.
+/// recoverable run. An active fault plan routes the trivial executors
+/// through the [`Redundant`] time-redundancy wrapper and the staged
+/// pipelines through their `*_faulty` entry points — the recovery
+/// contract every solver now honors.
 fn solve<P>(
     problem: &P,
     sc: &Scenario,
@@ -554,11 +682,12 @@ fn solve<P>(
 ) -> Result<(ScenarioMetrics, bool), RunError>
 where
     P: OLocalProblem + Clone + Send + Sync,
-    P::Input: Clone,
-    P::Output: awake_sleeping::Codec,
+    P::Input: Clone + Codec,
+    P::Output: Codec,
 {
     let inputs = problem.trivial_inputs(g);
     let plan = sc.faults.map(|f| f.plan(seed));
+    let active = plan.filter(|p| p.is_active());
     let programs = || -> Vec<TrivialGreedy<P>> {
         g.nodes()
             .map(|v| TrivialGreedy::new(problem.clone(), inputs[v.index()].clone()))
@@ -570,69 +699,63 @@ where
                 Algo::TrivialThreaded(w) => Some(w),
                 _ => None,
             };
-            let engine = Engine::new(g, Config::default());
-            let mut store_err: Option<String> = None;
             let resumed = match ckpt {
                 Some(ck) => ck.load()?,
                 None => None,
             };
-            let run = match (resumed, ckpt.and_then(|ck| ck.every)) {
-                // restore the persisted round boundary, finish the run
-                (Some(snap), _) => match workers {
-                    None => engine
-                        .resume(programs(), &snap)
-                        .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
-                    Some(w) => threaded::resume_threaded(g, programs(), &snap, w)
-                        .map_err(|e| RunError::Checkpoint(format!("resume: {e}")))?,
-                },
-                // fresh recoverable run: persist a snapshot every N rounds
-                (None, Some(every)) => {
-                    let ck = ckpt.expect("every implies a checkpoint file");
-                    match workers {
-                        None => engine.run_checkpointed(programs(), plan.as_ref(), every, |s| {
-                            ck.store(s, &mut store_err)
-                        })?,
-                        Some(w) => threaded::run_threaded_checkpointed(
-                            g,
-                            programs(),
-                            Config::default(),
-                            w,
-                            plan.as_ref(),
-                            every,
-                            |s| ck.store(s, &mut store_err),
-                        )?,
-                    }
+            let run = match &active {
+                // An active plan wraps every program in time redundancy —
+                // the same sizing and round cap `resilient::run_stage`
+                // applies to the staged pipelines, so the suite's degraded
+                // budgets gate this path too.
+                Some(p) => {
+                    let base = bounds::trivial_rounds(g);
+                    let s = redundancy_for(p, g.n(), base);
+                    let cap = Config {
+                        max_rounds: bounds::degraded_stage_rounds(base, s, p),
+                        ..Config::default()
+                    };
+                    let wrapped = || -> Vec<Redundant<TrivialGreedy<P>>> {
+                        programs()
+                            .into_iter()
+                            .map(|q| Redundant::new(q, s))
+                            .collect()
+                    };
+                    run_vertex(g, wrapped, cap, workers, Some(p), ckpt, resumed)?
                 }
-                // plain run (with or without fault injection)
-                (None, None) => match (workers, &plan) {
-                    (None, None) => engine.run(programs())?,
-                    (None, Some(p)) => engine.run_faulty(programs(), p)?,
-                    (Some(w), None) => threaded::run_threaded(g, programs(), Config::default(), w)?,
-                    (Some(w), Some(p)) => {
-                        threaded::run_threaded_faulty(g, programs(), Config::default(), w, p)?
-                    }
-                },
+                None => run_vertex(
+                    g,
+                    programs,
+                    Config::default(),
+                    workers,
+                    plan.as_ref(),
+                    ckpt,
+                    resumed,
+                )?,
             };
-            if let Some(msg) = store_err {
-                return Err(RunError::Checkpoint(msg));
-            }
             let valid = problem.validate(g, &inputs, &run.outputs).is_ok();
             Ok((ScenarioMetrics::from_metrics(&run.metrics), valid))
         }
-        Algo::Bm21 | Algo::Theorem1 if plan.is_some() => {
-            // the staged pipelines assume the fault-free Sleeping model
-            Err(RunError::UnsupportedAlgo {
-                problem: problem.name(),
-                algo: format!("{}+faults", sc.algo.key()),
-            })
-        }
         Algo::Bm21 => {
-            let r = bm21::solve(g, problem, &inputs, None)?;
+            let r = match &active {
+                Some(p) => bm21::solve_faulty(g, problem, &inputs, None, p, None)?,
+                None => bm21::solve(g, problem, &inputs, None)?,
+            };
             let valid = problem.validate(g, &inputs, &r.outputs).is_ok();
             Ok((ScenarioMetrics::from_composition(&r.composition), valid))
         }
         Algo::Theorem1 => {
-            let r = theorem1::solve_with_inputs(g, problem, &inputs, Default::default())?;
+            let r = match &active {
+                Some(p) => theorem1::solve_with_inputs_faulty(
+                    g,
+                    problem,
+                    &inputs,
+                    Default::default(),
+                    p,
+                    None,
+                )?,
+                None => theorem1::solve_with_inputs(g, problem, &inputs, Default::default())?,
+            };
             let valid = problem.validate(g, &inputs, &r.outputs).is_ok();
             Ok((ScenarioMetrics::from_composition(&r.composition), valid))
         }
@@ -643,7 +766,10 @@ where
 /// adapter and validate the per-edge outputs. Recoverable runs re-execute
 /// edge scenarios deterministically rather than snapshotting them (the
 /// adapter's host state is [`awake_sleeping::Persist`]-capable, but the
-/// suite keeps snapshot files to the vertex executors).
+/// suite keeps snapshot files to the vertex executors). Fault injection —
+/// crash-restarts included — rides the adapter through the
+/// [`Redundant`]-wrapped `solve_edges_faulty` entry points and is audited
+/// against the degraded budgets.
 fn solve_edge<P>(
     problem: &P,
     sc: &Scenario,
@@ -657,14 +783,6 @@ where
 {
     let inputs = problem.trivial_inputs(g);
     let plan = sc.faults.map(|f| f.plan(seed));
-    if plan.is_some_and(|p| p.crash_ppm > 0) {
-        // crash-restart has no line-graph counterpart (it would rewind
-        // every replica of the host at once) — see `solve_edges_faulty`
-        return Err(RunError::UnsupportedAlgo {
-            problem: problem.name(),
-            algo: format!("{}+crash-faults", sc.algo.key()),
-        });
-    }
     let run = match (sc.algo, &plan) {
         (Algo::Trivial, None) => linegraph::solve_edges(g, problem, &inputs, Config::default())?,
         (Algo::Trivial, Some(p)) => {
@@ -825,7 +943,9 @@ mod tests {
     use crate::scenario::FaultSpec;
 
     /// Rates high enough that every fault kind fires on a 80-node run,
-    /// including crash-restarts at round 1 and at decision rounds.
+    /// including crash-restarts at round 1 and at decision rounds. The
+    /// quiet tail lets the run settle, so the degraded budgets apply and
+    /// `bound_ok` is a real gate on these rows.
     fn rough() -> FaultSpec {
         FaultSpec {
             drop_ppm: 50_000,
@@ -833,6 +953,9 @@ mod tests {
             delay_ppm: 30_000,
             crash_ppm: 20_000,
             delay_rounds: 2,
+            burst_start: 0,
+            burst_len: 0,
+            quiet_after: 48,
         }
     }
 
@@ -849,15 +972,22 @@ mod tests {
             let b = run_scenario(&faulty(problem, Algo::TrivialThreaded(4)), 5, None).unwrap();
             assert_eq!(a.metrics, b.metrics, "{problem:?}: executors diverged");
             // the plan must actually have injected something, crashes
-            // included — the run completes regardless
+            // included — the run recovers, validates, and stays within
+            // the degraded budget
             assert!(a.metrics.faults_dropped > 0, "{problem:?}: no drops");
             assert!(a.metrics.faults_crashed > 0, "{problem:?}: no crashes");
+            assert!(a.valid, "{}: invalid after recovery", a.name);
+            assert!(
+                a.bound_ok,
+                "{}: awake {}/{} rounds {}/{}",
+                a.name, a.metrics.max_awake, a.awake_bound, a.metrics.rounds, a.round_bound
+            );
         }
     }
 
     #[test]
-    fn edge_scenarios_take_message_faults_but_reject_crash_faults() {
-        // message-only faults ride the line-graph adapter fine
+    fn edge_scenarios_take_message_and_crash_faults() {
+        // message-only faults ride the line-graph adapter as before
         let msg_only = FaultSpec {
             crash_ppm: 0,
             ..rough()
@@ -875,25 +1005,77 @@ mod tests {
         let b = run_scenario(&sc(Algo::TrivialThreaded(4)), 5, None).unwrap();
         assert_eq!(a.metrics, b.metrics, "executors diverged");
         assert!(a.metrics.faults_dropped > 0, "no drops injected");
-        // crash-restart has no line-graph counterpart: rejected up front
-        let e = run_scenario(&faulty(ProblemKind::Matching, Algo::Trivial), 5, None).unwrap_err();
+        // crash-restart now rides the adapter too: every host replica
+        // rewinds together under the time-redundancy wrapper, recovers,
+        // and the row gates against the degraded budget
+        let a = run_scenario(&faulty(ProblemKind::Matching, Algo::Trivial), 5, None).unwrap();
+        let b = run_scenario(
+            &faulty(ProblemKind::Matching, Algo::TrivialThreaded(4)),
+            5,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.metrics, b.metrics, "executors diverged under crashes");
+        assert!(a.metrics.faults_crashed > 0, "no crashes injected");
+        assert!(a.valid, "{}: invalid after recovery", a.name);
         assert!(
-            matches!(e.error, RunError::UnsupportedAlgo { .. }),
-            "got {e}"
+            a.bound_ok,
+            "{}: awake {}/{} rounds {}/{}",
+            a.name, a.metrics.max_awake, a.awake_bound, a.metrics.rounds, a.round_bound
         );
-        assert!(e.to_string().contains("crash-faults"), "got {e}");
     }
 
     #[test]
-    fn staged_solvers_reject_fault_injection() {
+    fn staged_solvers_take_fault_injection() {
+        // smaller graph: the staged pipelines run many stretched stages
+        let small = |algo| {
+            Scenario::of(GraphFamily::Gnp { n: 36, p: 0.12 }, ProblemKind::Mis, algo)
+                .with_faults(rough())
+                .build()
+        };
         for algo in [Algo::Bm21, Algo::Theorem1] {
-            let e = run_scenario(&faulty(ProblemKind::Mis, algo), 5, None).unwrap_err();
+            let r = run_scenario(&small(algo), 5, None).unwrap();
+            assert!(r.valid, "{}: invalid after recovery", r.name);
+            assert!(r.metrics.faults_crashed > 0, "{}: no crashes", r.name);
             assert!(
-                matches!(e.error, RunError::UnsupportedAlgo { .. }),
-                "got {e}"
+                r.bound_ok,
+                "{}: awake {}/{} rounds {}/{}",
+                r.name, r.metrics.max_awake, r.awake_bound, r.metrics.rounds, r.round_bound
             );
-            assert!(e.to_string().contains("+faults"), "got {e}");
         }
+    }
+
+    #[test]
+    fn torn_progress_rows_are_typed_and_only_they_rerun() {
+        // a complete ledger parses cleanly
+        let suite = vec![tiny(Algo::Trivial), tiny(Algo::Bm21)];
+        let report = Runner::serial().run("t", &suite, 9).unwrap();
+        let (rows, errors) = parse_progress(&report.canonical_json());
+        assert_eq!(rows.len(), 2);
+        assert!(errors.is_empty(), "clean ledger: {errors:?}");
+        // tear one row mid-write: drop a required field from row 1
+        let torn = report
+            .canonical_json()
+            .replacen("\"max_awake\"", "\"mangled\"", 2)
+            .replacen("\"mangled\"", "\"max_awake\"", 1);
+        let (rows, errors) = parse_progress(&torn);
+        assert_eq!(rows.len(), 1, "the intact row survives");
+        assert_eq!(rows[0].name, suite[0].name);
+        assert_eq!(errors, vec![ProgressError::TornRow(1)]);
+        // a foreign document is a typed whole-ledger miss
+        let (rows, errors) = parse_progress("{\"schema\": \"other/v1\"}");
+        assert!(rows.is_empty());
+        assert_eq!(errors, vec![ProgressError::Document]);
+        // run_recoverable on the torn ledger reloads row 0, re-runs row 1,
+        // and converges to the same canonical report
+        let dir = scratch_dir("torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("progress.json"), &torn).unwrap();
+        let recovered = Runner::serial()
+            .run_recoverable("t", &suite, 9, &dir, None)
+            .unwrap();
+        assert_eq!(report.canonical_json(), recovered.canonical_json());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn scratch_dir(tag: &str) -> std::path::PathBuf {

@@ -146,10 +146,9 @@ fn suite_checkpoint_run_and_resume_produce_identical_reports() {
 }
 
 #[test]
-fn suite_faults_preset_is_exempt_from_validation_and_audit_gates() {
-    // Injected faults legitimately break the problem predicate and the
-    // closed-form budgets; the preset must still exit 0, with the
-    // exemption stated.
+fn suite_faults_preset_passes_validation_and_degraded_audit_gates() {
+    // Fault-injected scenarios recover to valid outputs and gate against
+    // their closed-form *degraded* budgets — no exemption from either gate.
     let dir = scratch_dir("suite-faults");
     let out = suite(
         &["--preset", "faults", "--audit", "--out", "faults.json"],
@@ -157,13 +156,17 @@ fn suite_faults_preset_is_exempt_from_validation_and_audit_gates() {
     );
     assert!(
         out.status.success(),
-        "faults preset must not fail the gates: {}",
+        "faults preset must pass both gates: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
-        text.contains("exempt from the validation and audit gates"),
-        "exemption must be stated: {text}"
+        text.contains("gate against their degraded budgets"),
+        "degraded gating must be stated: {text}"
+    );
+    assert!(
+        !text.contains("exempt"),
+        "the audit exemption is gone — no row may claim it: {text}"
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -178,8 +181,8 @@ fn suite_list_shows_scenario_counts_and_gate_flags() {
     // advertise which gate treats them specially
     assert!(text.contains("scenarios]"), "counts missing: {text}");
     assert!(
-        text.contains("(audit-exempt)"),
-        "faults preset must advertise its audit exemption: {text}"
+        text.contains("(degraded-audit"),
+        "fault presets must advertise degraded-budget gating: {text}"
     );
     assert!(
         text.contains("(budget-bounded)"),

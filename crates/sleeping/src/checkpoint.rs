@@ -21,8 +21,10 @@
 //!
 //! ```text
 //! magic    8 bytes  b"AWAKECKP"
-//! version  u32      SNAPSHOT_VERSION (currently 2; v2 added the
-//!                   awake_events / rounds_skipped metrics counters)
+//! version  u32      SNAPSHOT_VERSION (currently 3; v2 added the
+//!                   awake_events / rounds_skipped metrics counters, v3
+//!                   the fault-plan window fields, the recovery counters,
+//!                   and the per-node recovering bitset)
 //! round    u64      last processed round
 //! graph    u64      fingerprint of (n, idents, adjacency)
 //! config   max_rounds + trace mode
@@ -61,10 +63,13 @@ use std::sync::Arc;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"AWAKECKP";
 /// Current snapshot format version. Version 2 appended the
 /// `awake_events` and `rounds_skipped` counters to the metrics block;
-/// version-1 images are rejected with
+/// version 3 added the fault-plan window fields
+/// (`burst_start`/`burst_len`/`quiet_after`), the
+/// `recovery_rounds`/`recovery_awake` counters, and the per-node
+/// `recovering` bitset of the fault state. Older images are rejected with
 /// [`CheckpointError::UnsupportedVersion`] rather than silently restored
-/// with zeroed compression counters.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// with zeroed fields.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be decoded or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -348,6 +353,69 @@ impl<T: Codec> Codec for Vec<T> {
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for std::collections::BTreeMap<K, V> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = usize::decode(r)?;
+        if len > r.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec + Ord> Codec for std::collections::BTreeSet<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = usize::decode(r)?;
+        if len > r.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut out = std::collections::BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for std::collections::VecDeque<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = usize::decode(r)?;
+        if len > r.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut out = std::collections::VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::decode(r)?);
         }
         Ok(out)
     }
@@ -668,6 +736,9 @@ impl Codec for FaultPlan {
         self.delay_ppm.encode(w);
         self.crash_ppm.encode(w);
         self.delay_rounds.encode(w);
+        self.burst_start.encode(w);
+        self.burst_len.encode(w);
+        self.quiet_after.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
         Ok(FaultPlan {
@@ -677,6 +748,9 @@ impl Codec for FaultPlan {
             delay_ppm: r.get()?,
             crash_ppm: r.get()?,
             delay_rounds: r.get()?,
+            burst_start: r.get()?,
+            burst_len: r.get()?,
+            quiet_after: r.get()?,
         })
     }
 }
@@ -741,6 +815,8 @@ where
     m.faults_duplicated.encode(&mut w);
     m.faults_delayed.encode(&mut w);
     m.faults_crashed.encode(&mut w);
+    m.recovery_rounds.encode(&mut w);
+    m.recovery_awake.encode(&mut w);
     m.awake_events.encode(&mut w);
     m.rounds_skipped.encode(&mut w);
     let (names, counts) = m.span_data();
@@ -759,6 +835,7 @@ where
             w.bytes(&[1]);
             f.plan.encode(&mut w);
             f.delayed.encode(&mut w);
+            f.recovering.encode(&mut w);
         }
     }
     Snapshot {
@@ -839,6 +916,8 @@ where
     metrics.faults_duplicated = r.get()?;
     metrics.faults_delayed = r.get()?;
     metrics.faults_crashed = r.get()?;
+    metrics.recovery_rounds = r.get()?;
+    metrics.recovery_awake = r.get()?;
     metrics.awake_events = r.get()?;
     metrics.rounds_skipped = r.get()?;
     let name_count = usize::decode(&mut r)?;
@@ -867,8 +946,13 @@ where
         1 => {
             let plan: FaultPlan = r.get()?;
             let delayed: Vec<DelayedMsg<P::Msg>> = r.get()?;
+            let recovering: Vec<bool> = r.get()?;
+            if recovering.len() != n {
+                return Err(CheckpointError::Corrupt("recovering length"));
+            }
             let mut f = FaultState::new(plan);
             f.delayed = delayed;
+            f.recovering = recovering;
             Some(f)
         }
         _ => return Err(CheckpointError::Corrupt("fault state tag")),
@@ -1071,6 +1155,9 @@ mod tests {
         plan.delay_ppm = 3;
         plan.crash_ppm = 4;
         plan.delay_rounds = 5;
+        plan.burst_start = 6;
+        plan.burst_len = 7;
+        plan.quiet_after = 8;
         roundtrip(plan);
         roundtrip(DelayedMsg {
             due: 12,

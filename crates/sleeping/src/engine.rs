@@ -317,6 +317,10 @@ impl<'g, P: Program> SerialExec<'g, P> {
         let mut next_wake: Vec<Round> = Vec::with_capacity(n);
         let mut wheel = WakeWheel::new();
         seed_schedule(&programs, &mut wheel, &mut next_wake, &mut outputs)?;
+        let mut faults = faults;
+        if let Some(f) = faults.as_mut() {
+            f.state.recovering.resize(n, false);
+        }
         Ok(SerialExec {
             graph,
             config,
@@ -523,6 +527,7 @@ impl<'g, P: Program> SerialExec<'g, P> {
         // Phase B: all awake nodes receive and choose their next action
         // (crashed nodes instead lose the round and restart).
         let mut crash_i = 0usize;
+        let mut rec_round = false;
         for &v in awake.iter() {
             let vid = NodeId(v);
             if let Some(f) = faults.as_mut().filter(|_| FAULTY) {
@@ -535,6 +540,8 @@ impl<'g, P: Program> SerialExec<'g, P> {
                         .expect("Persist round-trip: restore must accept its own save");
                     tracer.push(|| TraceEvent::Crash { round, node: vid });
                     metrics.faults_crashed += 1;
+                    f.state.recovering[v as usize] = true;
+                    rec_round = true;
                     next_wake[v as usize] = round + 1;
                     stay.push(v);
                     continue;
@@ -550,6 +557,19 @@ impl<'g, P: Program> SerialExec<'g, P> {
             let action = programs[v as usize].receive(&view, arena.inbox(v));
             // Clear while the segment header is hot (see `arena`).
             arena.clear_inbox(v);
+            // A recovering node's awake rounds are overhead until its first
+            // non-Stay action puts it back on its schedule.
+            if FAULTY {
+                if let Some(f) = faults.as_mut() {
+                    if f.state.recovering[v as usize] {
+                        metrics.recovery_awake += 1;
+                        rec_round = true;
+                        if action != Action::Stay {
+                            f.state.recovering[v as usize] = false;
+                        }
+                    }
+                }
+            }
             match action {
                 Action::Stay => {
                     next_wake[v as usize] = round + 1;
@@ -583,6 +603,9 @@ impl<'g, P: Program> SerialExec<'g, P> {
         }
         if let Some(f) = faults.as_mut().filter(|_| FAULTY) {
             f.crashed.clear();
+        }
+        if FAULTY && rec_round {
+            metrics.recovery_rounds += 1;
         }
         Ok(true)
     }

@@ -90,6 +90,24 @@ pub struct FaultPlan {
     /// attempted (must be ≥ 1; the message is lost unless its recipient is
     /// awake at exactly `round + delay_rounds`).
     pub delay_rounds: Round,
+    /// First round of the injection window (with [`burst_len`]). Outside
+    /// the window every roll is suppressed: messages deliver, nodes don't
+    /// crash. `burst_len == 0` disables the window (faults everywhere),
+    /// regardless of this field.
+    ///
+    /// [`burst_len`]: FaultPlan::burst_len
+    pub burst_start: Round,
+    /// Length of the injection window starting at
+    /// [`burst_start`](FaultPlan::burst_start); `0` means "no window" —
+    /// faults are injected at every round. Targeted adversaries (crash
+    /// bursts at decision rounds, drop bursts along tree phases) are built
+    /// from this.
+    pub burst_len: Round,
+    /// No fault is injected at or after this round — the *quiet period*
+    /// of the recovery contract: after the last fault, the run must still
+    /// produce a valid output within the degraded budget. `0` means "never
+    /// quiet" (no guarantee horizon).
+    pub quiet_after: Round,
 }
 
 impl FaultPlan {
@@ -102,7 +120,21 @@ impl FaultPlan {
             delay_ppm: 0,
             crash_ppm: 0,
             delay_rounds: 1,
+            burst_start: 0,
+            burst_len: 0,
+            quiet_after: 0,
         }
+    }
+
+    /// Whether faults may be injected at `round`: inside the burst window
+    /// (if any) and before the quiet period (if any). Pure, like the rolls
+    /// it gates.
+    #[inline]
+    pub fn in_window(&self, round: Round) -> bool {
+        (self.quiet_after == 0 || round < self.quiet_after)
+            && (self.burst_len == 0
+                || (round >= self.burst_start
+                    && round < self.burst_start.saturating_add(self.burst_len)))
     }
 
     #[inline]
@@ -116,6 +148,9 @@ impl FaultPlan {
     #[inline]
     pub fn message_fate(&self, round: Round, from: u32, to: u32, k: u32) -> FaultKind {
         if self.drop_ppm == 0 && self.dup_ppm == 0 && self.delay_ppm == 0 {
+            return FaultKind::Deliver;
+        }
+        if !self.in_window(round) {
             return FaultKind::Deliver;
         }
         let pair = ((from as u64) << 32) | to as u64;
@@ -136,6 +171,7 @@ impl FaultPlan {
     #[inline]
     pub fn crashes(&self, round: Round, node: u32) -> bool {
         self.crash_ppm > 0
+            && self.in_window(round)
             && (self.roll(CRASH_SALT, round, node as u64, 0) % PPM_SCALE as u64)
                 < self.crash_ppm as u64
     }
@@ -165,6 +201,12 @@ pub(crate) struct FaultState<M> {
     /// Delayed messages in decision order (= sender node order within each
     /// round, rounds ascending) — both executors append identically.
     pub(crate) delayed: Vec<DelayedMsg<M>>,
+    /// `recovering[v]`: node `v` has crash-restarted and has not yet taken
+    /// a non-[`Stay`](crate::Action::Stay) action — its awake rounds are
+    /// recovery overhead, counted in
+    /// [`Metrics::recovery_awake`](crate::Metrics::recovery_awake). Sized
+    /// to the node count by the executors; part of a snapshot.
+    pub(crate) recovering: Vec<bool>,
 }
 
 impl<M> FaultState<M> {
@@ -172,8 +214,81 @@ impl<M> FaultState<M> {
         FaultState {
             plan,
             delayed: Vec::new(),
+            recovering: Vec::new(),
         }
     }
+}
+
+/// The largest window the redundancy sizer will recommend; wider windows
+/// multiply every awake and round budget, so plans hot enough to need more
+/// are clamped here and covered best-effort (the suite's validity gate
+/// still checks the outcome).
+pub const MAX_REDUNDANCY: Round = 64;
+
+/// The maximum number of crash rolls any single node takes within any
+/// window of `win` consecutive rounds, enumerated exactly over rounds
+/// `1..=horizon`. Deterministic in the plan, so both the budget model and
+/// the wrapper sizing see the same adversary.
+fn max_window_crashes(plan: &FaultPlan, n: usize, horizon: Round, win: Round) -> u64 {
+    let mut worst = 0u64;
+    let mut hits: Vec<Round> = Vec::new();
+    for v in 0..n as u32 {
+        hits.clear();
+        for r in 1..=horizon {
+            if plan.crashes(r, v) {
+                hits.push(r);
+            }
+        }
+        let mut lo = 0usize;
+        for hi in 0..hits.len() {
+            while hits[hi] - hits[lo] >= win {
+                lo += 1;
+            }
+            worst = worst.max((hi - lo + 1) as u64);
+        }
+    }
+    worst
+}
+
+/// The time-redundancy window `S` that makes a run of `base_rounds` rounds
+/// on `n` nodes tolerate `plan` when every program is wrapped in
+/// [`Redundant`](crate::Redundant): each inner round is stretched to `S`
+/// real rounds, every message is re-sent at each of them, so a node that
+/// loses `L` rounds of a window to crashes (and messages delayed by up to
+/// `delay_rounds`) still observes every inner-round exchange.
+///
+/// Returns `1` (no stretching) for an inactive plan. Otherwise `S` is the
+/// maximum of: `2`, `2L + 2` where `L` is the exact worst per-node crash
+/// count in any [`MAX_REDUNDANCY`]-round window over a conservative
+/// horizon, and `delay_rounds + 2` when delays are enabled — clamped to
+/// [`MAX_REDUNDANCY`]. Drops are covered by the surviving copies (each
+/// transmission is rolled independently per real round), which the suite
+/// verifies per seed rather than by construction.
+pub fn redundancy_for(plan: &FaultPlan, n: usize, base_rounds: Round) -> Round {
+    if !plan.is_active() {
+        return 1;
+    }
+    let mut need: Round = 2;
+    if plan.delay_ppm > 0 {
+        need = need.max(plan.delay_rounds.saturating_add(2));
+    }
+    if plan.crash_ppm > 0 {
+        let horizon = base_rounds
+            .saturating_mul(8)
+            .saturating_add(MAX_REDUNDANCY)
+            .min(1 << 20);
+        let l = if (n as u64).saturating_mul(horizon) <= 16_000_000 {
+            max_window_crashes(plan, n, horizon, MAX_REDUNDANCY)
+        } else {
+            // Enumeration would be slower than the run itself: fall back
+            // to an 8× margin over the expected crash count per window.
+            (MAX_REDUNDANCY * plan.crash_ppm as u64 * 8)
+                .div_ceil(PPM_SCALE as u64)
+                .max(1)
+        };
+        need = need.max(2 * l + 2);
+    }
+    need.clamp(2, MAX_REDUNDANCY)
 }
 
 #[cfg(test)]
@@ -223,6 +338,62 @@ mod tests {
             .count();
         let rate = drops as f64 / n as f64;
         assert!((0.08..0.12).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn burst_window_and_quiet_period_gate_all_rolls() {
+        let mut p = FaultPlan::new(3);
+        p.drop_ppm = 900_000;
+        p.crash_ppm = 900_000;
+        p.burst_start = 10;
+        p.burst_len = 5;
+        // outside the burst: everything delivers, nobody crashes
+        for r in (1..10).chain(15..40) {
+            for k in 0..8 {
+                assert_eq!(p.message_fate(r, 0, 1, k), FaultKind::Deliver, "round {r}");
+            }
+            assert!(!p.crashes(r, 0), "round {r}");
+        }
+        // inside the burst the 90% rates bite
+        let in_burst = (10..15)
+            .flat_map(|r| (0..8).map(move |k| (r, k)))
+            .filter(|&(r, k)| p.message_fate(r, 0, 1, k) == FaultKind::Drop)
+            .count();
+        assert!(in_burst > 20, "drops inside the burst: {in_burst}");
+        assert!((10..15).any(|r| p.crashes(r, 0)));
+        // quiet_after wins over the window
+        p.quiet_after = 12;
+        assert!(p.in_window(11));
+        assert!(!p.in_window(12));
+        assert_eq!(p.message_fate(13, 0, 1, 0), FaultKind::Deliver);
+        assert!(!p.crashes(13, 0));
+    }
+
+    #[test]
+    fn redundancy_sizing() {
+        // inactive plan: no stretching
+        assert_eq!(redundancy_for(&FaultPlan::new(1), 16, 100), 1);
+        // message-only faults: minimal window
+        let mut p = FaultPlan::new(1);
+        p.drop_ppm = 100_000;
+        assert_eq!(redundancy_for(&p, 16, 100), 2);
+        // delays must fit inside the window
+        p.delay_ppm = 50_000;
+        p.delay_rounds = 3;
+        assert_eq!(redundancy_for(&p, 16, 100), 5);
+        // crashes widen it to 2L + 2 and it stays clamped
+        let mut c = FaultPlan::new(9);
+        c.crash_ppm = 30_000;
+        let s = redundancy_for(&c, 32, 200);
+        assert!((2..=MAX_REDUNDANCY).contains(&s), "s = {s}");
+        // a quiet plan with crashes confined to a short burst sizes from
+        // the actual rolls, not the rate
+        let mut q = FaultPlan::new(9);
+        q.crash_ppm = 1_000_000;
+        q.burst_start = 5;
+        q.burst_len = 2;
+        let s = redundancy_for(&q, 8, 50);
+        assert_eq!(s, 2 * 2 + 2, "two guaranteed crashes per window");
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod engine;
 pub mod faults;
 mod metrics;
 mod program;
+pub mod redundant;
 pub mod threaded;
 mod trace;
 mod wheel;
@@ -123,9 +124,10 @@ pub use checkpoint::{
     CheckpointError, Codec, Paused, Persist, Reader, ResumeError, Snapshot, Writer,
 };
 pub use engine::{Config, Engine, Run, SimError};
-pub use faults::{FaultKind, FaultPlan};
+pub use faults::{redundancy_for, FaultKind, FaultPlan, MAX_REDUNDANCY};
 pub use metrics::{percentile, percentile_of_sorted, Metrics};
 pub use program::{Action, Envelope, Outbox, Outgoing, Program, View};
+pub use redundant::{Redundant, RedundantMsg};
 pub use trace::{TraceEvent, TraceMode};
 
 /// Round numbers are 1-based; all nodes are awake at [`FIRST_ROUND`].

@@ -41,6 +41,16 @@ pub struct Metrics {
     pub faults_delayed: u64,
     /// Node crash-restarts injected by a fault plan.
     pub faults_crashed: u64,
+    /// Rounds in which at least one node was recovering from a crash (the
+    /// crashed round itself, or a post-crash awake round before the node's
+    /// first non-`Stay` action). Zero on fault-free runs — the counter is
+    /// only touched on the fault-monomorphized executor paths.
+    pub recovery_rounds: u64,
+    /// Awake node-rounds spent recovering: after a crash-restart, every
+    /// awake round of that node until its first non-`Stay` action. This is
+    /// the *energy overhead* of recovery — the quantity the degraded
+    /// budgets bound.
+    pub recovery_awake: u64,
     /// Total awake node-round events executed — the Sleeping model's cost
     /// unit, and what the event-compressed executors' work is proportional
     /// to. Always equals [`total_awake`](Metrics::total_awake), but kept as
@@ -73,6 +83,8 @@ impl Metrics {
             faults_duplicated: 0,
             faults_delayed: 0,
             faults_crashed: 0,
+            recovery_rounds: 0,
+            recovery_awake: 0,
             awake_events: 0,
             rounds_skipped: 0,
             span_names: Vec::new(),

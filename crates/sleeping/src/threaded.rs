@@ -223,6 +223,11 @@ struct Batch<P: Program> {
     /// this round, ascending by node. Written by the send phase (the blob
     /// is saved *before* the node acts), consumed by the receive phase.
     crashes: Vec<(u32, Vec<u8>)>,
+    /// Receive result: nodes of this chunk that crash-restarted this
+    /// round, ascending. [`Batch::stays`] conflates crashed nodes with
+    /// voluntary stays, so the coordinator's recovery accounting needs the
+    /// crashed set separately.
+    crashed_nodes: Vec<u32>,
     /// Fault-delayed messages coming due this round for recipients in this
     /// chunk, staged by the coordinator between the phases; the receive
     /// phase delivers them after the regular shards and restores each
@@ -265,6 +270,7 @@ impl<P: Program> Batch<P> {
             fcrashed: 0,
             delayed_out: Vec::new(),
             crashes: Vec::new(),
+            crashed_nodes: Vec::new(),
             late: Vec::new(),
             late_locals: Vec::new(),
             stays: Vec::new(),
@@ -509,6 +515,7 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
         faults,
         fcrashed,
         crashes,
+        crashed_nodes,
         late,
         late_locals,
         stays,
@@ -522,6 +529,7 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
     let trace_on = *trace_on;
     trace.clear();
     *fcrashed = 0;
+    crashed_nodes.clear();
     // Local delivery: drain the incoming shards in source-chunk order.
     // Senders ascend within a chunk and chunks are contiguous in node
     // order, so each recipient's segment is a concatenation of sorted
@@ -571,6 +579,7 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
                 trace.push(TraceEvent::Crash { round, node: vid });
             }
             *fcrashed += 1;
+            crashed_nodes.push(*v);
             stays.push(*v);
             continue;
         }
@@ -698,7 +707,10 @@ fn resolve_due_delays<P: Program>(
 /// Apply one chunk's receive partials in node order: stay lane extension
 /// (chunks ascend, so the lane stays globally sorted), batched wheel
 /// scheduling, halt outputs, wake stamps, staged trace events, and
-/// program restoration.
+/// program restoration. Returns whether this chunk touched recovery
+/// accounting (a crashed or still-recovering node), so the coordinator can
+/// bump [`Metrics::recovery_rounds`] once per round like the serial
+/// engine.
 #[allow(clippy::too_many_arguments)]
 fn apply_receive_partials<P: Program>(
     b: &mut Batch<P>,
@@ -710,10 +722,48 @@ fn apply_receive_partials<P: Program>(
     slots: &mut [Option<P>],
     tracer: &mut Tracer,
     metrics: &mut Metrics,
-) {
+    faults: Option<&mut FaultCtx<P>>,
+) -> bool {
     tracer.absorb(&mut b.trace);
     metrics.faults_crashed += b.fcrashed;
     b.fcrashed = 0;
+    // Recovery accounting, in the chunk's node order — the same merge the
+    // serial engine's phase B does inline. A node that crashed this round
+    // starts recovering (the crashed round itself is not recovery energy);
+    // an awake node still marked recovering pays one recovery_awake round,
+    // and its first non-`Stay` action (a sleep or halt partial) ends the
+    // recovery. Recovering nodes are always awake — a crash forces the
+    // node into the stay lane — so scanning the chunk's jobs sees them all.
+    let mut touched = false;
+    if let Some(f) = faults {
+        let rec = &mut f.state.recovering;
+        let (mut ci, mut si, mut hi) = (0usize, 0usize, 0usize);
+        for &(v, _) in b.jobs.iter() {
+            if b.crashed_nodes.get(ci).is_some_and(|&c| c == v) {
+                ci += 1;
+                rec[v as usize] = true;
+                touched = true;
+                continue;
+            }
+            if !rec[v as usize] {
+                continue;
+            }
+            metrics.recovery_awake += 1;
+            touched = true;
+            while b.sleeps.get(si).is_some_and(|&(_, s)| s < v) {
+                si += 1;
+            }
+            while b.halts.get(hi).is_some_and(|h| h.0 < v) {
+                hi += 1;
+            }
+            let non_stay = b.sleeps.get(si).is_some_and(|&(_, s)| s == v)
+                || b.halts.get(hi).is_some_and(|h| h.0 == v);
+            if non_stay {
+                rec[v as usize] = false;
+            }
+        }
+        b.crashed_nodes.clear();
+    }
     for &v in &b.stays {
         ctx.next_wake[v as usize] = round + 1;
     }
@@ -730,6 +780,7 @@ fn apply_receive_partials<P: Program>(
     for (v, p) in b.jobs.drain(..) {
         slots[v as usize] = Some(p);
     }
+    touched
 }
 
 fn worker_loop<P: Program>(
@@ -864,6 +915,11 @@ where
         plan: f.state.plan,
         crash_io: f.crash_io,
     });
+    if let Some(f) = faults.as_mut() {
+        // Fresh runs start with an empty recovery bitset; restored runs
+        // carry a validated length-n one (resize is then a no-op).
+        f.state.recovering.resize(n, false);
+    }
 
     let shared = RwLock::new(RoundCtx {
         next_wake,
@@ -999,7 +1055,7 @@ where
                 }
                 {
                     let mut ctx = shared.write().expect("round context lock");
-                    apply_receive_partials(
+                    let rec_round = apply_receive_partials(
                         &mut b,
                         round,
                         &mut ctx,
@@ -1009,7 +1065,11 @@ where
                         &mut slots,
                         &mut tracer,
                         &mut metrics,
+                        faults.as_mut(),
                     );
+                    if rec_round {
+                        metrics.recovery_rounds += 1;
+                    }
                 }
                 pool[0] = Some(b);
             } else {
@@ -1083,8 +1143,9 @@ where
                 // outputs land in place.
                 {
                     let mut ctx = shared.write().expect("round context lock");
+                    let mut rec_round = false;
                     for (w, mut b) in inflight.drain(..).enumerate() {
-                        apply_receive_partials(
+                        rec_round |= apply_receive_partials(
                             &mut b,
                             round,
                             &mut ctx,
@@ -1094,8 +1155,12 @@ where
                             &mut slots,
                             &mut tracer,
                             &mut metrics,
+                            faults.as_mut(),
                         );
                         pool[w] = Some(b);
+                    }
+                    if rec_round {
+                        metrics.recovery_rounds += 1;
                     }
                 }
             }

@@ -219,6 +219,8 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
     let mut inbox: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
     // (due, from, to, msg) in decision order, as the executors keep it.
     let mut delayed: Vec<(u64, u32, u32, u64)> = Vec::new();
+    // Crash-restarted nodes still recovering (no non-Stay action yet).
+    let mut recovering: Vec<bool> = vec![false; n];
     let mut prev = 0u64;
 
     while let Some(round) = (0..n).map(|v| next_wake[v]).filter(|&r| r != 0).min() {
@@ -332,6 +334,7 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
         // Phase B: receive and choose, ascending node order. A crashed node
         // loses the round — inbox discarded, state unchanged — and restarts
         // at the next round.
+        let mut rec_round = false;
         for &v in &awake {
             let vi = v as usize;
             if crashed.contains(&v) {
@@ -341,6 +344,8 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
                     node: NodeId(v),
                 });
                 metrics.faults_crashed += 1;
+                recovering[vi] = true;
+                rec_round = true;
                 next_wake[vi] = round + 1;
                 continue;
             }
@@ -348,6 +353,7 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
                 heard[vi].push((round, msg));
             }
             inbox[vi].clear();
+            let mut stayed = false;
             match next_wake_after(&scripts[vi], round) {
                 None => {
                     tr.push(TraceEvent::Halt {
@@ -357,7 +363,10 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
                     next_wake[vi] = 0;
                     outputs[vi] = Some(heard[vi].clone());
                 }
-                Some(w) if w == round + 1 => next_wake[vi] = round + 1,
+                Some(w) if w == round + 1 => {
+                    next_wake[vi] = round + 1;
+                    stayed = true;
+                }
                 Some(w) => {
                     tr.push(TraceEvent::Sleep {
                         round,
@@ -367,6 +376,18 @@ fn reference_run(g: &Graph, scripts: &[Vec<u64>], plan: Option<FaultPlan>) -> Ru
                     next_wake[vi] = w;
                 }
             }
+            // A recovering node pays recovery energy each awake round
+            // until its first non-Stay action ends the recovery.
+            if recovering[vi] {
+                metrics.recovery_awake += 1;
+                rec_round = true;
+                if !stayed {
+                    recovering[vi] = false;
+                }
+            }
+        }
+        if rec_round {
+            metrics.recovery_rounds += 1;
         }
     }
 
