@@ -16,10 +16,14 @@
 use awake_core::lemma10::PaletteTree;
 use awake_core::{linegraph, linial};
 use awake_graphs::{generators, ops, traversal, Graph, NodeId};
-use awake_lab::report::{BenchReport, EdgeProblemsBench, PerfStats, ScalingRow, ThreadedScaling};
+use awake_lab::report::{
+    BenchReport, EdgeProblemsBench, PerfStats, PhaseTimesBench, ScalingRow, ThreadedScaling,
+};
 use awake_olocal::edge::{solve_edges_sequentially, EdgeColoring, EdgeIndex, MaximalMatching};
 use awake_olocal::EdgeProblem;
-use awake_sleeping::{threaded, Action, Config, Engine, Envelope, Outbox, Outgoing, Program, View};
+use awake_sleeping::{
+    threaded, Action, Config, Engine, Envelope, Outbox, Outgoing, PhaseTimes, Program, View,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -281,8 +285,9 @@ const SCALE_ITERS: usize = 3;
 
 /// The dense flood workload at n = 65 536 on the serial engine and the
 /// worker-pool executor at 1/2/4/8 workers — the `threaded_scaling`
-/// section of `BENCH_engine.json`.
-fn bench_threaded_scaling() -> ThreadedScaling {
+/// section of `BENCH_engine.json` — plus the per-phase wall-time
+/// attribution of the 4-worker pipeline (the `phase_times` section).
+fn bench_threaded_scaling() -> (ThreadedScaling, PhaseTimesBench) {
     let p = SCALE_DEG as f64 / (SCALE_N - 1) as f64;
     let g = generators::gnp_sparse(SCALE_N, p, 7);
     let mk = || {
@@ -327,20 +332,41 @@ fn bench_threaded_scaling() -> ThreadedScaling {
         })
         .collect();
 
+    // Per-phase attribution of the 4-worker pipeline, accumulated over
+    // the same number of iterations. The probe reads the clock only on
+    // the coordinator between stages, so the timed run is bit-for-bit the
+    // plain threaded run — asserted below along with the serial engine.
+    let mut phases = PhaseTimes::default();
+    let mut timed = None;
+    for _ in 0..SCALE_ITERS {
+        timed = Some(
+            threaded::run_threaded_timed(&g, mk(), Config::default(), 4, &mut phases).unwrap(),
+        );
+    }
+    let timed = timed.expect("SCALE_ITERS > 0");
+
     // The sweep is only meaningful if the pipeline computes the serial
     // answer — assert full bit-for-bit agreement once at this scale.
     let s = Engine::new(&g, Config::default()).run(mk()).unwrap();
     let t = threaded::run_threaded(&g, mk(), Config::default(), 4).unwrap();
     assert_eq!(s.outputs, t.outputs, "scaling bench executors must agree");
     assert_eq!(s.metrics, t.metrics, "scaling bench metrics must agree");
+    assert_eq!(s.outputs, timed.outputs, "timed executor must agree");
+    assert_eq!(
+        s.metrics, timed.metrics,
+        "timed executor metrics must agree"
+    );
 
-    ThreadedScaling {
-        n: SCALE_N,
-        degree: SCALE_DEG,
-        rounds: SCALE_ROUNDS,
-        serial,
-        rows,
-    }
+    (
+        ThreadedScaling {
+            n: SCALE_N,
+            degree: SCALE_DEG,
+            rounds: SCALE_ROUNDS,
+            serial,
+            rows,
+        },
+        PhaseTimesBench::from_phase_times(4, &phases),
+    )
 }
 
 /// Edge-problem workload: a near-regular host graph at a size where the
@@ -351,12 +377,23 @@ const EDGE_ITERS: usize = 3;
 
 /// The `edge_problems` section: maximal matching and (2Δ−1)-edge coloring
 /// through the line-graph virtualization adapter on the serial engine.
+///
+/// The counted window is the engine run only — host construction is
+/// one-time setup, excluded so `allocations` reports the adapter's
+/// *steady-state* rate (the number `tests/alloc_regression.rs` pins at
+/// ≤ 0.1 allocs/node-round; the whole-solve rate was 3.7–3.9 before the
+/// shared-`Arc` + pooled-scratch rework).
 fn bench_edge_problems() -> EdgeProblemsBench {
     let g = generators::random_regular(EDGE_N, EDGE_DEG, 2);
     let idx = EdgeIndex::new(&g);
     let inputs = vec![(); idx.m()];
 
-    fn measure<P>(g: &Graph, problem: &P, inputs: &[P::Input]) -> (PerfStats, Vec<P::Output>)
+    fn measure<P>(
+        g: &Graph,
+        idx: &EdgeIndex,
+        problem: &P,
+        inputs: &[P::Input],
+    ) -> (PerfStats, Vec<P::Output>)
     where
         P: EdgeProblem + Clone,
     {
@@ -365,14 +402,26 @@ fn bench_edge_problems() -> EdgeProblemsBench {
         let mut totals = (0u64, 0u64);
         let mut outputs = Vec::new();
         for _ in 0..EDGE_ITERS {
+            let programs = linegraph::greedy_hosts(g, idx, problem, inputs);
             let a0 = alloc_count();
             let t0 = Instant::now();
-            let run = linegraph::solve_edges(g, problem, inputs, Config::default()).unwrap();
+            let run = Engine::new(g, Config::default()).run(programs).unwrap();
             let ns = t0.elapsed().as_nanos() as f64;
             allocs = alloc_count() - a0;
             totals = (run.metrics.total_awake(), run.metrics.messages_sent);
             black_box(&run.outputs);
-            outputs = run.outputs;
+            // Flatten per-node owned outputs back to canonical edge order
+            // (what `linegraph::solve_edges` does), outside the window.
+            let mut flat: Vec<Option<P::Output>> = vec![None; idx.m()];
+            for owned in &run.outputs {
+                for (label, out) in owned {
+                    flat[idx.index_of_label(*label)] = Some(out.clone());
+                }
+            }
+            outputs = flat
+                .into_iter()
+                .map(|o| o.expect("every edge has exactly one owner"))
+                .collect();
             best_ns = best_ns.min(ns);
         }
         (
@@ -386,8 +435,8 @@ fn bench_edge_problems() -> EdgeProblemsBench {
         )
     }
 
-    let (matching, matched) = measure(&g, &MaximalMatching, &inputs);
-    let (edge_coloring, colors) = measure(&g, &EdgeColoring, &inputs);
+    let (matching, matched) = measure(&g, &idx, &MaximalMatching, &inputs);
+    let (edge_coloring, colors) = measure(&g, &idx, &EdgeColoring, &inputs);
 
     // The numbers are only meaningful if the adapter computes the
     // sequential greedy's answer and the validators accept it — the runs
@@ -474,7 +523,7 @@ fn main() {
 
     let (engine, legacy) = bench_engine_flood(&g);
     let thr = bench_threaded_flood(&g);
-    let scaling = bench_threaded_scaling();
+    let (scaling, phase_times) = bench_threaded_scaling();
     let edge_problems = bench_edge_problems();
     let report = BenchReport {
         bench: "engine/flood".into(),
@@ -488,6 +537,7 @@ fn main() {
         threaded_4_workers: thr,
         legacy_baseline: legacy,
         threaded_scaling: scaling,
+        phase_times,
         edge_problems,
     };
     println!(
@@ -537,6 +587,20 @@ fn main() {
     if let Some(r) = sc.w4_vs_serial() {
         println!("  4-worker pipeline vs serial: {r:.2}x\n");
     }
+
+    let pt = &report.phase_times;
+    println!(
+        "phase_times ({} workers, {} dispatched + {} inline rounds/run-set):",
+        pt.workers, pt.dispatched_rounds, pt.inline_rounds
+    );
+    println!(
+        "  partition {:>10.0} ns/round   route {:>10.0}   deliver {:>10.0}   merge {:>10.0}   inline {:>10.0}\n",
+        pt.partition_ns_per_round,
+        pt.route_ns_per_round,
+        pt.deliver_ns_per_round,
+        pt.merge_ns_per_round,
+        pt.inline_ns_per_round
+    );
 
     let ep = &report.edge_problems;
     println!(

@@ -1,0 +1,87 @@
+//! Allocation-count regression test for the line-graph edge adapter.
+//!
+//! PRs 1–9 drove the engine's vertex hot path to a zero-allocation steady
+//! state; the edge adapter used to undo that by cloning the problem and
+//! the full input vector into every replica and by re-allocating merge /
+//! scratch buffers each virtual round — 3.7–3.9 heap allocations per
+//! awake node-round at the bench workload. With the shared-`Arc` greedy
+//! state and pooled host scratch the steady-state rate is pinned here at
+//! ≤ 0.1 allocations per node-round: a new per-round or per-replica
+//! allocation on the adapter path shows up as ≈ +1.0 and fails loudly,
+//! while one-time setup (graph, index, hosts, engine arenas) is excluded
+//! from the counted window.
+//!
+//! The counting allocator is test-local: integration tests are separate
+//! binaries, so installing it here does not affect any other test.
+
+use awake_core::linegraph::{self, EdgeGreedy, LineGraphHost};
+use awake_graphs::{generators, Graph};
+use awake_olocal::edge::{EdgeColoring, EdgeIndex, EdgeProblem, MaximalMatching};
+use awake_sleeping::{Config, Engine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Steady-state allocations per awake node-round for `problem` on `g`:
+/// hosts are built *outside* the counted window (per-replica construction
+/// is setup, not steady state), the engine run is counted.
+fn engine_allocs_per_node_round<P>(g: &Graph, problem: &P, inputs: &[P::Input]) -> f64
+where
+    P: EdgeProblem + Clone,
+{
+    let idx = EdgeIndex::new(g);
+    let programs: Vec<LineGraphHost<EdgeGreedy<P>>> =
+        linegraph::greedy_hosts(g, &idx, problem, inputs);
+    let a0 = alloc_count();
+    let run = Engine::new(g, Config::default()).run(programs).unwrap();
+    let allocs = alloc_count() - a0;
+    println!(
+        "  run window: {} allocs / {} node-rounds",
+        allocs,
+        run.metrics.total_awake()
+    );
+    allocs as f64 / run.metrics.total_awake() as f64
+}
+
+#[test]
+fn edge_adapter_steady_state_stays_allocation_free() {
+    let g = generators::random_regular(2048, 8, 2);
+    let idx = EdgeIndex::new(&g);
+    let inputs = vec![(); idx.m()];
+
+    let matching = engine_allocs_per_node_round(&g, &MaximalMatching, &inputs);
+    let coloring = engine_allocs_per_node_round(&g, &EdgeColoring, &inputs);
+    println!("edge adapter allocs/node-round: matching {matching:.4}, coloring {coloring:.4}");
+    assert!(
+        matching <= 0.1,
+        "matching adapter steady state regressed: {matching:.4} allocs/node-round (cap 0.1)"
+    );
+    assert!(
+        coloring <= 0.1,
+        "edge-coloring adapter steady state regressed: {coloring:.4} allocs/node-round (cap 0.1)"
+    );
+}

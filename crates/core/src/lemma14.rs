@@ -194,21 +194,21 @@ impl VirtualProgram for TreeGatherVertex {
     type Output = L14Out;
     type Payload = L14Payload;
 
-    fn send(&mut self, vround: Round) -> Vec<VOutgoing<L14Msg>> {
+    fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<L14Msg>>) {
         if vround == self.cc_send() {
             if let Some(p) = self.parent {
-                return vec![VOutgoing::ToCluster(
+                out.push(VOutgoing::ToCluster(
                     p,
                     L14Msg::Up(Arc::new(self.bag.clone())),
-                )];
+                ));
+                return;
             }
         }
         if vround == self.bc_send() {
             if let Some(all) = &self.all {
-                return vec![VOutgoing::Broadcast(L14Msg::Down(Arc::new(all.clone())))];
+                out.push(VOutgoing::Broadcast(L14Msg::Down(Arc::new(all.clone()))));
             }
         }
-        vec![]
     }
 
     fn receive(&mut self, vround: Round, inbox: &[VEnvelope<L14Msg>]) -> Action {

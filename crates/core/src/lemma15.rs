@@ -406,16 +406,15 @@ impl VirtualProgram for Lemma15Vertex {
     type Output = Lemma15Out;
     type Payload = ();
 
-    fn send(&mut self, vround: Round) -> Vec<VOutgoing<L15Msg>> {
+    fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<L15Msg>>) {
         match vround {
-            1 => vec![VOutgoing::Broadcast(L15Msg::Info1(self.c1))],
+            1 => out.push(VOutgoing::Broadcast(L15Msg::Info1(self.c1))),
             2 => {
                 let table: Vec<(u64, u64)> = self.nbr_c1.iter().map(|(&l, &c)| (l, c)).collect();
-                vec![VOutgoing::Broadcast(L15Msg::Info2(table))]
+                out.push(VOutgoing::Broadcast(L15Msg::Info2(table)));
             }
-            3 => vec![VOutgoing::Broadcast(L15Msg::Info3(self.c2, self.p2))],
+            3 => out.push(VOutgoing::Broadcast(L15Msg::Info3(self.c2, self.p2))),
             _ => {
-                let mut out = Vec::new();
                 for duty in self.duties_at(vround) {
                     match duty {
                         Duty::CcSend(0) => out.push(VOutgoing::ToCluster(
@@ -437,7 +436,6 @@ impl VirtualProgram for Lemma15Vertex {
                         Duty::CcRecv(_) | Duty::BcRecv(_) => {}
                     }
                 }
-                out
             }
         }
     }

@@ -35,6 +35,7 @@ use awake_sleeping::{
     threaded, Action, CheckpointError, Codec, Config, Engine, Envelope, FaultPlan, Metrics, Outbox,
     Persist, Program, Reader, Round, SimError, View, Writer,
 };
+use std::sync::Arc;
 
 /// Cluster-level input of one edge: what both replicas are constructed
 /// from (deliberately symmetric, like [`crate::virt::VertexInput`] —
@@ -76,19 +77,19 @@ struct Replica<VP: VirtualProgram> {
 
 impl<VP: VirtualProgram> Replica<VP> {
     /// Prepare the outgoing messages for the replica's next awake round
-    /// (the [`crate::virt`] `prime` step).
-    fn prime(&mut self, next: Round) {
+    /// (the [`crate::virt`] `prime` step). `buf` is the host's pooled
+    /// send scratch — cleared here, so primes allocate nothing once the
+    /// buffers reach steady-state capacity.
+    fn prime(&mut self, next: Round, buf: &mut Vec<VOutgoing<VP::Msg>>) {
         self.next = next;
-        self.outgoing = self
-            .vp
-            .send(next)
-            .into_iter()
-            .enumerate()
-            .map(|(i, o)| match o {
+        buf.clear();
+        self.vp.send(next, buf);
+        self.outgoing.clear();
+        self.outgoing
+            .extend(buf.drain(..).enumerate().map(|(i, o)| match o {
                 VOutgoing::ToCluster(j, m) => (i as u16, Some(j), m),
                 VOutgoing::Broadcast(m) => (i as u16, None, m),
-            })
-            .collect();
+            }));
     }
 }
 
@@ -105,8 +106,15 @@ pub struct LineGraphHost<VP: VirtualProgram> {
     /// Local same-round deliveries `(replica idx, from label, seq, msg)`,
     /// filled in `send`, drained in `receive`.
     local: Vec<(u32, u64, u16, VP::Msg)>,
-    /// Scratch per-receive merge buffer (reused across rounds).
-    merge: Vec<(u64, u16, VP::Msg)>,
+    /// Pooled merge scratch, local stream: entries for the current
+    /// replica, born sorted by `(sender label, seq)`.
+    lmerge: Vec<(u64, u16, VP::Msg)>,
+    /// Pooled merge scratch, cross-edge stream (needs one stable sort).
+    xmerge: Vec<(u64, u16, VP::Msg)>,
+    /// Pooled merged inbox handed to the replica each round.
+    venv: Vec<VEnvelope<VP::Msg>>,
+    /// Pooled scratch for [`VirtualProgram::send`] during primes.
+    send_buf: Vec<VOutgoing<VP::Msg>>,
 }
 
 /// Build one [`LineGraphHost`] per node of `g`, constructing each edge's
@@ -123,9 +131,13 @@ where
         .map(|_| LineGraphHost {
             replicas: Vec::new(),
             local: Vec::new(),
-            merge: Vec::new(),
+            lmerge: Vec::new(),
+            xmerge: Vec::new(),
+            venv: Vec::new(),
+            send_buf: Vec::new(),
         })
         .collect();
+    let mut buf = Vec::new();
     for i in 0..idx.m() {
         let (u, v) = idx.edges()[i];
         let ctx = EdgeCtx {
@@ -143,17 +155,29 @@ where
                 owned: host == owner,
                 far_port: far,
                 next: 1,
-                outgoing: Vec::new(),
+                // Primes refill this in place; one slot absorbs the
+                // common single-broadcast case without a mid-run grow.
+                outgoing: Vec::with_capacity(1),
                 done: false,
                 output: None,
             };
             // All virtual nodes are awake at virtual round 1.
-            rep.prime(1);
+            rep.prime(1, &mut buf);
             out[host.index()].replicas.push(rep);
         }
     }
     for h in &mut out {
         h.replicas.sort_by_key(|r| r.label);
+        // Warm the pooled scratch now that the replica count is known, so
+        // steady state never grows a buffer mid-run: per round at most
+        // every co-hosted replica hears from every other (`local`, and its
+        // per-replica `lmerge`/`xmerge`/`venv` splits are each no larger).
+        let r = h.replicas.len();
+        h.local.reserve(r.saturating_sub(1) * 2);
+        h.lmerge.reserve(r);
+        h.xmerge.reserve(r);
+        h.venv.reserve(r * 2);
+        h.send_buf.reserve(2);
     }
     out
 }
@@ -214,52 +238,91 @@ impl<VP: VirtualProgram> Program for LineGraphHost<VP> {
     fn receive(&mut self, view: &View<'_>, inbox: &[Envelope<Self::Msg>]) -> Action {
         let round = view.round;
         let mut min_next: Option<Round> = None;
-        let local = std::mem::take(&mut self.local);
-        for j in 0..self.replicas.len() {
-            if self.replicas[j].done {
+        let LineGraphHost {
+            replicas,
+            local,
+            lmerge,
+            xmerge,
+            venv,
+            send_buf,
+        } = self;
+        for (j, rep) in replicas.iter_mut().enumerate() {
+            if rep.done {
                 continue;
             }
-            if self.replicas[j].next != round {
-                let n = self.replicas[j].next;
+            if rep.next != round {
+                let n = rep.next;
                 min_next = Some(min_next.map_or(n, |m| m.min(n)));
                 continue;
             }
             // Merge local and cross-edge deliveries for replica j: keep
             // exactly the messages from L(G)-neighbors addressed to this
-            // edge, sort by (sender, seq), dedup — both replicas of the
-            // edge construct this very sequence.
-            self.merge.clear();
-            for (tgt, from, seq, msg) in &local {
+            // edge, ordered by (sender, seq) with duplicates dropped —
+            // both replicas of the edge construct this very sequence.
+            //
+            // The local stream is born sorted: `send` visits senders in
+            // ascending replica (= label) order and seqs ascend within a
+            // sender, so only the cross-edge stream needs a sort; the two
+            // streams then zip through a pre-sized two-way merge. Ties
+            // take the local entry first — exactly what the old stable
+            // sort over [local..., cross...] + keep-first dedup did, which
+            // matters when faults duplicate frames.
+            lmerge.clear();
+            for (tgt, from, seq, msg) in local.iter() {
                 if *tgt == j as u32 {
-                    self.merge.push((*from, *seq, msg.clone()));
+                    lmerge.push((*from, *seq, msg.clone()));
                 }
             }
+            debug_assert!(
+                lmerge
+                    .windows(2)
+                    .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+                "local deliveries must be born sorted by (sender, seq)"
+            );
+            xmerge.clear();
             for e in inbox {
                 if let VirtMsg::Exchange { from, to, seq, msg } = &e.msg {
                     let addressed = match to {
-                        Some(l) => *l == self.replicas[j].label,
+                        Some(l) => *l == rep.label,
                         None => true,
                     };
-                    if addressed && self.replicas[j].adj.binary_search(from).is_ok() {
-                        self.merge.push((*from, *seq, msg.clone()));
+                    if addressed && rep.adj.binary_search(from).is_ok() {
+                        xmerge.push((*from, *seq, msg.clone()));
                     }
                 }
             }
-            self.merge.sort_by_key(|a| (a.0, a.1));
-            self.merge.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
-            let venvelopes: Vec<VEnvelope<VP::Msg>> = self
-                .merge
-                .drain(..)
-                .map(|(from, _, msg)| VEnvelope { from, msg })
-                .collect();
-            let rep = &mut self.replicas[j];
-            match rep.vp.receive(round, &venvelopes) {
-                Action::Stay => rep.prime(round + 1),
+            xmerge.sort_by_key(|a| (a.0, a.1));
+            venv.clear();
+            venv.reserve(lmerge.len() + xmerge.len());
+            {
+                let mut a = lmerge.drain(..).peekable();
+                let mut b = xmerge.drain(..).peekable();
+                let mut last: Option<(u64, u16)> = None;
+                loop {
+                    let take_local = match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => (x.0, x.1) <= (y.0, y.1),
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let (from, seq, msg) = if take_local {
+                        a.next().expect("peeked")
+                    } else {
+                        b.next().expect("peeked")
+                    };
+                    if last != Some((from, seq)) {
+                        last = Some((from, seq));
+                        venv.push(VEnvelope { from, msg });
+                    }
+                }
+            }
+            match rep.vp.receive(round, venv) {
+                Action::Stay => rep.prime(round + 1, send_buf),
                 // Deliberately unvalidated: a non-future wake round is
                 // propagated to the engine below, which reports
                 // `SimError::InvalidSleep` for this host — the same error
                 // surface every other program has.
-                Action::SleepUntil(x) => rep.prime(x),
+                Action::SleepUntil(x) => rep.prime(x, send_buf),
                 Action::Halt => {
                     rep.done = true;
                     rep.output = rep.vp.output();
@@ -274,8 +337,7 @@ impl<VP: VirtualProgram> Program for LineGraphHost<VP> {
                 min_next = Some(min_next.map_or(n, |m| m.min(n)));
             }
         }
-        self.local = local;
-        self.local.clear();
+        local.clear();
         match min_next {
             None => Action::Halt,
             Some(n) if n == round + 1 => Action::Stay,
@@ -287,18 +349,17 @@ impl<VP: VirtualProgram> Program for LineGraphHost<VP> {
         if self.replicas.iter().any(|r| !r.done) {
             return None;
         }
-        Some(
-            self.replicas
-                .iter()
-                .filter(|r| r.owned)
-                .map(|r| {
-                    (
-                        r.label,
-                        r.output.clone().expect("halted replicas have outputs"),
-                    )
-                })
-                .collect(),
-        )
+        // A filtered collect has no size hint and would grow the vector
+        // several times per host; count first so this is one allocation.
+        let owned = self.replicas.iter().filter(|r| r.owned).count();
+        let mut out = Vec::with_capacity(owned);
+        out.extend(self.replicas.iter().filter(|r| r.owned).map(|r| {
+            (
+                r.label,
+                r.output.clone().expect("halted replicas have outputs"),
+            )
+        }));
+        Some(out)
     }
 
     fn span(&self) -> &'static str {
@@ -313,8 +374,13 @@ impl<VP: VirtualProgram> Program for LineGraphHost<VP> {
 /// decisions), and decides + announces at virtual round `label(e)`.
 /// Awake `deg_L(e) + 2 = O(Δ_L)` virtual rounds; `m` rounds total.
 pub struct EdgeGreedy<EP: EdgeProblem> {
-    problem: EP,
-    input: EP::Input,
+    /// The run-wide shared context — every replica of every edge holds
+    /// the same `Arc` (the [`VirtMsg::Bag`] sharing pattern applied to
+    /// construction: one problem clone and one input vector per run,
+    /// not two per edge).
+    shared: Arc<GreedyShared<EP>>,
+    /// This edge's index into [`GreedyShared::inputs`].
+    input_idx: usize,
     label: u64,
     endpoints: (u64, u64),
     line_degree: usize,
@@ -325,24 +391,41 @@ pub struct EdgeGreedy<EP: EdgeProblem> {
     decided: Option<EP::Output>,
 }
 
+/// The immutable per-run context shared by every [`EdgeGreedy`] replica:
+/// the problem instance and the full per-edge input vector (canonical
+/// [`EdgeIndex`] order), behind one `Arc`.
+#[derive(Debug)]
+pub struct GreedyShared<EP: EdgeProblem> {
+    /// The problem being solved.
+    pub problem: EP,
+    /// Per-edge inputs in canonical [`EdgeIndex`] order.
+    pub inputs: Vec<EP::Input>,
+}
+
 impl<EP: EdgeProblem> EdgeGreedy<EP> {
-    /// The greedy program for one edge.
-    pub fn new(problem: EP, input: EP::Input, ctx: &EdgeCtx) -> Self {
+    /// The greedy program for one edge: `shared` is the run-wide context
+    /// (cheaply cloned per replica), `input_idx` the edge's index into
+    /// `shared.inputs`.
+    pub fn new(shared: Arc<GreedyShared<EP>>, input_idx: usize, ctx: &EdgeCtx) -> Self {
         let mut wakes: Vec<Round> = std::iter::once(1)
             .chain(ctx.adjacent.iter().filter(|&&l| l < ctx.label).copied())
             .chain(std::iter::once(ctx.label))
             .collect();
         wakes.sort_unstable();
         wakes.dedup();
+        // `collected` holds one announcement per smaller adjacent label —
+        // at most every wake round but the deciding one — so sizing it
+        // here keeps the run itself allocation-free.
+        let collected = Vec::with_capacity(wakes.len().saturating_sub(1));
         EdgeGreedy {
-            problem,
-            input,
+            shared,
+            input_idx,
             label: ctx.label,
             endpoints: ctx.endpoints,
             line_degree: ctx.line_degree,
             wakes,
             cursor: 0,
-            collected: Vec::new(),
+            collected,
             decided: None,
         }
     }
@@ -357,9 +440,9 @@ where
     type Output = EP::Output;
     type Payload = ();
 
-    fn send(&mut self, vround: Round) -> Vec<VOutgoing<Self::Msg>> {
+    fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<Self::Msg>>) {
         if vround != self.label {
-            return vec![];
+            return;
         }
         // Decide now: every adjacent edge with a smaller label announced
         // at its own (earlier) label round, and this edge was awake then.
@@ -367,12 +450,12 @@ where
             label: self.label,
             endpoints: self.endpoints,
             line_degree: self.line_degree,
-            input: &self.input,
+            input: &self.shared.inputs[self.input_idx],
             out_neighbors: &self.collected,
         };
-        let out = self.problem.decide(&view);
-        self.decided = Some(out.clone());
-        vec![VOutgoing::Broadcast((self.label, out))]
+        let decision = self.shared.problem.decide(&view);
+        self.decided = Some(decision.clone());
+        out.push(VOutgoing::Broadcast((self.label, decision)));
     }
 
     fn receive(&mut self, vround: Round, inbox: &[VEnvelope<Self::Msg>]) -> Action {
@@ -538,19 +621,23 @@ where
     EP: EdgeProblem + Clone,
 {
     assert_eq!(inputs.len(), idx.m(), "inputs length mismatch");
+    let shared = Arc::new(GreedyShared {
+        problem: problem.clone(),
+        inputs: inputs.to_vec(),
+    });
     hosts(g, idx, |ctx| {
         let i = idx.index_of_label(ctx.label);
-        EdgeGreedy::new(problem.clone(), inputs[i].clone(), ctx)
+        EdgeGreedy::new(Arc::clone(&shared), i, ctx)
     })
 }
 
 /// Dynamic replica state: the hosted program's own state plus the
 /// prime-step bookkeeping (`next`, `outgoing`, `done`, `output`). The
 /// topology fields (`label`, `adj`, `owned`, `far_port`) are rebuilt by
-/// [`hosts`] and stay put. `local` and `merge` are intra-round scratch:
-/// empty at round boundaries, and explicitly cleared on restore so a
-/// crash restore applied mid-round (after `send` filled `local`) fully
-/// rewinds to the start-of-round image.
+/// [`hosts`] and stay put. `local` and the pooled merge/send buffers are
+/// intra-round scratch: empty at round boundaries, and explicitly
+/// cleared on restore so a crash restore applied mid-round (after `send`
+/// filled `local`) fully rewinds to the start-of-round image.
 impl<VP> Persist for LineGraphHost<VP>
 where
     VP: VirtualProgram + Persist,
@@ -580,7 +667,10 @@ where
             rep.output = r.get()?;
         }
         self.local.clear();
-        self.merge.clear();
+        self.lmerge.clear();
+        self.xmerge.clear();
+        self.venv.clear();
+        self.send_buf.clear();
         Ok(())
     }
 }
@@ -738,9 +828,7 @@ mod tests {
         type Msg = ();
         type Output = ();
         type Payload = ();
-        fn send(&mut self, _vround: Round) -> Vec<VOutgoing<()>> {
-            vec![]
-        }
+        fn send(&mut self, _vround: Round, _out: &mut Vec<VOutgoing<()>>) {}
         fn receive(&mut self, vround: Round, _inbox: &[VEnvelope<()>]) -> Action {
             if self.bad {
                 Action::SleepUntil(vround) // not strictly future

@@ -183,11 +183,9 @@ impl<P: OLocalProblem> crate::virt::VirtualProgram for Lemma11Vertex<P> {
     type Output = BTreeMap<u64, P::Output>;
     type Payload = Payload<P::Input>;
 
-    fn send(&mut self, vround: Round) -> Vec<VOutgoing<Self::Msg>> {
+    fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<Self::Msg>>) {
         if vround > self.phi_vround {
-            vec![VOutgoing::Broadcast(self.state())]
-        } else {
-            vec![]
+            out.push(VOutgoing::Broadcast(self.state()));
         }
     }
 

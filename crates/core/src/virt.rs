@@ -135,8 +135,11 @@ pub trait VirtualProgram: Sized {
     /// Per-node payload collected by the setup gather into [`VertexInput`].
     type Payload: Clone + std::fmt::Debug + Send + Sync;
 
-    /// Messages to transmit at virtual round `vround`.
-    fn send(&mut self, vround: Round) -> Vec<VOutgoing<Self::Msg>>;
+    /// Append the messages to transmit at virtual round `vround` to `out`.
+    ///
+    /// `out` arrives empty; it is a pooled buffer the simulator clears and
+    /// reuses across phases, so steady-state priming allocates nothing.
+    fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<Self::Msg>>);
 
     /// Process the messages received at `vround`; choose the next action
     /// (rounds in the action are *virtual* rounds).
@@ -228,10 +231,18 @@ struct RunState<VP: VirtualProgram> {
     /// Full merged inbox, kept behind one shared `Arc` so the downward
     /// re-broadcast and the local replica advance reuse the same buffer —
     /// a phase moves the item vector once (`mem::take`) instead of
-    /// re-cloning it at every hand-off.
+    /// re-cloning it at every hand-off. [`publish_bag`] recycles the Vec's
+    /// allocation back into `collected` once the Arc is unshared.
     bc_copy: Arc<Vec<(u64, u16, VP::Msg)>>,
     /// Set once the inner program halts.
     vp_done: bool,
+    /// Pooled scratch for [`VirtualProgram::send`] (never persisted —
+    /// empty outside `prime`).
+    send_buf: Vec<VOutgoing<VP::Msg>>,
+    /// Pooled index scratch for the merged-inbox sort (transient).
+    order: Vec<u32>,
+    /// Pooled inbox the replica reads each phase (transient).
+    inbox_buf: Vec<VEnvelope<VP::Msg>>,
 }
 
 enum St<VP: VirtualProgram> {
@@ -294,21 +305,35 @@ where
     }
 }
 
-/// Prepare the outgoing messages for the vertex's next awake round.
+/// Prepare the outgoing messages for the vertex's next awake round. Both
+/// the send scratch and the numbered `outgoing` buffer are pooled — a
+/// steady-state prime allocates nothing.
 fn prime<VP: VirtualProgram>(run: &mut RunState<VP>, next: Round) {
     run.next = next;
-    run.outgoing = run
-        .vp
-        .send(next)
-        .into_iter()
-        .enumerate()
-        .map(|(i, o)| match o {
+    run.send_buf.clear();
+    run.vp.send(next, &mut run.send_buf);
+    run.outgoing.clear();
+    run.outgoing
+        .extend(run.send_buf.drain(..).enumerate().map(|(i, o)| match o {
             VOutgoing::ToCluster(j, m) => (i as u16, Some(j), m),
             VOutgoing::Broadcast(m) => (i as u16, None, m),
-        })
-        .collect();
+        }));
     run.collected.clear();
     run.collected_keys.clear();
+}
+
+/// Publish `collected` as the phase's merged inbox bag. The previous
+/// phase's bag allocation is recycled into the next `collected` whenever
+/// this replica held its last `Arc` reference (the steady state: the
+/// engine has delivered and dropped every broadcast copy by the time the
+/// next phase merges) — so phase turnover reallocates nothing.
+fn publish_bag<VP: VirtualProgram>(run: &mut RunState<VP>) {
+    let fresh = Arc::new(std::mem::take(&mut run.collected));
+    let old = std::mem::replace(&mut run.bc_copy, fresh);
+    if let Ok(mut v) = Arc::try_unwrap(old) {
+        v.clear();
+        run.collected = v;
+    }
 }
 
 /// Advance the replica once the phase's full inbox is known; returns the
@@ -323,27 +348,26 @@ fn process<VP: VirtualProgram>(
     // never copied. The stable sort keeps the first-inserted item among
     // equal `(from, seq)` keys, matching the old clone-sort-dedup exactly.
     let bag: &[(u64, u16, VP::Msg)] = &run.bc_copy;
-    let mut order: Vec<u32> = (0..bag.len() as u32).collect();
-    order.sort_by_key(|&i| {
+    run.order.clear();
+    run.order.extend(0..bag.len() as u32);
+    run.order.sort_by_key(|&i| {
         let it = &bag[i as usize];
         (it.0, it.1)
     });
-    order.dedup_by(|a, b| {
+    run.order.dedup_by(|a, b| {
         let (x, y) = (&bag[*a as usize], &bag[*b as usize]);
         x.0 == y.0 && x.1 == y.1
     });
-    let inbox: Vec<VEnvelope<VP::Msg>> = order
-        .into_iter()
-        .map(|i| {
-            let (from, _, msg) = &bag[i as usize];
-            VEnvelope {
-                from: *from,
-                msg: msg.clone(),
-            }
-        })
-        .collect();
+    run.inbox_buf.clear();
+    run.inbox_buf.extend(run.order.iter().map(|&i| {
+        let (from, _, msg) = &bag[i as usize];
+        VEnvelope {
+            from: *from,
+            msg: msg.clone(),
+        }
+    }));
     let x = run.cur;
-    match run.vp.receive(x, &inbox) {
+    match run.vp.receive(x, &run.inbox_buf) {
         Action::Stay => prime(run, x + 1),
         Action::SleepUntil(x2) => {
             assert!(x2 > x, "inner program must sleep strictly forward");
@@ -497,6 +521,9 @@ where
                             collected_keys: BTreeSet::new(),
                             bc_copy: Arc::new(vec![]),
                             vp_done: false,
+                            send_buf: vec![],
+                            order: vec![],
+                            inbox_buf: vec![],
                         });
                         // All vertices are awake at virtual round 1.
                         prime(&mut run, 1);
@@ -521,7 +548,7 @@ where
                         }
                     }
                     if run.depth == 0 && !run.has_children {
-                        run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
+                        publish_bag(run);
                         process(&mut self.out, db, run)
                     } else if run.has_children {
                         Action::SleepUntil(cc_recv(db, x, run.depth))
@@ -531,7 +558,7 @@ where
                 } else if round == cc_recv(db, run.cur, run.depth) && run.has_children {
                     merge_items(run, inbox, true);
                     if run.depth == 0 {
-                        run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
+                        publish_bag(run);
                         process(&mut self.out, db, run)
                     } else {
                         Action::SleepUntil(cc_send(db, run.cur, run.depth))
@@ -542,7 +569,7 @@ where
                     run.collected.clear();
                     run.collected_keys.clear();
                     merge_items(run, inbox, false);
-                    run.bc_copy = Arc::new(std::mem::take(&mut run.collected));
+                    publish_bag(run);
                     process(&mut self.out, db, run)
                 } else if round == bc_send(db, run.cur, run.depth) {
                     if run.vp_done {
@@ -668,6 +695,9 @@ where
                     collected_keys,
                     bc_copy,
                     vp_done,
+                    send_buf: vec![],
+                    order: vec![],
+                    inbox_buf: vec![],
                 }));
             }
             3 => self.st = St::Done,

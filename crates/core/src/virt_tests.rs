@@ -136,8 +136,8 @@ impl VirtualProgram for VFlood {
     type Output = u64;
     type Payload = ();
 
-    fn send(&mut self, _vround: Round) -> Vec<VOutgoing<u64>> {
-        vec![VOutgoing::Broadcast(self.best)]
+    fn send(&mut self, _vround: Round, out: &mut Vec<VOutgoing<u64>>) {
+        out.push(VOutgoing::Broadcast(self.best));
     }
 
     fn receive(&mut self, vround: Round, inbox: &[VEnvelope<u64>]) -> Action {
@@ -227,9 +227,7 @@ fn virtual_program_can_sleep_on_h() {
         type Msg = ();
         type Output = Vec<Round>;
         type Payload = ();
-        fn send(&mut self, _v: Round) -> Vec<VOutgoing<()>> {
-            vec![]
-        }
+        fn send(&mut self, _v: Round, _out: &mut Vec<VOutgoing<()>>) {}
         fn receive(&mut self, vround: Round, _inbox: &[VEnvelope<()>]) -> Action {
             self.seen.push(vround);
             match vround {
@@ -271,11 +269,9 @@ fn messages_to_sleeping_vertices_are_lost_on_h() {
         type Msg = u64;
         type Output = Vec<(Round, u64)>;
         type Payload = ();
-        fn send(&mut self, vround: Round) -> Vec<VOutgoing<u64>> {
+        fn send(&mut self, vround: Round, out: &mut Vec<VOutgoing<u64>>) {
             if self.label == 1 {
-                vec![VOutgoing::Broadcast(vround * 10)]
-            } else {
-                vec![]
+                out.push(VOutgoing::Broadcast(vround * 10));
             }
         }
         fn receive(&mut self, vround: Round, inbox: &[VEnvelope<u64>]) -> Action {

@@ -20,7 +20,13 @@
 //! recorded the baseline. [`GateMode::Portable`] (CI's mode, `--portable`
 //! on the binary) instead gates the current-vs-legacy throughput *ratios* —
 //! the legacy reconstruction runs in the same process, so hardware speed
-//! cancels out — and downgrades the absolute rows to context.
+//! cancels out — and downgrades the absolute rows to context. On a runner
+//! with ≥ 4 detected cores, portable mode also holds the
+//! `threaded_scaling.w4_vs_serial` ratio to the absolute
+//! [`Tolerances::w4_floor`] (default 1.5×); on a 1–3-core runner every
+//! parallel-speedup row is demoted to an informational row whose label
+//! names the detected core count. The `phase_times` per-stage timings are
+//! always informational.
 
 use crate::json::Value;
 use std::fmt::Write as _;
@@ -46,6 +52,12 @@ pub struct Tolerances {
     /// Absolute slack on `allocations_per_node_round` (absorbs the 4-decimal
     /// formatting granularity and first-touch jitter, nothing more).
     pub alloc_epsilon: f64,
+    /// Absolute floor on `threaded_scaling.w4_vs_serial` in portable mode
+    /// on a runner with ≥ 4 detected cores: the 4-worker pipeline must
+    /// beat serial by at least this factor, independent of what the
+    /// baseline recorded — a relative gate alone would let the speedup
+    /// decay 15% per PR forever.
+    pub w4_floor: f64,
 }
 
 impl Default for Tolerances {
@@ -53,6 +65,7 @@ impl Default for Tolerances {
         Tolerances {
             throughput_drop: 0.15,
             alloc_epsilon: 0.002,
+            w4_floor: 1.5,
         }
     }
 }
@@ -67,6 +80,10 @@ pub enum Rule {
     /// Lower is better; gate on relative increase (the energy sweep's
     /// `wall_ms / awake_events` compression-cost ratio).
     CostRatio,
+    /// Higher is better; gate on an absolute minimum rather than the
+    /// baseline — the row's `baseline` column shows the floor itself
+    /// ([`Tolerances::w4_floor`]), not a measured value.
+    Floor,
     /// Shown for context, never gates.
     Info,
 }
@@ -105,22 +122,27 @@ pub fn diff_bench(
         GateMode::Absolute => Rule::Throughput,
         GateMode::Portable => Rule::Info,
     };
-    // A single-core runner cannot exhibit parallel speedup, so the
-    // multi-worker ratio gates would fail for a hardware reason, not a
-    // code one. Portable mode (CI's) demotes those rows to labeled
-    // informational context when the *current* document — the runner that
-    // just produced the numbers — detected fewer than 2 cores. A recorded
-    // 0 means detection failed and keeps the gate armed rather than
-    // silently disarming it; so does a baseline old enough to predate the
+    // A runner with fewer than 4 cores cannot exhibit the 4-worker
+    // speedup the parallel gates check, so those rows would fail for a
+    // hardware reason, not a code one. Portable mode (CI's) demotes them
+    // to labeled informational context — the label names the detected
+    // core count — when the *current* document (the runner that just
+    // produced the numbers) detected 1–3 cores. A recorded 0 means
+    // detection failed and keeps the gates armed rather than silently
+    // disarming them; so does a baseline old enough to predate the
     // `cores` field.
-    let single_core = mode == GateMode::Portable
-        && current
+    let few_cores = if mode == GateMode::Portable {
+        current
             .get("cores")
             .and_then(Value::as_f64)
-            .is_some_and(|c| (1.0..2.0).contains(&c));
-    let demote_single_core = |mut d: MetricDiff| {
-        if single_core {
-            d.metric.push_str(" (1-core runner)");
+            .filter(|c| (1.0..4.0).contains(c))
+            .map(|c| c as u64)
+    } else {
+        None
+    };
+    let demote_few_cores = |mut d: MetricDiff| {
+        if let Some(c) = few_cores {
+            let _ = write!(d.metric, " ({c}-core runner)");
             d.rule = Rule::Info;
             d.ok = true;
         }
@@ -165,7 +187,7 @@ pub fn diff_bench(
         tol,
     )?);
     if mode == GateMode::Portable {
-        rows.push(demote_single_core(ratio_row(
+        rows.push(demote_few_cores(ratio_row(
             baseline,
             current,
             &["threaded_4_workers", "node_rounds_per_sec"],
@@ -177,14 +199,33 @@ pub fn diff_bench(
     // Delivery-pipeline health: the threaded-scaling sweep. The 4-worker
     // vs serial ratio is measured in one process, so it gates in both
     // modes; absolute per-worker-count throughput only gates same-machine,
-    // and a 1-core runner demotes the ratio to context in portable mode.
-    rows.push(demote_single_core(row(
+    // and a runner with fewer than 4 cores demotes the ratio to context
+    // in portable mode.
+    rows.push(demote_few_cores(row(
         baseline,
         current,
         &["threaded_scaling", "w4_vs_serial"],
         Rule::Throughput,
         tol,
     )?));
+    // On a runner that physically has the cores (≥ 4 detected), portable
+    // mode additionally holds the ratio to an absolute floor: the steal
+    // pipeline must actually be *faster* than serial, not merely no worse
+    // than a baseline that may itself have decayed.
+    if mode == GateMode::Portable {
+        let cur = current
+            .path(&["threaded_scaling", "w4_vs_serial"])
+            .and_then(Value::as_f64)
+            .ok_or("current report is missing numeric metric `threaded_scaling.w4_vs_serial`")?;
+        rows.push(demote_few_cores(MetricDiff {
+            metric: "threaded_scaling.w4_vs_serial_floor".into(),
+            baseline: tol.w4_floor,
+            current: cur,
+            change_pct: (cur - tol.w4_floor) / tol.w4_floor * 100.0,
+            rule: Rule::Floor,
+            ok: cur >= tol.w4_floor,
+        }));
+    }
     rows.push(row(
         baseline,
         current,
@@ -231,6 +272,24 @@ pub fn diff_bench(
             current,
             &["edge_problems", problem, "allocations_per_node_round"],
             Rule::Allocations,
+            tol,
+        )?);
+    }
+    // Per-phase timing of the worker-pool pipeline. Phase splits move
+    // with hardware and load, so these rows never gate — they are the
+    // forensic context for a w4 regression: which stage ate the time.
+    for phase in [
+        "partition_ns_per_round",
+        "route_ns_per_round",
+        "deliver_ns_per_round",
+        "merge_ns_per_round",
+        "inline_ns_per_round",
+    ] {
+        rows.push(row_tolerating_missing_baseline(
+            baseline,
+            current,
+            &["phase_times", phase],
+            Rule::Info,
             tol,
         )?);
     }
@@ -398,6 +457,7 @@ fn judge(name: String, base: f64, cur: f64, rule: Rule, tol: &Tolerances) -> Met
             // faster than the wall-clock granularity; any current value is
             // then noise, not a measurable regression.
             Rule::CostRatio => true,
+            Rule::Floor => cur >= tol.w4_floor,
         };
         return MetricDiff {
             metric: format!("{name} (from zero)"),
@@ -417,6 +477,7 @@ fn judge(name: String, base: f64, cur: f64, rule: Rule, tol: &Tolerances) -> Met
         Rule::Throughput => cur >= base * (1.0 - tol.throughput_drop),
         Rule::Allocations => cur <= base + tol.alloc_epsilon,
         Rule::CostRatio => cur <= base * (1.0 + tol.throughput_drop),
+        Rule::Floor => cur >= tol.w4_floor,
         Rule::Info => true,
     };
     MetricDiff {
@@ -474,6 +535,7 @@ pub fn render_table(rows: &[MetricDiff]) -> String {
                 Rule::Throughput => "throughput",
                 Rule::Allocations => "allocations",
                 Rule::CostRatio => "cost-ratio",
+                Rule::Floor => "floor",
                 Rule::Info => "info",
             },
             if r.ok { "ok" } else { "FAIL" },
@@ -491,7 +553,22 @@ pub fn failures(rows: &[MetricDiff]) -> Vec<&MetricDiff> {
 mod tests {
     use super::*;
     use crate::json;
-    use crate::report::{BenchReport, EdgeProblemsBench, PerfStats, ScalingRow, ThreadedScaling};
+    use crate::report::{
+        BenchReport, EdgeProblemsBench, PerfStats, PhaseTimesBench, ScalingRow, ThreadedScaling,
+    };
+
+    fn phase_times() -> PhaseTimesBench {
+        PhaseTimesBench {
+            workers: 4,
+            dispatched_rounds: 25,
+            inline_rounds: 5,
+            partition_ns_per_round: 1.2e5,
+            route_ns_per_round: 3.0e5,
+            deliver_ns_per_round: 2.5e5,
+            merge_ns_per_round: 1.8e5,
+            inline_ns_per_round: 4.0e4,
+        }
+    }
 
     /// A scaling sweep derived multiplicatively from `base_ns`, so a
     /// uniform hardware slowdown keeps every within-document ratio fixed.
@@ -538,6 +615,7 @@ mod tests {
             threaded_4_workers: mk(engine_ns * 1.8, allocs),
             legacy_baseline: mk(engine_ns * 2.2, 1_000_000),
             threaded_scaling: scaling(engine_ns, allocs, w4_factor),
+            phase_times: phase_times(),
             edge_problems: edge_problems(engine_ns, allocs),
         };
         json::parse(&b.to_json()).unwrap()
@@ -708,6 +786,7 @@ mod tests {
                     threaded_4_workers: mk(threaded_ns),
                     legacy_baseline: mk(1.3e8),
                     threaded_scaling: scaling(6.0e7, 13_000, 0.55),
+                    phase_times: phase_times(),
                     edge_problems: edge_problems(6.0e7, 13_000),
                 }
                 .to_json(),
@@ -750,6 +829,7 @@ mod tests {
         assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
         for name in [
             "threaded_scaling.w4_vs_serial (1-core runner)",
+            "threaded_scaling.w4_vs_serial_floor (1-core runner)",
             "threaded_4_workers_vs_legacy (1-core runner)",
         ] {
             assert!(
@@ -777,6 +857,92 @@ mod tests {
         assert!(failures(&rows)
             .iter()
             .any(|r| r.metric == "threaded_scaling.w4_vs_serial"));
+    }
+
+    #[test]
+    fn few_core_demotion_names_the_detected_core_count() {
+        // 2- and 3-core runners cannot validate a 4-worker speedup either:
+        // the parallel rows demote like the 1-core case, and the label
+        // carries the detected count so the log says why.
+        let base = report_with_scaling(6.0e7, 13_000, 0.55);
+        for cores in [2usize, 3] {
+            let cur = report_with_cores(6.0e7, 13_000, 0.55 / 0.7, cores);
+            let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+            assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+            for name in [
+                format!("threaded_scaling.w4_vs_serial ({cores}-core runner)"),
+                format!("threaded_scaling.w4_vs_serial_floor ({cores}-core runner)"),
+                format!("threaded_4_workers_vs_legacy ({cores}-core runner)"),
+            ] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.metric == name && r.rule == Rule::Info && r.ok),
+                    "missing demoted row {name} in\n{}",
+                    render_table(&rows)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portable_mode_enforces_w4_speedup_floor_on_multicore_runners() {
+        // Baseline and current agree at w4_vs_serial = 1/0.8 = 1.25: the
+        // relative gate sees no drop, but 1.25 < the 1.5 floor — on a
+        // 4-core runner the floor row must fail on its own.
+        let base = report_with_scaling(6.0e7, 13_000, 0.8);
+        let cur = report_with_cores(6.0e7, 13_000, 0.8, 4);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        let failed = failures(&rows);
+        assert_eq!(failed.len(), 1, "{}", render_table(&rows));
+        assert_eq!(failed[0].metric, "threaded_scaling.w4_vs_serial_floor");
+        assert_eq!(failed[0].rule, Rule::Floor);
+        assert_eq!(failed[0].baseline, 1.5);
+        // A ratio at or above the floor passes it…
+        let good = report_with_cores(6.0e7, 13_000, 0.55, 4);
+        let fast = report_with_scaling(6.0e7, 13_000, 0.55);
+        let rows = diff_bench(&fast, &good, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        // …failed core detection keeps the floor armed…
+        let unknown = report_with_cores(6.0e7, 13_000, 0.8, 0);
+        let rows = diff_bench(&base, &unknown, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows)
+            .iter()
+            .any(|r| r.metric == "threaded_scaling.w4_vs_serial_floor"));
+        // …and absolute mode (same-machine diffs) has no floor row at all.
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Absolute).unwrap();
+        assert!(!rows.iter().any(|r| r.metric.contains("w4_vs_serial_floor")));
+    }
+
+    #[test]
+    fn phase_times_rows_are_informational_and_tolerate_old_baselines() {
+        let base = report(6.0e7, 13_000);
+        let cur = report(6.0e7, 13_000);
+        let rows = diff_bench(&base, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        let phase_rows: Vec<&MetricDiff> = rows
+            .iter()
+            .filter(|r| r.metric.starts_with("phase_times"))
+            .collect();
+        assert_eq!(phase_rows.len(), 5, "{}", render_table(&rows));
+        assert!(phase_rows.iter().all(|r| r.rule == Rule::Info && r.ok));
+        // A committed baseline that predates the section: info "(new)"
+        // rows, gate unaffected.
+        let old = {
+            let Value::Obj(mut m) = report(6.0e7, 13_000) else {
+                panic!()
+            };
+            m.remove("phase_times").expect("section present");
+            Value::Obj(m)
+        };
+        let rows = diff_bench(&old, &cur, &Tolerances::default(), GateMode::Portable).unwrap();
+        assert!(failures(&rows).is_empty(), "{}", render_table(&rows));
+        assert!(rows.iter().any(|r| {
+            r.metric == "phase_times.partition_ns_per_round (new)" && r.rule == Rule::Info
+        }));
+        // Dropping the section from the current report errors: a report
+        // that stops carrying its forensic context is a regression.
+        let err = diff_bench(&base, &old, &Tolerances::default(), GateMode::Portable).unwrap_err();
+        assert!(err.contains("phase_times"), "{err}");
+        assert!(err.contains("current"), "{err}");
     }
 
     /// Handcraft an `awake-lab/energy/v2` document from

@@ -415,6 +415,16 @@ mod tests {
                     stats: p,
                 }],
             },
+            phase_times: crate::report::PhaseTimesBench {
+                workers: 4,
+                dispatched_rounds: 4,
+                inline_rounds: 1,
+                partition_ns_per_round: 100.0,
+                route_ns_per_round: 200.0,
+                deliver_ns_per_round: 150.0,
+                merge_ns_per_round: 75.0,
+                inline_ns_per_round: 50.0,
+            },
             edge_problems: crate::report::EdgeProblemsBench {
                 n: 10,
                 m: 15,
@@ -423,6 +433,12 @@ mod tests {
             },
         };
         let v = parse(&b.to_json()).unwrap();
+        assert_eq!(
+            v.path(&["phase_times", "route_ns_per_round"])
+                .unwrap()
+                .as_f64(),
+            Some(200.0)
+        );
         assert_eq!(
             v.path(&["engine", "allocations"]).unwrap().as_f64(),
             Some(2.0)

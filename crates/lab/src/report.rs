@@ -13,7 +13,7 @@
 //!   suite runner read one format.
 
 use awake_core::compose::Composition;
-use awake_sleeping::{percentile_of_sorted, Metrics};
+use awake_sleeping::{percentile_of_sorted, Metrics, PhaseTimes};
 use std::fmt::Write as _;
 
 /// Deterministic per-scenario measurements.
@@ -489,6 +489,66 @@ impl ThreadedScaling {
     }
 }
 
+/// The `phase_times` section of `BENCH_engine.json`: where a worker-pool
+/// round's wall time goes, collected by
+/// `awake_sleeping::threaded::run_threaded_timed` on the scaling workload.
+/// Phase splits move with hardware and load, so these rows never gate in
+/// `baselines::diff_bench` — they are the forensic context for a
+/// `w4_vs_serial` regression: *which* pipeline stage ate the time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTimesBench {
+    /// Worker threads the timed run used.
+    pub workers: usize,
+    /// Rounds that went through the dispatched multi-chunk pipeline.
+    pub dispatched_rounds: u64,
+    /// Rounds absorbed whole by the coordinator's inline fast path.
+    pub inline_rounds: u64,
+    /// Awake-set partitioning + job publication, ns per executed round.
+    pub partition_ns_per_round: f64,
+    /// Send-descriptor (route) wait, ns per dispatched round.
+    pub route_ns_per_round: f64,
+    /// Receive-descriptor (deliver) wait, ns per dispatched round.
+    pub deliver_ns_per_round: f64,
+    /// Coordinator-side merge/apply, ns per dispatched round.
+    pub merge_ns_per_round: f64,
+    /// Inline fast path end to end, ns per inline round.
+    pub inline_ns_per_round: f64,
+}
+
+impl PhaseTimesBench {
+    /// Collect from a [`PhaseTimes`] accumulated over one or more timed
+    /// runs at `workers` threads.
+    pub fn from_phase_times(workers: usize, t: &PhaseTimes) -> Self {
+        PhaseTimesBench {
+            workers,
+            dispatched_rounds: t.dispatched_rounds,
+            inline_rounds: t.inline_rounds,
+            partition_ns_per_round: t.partition_ns_per_round(),
+            route_ns_per_round: t.route_ns_per_round(),
+            deliver_ns_per_round: t.deliver_ns_per_round(),
+            merge_ns_per_round: t.merge_ns_per_round(),
+            inline_ns_per_round: t.inline_ns_per_round(),
+        }
+    }
+
+    fn section_json(&self) -> String {
+        format!(
+            "{{\n    \"workers\": {}, \"dispatched_rounds\": {}, \"inline_rounds\": {},\n    \
+             \"partition_ns_per_round\": {:.1}, \"route_ns_per_round\": {:.1}, \
+             \"deliver_ns_per_round\": {:.1}, \"merge_ns_per_round\": {:.1}, \
+             \"inline_ns_per_round\": {:.1}\n  }}",
+            self.workers,
+            self.dispatched_rounds,
+            self.inline_rounds,
+            self.partition_ns_per_round,
+            self.route_ns_per_round,
+            self.deliver_ns_per_round,
+            self.merge_ns_per_round,
+            self.inline_ns_per_round,
+        )
+    }
+}
+
 /// The `edge_problems` section of `BENCH_engine.json`: the line-graph
 /// virtualization adapter solving maximal matching and (2Δ−1)-edge
 /// coloring on one seeded workload — the edge-workload throughput the CI
@@ -545,6 +605,9 @@ pub struct BenchReport {
     pub legacy_baseline: PerfStats,
     /// Worker-count sweep of the delivery pipeline at a larger n.
     pub threaded_scaling: ThreadedScaling,
+    /// Per-phase wall-time attribution of the worker-pool pipeline on the
+    /// scaling workload (informational in the CI gate).
+    pub phase_times: PhaseTimesBench,
     /// Edge problems through the line-graph adapter.
     pub edge_problems: EdgeProblemsBench,
 }
@@ -562,7 +625,7 @@ impl BenchReport {
             "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"bench\": {},\n  \"n\": {},\n  \
              \"degree\": {},\n  \"rounds\": {},\n  \"cores\": {},\n  \"engine\": {},\n  \
              \"threaded_4_workers\": {},\n  \"legacy_baseline\": {},\n  \
-             \"threaded_scaling\": {},\n  \"edge_problems\": {},\n  \
+             \"threaded_scaling\": {},\n  \"phase_times\": {},\n  \"edge_problems\": {},\n  \
              \"speedup_vs_legacy\": {:.3}\n}}\n",
             json_str(&self.bench),
             self.n,
@@ -573,6 +636,7 @@ impl BenchReport {
             self.threaded_4_workers.section_json(),
             self.legacy_baseline.section_json(),
             self.threaded_scaling.section_json(),
+            self.phase_times.section_json(),
             self.edge_problems.section_json(),
             self.speedup_vs_legacy()
         )
@@ -731,6 +795,28 @@ mod tests {
     }
 
     #[test]
+    fn phase_times_bench_divides_by_the_right_round_counts() {
+        let t = PhaseTimes {
+            partition_ns: 1000,
+            route_ns: 800,
+            deliver_ns: 600,
+            merge_ns: 400,
+            inline_ns: 300,
+            dispatched_rounds: 4,
+            inline_rounds: 1,
+        };
+        let b = PhaseTimesBench::from_phase_times(4, &t);
+        assert_eq!(b.workers, 4);
+        // Partition covers every executed round (5); the dispatched-only
+        // stages divide by dispatched rounds (4); inline by inline (1).
+        assert!((b.partition_ns_per_round - 200.0).abs() < 1e-9);
+        assert!((b.route_ns_per_round - 200.0).abs() < 1e-9);
+        assert!((b.deliver_ns_per_round - 150.0).abs() < 1e-9);
+        assert!((b.merge_ns_per_round - 100.0).abs() < 1e-9);
+        assert!((b.inline_ns_per_round - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn bench_report_json_shape() {
         let p = PerfStats {
             node_rounds: 100,
@@ -765,6 +851,16 @@ mod tests {
             threaded_4_workers: p,
             legacy_baseline: PerfStats { wall_ns: 2e6, ..p },
             threaded_scaling: scaling,
+            phase_times: PhaseTimesBench {
+                workers: 4,
+                dispatched_rounds: 4,
+                inline_rounds: 1,
+                partition_ns_per_round: 120.5,
+                route_ns_per_round: 300.0,
+                deliver_ns_per_round: 250.0,
+                merge_ns_per_round: 180.0,
+                inline_ns_per_round: 90.0,
+            },
             edge_problems: EdgeProblemsBench {
                 n: 8,
                 m: 12,
@@ -784,6 +880,14 @@ mod tests {
             "\"w4\"",
             "\"w4_vs_serial\": 2.000",
             "\"cores\": 4",
+            "\"phase_times\"",
+            "\"dispatched_rounds\": 4",
+            "\"inline_rounds\": 1",
+            "\"partition_ns_per_round\": 120.5",
+            "\"route_ns_per_round\": 300.0",
+            "\"deliver_ns_per_round\": 250.0",
+            "\"merge_ns_per_round\": 180.0",
+            "\"inline_ns_per_round\": 90.0",
             "\"edge_problems\"",
             "\"matching\"",
             "\"edge_coloring\"",

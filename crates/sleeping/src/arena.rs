@@ -137,6 +137,19 @@ impl<M> ChunkInboxes<M> {
         slice
     }
 
+    /// Drain a shard of `(chunk position, envelope)` deliveries into the
+    /// pool — the threaded executor's receive descriptors pull incoming
+    /// shards through this, one source chunk at a time in chunk index
+    /// order, which preserves the born-sorted invariant checked by
+    /// [`inbox`](Self::inbox). Callers [`ensure`](Self::ensure) capacity
+    /// for the chunk first.
+    #[inline]
+    pub(crate) fn extend_from(&mut self, entries: impl Iterator<Item = (u32, Envelope<M>)>) {
+        for (local, env) in entries {
+            self.segs[local as usize].push(env);
+        }
+    }
+
     /// Restore the sorted-by-sender invariant of the segment at chunk
     /// position `local` after late (fault-delayed) deliveries — the stable
     /// counterpart of [`InboxArena::resort_inbox`].

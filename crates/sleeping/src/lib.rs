@@ -125,7 +125,7 @@ pub use checkpoint::{
 };
 pub use engine::{Config, Engine, Run, SimError};
 pub use faults::{redundancy_for, FaultKind, FaultPlan, MAX_REDUNDANCY};
-pub use metrics::{percentile, percentile_of_sorted, Metrics};
+pub use metrics::{percentile, percentile_of_sorted, Metrics, PhaseTimes};
 pub use program::{Action, Envelope, Outbox, Outgoing, Program, View};
 pub use redundant::{Redundant, RedundantMsg};
 pub use trace::{TraceEvent, TraceMode};

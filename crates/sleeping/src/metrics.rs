@@ -199,6 +199,81 @@ impl Metrics {
     }
 }
 
+/// Coordinator-side wall-clock attribution for the threaded executor's
+/// pipeline, collected by [`crate::threaded::run_threaded_timed`].
+///
+/// The accumulators are nanosecond totals over the whole run; the
+/// `*_ns_per_round` accessors divide by the number of rounds that actually
+/// exercised the corresponding stage, so the numbers stay comparable across
+/// runs with different inline/dispatched mixes. Attribution is from the
+/// coordinator's point of view: `route`/`deliver` time includes the
+/// coordinator *helping* (stealing descriptors) while it waits, which is
+/// exactly the wall-clock cost a caller observes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Popping the next awake set, mass-partitioning it into chunks and
+    /// publishing the round context plus per-chunk job batches.
+    pub partition_ns: u64,
+    /// Dispatched rounds: waiting (and helping) until every send
+    /// descriptor is executed — routing, fault fate rolls, shard staging.
+    pub route_ns: u64,
+    /// Dispatched rounds: waiting (and helping) until every receive
+    /// descriptor is executed — shard draining and `Program::receive`.
+    pub deliver_ns: u64,
+    /// Coordinator-side merging of partial results in chunk order: metric
+    /// tallies, span attribution, trace absorption, delayed-message
+    /// resolution and action application.
+    pub merge_ns: u64,
+    /// Rounds absorbed whole by the coordinator's inline fast path
+    /// (single chunk, no descriptor traffic), end to end.
+    pub inline_ns: u64,
+    /// Rounds that went through the dispatched multi-chunk pipeline.
+    pub dispatched_rounds: u64,
+    /// Rounds taken by the inline fast path.
+    pub inline_rounds: u64,
+}
+
+impl PhaseTimes {
+    /// Total executed rounds covered by this accounting.
+    pub fn rounds(&self) -> u64 {
+        self.dispatched_rounds + self.inline_rounds
+    }
+
+    #[inline]
+    fn per(ns: u64, rounds: u64) -> f64 {
+        if rounds == 0 {
+            0.0
+        } else {
+            ns as f64 / rounds as f64
+        }
+    }
+
+    /// Partition time per executed round (inline and dispatched alike).
+    pub fn partition_ns_per_round(&self) -> f64 {
+        Self::per(self.partition_ns, self.rounds())
+    }
+
+    /// Send-descriptor (route) wait time per dispatched round.
+    pub fn route_ns_per_round(&self) -> f64 {
+        Self::per(self.route_ns, self.dispatched_rounds)
+    }
+
+    /// Receive-descriptor (deliver) wait time per dispatched round.
+    pub fn deliver_ns_per_round(&self) -> f64 {
+        Self::per(self.deliver_ns, self.dispatched_rounds)
+    }
+
+    /// Merge/apply time per dispatched round.
+    pub fn merge_ns_per_round(&self) -> f64 {
+        Self::per(self.merge_ns, self.dispatched_rounds)
+    }
+
+    /// Inline fast-path time per inline round.
+    pub fn inline_ns_per_round(&self) -> f64 {
+        Self::per(self.inline_ns, self.inline_rounds)
+    }
+}
+
 /// Nearest-rank percentile of `values` (`q` in `0..=100`): the smallest
 /// element with at least `⌈q·n/100⌉` elements `≤` it. `q = 0` is the
 /// minimum, `q = 100` the maximum; an empty slice yields `0`. Exact and

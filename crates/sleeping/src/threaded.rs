@@ -18,58 +18,84 @@
 //! to synchronization and a deterministic merge:
 //!
 //! ```text
-//!  main thread                      worker w (persistent)
-//!  ───────────                      ─────────────────────
+//!  coordinator                       executor e (coordinator or worker)
+//!  ───────────                       ──────────────────────────────────
 //!  pop awake set for round r
 //!  partition by degree mass,
-//!  publish {next_wake, chunk map}
-//!  batch[w] ← chunk w programs ──▶  SEND: run send(), validate/expand
-//!                                   via the shared checker, stage each
-//!                                   delivered message into the outbound
-//!                                   shard of its owner chunk
-//!  merge tallies/spans/errors ◀──   (batch returns: shards + partials)
-//!  EXCHANGE: transpose the k×k
-//!  shard matrix (Vec swaps only)
-//!  batch[w] ← shards 0..k→w    ──▶  DELIVER: drain incoming shards in
-//!                                   chunk order into local per-recipient
-//!                                   segments (born sorted by sender);
-//!                                   RECEIVE: run receive() per node
-//!  apply stays/sleeps/halts    ◀──  (batch returns: action partials)
-//!  in node order, schedule_all
+//!  publish {next_wake, chunk map},
+//!  park chunk jobs in the slot
+//!  arena, open SEND descriptors ──▶  claim a READY send descriptor c
+//!                                    (CAS, scan offset by executor id):
+//!                                    run send(), validate/expand, stage
+//!                                    each message into exchange cell
+//!                                    (c, owner); publish results, count
+//!                                    down every chunk's pending gate —
+//!                                    last contributor opens that
+//!                                    chunk's RECEIVE descriptor
+//!  consume send results in     ◀──   (claim-and-publish: no barrier)
+//!  chunk order (helping via
+//!  steal while waiting); merge
+//!  tallies/spans/traces/errors       claim a READY receive descriptor d:
+//!                                    drain cells (0..k, d) in source
+//!  consume receive partials in ◀──   order into local segments (born
+//!  chunk order, apply stays/         sorted), run receive() per node,
+//!  sleeps/halts, schedule_all        publish action partials
 //! ```
 //!
-//! Determinism falls out of three invariants:
+//! There is no per-phase barrier: a chunk's receive descriptor opens the
+//! moment the *last* send contribution for it lands (`pending` countdown),
+//! while other chunks' sends are still running; idle executors steal
+//! whatever descriptor is READY. The coordinator itself executes
+//! descriptors while it waits, so `workers = 1` spawns no threads and
+//! `workers = w` has `w` executors (`w - 1` spawned).
 //!
+//! Determinism survives stealing because of four invariants:
+//!
+//! * **Executor identity is unobservable.** Work units are *chunk*
+//!   descriptors, not worker assignments: a chunk's batch, shards and
+//!   result buffers are indexed by chunk, every phase body reads only the
+//!   round context and its own chunk's state, and exchange cells are
+//!   `(source chunk, owner chunk)`-addressed. Who executes a descriptor
+//!   leaves no trace in any buffer.
 //! * **Chunks are contiguous in node order** and senders within a chunk
 //!   transmit in ascending order, so draining a recipient's incoming
-//!   shards in source-chunk index order concatenates already-sorted runs
+//!   cells in source-chunk index order concatenates already-sorted runs
 //!   — every inbox is born sorted by sender, exactly like the serial
 //!   arena's.
-//! * **All merges happen in chunk index order** (= node order): awake/span
-//!   attribution, message tallies, stay-lane extension, batched wheel
-//!   `schedule_all` and halt outputs — identical to the serial engine's
-//!   per-node order.
-//! * **Error precedence is by lowest node id**: a worker stops at its
-//!   chunk's first error and the coordinator takes the first error of the
-//!   lowest-indexed chunk, which is the error the serial engine would hit.
+//! * **All merges happen coordinator-side in chunk index order** (= node
+//!   order): awake/span attribution, message tallies, stay-lane
+//!   extension, batched wheel `schedule_all` and halt outputs — identical
+//!   to the serial engine's per-node order, whatever order descriptors
+//!   actually executed in.
+//! * **Error precedence is by lowest node id**: an executor stops at its
+//!   chunk's first error and raises a run-wide abort flag (sequenced
+//!   before its pending countdown, so no receive descriptor can open on
+//!   an aborting round); the coordinator consumes results in chunk order
+//!   and surfaces the first error of the lowest-indexed chunk — the error
+//!   the serial engine would hit.
 //!
-//! Two channel messages per worker per phase, batches and shard buffers
-//! recycled, worker-local segment pools retained across rounds: the steady
-//! state allocates nothing per node-round. Rounds whose total degree mass
-//! is tiny (see `INLINE_MASS`) run **inline** on the coordinator through
-//! the very same phase functions — skip-ahead schedules spend most rounds
-//! waking a handful of nodes, where two channel round-trips per worker
-//! would dwarf the work; the inline path is a single-chunk instance of the
-//! same pipeline, so results are identical by construction.
+//! Batches, shard buffers and exchange cells recycle their capacity
+//! (swaps only — payloads never move), executor-local segment pools are
+//! retained across rounds: the steady state allocates nothing per
+//! node-round. Rounds whose total degree mass is tiny (see `INLINE_MASS`)
+//! run **inline** on the coordinator through the very same phase
+//! functions — skip-ahead schedules spend most rounds waking a handful of
+//! nodes, where descriptor traffic would dwarf the work; the inline path
+//! is a single-chunk instance of the same pipeline, so results are
+//! identical by construction.
 //!
 //! Tracing rides the same merge discipline: when [`Config::trace`] is on,
-//! each worker stages its chunk's [`TraceEvent`]s in node order (awake →
-//! per-message delivered/lost in the send phase; sleep/halt in the receive
-//! phase) and the coordinator absorbs the staged buffers **in chunk
-//! order** through the shared capped tracer — so [`Run::trace`] (and
-//! [`Run::trace_dropped`]) is bit-identical to the serial engine's at any
-//! worker count, which the integration tests assert alongside the
-//! `Metrics` equivalence.
+//! each descriptor stages its chunk's [`TraceEvent`]s in node order
+//! (awake → per-message delivered/lost in the send phase; sleep/halt in
+//! the receive phase) and the coordinator absorbs the staged buffers **in
+//! chunk order** through the shared capped tracer — so [`Run::trace`]
+//! (and [`Run::trace_dropped`]) is bit-identical to the serial engine's
+//! at any worker count.
+//!
+//! A seeded chaos hook (test-only) perturbs scheduling at every claim
+//! point — forced steals, yields, parks, unpark storms — and the
+//! equivalence tests assert bit-for-bit agreement under those
+//! interleavings too; see `ChaosPlan`.
 
 use crate::arena::ChunkInboxes;
 use crate::checkpoint::{
@@ -78,19 +104,16 @@ use crate::checkpoint::{
 };
 use crate::engine::{next_awake_set, route_entries, seed_schedule, FaultCtx, NEVER};
 use crate::faults::{DelayedMsg, FaultKind, FaultPlan};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PhaseTimes};
 use crate::program::{Action, Envelope, OutEntry, Outbox, Program, View};
 use crate::trace::{TraceEvent, Tracer};
 use crate::wheel::WakeWheel;
 use crate::{Config, Round, Run, SimError};
 use awake_graphs::{Graph, NodeId};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::RwLock;
-
-enum Phase {
-    Send,
-    Receive,
-}
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
 
 /// One delivered message in an outbound owner shard: the recipient's dense
 /// position within its owner chunk, plus the envelope to deliver.
@@ -99,13 +122,14 @@ struct ShardEntry<M> {
     env: Envelope<M>,
 }
 
-/// Read-mostly per-round context shared with the workers.
+/// Read-mostly per-round context shared with the executors.
 ///
-/// The coordinator write-locks it between phases (when every worker is
-/// idle at a barrier) to publish the new wake stamps and chunk map; each
-/// worker read-locks it for the duration of one send batch. The lock is
-/// therefore never contended — it exists to let the borrow checker accept
-/// the sharing.
+/// The coordinator write-locks it at round boundaries (when every
+/// descriptor of the previous round is DONE and every executor is idle or
+/// scanning) to publish the new wake stamps and chunk map; each send
+/// descriptor read-locks it for the duration of its execution. The lock
+/// is therefore never contended in steady state — it exists to let the
+/// borrow checker accept the sharing.
 struct RoundCtx {
     /// `next_wake[v] = r`: `v` wakes at round `r`; [`NEVER`]: halted.
     next_wake: Vec<Round>,
@@ -116,13 +140,18 @@ struct RoundCtx {
     /// positions `bounds[c]..bounds[c+1]`. Strictly increasing,
     /// `bounds[0] = 0`, last entry = awake length.
     bounds: Vec<u32>,
+    /// Owner chunk per awake position — one O(1) lookup on the message
+    /// staging hot path instead of a `partition_point` binary search per
+    /// delivered message. Filled in the same pass that stamps
+    /// [`awake_pos`](Self::awake_pos).
+    chunk: Vec<u32>,
 }
 
 impl RoundCtx {
     /// The owner chunk of awake position `pos`.
     #[inline]
     fn chunk_of(&self, pos: u32) -> usize {
-        self.bounds.partition_point(|&b| b <= pos) - 1
+        self.chunk[pos as usize] as usize
     }
 }
 
@@ -186,39 +215,75 @@ impl<P: Program> Clone for FaultHooks<P> {
 }
 impl<P: Program> Copy for FaultHooks<P> {}
 
-/// One worker's reusable unit of work: a contiguous chunk of the awake set
-/// plus the buffers that carry its phase results back to the coordinator.
-struct Batch<P: Program> {
-    round: Round,
-    phase: Phase,
-    /// The chunk's `(node, program)` pairs, ascending by node.
-    jobs: Vec<(u32, P)>,
-    /// Recycled backing buffer of the worker-side outbox.
-    out_items: Vec<OutEntry<P::Msg>>,
-    /// Send result: per-job span, captured before `send` exactly as the
-    /// serial engine attributes it.
-    spans: Vec<&'static str>,
-    /// Send phase: outbound messages sharded by the recipient's owner
-    /// chunk. After the coordinator's exchange (a transpose of the k×k
-    /// shard matrix) the same field carries the receive phase's *incoming*
-    /// shards, indexed by source chunk.
-    shards: Vec<Vec<ShardEntry<P::Msg>>>,
-    /// Send result: message tallies of this chunk.
+/// What one chunk's send descriptor hands back to the coordinator: span
+/// attribution, message tallies, staged trace events, delayed messages,
+/// and the chunk's first error. Published through the slot's `results`
+/// mutex the instant the descriptor completes (separately from the parked
+/// batch, so the coordinator can merge in chunk order while the batch
+/// buffers wait for the receive descriptor), and drained coordinator-side
+/// — the buffers recycle their capacity across rounds.
+struct SendResults<P: Program> {
+    /// Per-job `(node, span)`, captured before `send` exactly as the
+    /// serial engine attributes it, in the chunk's node order.
+    node_spans: Vec<(u32, &'static str)>,
+    /// Message tallies of this chunk.
     sent: u64,
     delivered: u64,
     lost: u64,
-    /// Fault plan + crash I/O of the run; `None` for fault-free runs.
-    faults: Option<FaultHooks<P>>,
-    /// Send result: injected-fault tallies of this chunk.
+    /// Injected-fault tallies of this chunk.
     fdropped: u64,
     fduplicated: u64,
     fdelayed: u64,
+    /// Messages fated to arrive in a later round, in the chunk's
+    /// transmission order; the coordinator appends them (chunk order =
+    /// node order) to the run's delayed buffer.
+    delayed_out: Vec<DelayedMsg<P::Msg>>,
+    /// Events staged by the send phase, in the serial engine's per-node
+    /// order; absorbed by the coordinator in chunk order.
+    trace: Vec<TraceEvent>,
+    /// First error of this chunk, in node order (execution stops there).
+    error: Option<SimError>,
+}
+
+impl<P: Program> SendResults<P> {
+    fn new() -> Self {
+        SendResults {
+            node_spans: Vec::new(),
+            sent: 0,
+            delivered: 0,
+            lost: 0,
+            fdropped: 0,
+            fduplicated: 0,
+            fdelayed: 0,
+            delayed_out: Vec::new(),
+            trace: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// One chunk's reusable unit of work: a contiguous chunk of the awake set
+/// plus the buffers that carry its phase results back to the coordinator.
+/// Parked in its chunk's [`ChunkSlot`] between executions; whichever
+/// executor claims the descriptor takes the batch, runs the phase, and
+/// parks it back — batches are chunk-addressed, never worker-addressed.
+struct Batch<P: Program> {
+    round: Round,
+    /// The chunk's `(node, program)` pairs, ascending by node.
+    jobs: Vec<(u32, P)>,
+    /// Recycled backing buffer of the executor-side outbox.
+    out_items: Vec<OutEntry<P::Msg>>,
+    /// Send-phase results, published through the slot on completion.
+    res: SendResults<P>,
+    /// Send phase: outbound messages sharded by the recipient's owner
+    /// chunk. On completion each shard is swapped into the exchange cell
+    /// `(this chunk, owner chunk)`, taking back the (drained) buffer the
+    /// cell held — capacity circulates between batches and cells.
+    shards: Vec<Vec<ShardEntry<P::Msg>>>,
+    /// Fault plan + crash I/O of the run; `None` for fault-free runs.
+    faults: Option<FaultHooks<P>>,
     /// Receive result: crash-restarts applied in this chunk.
     fcrashed: u64,
-    /// Send result: messages fated to arrive in a later round, in the
-    /// chunk's transmission order; the coordinator appends them (chunk
-    /// order = node order) to the run's delayed buffer.
-    delayed_out: Vec<DelayedMsg<P::Msg>>,
     /// `(node, start-of-round state)` of this chunk's nodes that crash
     /// this round, ascending by node. Written by the send phase (the blob
     /// is saved *before* the node acts), consumed by the receive phase.
@@ -229,9 +294,10 @@ struct Batch<P: Program> {
     /// crashed set separately.
     crashed_nodes: Vec<u32>,
     /// Fault-delayed messages coming due this round for recipients in this
-    /// chunk, staged by the coordinator between the phases; the receive
-    /// phase delivers them after the regular shards and restores each
-    /// touched inbox's sorted-by-sender invariant.
+    /// chunk, staged by the coordinator between the phases (the batch is
+    /// parked then — faulty rounds gate receives on the coordinator); the
+    /// receive phase delivers them after the regular shards and restores
+    /// each touched inbox's sorted-by-sender invariant.
     late: Vec<ShardEntry<P::Msg>>,
     /// Scratch: chunk positions touched by late deliveries.
     late_locals: Vec<u32>,
@@ -242,12 +308,12 @@ struct Batch<P: Program> {
     sleeps: Vec<(Round, u32)>,
     /// Receive result: halted nodes with their outputs, ascending.
     halts: Vec<(u32, P::Output)>,
-    /// First error of this chunk, in node order (the worker stops there).
+    /// Receive phase: first error of this chunk, in node order.
     error: Option<SimError>,
     /// Whether to stage trace events (set from the run's [`Config::trace`]).
     trace_on: bool,
-    /// Events staged by this chunk during the current phase, in the serial
-    /// engine's per-node order; absorbed by the coordinator in chunk order.
+    /// Receive-phase events staged by this chunk, in the serial engine's
+    /// per-node order; absorbed by the coordinator in chunk order.
     trace: Vec<TraceEvent>,
 }
 
@@ -255,20 +321,12 @@ impl<P: Program> Batch<P> {
     fn new() -> Self {
         Batch {
             round: 0,
-            phase: Phase::Send,
             jobs: Vec::new(),
             out_items: Vec::new(),
-            spans: Vec::new(),
+            res: SendResults::new(),
             shards: Vec::new(),
-            sent: 0,
-            delivered: 0,
-            lost: 0,
             faults: None,
-            fdropped: 0,
-            fduplicated: 0,
-            fdelayed: 0,
             fcrashed: 0,
-            delayed_out: Vec::new(),
             crashes: Vec::new(),
             crashed_nodes: Vec::new(),
             late: Vec::new(),
@@ -280,6 +338,362 @@ impl<P: Program> Batch<P> {
             trace_on: false,
             trace: Vec::new(),
         }
+    }
+}
+
+// ---- the injector: chunk descriptors over a preallocated slot arena ----
+//
+// Descriptor life cycle (all transitions SeqCst):
+//
+//   send:  DONE ──coordinator──▶ READY ──CAS claim──▶ RUNNING ──▶ DONE
+//   recv:  DONE ──coordinator──▶ VACANT ──gate──▶ READY ──CAS──▶ RUNNING ──▶ DONE
+//
+// The atomics carry the claim protocol; the `Mutex`es under them only
+// transfer buffer ownership (a claimed descriptor's batch mutex is always
+// uncontended — the CAS serialized access first). This keeps the whole
+// executor inside `#![forbid(unsafe_code)]`.
+
+/// Descriptor states. `VACANT` is only meaningful for receive
+/// descriptors: reset at round publish, it keeps stale scanners from
+/// claiming a receive whose send contributions haven't all landed.
+const VACANT: usize = 0;
+const READY: usize = 1;
+const RUNNING: usize = 2;
+const DONE: usize = 3;
+
+/// One chunk's slot in the descriptor arena.
+struct ChunkSlot<P: Program> {
+    /// Send descriptor state.
+    send_state: AtomicUsize,
+    /// Receive descriptor state.
+    recv_state: AtomicUsize,
+    /// Send contributions this chunk's receive still waits for. Reset to
+    /// `k` at round publish; every completed send execution decrements
+    /// every chunk's gate (after publishing its shards), and the
+    /// decrement that hits zero opens the receive descriptor — unless the
+    /// round is faulty (coordinator gates receives to stage late
+    /// deliveries first) or aborting.
+    pending: AtomicUsize,
+    /// The chunk's parked batch; `None` exactly while an executor runs a
+    /// claimed descriptor for this chunk.
+    batch: Mutex<Option<Batch<P>>>,
+    /// The chunk's published send results, swapped in on send completion
+    /// and drained by the coordinator in chunk order.
+    results: Mutex<SendResults<P>>,
+}
+
+impl<P: Program> ChunkSlot<P> {
+    fn new() -> Self {
+        ChunkSlot {
+            send_state: AtomicUsize::new(DONE),
+            recv_state: AtomicUsize::new(DONE),
+            pending: AtomicUsize::new(0),
+            batch: Mutex::new(Some(Batch::new())),
+            results: Mutex::new(SendResults::new()),
+        }
+    }
+}
+
+/// Test-only scheduler perturbation: a seeded plan that injects forced
+/// steals (skipping a claimable descriptor), yields, short parks and
+/// unpark storms at every claim point and publication edge. Rolls are a
+/// pure function of `(seed, executor id, per-executor counter)` —
+/// deterministic per executor, chaotic in interleaving — and never touch
+/// any buffer, so the bit-for-bit equivalence tests assert that *no*
+/// interleaving the protocol admits changes an observable result.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChaosPlan {
+    pub(crate) seed: u64,
+}
+
+enum ChaosOp {
+    Pass,
+    /// Skip a claimable descriptor this scan — forces another executor
+    /// (or a later scan) to steal it.
+    Steal,
+    Yield,
+    /// Park for the given number of microseconds (consumes a pending
+    /// unpark token, exercising the lost-wakeup paths).
+    Nap(u64),
+    /// Unpark every executor out of turn.
+    Storm,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    fn roll(&self, who: usize, ctr: u64) -> ChaosOp {
+        let r = splitmix64(self.seed ^ ((who as u64) << 48) ^ ctr);
+        match r & 0xf {
+            0..=2 => ChaosOp::Steal,
+            3..=4 => ChaosOp::Yield,
+            5 => ChaosOp::Nap(1 + ((r >> 8) & 0x1f)),
+            6 => ChaosOp::Storm,
+            _ => ChaosOp::Pass,
+        }
+    }
+}
+
+/// Per-executor state: its scan offset (so executors start their claim
+/// scans at different descriptors), its local inbox segment pool
+/// (capacity retained across rounds and whichever chunks it happens to
+/// execute), and its chaos counter.
+struct ExecCtx<M> {
+    who: usize,
+    inboxes: ChunkInboxes<M>,
+    chaos_ctr: u64,
+}
+
+impl<M> ExecCtx<M> {
+    fn new(who: usize) -> Self {
+        ExecCtx {
+            who,
+            inboxes: ChunkInboxes::new(),
+            chaos_ctr: 0,
+        }
+    }
+}
+
+/// The shared injector: the round context, the descriptor slot arena, the
+/// k×k exchange cells, and the park/unpark registry. One per run, borrowed
+/// by every executor for the duration of the scope.
+struct StealPool<'g, P: Program> {
+    graph: &'g Graph,
+    ctx: RwLock<RoundCtx>,
+    /// Chunk descriptor slots, `kmax` of them (chunk count never exceeds
+    /// the executor count).
+    slots: Vec<ChunkSlot<P>>,
+    /// Exchange cells, `(source chunk, owner chunk)`-addressed at
+    /// `src * kmax + dst`: send descriptor `src` swaps its outbound shard
+    /// for chunk `dst` into cell `(src, dst)`; receive descriptor `dst`
+    /// drains cells `(0..k, dst)` in source order.
+    cells: Vec<Mutex<Vec<ShardEntry<P::Msg>>>>,
+    kmax: usize,
+    /// Chunk count of the round in flight (0 while idle/inline). A claim
+    /// of a READY descriptor re-reads this *after* the CAS: the READY
+    /// store is sequenced after the round's `k` store, so the claimer
+    /// always executes with the current round's chunk count even if its
+    /// scan used a stale one.
+    k: AtomicUsize,
+    /// Fault-free runs auto-open a chunk's receive descriptor when its
+    /// pending gate hits zero; faulty runs let the coordinator stage late
+    /// deliveries into the parked batches first and open all receives
+    /// itself.
+    auto_receive: bool,
+    /// Raised (before any pending decrement) by a send descriptor that
+    /// hit an error: no receive descriptor opens on an aborting round.
+    abort: AtomicBool,
+    shutdown: AtomicBool,
+    /// Every executor's thread handle, for unpark storms. Executors
+    /// register before their first scan, so a registered executor never
+    /// misses a wakeup: state stores happen before `unpark_all`, and a
+    /// scan-then-park races at worst into a pending unpark token.
+    registry: Mutex<Vec<Thread>>,
+    chaos: Option<ChaosPlan>,
+}
+
+impl<P: Program> StealPool<'_, P> {
+    #[inline]
+    fn cell(&self, src: usize, dst: usize) -> &Mutex<Vec<ShardEntry<P::Msg>>> {
+        &self.cells[src * self.kmax + dst]
+    }
+
+    fn register(&self) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .push(thread::current());
+    }
+
+    fn unpark_all(&self) {
+        for t in self.registry.lock().expect("registry lock").iter() {
+            t.unpark();
+        }
+    }
+}
+
+/// Roll the chaos plan (if any) at a scheduling edge. Returns `true` when
+/// the roll demands skipping a claimable descriptor (a forced steal);
+/// side-effect ops (yield/nap/storm) happen here and return `false`.
+#[inline]
+fn chaos_pulse<P: Program>(pool: &StealPool<'_, P>, ex: &mut ExecCtx<P::Msg>) -> bool {
+    let Some(plan) = pool.chaos else { return false };
+    ex.chaos_ctr += 1;
+    match plan.roll(ex.who, ex.chaos_ctr) {
+        ChaosOp::Pass => false,
+        ChaosOp::Steal => true,
+        ChaosOp::Yield => {
+            thread::yield_now();
+            false
+        }
+        ChaosOp::Nap(us) => {
+            thread::park_timeout(Duration::from_micros(us));
+            false
+        }
+        ChaosOp::Storm => {
+            pool.unpark_all();
+            false
+        }
+    }
+}
+
+/// Execute a claimed send descriptor: take the parked batch, run the send
+/// phase against the published round context, publish shards into the
+/// exchange cells and results into the slot, then count down every
+/// chunk's pending gate — opening any receive descriptor whose last
+/// contribution this was (fault-free, non-aborting rounds only).
+fn execute_send<P: Program>(pool: &StealPool<'_, P>, c: usize, k: usize, ex: &mut ExecCtx<P::Msg>) {
+    let slot = &pool.slots[c];
+    let mut b = slot
+        .batch
+        .lock()
+        .expect("batch slot lock")
+        .take()
+        .expect("claimed send descriptor has a parked batch");
+    {
+        let ctx = pool.ctx.read().expect("round context lock");
+        run_send_phase(pool.graph, &ctx, &mut b);
+    }
+    if b.res.error.is_some() {
+        // Raised before the pending decrements below: SeqCst makes the
+        // store visible to whichever executor decrements a gate to zero,
+        // so no receive descriptor ever opens on an aborting round.
+        pool.abort.store(true, Ordering::SeqCst);
+    }
+    chaos_pulse(pool, ex);
+    // Publish outbound shards: swap each filled buffer into its exchange
+    // cell, taking back the buffer the previous round's receive drained —
+    // capacity circulates between batches and cells, nothing reallocates.
+    for dst in 0..k {
+        let mut cell = pool.cell(c, dst).lock().expect("exchange cell lock");
+        std::mem::swap(&mut *cell, &mut b.shards[dst]);
+    }
+    {
+        let mut r = slot.results.lock().expect("send results lock");
+        std::mem::swap(&mut *r, &mut b.res);
+    }
+    *slot.batch.lock().expect("batch slot lock") = Some(b);
+    slot.send_state.store(DONE, Ordering::SeqCst);
+    // Contribution countdown — only after this chunk's shards and results
+    // are fully published, so an opened receive sees every cell filled.
+    for dst in 0..k {
+        if pool.slots[dst].pending.fetch_sub(1, Ordering::SeqCst) == 1
+            && pool.auto_receive
+            && !pool.abort.load(Ordering::SeqCst)
+        {
+            pool.slots[dst].recv_state.store(READY, Ordering::SeqCst);
+        }
+    }
+    pool.unpark_all();
+}
+
+/// Execute a claimed receive descriptor: drain the chunk's exchange cells
+/// in source-chunk order into the executor-local segment pool (born
+/// sorted by sender), run the receive phase, and park the batch back with
+/// its action partials for the coordinator to apply in chunk order.
+fn execute_receive<P: Program>(
+    pool: &StealPool<'_, P>,
+    c: usize,
+    k: usize,
+    ex: &mut ExecCtx<P::Msg>,
+) {
+    let slot = &pool.slots[c];
+    let mut b = slot
+        .batch
+        .lock()
+        .expect("batch slot lock")
+        .take()
+        .expect("claimed receive descriptor has a parked batch");
+    ex.inboxes.ensure(b.jobs.len());
+    chaos_pulse(pool, ex);
+    for src in 0..k {
+        let mut cell = pool.cell(src, c).lock().expect("exchange cell lock");
+        ex.inboxes
+            .extend_from(cell.drain(..).map(|e| (e.to_local, e.env)));
+    }
+    run_receive_phase(pool.graph, &mut b, &mut ex.inboxes);
+    *slot.batch.lock().expect("batch slot lock") = Some(b);
+    slot.recv_state.store(DONE, Ordering::SeqCst);
+    pool.unpark_all();
+}
+
+/// One claim scan over the descriptor arena, starting at this executor's
+/// offset: claim (CAS READY → RUNNING) and execute the first claimable
+/// send, then receive, descriptor. Returns whether anything was executed.
+fn try_execute<P: Program>(pool: &StealPool<'_, P>, ex: &mut ExecCtx<P::Msg>) -> bool {
+    let k = pool.k.load(Ordering::SeqCst);
+    if k == 0 {
+        return false;
+    }
+    for i in 0..k {
+        let c = (ex.who + i) % k;
+        let slot = &pool.slots[c];
+        if slot.send_state.load(Ordering::SeqCst) == READY {
+            if chaos_pulse(pool, ex) {
+                continue; // forced steal: leave it for someone else
+            }
+            if slot
+                .send_state
+                .compare_exchange(READY, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Re-read k after the claim: the READY we claimed was
+                // published after the round's k store, so this load sees
+                // the in-flight round's chunk count (the scan's k may be
+                // stale).
+                let kr = pool.k.load(Ordering::SeqCst);
+                execute_send(pool, c, kr, ex);
+                return true;
+            }
+        }
+    }
+    for i in 0..k {
+        let c = (ex.who + i) % k;
+        let slot = &pool.slots[c];
+        if slot.recv_state.load(Ordering::SeqCst) == READY {
+            if chaos_pulse(pool, ex) {
+                continue;
+            }
+            if slot
+                .recv_state
+                .compare_exchange(READY, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let kr = pool.k.load(Ordering::SeqCst);
+                execute_receive(pool, c, kr, ex);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// How long the coordinator parks between help attempts while waiting on
+/// a descriptor (workers park unbounded — every publication edge ends in
+/// `unpark_all`, and the coordinator's timeout backstops lost tokens).
+const COORD_NAP: Duration = Duration::from_micros(200);
+
+/// Coordinator-side wait for a descriptor to reach DONE, stealing
+/// whatever other descriptors are READY in the meantime.
+fn wait_done<P: Program>(pool: &StealPool<'_, P>, ex: &mut ExecCtx<P::Msg>, c: usize, recv: bool) {
+    loop {
+        let state = if recv {
+            &pool.slots[c].recv_state
+        } else {
+            &pool.slots[c].send_state
+        };
+        if state.load(Ordering::SeqCst) == DONE {
+            return;
+        }
+        if try_execute(pool, ex) {
+            continue;
+        }
+        thread::park_timeout(COORD_NAP);
     }
 }
 
@@ -348,26 +762,29 @@ fn run_send_phase_body<P: Program, const FAULTY: bool>(
     let Batch {
         jobs,
         out_items,
-        spans,
+        res,
         shards,
+        faults,
+        crashes,
+        trace_on,
+        ..
+    } = b;
+    let SendResults {
+        node_spans,
         sent,
         delivered,
         lost,
-        faults,
         fdropped,
         fduplicated,
         fdelayed,
         delayed_out,
-        crashes,
-        error,
-        trace_on,
         trace,
-        ..
-    } = b;
+        error,
+    } = res;
     if shards.len() < k {
         shards.resize_with(k, Vec::new);
     }
-    spans.clear();
+    node_spans.clear();
     trace.clear();
     let trace_on = *trace_on;
     (*sent, *delivered, *lost) = (0, 0, 0);
@@ -386,7 +803,7 @@ fn run_send_phase_body<P: Program, const FAULTY: bool>(
             n,
             neighbors: graph.neighbors(vid),
         };
-        spans.push(p.span());
+        node_spans.push((*v, p.span()));
         if trace_on {
             trace.push(TraceEvent::Awake { round, node: vid });
         }
@@ -484,9 +901,11 @@ fn run_send_phase_body<P: Program, const FAULTY: bool>(
     b.out_items = outbox.into_vec();
 }
 
-/// The receive-phase body: drain the incoming shards into the local
-/// per-recipient segments, then run each job's `receive` and collect its
-/// action into the stay/sleep/halt partials. Shared by workers and the
+/// The receive-phase body: run each job's `receive` over the segments the
+/// caller drained into `inboxes` (a receive descriptor drains its
+/// exchange cells in source-chunk order; the inline path drains the
+/// single batch's own shards) and collect each action into the
+/// stay/sleep/halt partials. Shared by the descriptor executors and the
 /// coordinator's inline path, like [`run_send_phase`].
 fn run_receive_phase<P: Program>(
     graph: &Graph,
@@ -511,7 +930,6 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
     let round = b.round;
     let Batch {
         jobs,
-        shards,
         faults,
         fcrashed,
         crashes,
@@ -530,17 +948,13 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
     trace.clear();
     *fcrashed = 0;
     crashed_nodes.clear();
-    // Local delivery: drain the incoming shards in source-chunk order.
-    // Senders ascend within a chunk and chunks are contiguous in node
-    // order, so each recipient's segment is a concatenation of sorted
-    // runs in sender order — born sorted, same invariant as the serial
-    // arena.
+    // The caller has already drained this chunk's deliveries into
+    // `inboxes` in source-chunk order (senders ascend within a chunk and
+    // chunks are contiguous in node order, so each segment is a
+    // concatenation of sorted runs — born sorted, same invariant as the
+    // serial arena). `ensure` here is an idempotent backstop for chunks
+    // that received nothing but still have late deliveries or jobs.
     inboxes.ensure(jobs.len());
-    for shard in shards.iter_mut() {
-        for e in shard.drain(..) {
-            inboxes.push(e.to_local, e.env);
-        }
-    }
     // Fault-delayed messages coming due land after the ascending-sender
     // pass; deliver them, then restore each touched segment's
     // sorted-by-sender invariant (stable, so same-sender envelopes keep
@@ -630,48 +1044,53 @@ fn run_receive_phase_body<P: Program, const FAULTY: bool>(
     crashes.clear();
 }
 
-/// Merge one chunk's send partials into the run metrics: awake/span
-/// attribution per node in chunk order (= node order, preserving the
-/// serial engine's span interning order), then the message tallies, then
-/// the staged trace events (absorbed through the shared capped tracer, so
-/// the global event sequence and drop count match the serial engine's).
-fn merge_send_partials<P: Program>(
-    b: &mut Batch<P>,
+/// Merge one chunk's published send results into the run metrics:
+/// awake/span attribution per node in chunk order (= node order,
+/// preserving the serial engine's span interning order), then the message
+/// tallies, then the staged trace events (absorbed through the shared
+/// capped tracer, so the global event sequence and drop count match the
+/// serial engine's). The coordinator calls this in chunk index order —
+/// descriptor *execution* order is irrelevant.
+fn merge_send_results<P: Program>(
+    r: &mut SendResults<P>,
     metrics: &mut Metrics,
     tracer: &mut Tracer,
     faults: Option<&mut FaultCtx<P>>,
 ) {
-    for (&(v, _), &span) in b.jobs.iter().zip(b.spans.iter()) {
+    for &(v, span) in r.node_spans.iter() {
         metrics.note_awake(NodeId(v), span);
     }
-    metrics.messages_sent += b.sent;
-    metrics.messages_delivered += b.delivered;
-    metrics.messages_lost += b.lost;
-    metrics.faults_dropped += b.fdropped;
-    metrics.faults_duplicated += b.fduplicated;
-    metrics.faults_delayed += b.fdelayed;
+    r.node_spans.clear();
+    metrics.messages_sent += r.sent;
+    metrics.messages_delivered += r.delivered;
+    metrics.messages_lost += r.lost;
+    metrics.faults_dropped += r.fdropped;
+    metrics.faults_duplicated += r.fduplicated;
+    metrics.faults_delayed += r.fdelayed;
     if let Some(f) = faults {
         // Chunk order = node order, so the run-wide delayed buffer grows
         // in the serial engine's transmission order.
-        f.state.delayed.append(&mut b.delayed_out);
+        f.state.delayed.append(&mut r.delayed_out);
     }
-    tracer.absorb(&mut b.trace);
+    tracer.absorb(&mut r.trace);
 }
 
 /// Between the phases: resolve fault-delayed messages that have come due.
 /// A delayed message is delivered only if its recipient is awake at
 /// exactly its due round; a due round nobody executed (or an asleep
 /// recipient) loses it — the model's rule, applied late. Deliverable
-/// messages are staged into the `late` buffer of the recipient's owner
-/// batch (`batches` is this round's chunk-ordered batch slice), in the
-/// run-wide buffer order the serial engine drains.
+/// messages are handed to `stage` as `(owner chunk, entry)` in the
+/// run-wide buffer order the serial engine drains; the coordinator stages
+/// them into the recipient's parked batch (`late` buffer) — on faulty
+/// rounds every receive descriptor is still gated closed here, so the
+/// batches are parked by construction.
 fn resolve_due_delays<P: Program>(
     f: &mut FaultCtx<P>,
     round: Round,
     ctx: &RoundCtx,
-    batches: &mut [Batch<P>],
     metrics: &mut Metrics,
     tracer: &mut Tracer,
+    stage: &mut dyn FnMut(usize, ShardEntry<P::Msg>),
 ) {
     if !f.state.delayed.iter().any(|d| d.due <= round) {
         return;
@@ -688,10 +1107,13 @@ fn resolve_due_delays<P: Program>(
             tracer.push(|| TraceEvent::Delivered { round, from, to });
             let pos = ctx.awake_pos[to.index()];
             let c = ctx.chunk_of(pos);
-            batches[c].late.push(ShardEntry {
-                to_local: pos - ctx.bounds[c],
-                env: Envelope { from, msg: d.msg },
-            });
+            stage(
+                c,
+                ShardEntry {
+                    to_local: pos - ctx.bounds[c],
+                    env: Envelope { from, msg: d.msg },
+                },
+            );
         } else {
             metrics.messages_lost += 1;
             tracer.push(|| TraceEvent::Lost {
@@ -783,25 +1205,32 @@ fn apply_receive_partials<P: Program>(
     touched
 }
 
-fn worker_loop<P: Program>(
-    graph: &Graph,
-    shared: &RwLock<RoundCtx>,
-    rx: Receiver<Batch<P>>,
-    tx: Sender<Batch<P>>,
-) {
-    // Worker-local per-recipient segments; capacity persists across rounds.
-    let mut inboxes: ChunkInboxes<P::Msg> = ChunkInboxes::new();
-    while let Ok(mut b) = rx.recv() {
-        match b.phase {
-            Phase::Send => {
-                let ctx = shared.read().expect("round context lock");
-                run_send_phase(graph, &ctx, &mut b);
-            }
-            Phase::Receive => run_receive_phase(graph, &mut b, &mut inboxes),
+/// A spawned executor: register for unpark storms, then scan-claim-execute
+/// until shutdown. Parks (unbounded) when a scan comes up empty — every
+/// publication edge (round publish, descriptor completion, shutdown) ends
+/// in `unpark_all`, and registration happens before the first scan, so a
+/// wakeup can race at worst into a pending unpark token, never past one.
+fn worker_loop<P: Program>(pool: &StealPool<'_, P>, who: usize) {
+    pool.register();
+    let mut ex: ExecCtx<P::Msg> = ExecCtx::new(who);
+    loop {
+        if pool.shutdown.load(Ordering::SeqCst) {
+            return;
         }
-        if tx.send(b).is_err() {
-            break;
+        if try_execute(pool, &mut ex) {
+            continue;
         }
+        if pool.chaos.is_some() {
+            // A chaos nap is a `park_timeout`: it may swallow an unpark
+            // token raised (by a publication or shutdown) after the scan
+            // above. Loop back to re-check instead of falling through to
+            // the unbounded park — otherwise that lost token parks this
+            // executor forever.
+            chaos_pulse(pool, &mut ex);
+            thread::park_timeout(COORD_NAP);
+            continue;
+        }
+        thread::park();
     }
 }
 
@@ -838,13 +1267,30 @@ struct CkptCtl<'a, P: Program> {
     sink: &'a mut dyn FnMut(&Snapshot),
 }
 
+/// Advance the per-round timing stamp: add the elapsed time to the
+/// accumulator `pick` selects and re-stamp. When timing is off the stamp
+/// is `None` and no clock is read at all.
+#[inline]
+fn lap(stamp: &mut Option<(&mut PhaseTimes, Instant)>, pick: fn(&mut PhaseTimes) -> &mut u64) {
+    if let Some((t, at)) = stamp.as_mut() {
+        let now = Instant::now();
+        *pick(t) += now.duration_since(*at).as_nanos() as u64;
+        *at = now;
+    }
+}
+
 /// The shared executor core behind [`run_threaded`] and its fault-aware /
-/// checkpoint-aware variants: a persistent worker pool driven round by
-/// round from a fresh or restored boundary, with optional seeded fault
-/// injection and optional snapshotting at round boundaries. All observable
-/// state lives coordinator-side between rounds, which is exactly what a
-/// [`Snapshot`] captures — byte-identical to the serial engine's at the
-/// same boundary.
+/// checkpoint-aware variants: a persistent executor pool (the coordinator
+/// plus `workers - 1` spawned threads) driven round by round from a fresh
+/// or restored boundary, with optional seeded fault injection, optional
+/// snapshotting at round boundaries, optional per-phase timing, and an
+/// optional (test-only) chaos plan perturbing the claim scheduling. All
+/// observable state lives coordinator-side between rounds, which is
+/// exactly what a [`Snapshot`] captures — byte-identical to the serial
+/// engine's at the same boundary.
+// One argument per optional capability; a builder would obscure that the
+// public entry points each enable exactly one of them.
+#[allow(clippy::too_many_arguments)]
 fn run_threaded_core<P>(
     graph: &Graph,
     init: ThreadedInit<P>,
@@ -852,6 +1298,8 @@ fn run_threaded_core<P>(
     workers: usize,
     mut faults: Option<FaultCtx<P>>,
     mut ctl: Option<CkptCtl<'_, P>>,
+    mut timing: Option<&mut PhaseTimes>,
+    chaos: Option<ChaosPlan>,
 ) -> Result<ThreadedOutcome<P::Output>, SimError>
 where
     P: Program + Send,
@@ -921,34 +1369,37 @@ where
         f.state.recovering.resize(n, false);
     }
 
-    let shared = RwLock::new(RoundCtx {
-        next_wake,
-        awake_pos: vec![0u32; n],
-        bounds: Vec::new(),
-    });
-
-    // Per-worker channels, both directions; batches are recycled through
-    // `pool`, so programs never travel through unbounded queues and the
-    // per-round channel traffic is O(workers), not O(awake nodes).
-    let mut job_txs: Vec<Sender<Batch<P>>> = Vec::with_capacity(workers);
-    let mut job_rxs: Vec<Receiver<Batch<P>>> = Vec::with_capacity(workers);
-    let mut done_txs: Vec<Sender<Batch<P>>> = Vec::with_capacity(workers);
-    let mut done_rxs: Vec<Receiver<Batch<P>>> = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (jt, jr) = channel();
-        let (dt, dr) = channel();
-        job_txs.push(jt);
-        job_rxs.push(jr);
-        done_txs.push(dt);
-        done_rxs.push(dr);
-    }
-    let mut pool: Vec<Option<Batch<P>>> = (0..workers).map(|_| Some(Batch::new())).collect();
+    // The shared injector: slot arena (one descriptor slot per potential
+    // chunk), k×k exchange cells, round context. Preallocated once; the
+    // steady state only swaps buffers through it.
+    let pool: StealPool<'_, P> = StealPool {
+        graph,
+        ctx: RwLock::new(RoundCtx {
+            next_wake,
+            awake_pos: vec![0u32; n],
+            bounds: Vec::new(),
+            chunk: Vec::new(),
+        }),
+        slots: (0..workers).map(|_| ChunkSlot::new()).collect(),
+        cells: (0..workers * workers)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+        kmax: workers,
+        k: AtomicUsize::new(0),
+        auto_receive: faults.is_none(),
+        abort: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        registry: Mutex::new(Vec::new()),
+        chaos,
+    };
+    // The coordinator is an executor too (it steals while it waits):
+    // register it for unpark storms before anything can publish.
+    pool.register();
 
     let result: Result<Option<Snapshot>, SimError> = std::thread::scope(|scope| {
-        for (job_rx, done_tx) in job_rxs.drain(..).zip(done_txs.drain(..)) {
-            let graph_ref = &*graph;
-            let shared_ref = &shared;
-            scope.spawn(move || worker_loop(graph_ref, shared_ref, job_rx, done_tx));
+        for who in 1..workers {
+            let pool_ref = &pool;
+            scope.spawn(move || worker_loop(pool_ref, who));
         }
 
         let mut awake: Vec<u32> = Vec::new();
@@ -956,224 +1407,29 @@ where
         let mut stay: Vec<u32> = stay_init;
         let mut prefix: Vec<u64> = Vec::new();
         let mut bounds: Vec<u32> = Vec::new();
-        // Batches of the round in flight, in chunk index order.
-        let mut inflight: Vec<Batch<P>> = Vec::with_capacity(workers);
-        // Segment pool of the coordinator's inline path.
-        let mut main_inboxes: ChunkInboxes<P::Msg> = ChunkInboxes::new();
+        // The coordinator's executor context: claim-scan offset 0, plus
+        // the segment pool its inline path and receive steals share.
+        let mut coord: ExecCtx<P::Msg> = ExecCtx::new(0);
         let mut prev_round: Round = prev_round_init;
         let mut last_emit: Round = prev_round_init;
 
-        loop {
-            // Peek the next pending round without committing anything, so
-            // a pause bound can snapshot this exact boundary (the stay
-            // lane, when occupied, always runs before any wheel wake-up).
-            let next = if !stay.is_empty() {
-                Some(prev_round + 1)
-            } else {
-                wheel.peek_min()
-            };
-            let Some(round) = next else { break };
-            if let Some(c) = ctl.as_mut() {
-                if c.pause_after.is_some_and(|bound| round > bound) {
-                    let ctx = shared.read().expect("round context lock");
-                    let st = EngineStateRef {
-                        prev_round,
-                        next_wake: &ctx.next_wake,
-                        stay: &stay,
-                        wheel_events: wheel.pending_events(),
-                        outputs: &outputs,
-                        programs: ProgramsRef::Slots(&slots),
-                        metrics: &metrics,
-                        tracer: &tracer,
-                        faults: faults.as_ref().map(|f| &f.state),
-                    };
-                    return Ok(Some((c.encode)(graph, config, st)));
-                }
-            }
-            let popped =
-                next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch);
-            debug_assert_eq!(popped, Some(round), "peek and pop must agree");
-            if round > config.max_rounds {
-                return Err(SimError::RoundBudgetExceeded {
-                    limit: config.max_rounds,
-                });
-            }
-            // Same skipped-round accounting as the serial `step_body`:
-            // rounds the batch-cascade jumped over had no awake node.
-            metrics.rounds_skipped += round - prev_round - 1;
-            metrics.rounds = round;
-            prev_round = round;
-            let total_mass = degree_mass_prefix(graph, &awake, &mut prefix);
-            let inline = workers == 1 || total_mass <= INLINE_MASS;
-            let k = if inline { 1 } else { workers.min(awake.len()) };
-            partition_by_mass(&prefix, k, &mut bounds);
-            {
-                let mut ctx = shared.write().expect("round context lock");
-                ctx.bounds.clone_from(&bounds);
-                for (i, &v) in awake.iter().enumerate() {
-                    ctx.awake_pos[v as usize] = i as u32;
-                }
-            }
-
-            if inline {
-                // ---- inline path: one chunk, no dispatch. The same phase
-                // functions the workers run, so results are identical by
-                // construction; only the channel round-trips are skipped.
-                let mut b = pool[0].take().expect("batch parked");
-                b.round = round;
-                b.phase = Phase::Send;
-                b.trace_on = trace_on;
-                b.faults = hooks;
-                b.jobs.clear();
-                for &v in &awake {
-                    b.jobs
-                        .push((v, slots[v as usize].take().expect("program present")));
-                }
-                {
-                    let ctx = shared.read().expect("round context lock");
-                    run_send_phase(graph, &ctx, &mut b);
-                }
-                if let Some(e) = b.error.take() {
-                    return Err(e);
-                }
-                merge_send_partials(&mut b, &mut metrics, &mut tracer, faults.as_mut());
-                if let Some(f) = faults.as_mut() {
-                    let ctx = shared.read().expect("round context lock");
-                    resolve_due_delays(
-                        f,
-                        round,
-                        &ctx,
-                        std::slice::from_mut(&mut b),
-                        &mut metrics,
-                        &mut tracer,
-                    );
-                }
-                b.phase = Phase::Receive;
-                run_receive_phase(graph, &mut b, &mut main_inboxes);
-                if let Some(e) = b.error.take() {
-                    return Err(e);
-                }
-                {
-                    let mut ctx = shared.write().expect("round context lock");
-                    let rec_round = apply_receive_partials(
-                        &mut b,
-                        round,
-                        &mut ctx,
-                        &mut wheel,
-                        &mut stay,
-                        &mut outputs,
-                        &mut slots,
-                        &mut tracer,
-                        &mut metrics,
-                        faults.as_mut(),
-                    );
-                    if rec_round {
-                        metrics.recovery_rounds += 1;
-                    }
-                }
-                pool[0] = Some(b);
-            } else {
-                // ---- send phase: workers route their own chunks ----
-                for w in 0..k {
-                    let mut b = pool[w].take().expect("batch parked");
-                    b.round = round;
-                    b.phase = Phase::Send;
-                    b.trace_on = trace_on;
-                    b.faults = hooks;
-                    b.jobs.clear();
-                    for &v in &awake[bounds[w] as usize..bounds[w + 1] as usize] {
-                        b.jobs
-                            .push((v, slots[v as usize].take().expect("program present")));
-                    }
-                    job_txs[w].send(b).expect("worker alive");
-                }
-                inflight.clear();
-                for rx in done_rxs.iter().take(k) {
-                    inflight.push(rx.recv().expect("worker reply"));
-                }
-                // Error precedence: chunks ascend in node order and a
-                // worker stops at its chunk's first routing error, so the
-                // first error of the lowest-indexed chunk is the serial
-                // engine's error.
-                for b in &mut inflight {
-                    if let Some(e) = b.error.take() {
-                        return Err(e);
-                    }
-                }
-                // Deterministic metrics/trace merge, chunk by chunk in
-                // node order.
-                for b in &mut inflight {
-                    merge_send_partials(b, &mut metrics, &mut tracer, faults.as_mut());
-                }
-                // Between the phases: route fault-delayed messages coming
-                // due into their recipients' owner batches, exactly where
-                // the serial engine resolves them.
-                if let Some(f) = faults.as_mut() {
-                    let ctx = shared.read().expect("round context lock");
-                    resolve_due_delays(f, round, &ctx, &mut inflight, &mut metrics, &mut tracer);
-                }
-                // ---- exchange: transpose the k×k owner-shard matrix so
-                // batch w's shards become the messages *addressed to*
-                // chunk w, indexed by source chunk. Vec header swaps only
-                // — the message payloads never move, and buffer capacity
-                // stays in the pool.
-                for w in 0..k {
-                    let (left, right) = inflight.split_at_mut(w + 1);
-                    for c in (w + 1)..k {
-                        std::mem::swap(&mut left[w].shards[c], &mut right[c - w - 1].shards[w]);
-                    }
-                }
-
-                // ---- receive phase: workers deliver and receive locally
-                for (w, mut b) in inflight.drain(..).enumerate() {
-                    b.phase = Phase::Receive;
-                    job_txs[w].send(b).expect("worker alive");
-                }
-                for rx in done_rxs.iter().take(k) {
-                    inflight.push(rx.recv().expect("worker reply"));
-                }
-                for b in &mut inflight {
-                    if let Some(e) = b.error.take() {
-                        return Err(e);
-                    }
-                }
-                // Apply action partials in chunk order (= node order):
-                // stay lane stays globally sorted, wake-ups enter the
-                // wheel in the serial engine's schedule order, halt
-                // outputs land in place.
-                {
-                    let mut ctx = shared.write().expect("round context lock");
-                    let mut rec_round = false;
-                    for (w, mut b) in inflight.drain(..).enumerate() {
-                        rec_round |= apply_receive_partials(
-                            &mut b,
-                            round,
-                            &mut ctx,
-                            &mut wheel,
-                            &mut stay,
-                            &mut outputs,
-                            &mut slots,
-                            &mut tracer,
-                            &mut metrics,
-                            faults.as_mut(),
-                        );
-                        pool[w] = Some(b);
-                    }
-                    if rec_round {
-                        metrics.recovery_rounds += 1;
-                    }
-                }
-            }
-
-            // Periodic snapshots, at this round's boundary, only while
-            // more work is pending — the final state is the returned run.
-            if let Some(c) = ctl.as_mut() {
-                if let Some(every) = c.every {
-                    if prev_round >= last_emit.saturating_add(every)
-                        && (!stay.is_empty() || wheel.peek_min().is_some())
-                    {
-                        last_emit = prev_round;
-                        let ctx = shared.read().expect("round context lock");
+        // Wrapped so every exit — completion, pause, error — funnels
+        // through the one place below that raises shutdown and unparks
+        // every executor before the scope joins the threads.
+        let out = (|| -> Result<Option<Snapshot>, SimError> {
+            loop {
+                // Peek the next pending round without committing anything, so
+                // a pause bound can snapshot this exact boundary (the stay
+                // lane, when occupied, always runs before any wheel wake-up).
+                let next = if !stay.is_empty() {
+                    Some(prev_round + 1)
+                } else {
+                    wheel.peek_min()
+                };
+                let Some(round) = next else { break };
+                if let Some(c) = ctl.as_mut() {
+                    if c.pause_after.is_some_and(|bound| round > bound) {
+                        let ctx = pool.ctx.read().expect("round context lock");
                         let st = EngineStateRef {
                             prev_round,
                             next_wake: &ctx.next_wake,
@@ -1185,14 +1441,281 @@ where
                             tracer: &tracer,
                             faults: faults.as_ref().map(|f| &f.state),
                         };
-                        let snap = (c.encode)(graph, config, st);
-                        (c.sink)(&snap);
+                        return Ok(Some((c.encode)(graph, config, st)));
+                    }
+                }
+                // Per-round timing stamp; partition covers pop → publish.
+                let mut stamp = timing.as_deref_mut().map(|t| (t, Instant::now()));
+                let popped =
+                    next_awake_set(&mut wheel, &mut stay, prev_round, &mut awake, &mut scratch);
+                debug_assert_eq!(popped, Some(round), "peek and pop must agree");
+                if round > config.max_rounds {
+                    return Err(SimError::RoundBudgetExceeded {
+                        limit: config.max_rounds,
+                    });
+                }
+                // Same skipped-round accounting as the serial `step_body`:
+                // rounds the batch-cascade jumped over had no awake node.
+                metrics.rounds_skipped += round - prev_round - 1;
+                metrics.rounds = round;
+                prev_round = round;
+                let total_mass = degree_mass_prefix(graph, &awake, &mut prefix);
+                let inline = workers == 1 || total_mass <= INLINE_MASS;
+                let k = if inline { 1 } else { workers.min(awake.len()) };
+                partition_by_mass(&prefix, k, &mut bounds);
+                {
+                    let mut ctx = pool.ctx.write().expect("round context lock");
+                    ctx.bounds.clone_from(&bounds);
+                    ctx.chunk.clear();
+                    ctx.chunk.reserve(awake.len());
+                    let mut c = 0usize;
+                    for (i, &v) in awake.iter().enumerate() {
+                        ctx.awake_pos[v as usize] = i as u32;
+                        while bounds[c + 1] as usize <= i {
+                            c += 1;
+                        }
+                        ctx.chunk.push(c as u32);
+                    }
+                }
+
+                if inline {
+                    lap(&mut stamp, |t| &mut t.partition_ns);
+                    // ---- inline path: one chunk, no descriptors. The same
+                    // phase functions the stealing executors run, so results
+                    // are identical by construction; only the descriptor
+                    // traffic is skipped. Uses chunk 0's parked batch.
+                    let mut b = pool.slots[0]
+                        .batch
+                        .lock()
+                        .expect("batch slot lock")
+                        .take()
+                        .expect("batch parked between rounds");
+                    b.round = round;
+                    b.trace_on = trace_on;
+                    b.faults = hooks;
+                    b.jobs.clear();
+                    for &v in &awake {
+                        b.jobs
+                            .push((v, slots[v as usize].take().expect("program present")));
+                    }
+                    {
+                        let ctx = pool.ctx.read().expect("round context lock");
+                        run_send_phase(graph, &ctx, &mut b);
+                    }
+                    if let Some(e) = b.res.error.take() {
+                        return Err(e);
+                    }
+                    merge_send_results(&mut b.res, &mut metrics, &mut tracer, faults.as_mut());
+                    if let Some(f) = faults.as_mut() {
+                        let ctx = pool.ctx.read().expect("round context lock");
+                        let late = &mut b.late;
+                        resolve_due_delays(
+                            f,
+                            round,
+                            &ctx,
+                            &mut metrics,
+                            &mut tracer,
+                            &mut |_, e| late.push(e),
+                        );
+                    }
+                    // Drain the single chunk's own shards — the inline
+                    // counterpart of a receive descriptor draining its cells.
+                    coord.inboxes.ensure(b.jobs.len());
+                    for shard in b.shards.iter_mut() {
+                        coord
+                            .inboxes
+                            .extend_from(shard.drain(..).map(|e| (e.to_local, e.env)));
+                    }
+                    run_receive_phase(graph, &mut b, &mut coord.inboxes);
+                    if let Some(e) = b.error.take() {
+                        return Err(e);
+                    }
+                    {
+                        let mut ctx = pool.ctx.write().expect("round context lock");
+                        let rec_round = apply_receive_partials(
+                            &mut b,
+                            round,
+                            &mut ctx,
+                            &mut wheel,
+                            &mut stay,
+                            &mut outputs,
+                            &mut slots,
+                            &mut tracer,
+                            &mut metrics,
+                            faults.as_mut(),
+                        );
+                        if rec_round {
+                            metrics.recovery_rounds += 1;
+                        }
+                    }
+                    *pool.slots[0].batch.lock().expect("batch slot lock") = Some(b);
+                    lap(&mut stamp, |t| &mut t.inline_ns);
+                    if let Some((t, _)) = stamp.as_mut() {
+                        t.inline_rounds += 1;
+                    }
+                } else {
+                    // ---- publish: fill every chunk descriptor first, then
+                    // open them all at once. Two loops on purpose — an
+                    // executor may claim a send the instant its slot turns
+                    // READY, and its k publish decrements must land on fully
+                    // reset `pending` counters and VACANT receive gates.
+                    pool.abort.store(false, Ordering::SeqCst);
+                    pool.k.store(k, Ordering::SeqCst);
+                    for c in 0..k {
+                        let slot = &pool.slots[c];
+                        let mut parked = slot.batch.lock().expect("batch slot lock");
+                        let b = parked.as_mut().expect("batch parked between rounds");
+                        b.round = round;
+                        b.trace_on = trace_on;
+                        b.faults = hooks;
+                        b.jobs.clear();
+                        for &v in &awake[bounds[c] as usize..bounds[c + 1] as usize] {
+                            b.jobs
+                                .push((v, slots[v as usize].take().expect("program present")));
+                        }
+                        slot.pending.store(k, Ordering::SeqCst);
+                        slot.recv_state.store(VACANT, Ordering::SeqCst);
+                    }
+                    for c in 0..k {
+                        pool.slots[c].send_state.store(READY, Ordering::SeqCst);
+                    }
+                    pool.unpark_all();
+                    lap(&mut stamp, |t| &mut t.partition_ns);
+
+                    // ---- send results, in chunk index order. The coordinator
+                    // steals work itself while waiting (`wait_done`), so the
+                    // merge order — which fixes metrics, trace, and error
+                    // precedence — is untouched by who executed what.
+                    let mut round_err = None;
+                    for c in 0..k {
+                        wait_done(&pool, &mut coord, c, false);
+                        lap(&mut stamp, |t| &mut t.route_ns);
+                        let mut r = pool.slots[c].results.lock().expect("results slot lock");
+                        // Error precedence: chunks ascend in node order and a
+                        // send stops at its chunk's first routing error, so
+                        // the first error of the lowest-indexed chunk is the
+                        // serial engine's error.
+                        if let Some(e) = r.error.take() {
+                            round_err = Some(e);
+                            break;
+                        }
+                        merge_send_results(&mut r, &mut metrics, &mut tracer, faults.as_mut());
+                        lap(&mut stamp, |t| &mut t.merge_ns);
+                    }
+                    if let Some(e) = round_err {
+                        return Err(e);
+                    }
+                    // Between the phases: route fault-delayed messages coming
+                    // due into their recipients' owner batches, exactly where
+                    // the serial engine resolves them. Only on faulty runs —
+                    // fault-free rounds auto-open their receives instead
+                    // (`auto_receive`), so this coordinator turn is skipped.
+                    if let Some(f) = faults.as_mut() {
+                        {
+                            let ctx = pool.ctx.read().expect("round context lock");
+                            resolve_due_delays(
+                                f,
+                                round,
+                                &ctx,
+                                &mut metrics,
+                                &mut tracer,
+                                &mut |c, entry| {
+                                    pool.slots[c]
+                                        .batch
+                                        .lock()
+                                        .expect("batch slot lock")
+                                        .as_mut()
+                                        .expect("batch parked for staging")
+                                        .late
+                                        .push(entry);
+                                },
+                            );
+                        }
+                        for c in 0..k {
+                            pool.slots[c].recv_state.store(READY, Ordering::SeqCst);
+                        }
+                        pool.unpark_all();
+                        lap(&mut stamp, |t| &mut t.merge_ns);
+                    }
+
+                    // ---- receive partials, in chunk order (= node order):
+                    // stay lane stays globally sorted, wake-ups enter the
+                    // wheel in the serial engine's schedule order, halt
+                    // outputs land in place. Waiting on every receive also
+                    // quiesces the round: no executor holds work at a round
+                    // boundary, so pause/periodic snapshots stay exact.
+                    let mut rec_round = false;
+                    for c in 0..k {
+                        wait_done(&pool, &mut coord, c, true);
+                        lap(&mut stamp, |t| &mut t.deliver_ns);
+                        let mut b = pool.slots[c]
+                            .batch
+                            .lock()
+                            .expect("batch slot lock")
+                            .take()
+                            .expect("batch parked after receive");
+                        if let Some(e) = b.error.take() {
+                            return Err(e);
+                        }
+                        {
+                            let mut ctx = pool.ctx.write().expect("round context lock");
+                            rec_round |= apply_receive_partials(
+                                &mut b,
+                                round,
+                                &mut ctx,
+                                &mut wheel,
+                                &mut stay,
+                                &mut outputs,
+                                &mut slots,
+                                &mut tracer,
+                                &mut metrics,
+                                faults.as_mut(),
+                            );
+                        }
+                        *pool.slots[c].batch.lock().expect("batch slot lock") = Some(b);
+                        lap(&mut stamp, |t| &mut t.merge_ns);
+                    }
+                    if rec_round {
+                        metrics.recovery_rounds += 1;
+                    }
+                    if let Some((t, _)) = stamp.as_mut() {
+                        t.dispatched_rounds += 1;
+                    }
+                }
+
+                // Periodic snapshots, at this round's boundary, only while
+                // more work is pending — the final state is the returned run.
+                if let Some(c) = ctl.as_mut() {
+                    if let Some(every) = c.every {
+                        if prev_round >= last_emit.saturating_add(every)
+                            && (!stay.is_empty() || wheel.peek_min().is_some())
+                        {
+                            last_emit = prev_round;
+                            let ctx = pool.ctx.read().expect("round context lock");
+                            let st = EngineStateRef {
+                                prev_round,
+                                next_wake: &ctx.next_wake,
+                                stay: &stay,
+                                wheel_events: wheel.pending_events(),
+                                outputs: &outputs,
+                                programs: ProgramsRef::Slots(&slots),
+                                metrics: &metrics,
+                                tracer: &tracer,
+                                faults: faults.as_ref().map(|f| &f.state),
+                            };
+                            let snap = (c.encode)(graph, config, st);
+                            (c.sink)(&snap);
+                        }
                     }
                 }
             }
-        }
-        drop(job_txs);
-        Ok(None)
+            Ok(None)
+        })();
+        // One exit for every path: raise shutdown and wake every parked
+        // executor so the scope can join its threads.
+        pool.shutdown.store(true, Ordering::SeqCst);
+        pool.unpark_all();
+        out
     });
     if let Some(snapshot) = result? {
         return Ok(ThreadedOutcome::Paused(snapshot));
@@ -1249,6 +1772,42 @@ where
         workers,
         None,
         None,
+        None,
+        None,
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Run `programs` on `workers` threads, accumulating per-phase wall time
+/// into `timing` ([`PhaseTimes`]) — partition / route / deliver / merge
+/// for dispatched rounds, a single bucket for inline rounds. The timing
+/// probe reads the clock only between pipeline stages on the coordinator,
+/// so the run itself (outputs, [`Metrics`], trace) is
+/// bit-for-bit the same as [`run_threaded`].
+///
+/// # Errors
+/// Same contract as [`run_threaded`].
+pub fn run_threaded_timed<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    timing: &mut PhaseTimes,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Send,
+{
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        None,
+        None,
+        Some(timing),
+        None,
     )? {
         ThreadedOutcome::Done(run) => Ok(run),
         ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
@@ -1280,6 +1839,8 @@ where
         config,
         workers,
         Some(faults),
+        None,
+        None,
         None,
     )? {
         ThreadedOutcome::Done(run) => Ok(run),
@@ -1324,6 +1885,8 @@ where
         workers,
         faults,
         Some(ctl),
+        None,
+        None,
     )? {
         ThreadedOutcome::Done(run) => Ok(Paused::Done(run)),
         ThreadedOutcome::Paused(snapshot) => Ok(Paused::Snapshot(snapshot)),
@@ -1374,6 +1937,8 @@ where
         workers,
         faults,
         None,
+        None,
+        None,
     )
     .map_err(ResumeError::Sim)?
     {
@@ -1422,9 +1987,114 @@ where
         workers,
         faults,
         Some(ctl),
+        None,
+        None,
     )? {
         ThreadedOutcome::Done(run) => Ok(run),
         ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Test-only entry points that thread a seeded [`ChaosPlan`] through the
+/// executor: every claim scan, publish, and drain may be perturbed with
+/// forced steals, yields, naps, and unpark storms at plan-seeded points.
+/// The perturbations reorder only *who executes what when* — never the
+/// coordinator's chunk-order merges — so every run must stay bit-for-bit
+/// identical to the serial engine. Used by the chaos-interleaving stress
+/// tests here and in `checkpoint`.
+#[cfg(test)]
+pub(crate) fn run_threaded_chaos<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    seed: u64,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Send,
+{
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        None,
+        None,
+        None,
+        Some(ChaosPlan { seed }),
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Chaos variant of [`run_threaded_faulty`] — see [`run_threaded_chaos`].
+#[cfg(test)]
+pub(crate) fn run_threaded_faulty_chaos<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    plan: &FaultPlan,
+    seed: u64,
+) -> Result<Run<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+{
+    let faults = FaultCtx::new(*plan, CrashIo::<P>::of());
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        Some(faults),
+        None,
+        None,
+        Some(ChaosPlan { seed }),
+    )? {
+        ThreadedOutcome::Done(run) => Ok(run),
+        ThreadedOutcome::Paused(_) => unreachable!("no pause bound was set"),
+    }
+}
+
+/// Chaos variant of [`snapshot_at_threaded`] — see [`run_threaded_chaos`].
+/// Snapshot bytes must also be unperturbed: rounds quiesce before every
+/// boundary, chaos or not.
+#[cfg(test)]
+pub(crate) fn snapshot_at_threaded_chaos<P>(
+    graph: &Graph,
+    programs: Vec<P>,
+    config: Config,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+    pause_after: Round,
+    seed: u64,
+) -> Result<Paused<P::Output>, SimError>
+where
+    P: Program + Persist + Send,
+    P::Msg: Codec,
+    P::Output: Codec,
+{
+    let faults = plan.map(|p| FaultCtx::new(*p, CrashIo::<P>::of()));
+    let mut sink = |_: &Snapshot| {};
+    let ctl = CkptCtl {
+        pause_after: Some(pause_after),
+        every: None,
+        encode: encode_snapshot::<P>,
+        sink: &mut sink,
+    };
+    match run_threaded_core(
+        graph,
+        ThreadedInit::Fresh(programs),
+        config,
+        workers,
+        faults,
+        Some(ctl),
+        None,
+        Some(ChaosPlan { seed }),
+    )? {
+        ThreadedOutcome::Done(run) => Ok(Paused::Done(run)),
+        ThreadedOutcome::Paused(snapshot) => Ok(Paused::Snapshot(snapshot)),
     }
 }
 
@@ -1807,5 +2477,204 @@ mod tests {
                 "workers = {workers}"
             );
         }
+    }
+
+    // ---- seeded chaos interleavings: determinism is not scheduling luck --
+
+    #[test]
+    fn chaos_interleavings_stay_bit_identical() {
+        // Forced steals, yields, naps, and unpark storms at seeded points
+        // shuffle which executor runs each descriptor and when — outputs
+        // and metrics must not move by a bit relative to the serial engine.
+        let g = generators::random_tree(160, 9);
+        let mk = || {
+            (0..160)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 40,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = crate::Engine::new(&g, Config::default()).run(mk()).unwrap();
+        for seed in 1u64..=8 {
+            for workers in [2, 4, 8] {
+                let par = run_threaded_chaos(&g, mk(), Config::default(), workers, seed).unwrap();
+                assert!(
+                    serial.outputs == par.outputs,
+                    "outputs, seed = {seed}, workers = {workers}"
+                );
+                assert_eq!(
+                    serial.metrics, par.metrics,
+                    "metrics, seed = {seed}, workers = {workers}"
+                );
+            }
+        }
+        // Traces too, including the drop counter under a biting cap.
+        let cfg = Config {
+            trace: crate::TraceMode::Capped(500),
+            ..Config::default()
+        };
+        let serial = crate::Engine::new(&g, cfg).run(mk()).unwrap();
+        for seed in [9u64, 10] {
+            for workers in [2, 8] {
+                let par = run_threaded_chaos(&g, mk(), cfg, workers, seed).unwrap();
+                assert_eq!(
+                    serial.trace, par.trace,
+                    "trace, seed = {seed}, workers = {workers}"
+                );
+                assert_eq!(
+                    serial.trace_dropped, par.trace_dropped,
+                    "trace_dropped, seed = {seed}, workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_preserves_error_precedence() {
+        // Under chaos the erroring chunk may finish long after its
+        // neighbors — the coordinator's chunk-order scan must still report
+        // the serial engine's error (lowest node id).
+        let g = generators::path(200);
+        for seed in 11u64..=13 {
+            let progs: Vec<BadSendAt> = (0..200).map(|v| BadSendAt { bad: v >= 3 }).collect();
+            let err = run_threaded_chaos(&g, progs, Config::default(), 4, seed).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::NotANeighbor {
+                    from: NodeId(3),
+                    to: NodeId(5)
+                },
+                "seed = {seed}"
+            );
+        }
+    }
+
+    impl Persist for FloodMax {
+        fn save(&self, w: &mut crate::Writer) {
+            use crate::Codec;
+            self.best.encode(w);
+        }
+        fn restore(&mut self, r: &mut crate::Reader<'_>) -> Result<(), crate::CheckpointError> {
+            use crate::Codec;
+            self.best = u64::decode(r)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn chaos_under_faults_matches_serial() {
+        // Chaos and the fault pipeline compose: the coordinator-gated
+        // receives and staged late deliveries keep the serial fault
+        // semantics under storms (auto_receive is off on faulty runs).
+        let mut plan = FaultPlan::new(77);
+        plan.drop_ppm = 60_000;
+        plan.dup_ppm = 60_000;
+        plan.delay_ppm = 60_000;
+        plan.delay_rounds = 1;
+        let g = generators::random_tree(120, 5);
+        let mk = || {
+            (0..120)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 30,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = crate::Engine::new(&g, Config::default())
+            .run_faulty(mk(), &plan)
+            .unwrap();
+        for seed in 21u64..=23 {
+            for workers in [2, 4] {
+                let par =
+                    run_threaded_faulty_chaos(&g, mk(), Config::default(), workers, &plan, seed)
+                        .unwrap();
+                assert!(
+                    serial.outputs == par.outputs,
+                    "outputs, seed = {seed}, workers = {workers}"
+                );
+                assert_eq!(
+                    serial.metrics, par.metrics,
+                    "metrics, seed = {seed}, workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_snapshot_bytes_match_serial() {
+        // Rounds quiesce before every boundary — the coordinator consumes
+        // every send and receive descriptor before moving on — so pause
+        // snapshots must be byte-identical to the serial engine's even
+        // when steal storms shuffled the round that just finished.
+        let g = generators::random_tree(160, 9);
+        let mk = || {
+            (0..160)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 40,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial_full = crate::Engine::new(&g, Config::default()).run(mk()).unwrap();
+        let want = match crate::Engine::new(&g, Config::default())
+            .snapshot_at(mk(), None, 20)
+            .unwrap()
+        {
+            Paused::Snapshot(s) => s,
+            Paused::Done(_) => panic!("run finished before the pause"),
+        };
+        for seed in 31u64..=33 {
+            for workers in [2, 4] {
+                let got = match snapshot_at_threaded_chaos(
+                    &g,
+                    mk(),
+                    Config::default(),
+                    workers,
+                    None,
+                    20,
+                    seed,
+                )
+                .unwrap()
+                {
+                    Paused::Snapshot(s) => s,
+                    Paused::Done(_) => panic!("run finished before the pause"),
+                };
+                assert_eq!(
+                    got, want,
+                    "snapshot bytes, seed = {seed}, workers = {workers}"
+                );
+                // And the chaotic pause resumes to the uninterrupted run.
+                let resumed = resume_threaded(&g, mk(), &got, workers).unwrap();
+                assert!(resumed.outputs == serial_full.outputs, "resumed outputs");
+                assert_eq!(resumed.metrics, serial_full.metrics, "resumed metrics");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_run_attributes_rounds() {
+        // The timing probe must account every executed round exactly once
+        // (skipped rounds are free) and leave the run itself untouched.
+        let g = generators::random_tree(160, 9);
+        let mk = || {
+            (0..160)
+                .map(|_| FloodMax {
+                    best: 0,
+                    rounds: 40,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = crate::Engine::new(&g, Config::default()).run(mk()).unwrap();
+        let mut t = PhaseTimes::default();
+        let run = run_threaded_timed(&g, mk(), Config::default(), 4, &mut t).unwrap();
+        assert_eq!(serial.metrics, run.metrics);
+        assert!(serial.outputs == run.outputs);
+        assert_eq!(
+            t.rounds(),
+            run.metrics.rounds - run.metrics.rounds_skipped,
+            "every executed round lands in exactly one bucket"
+        );
+        assert!(t.dispatched_rounds > 0, "dense rounds must dispatch");
     }
 }

@@ -109,7 +109,7 @@ impl Tracer {
     }
 
     /// Whether events should be recorded at all (the threaded executor's
-    /// workers stage events only when this is true).
+    /// chunk descriptors stage events only when this is true).
     #[inline]
     pub(crate) fn enabled(&self) -> bool {
         self.mode != TraceMode::Off
@@ -129,8 +129,9 @@ impl Tracer {
         }
     }
 
-    /// Merge events staged elsewhere (the threaded executor's per-worker
-    /// buffers), applying the same cap/drop accounting as [`push`](Self::push).
+    /// Merge events staged elsewhere (the threaded executor's per-chunk
+    /// staged buffers, absorbed in chunk index order), applying the same
+    /// cap/drop accounting as [`push`](Self::push).
     pub(crate) fn absorb(&mut self, staged: &mut Vec<TraceEvent>) {
         for ev in staged.drain(..) {
             self.push(|| ev);

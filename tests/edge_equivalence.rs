@@ -121,9 +121,7 @@ impl VirtualProgram for MaybeBad {
     type Msg = ();
     type Output = ();
     type Payload = ();
-    fn send(&mut self, _vround: Round) -> Vec<VOutgoing<()>> {
-        vec![]
-    }
+    fn send(&mut self, _vround: Round, _out: &mut Vec<VOutgoing<()>>) {}
     fn receive(&mut self, vround: Round, _inbox: &[VEnvelope<()>]) -> Action {
         if self.bad {
             Action::SleepUntil(vround) // not strictly in the future
